@@ -1,0 +1,70 @@
+//! Wall-clock benchmarks of the real (thread-runtime) distributed 3-D FFT
+//! at laptop scale: NEW vs TH vs the FFTW-style baseline on actual data.
+//!
+//! On shared-memory threads the communication is memcpy-fast, so — unlike
+//! on a cluster — overlap buys little here; this bench exists to show the
+//! pipeline's *overhead* is small, not to reproduce Table 2 (that is the
+//! simulator's job).
+
+use cfft::planner::Rigor;
+use cfft::Direction;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fft3d::real_env::{fft3_dist, local_test_slab};
+use fft3d::{ProblemSpec, TuningParams, Variant};
+
+fn bench_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distributed_real");
+    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for n in [32usize, 64] {
+        let spec = ProblemSpec::cube(n, 4);
+        let params = TuningParams::seed(&spec);
+        g.throughput(Throughput::Elements(spec.len() as u64));
+        for (label, variant) in
+            [("new", Variant::New), ("th", Variant::Th), ("fftw_style", Variant::Fftw)]
+        {
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("{n}cubed_p4")),
+                &spec,
+                |b, &spec| {
+                    b.iter(|| {
+                        mpisim::run(spec.p, move |comm| {
+                            let input = local_test_slab(&spec, comm.rank());
+                            let out = fft3_dist(
+                                &comm,
+                                spec,
+                                variant,
+                                params,
+                                Direction::Forward,
+                                Rigor::Estimate,
+                                &input,
+                            );
+                            out.data[0]
+                        })
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_serial_reference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serial_reference");
+    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for n in [32usize, 64] {
+        let x = fft3d::serial::full_test_array(n, n, n);
+        g.throughput(Throughput::Elements((n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut v = x.clone();
+                fft3d::serial::fft3_serial(&mut v, n, n, n, Direction::Forward);
+                v[0]
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_serial_reference);
+criterion_main!(benches);

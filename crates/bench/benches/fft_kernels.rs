@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the 1-D FFT kernels — the substrate whose per-line
+//! cost the machine model's `fft_flops` constant abstracts.
+
+use cfft::bluestein::BluesteinPlan;
+use cfft::mixed::MixedRadixPlan;
+use cfft::planner::{Planner, Rigor};
+use cfft::radix2::Radix2Plan;
+use cfft::{Complex64, Direction};
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn signal(n: usize) -> Vec<Complex64> {
+    (0..n).map(|j| Complex64::new((j as f64 * 0.1).sin(), (j as f64 * 0.07).cos())).collect()
+}
+
+fn bench_power_of_two_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pow2_kernels");
+    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for n in [256usize, 1024, 4096] {
+        g.throughput(Throughput::Elements(n as u64));
+        let x = signal(n);
+
+        let r2 = Radix2Plan::new(n, Direction::Forward).unwrap();
+        g.bench_with_input(BenchmarkId::new("radix2_inplace", n), &n, |b, _| {
+            let mut data = x.clone();
+            b.iter(|| r2.execute(&mut data));
+        });
+
+        let mx = MixedRadixPlan::new(n, Direction::Forward).unwrap();
+        let mut scratch = vec![Complex64::ZERO; n];
+        g.bench_with_input(BenchmarkId::new("stockham", n), &n, |b, _| {
+            let mut data = x.clone();
+            b.iter(|| mx.execute(&mut data, &mut scratch));
+        });
+    }
+    g.finish();
+}
+
+fn bench_paper_line_lengths(c: &mut Criterion) {
+    // The 1-D lengths the paper's grids induce: 256..2048 per line.
+    let mut g = c.benchmark_group("paper_line_lengths");
+    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    let mut planner = Planner::new(Rigor::Measure);
+    for n in [256usize, 384, 512, 640, 1280, 2048] {
+        g.throughput(Throughput::Elements(n as u64));
+        let plan = planner.plan(n, Direction::Forward);
+        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+        let x = signal(n);
+        g.bench_with_input(BenchmarkId::new("planned", n), &n, |b, _| {
+            let mut data = x.clone();
+            b.iter(|| plan.execute(&mut data, &mut scratch));
+        });
+    }
+    g.finish();
+}
+
+fn bench_bluestein_primes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bluestein_primes");
+    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for n in [251usize, 509, 1021] {
+        g.throughput(Throughput::Elements(n as u64));
+        let plan = BluesteinPlan::new(n, Direction::Forward);
+        let mut scratch = vec![Complex64::ZERO; 2 * plan.conv_len()];
+        let x = signal(n);
+        g.bench_with_input(BenchmarkId::new("bluestein", n), &n, |b, _| {
+            let mut data = x.clone();
+            b.iter(|| plan.execute(&mut data, &mut scratch));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_power_of_two_strategies,
+    bench_paper_line_lengths,
+    bench_bluestein_primes
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the Transpose-step implementations — the real-code
+//! counterpart of the model's three transpose cost tiers (§3.5 and TH's
+//! naive rearrangement), plus the blocked 2-D kernel.
+
+use cfft::transpose::{permute3, transpose2, xzy_fast, Dims3, XYZ_TO_ZXY};
+use cfft::Complex64;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn cube(n: usize) -> (Dims3, Vec<Complex64>) {
+    let d = Dims3::new(n, n, n);
+    let v = (0..d.len()).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+    (d, v)
+}
+
+/// The unblocked triple loop TH's kernel effectively performs.
+fn naive_zxy(src: &[Complex64], dst: &mut [Complex64], d: Dims3) {
+    for x in 0..d.n0 {
+        for y in 0..d.n1 {
+            for z in 0..d.n2 {
+                dst[(z * d.n0 + x) * d.n1 + y] = src[(x * d.n1 + y) * d.n2 + z];
+            }
+        }
+    }
+}
+
+fn bench_transpose_tiers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transpose_tiers");
+    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for n in [32usize, 64] {
+        let (d, src) = cube(n);
+        g.throughput(Throughput::Bytes((d.len() * 16) as u64));
+        let mut dst = vec![Complex64::ZERO; d.len()];
+        g.bench_with_input(BenchmarkId::new("fast_xzy", n), &n, |b, _| {
+            b.iter(|| xzy_fast(&src, &mut dst, d));
+        });
+        g.bench_with_input(BenchmarkId::new("blocked_zxy", n), &n, |b, _| {
+            b.iter(|| permute3(&src, &mut dst, d, XYZ_TO_ZXY));
+        });
+        g.bench_with_input(BenchmarkId::new("naive_zxy", n), &n, |b, _| {
+            b.iter(|| naive_zxy(&src, &mut dst, d));
+        });
+    }
+    g.finish();
+}
+
+fn bench_transpose2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transpose2d");
+    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for n in [256usize, 1024] {
+        let src: Vec<Complex64> =
+            (0..n * n).map(|i| Complex64::new(i as f64, 0.0)).collect();
+        let mut dst = vec![Complex64::ZERO; n * n];
+        g.throughput(Throughput::Bytes((n * n * 16) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| transpose2(&src, &mut dst, n, n));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transpose_tiers, bench_transpose2);
+criterion_main!(benches);

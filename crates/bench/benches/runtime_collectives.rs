@@ -1,0 +1,66 @@
+//! Benchmarks of the mpisim runtime's collectives: blocking vs
+//! test-progressed non-blocking all-to-all, and the barrier.
+
+use cfft::Complex64;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_alltoall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alltoall");
+    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for (p, count) in [(4usize, 1024usize), (8, 1024), (4, 16384)] {
+        let bytes = (p * count * 16) as u64;
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_with_input(
+            BenchmarkId::new("blocking", format!("p{p}_c{count}")),
+            &(p, count),
+            |b, &(p, count)| {
+                b.iter(|| {
+                    mpisim::run(p, move |comm| {
+                        let send = vec![Complex64::new(comm.rank() as f64, 0.0); p * count];
+                        let mut recv = vec![Complex64::ZERO; p * count];
+                        comm.alltoall(&send, count, &mut recv);
+                        recv[0]
+                    })
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("nonblocking_tested", format!("p{p}_c{count}")),
+            &(p, count),
+            |b, &(p, count)| {
+                b.iter(|| {
+                    mpisim::run(p, move |comm| {
+                        let send = vec![Complex64::new(comm.rank() as f64, 0.0); p * count];
+                        let mut req = comm.ialltoall(&send, count, vec![Complex64::ZERO; p * count]);
+                        while !req.test(&comm) {
+                            std::hint::spin_loop();
+                        }
+                        req.take_recv()[0]
+                    })
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier");
+    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for p in [2usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                mpisim::run(p, |comm| {
+                    for _ in 0..10 {
+                        comm.barrier();
+                    }
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_alltoall, bench_barrier);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Slab (1-D) vs pencil (2-D) decomposition — the §2.2 trade-off and the
+//! scalability argument for the paper's §7 pencil future work.
+//!
+//! Sweeps the process count for a fixed problem and reports where the
+//! tuned 1-D overlapped slab transform loses to a blocking 2-D pencil
+//! transform: slabs stop scaling at p = N (one plane per rank) and their
+//! single alltoall congests, while pencils exchange within √p-sized groups.
+//!
+//! ```sh
+//! cargo run -p fft-bench --release --bin decomp_crossover [-- N]
+//! ```
+
+use fft3d::pencil::{pencil_overlap_simulated, pencil_simulated, PencilGrid};
+use fft3d::{fft3_simulated, ProblemSpec, TuningParams, Variant};
+use simnet::model::hopper;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(512);
+    println!("slab vs pencil on the Hopper model, N = {n}³\n");
+    println!(
+        "{:>6} | {:>12} | {:>12} | {:>14} | {:>10}",
+        "p", "slab NEW (s)", "pencil (s)", "pencil+ovl (s)", "winner"
+    );
+
+    let mut crossover: Option<usize> = None;
+    for exp in 3..=11 {
+        let p = 1usize << exp;
+        if p > n {
+            // 1-D decomposition cannot use more ranks than planes.
+            let grid = PencilGrid::near_square(p);
+            let spec = ProblemSpec::cube(n, p);
+            let pencil = pencil_simulated(hopper(), spec, grid);
+            let ovl = pencil_overlap_simulated(hopper(), spec, grid, 2, 32);
+            println!("{p:>6} | {:>12} | {pencil:>12.4} | {ovl:>14.4} | {:>10}", "n/a", "pencil");
+            continue;
+        }
+        let spec = ProblemSpec::cube(n, p);
+        let slab = fft3_simulated(hopper(), spec, Variant::New, TuningParams::seed(&spec), false).time;
+        let grid = PencilGrid::near_square(p);
+        let pencil = pencil_simulated(hopper(), spec, grid);
+        let ovl = pencil_overlap_simulated(hopper(), spec, grid, 2, 32);
+        let best_pencil = pencil.min(ovl);
+        let winner = if slab <= best_pencil { "slab" } else { "pencil" };
+        if slab > best_pencil && crossover.is_none() {
+            crossover = Some(p);
+        }
+        println!("{p:>6} | {slab:>12.4} | {pencil:>12.4} | {ovl:>14.4} | {winner:>10}");
+    }
+    match crossover {
+        Some(p) => println!(
+            "\npencils overtake slabs around p = {p} — the §2.2 scalability\n\
+             trade-off: below that, the slab's single (overlapped) exchange wins."
+        ),
+        None => println!("\nslabs win across the swept range (overlap + single exchange)."),
+    }
+}

@@ -1,0 +1,123 @@
+//! Naive O(N²) discrete Fourier transform.
+//!
+//! This is the executable definition of Equation (1) in the paper:
+//! `Y[k] = Σ_j X[j]·ω_N^(jk)` with `ω_N = e^(−2πi/N)`. Every fast kernel in
+//! this crate is validated against it, and the planner falls back to it for
+//! tiny lengths where it beats the recursion overhead.
+
+use crate::complex::Complex64;
+use crate::twiddle::TwiddleTable;
+use crate::Direction;
+
+/// Computes the DFT of `input` into a fresh vector.
+pub fn dft(input: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let mut out = vec![Complex64::ZERO; input.len()];
+    dft_into(input, &mut out, dir);
+    out
+}
+
+/// Computes the DFT of `input` into `output` (lengths must match).
+pub fn dft_into(input: &[Complex64], output: &mut [Complex64], dir: Direction) {
+    let n = input.len();
+    assert_eq!(output.len(), n, "DFT output length must equal input length");
+    if n == 0 {
+        return;
+    }
+    let tw = TwiddleTable::new(n, dir);
+    for (k, slot) in output.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        let mut idx = 0usize;
+        for &x in input {
+            acc = x.mul_add(tw.factor(idx), acc);
+            // Incremental index keeps us at one modular reduction per term
+            // instead of a multiply; exactness of the table makes this safe.
+            idx += k;
+            if idx >= n {
+                idx -= n;
+            }
+        }
+        *slot = acc;
+    }
+}
+
+/// In-place O(N²) DFT using scratch storage.
+pub fn dft_in_place(data: &mut [Complex64], dir: Direction) {
+    let out = dft(data, dir);
+    data.copy_from_slice(&out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::max_abs_diff;
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let v: Vec<Complex64> = vec![];
+        assert!(dft(&v, Direction::Forward).is_empty());
+    }
+
+    #[test]
+    fn single_element_is_identity() {
+        let v = [Complex64::new(2.5, -1.0)];
+        let y = dft(&v, Direction::Forward);
+        assert!((y[0] - v[0]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn impulse_transforms_to_all_ones() {
+        let mut v = vec![Complex64::ZERO; 8];
+        v[0] = Complex64::ONE;
+        let y = dft(&v, Direction::Forward);
+        for z in y {
+            assert!((z - Complex64::ONE).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_scaled_impulse() {
+        let v = vec![Complex64::ONE; 6];
+        let y = dft(&v, Direction::Forward);
+        assert!((y[0] - Complex64::new(6.0, 0.0)).abs() < 1e-12);
+        for z in &y[1..] {
+            assert!(z.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shift_theorem_holds() {
+        // DFT(x[j-1]) = DFT(x)[k] * ω^k
+        let n = 10;
+        let x: Vec<Complex64> =
+            (0..n).map(|j| Complex64::new((j as f64).sin(), (j as f64).cos())).collect();
+        let mut shifted = x.clone();
+        shifted.rotate_right(1);
+        let yx = dft(&x, Direction::Forward);
+        let ys = dft(&shifted, Direction::Forward);
+        let tw = TwiddleTable::new(n, Direction::Forward);
+        for k in 0..n {
+            assert!((ys[k] - yx[k] * tw.factor(k)).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn forward_then_backward_recovers_scaled_input() {
+        let n = 9;
+        let x: Vec<Complex64> =
+            (0..n).map(|j| Complex64::new(j as f64, -(j as f64) * 0.5)).collect();
+        let y = dft(&x, Direction::Forward);
+        let z = dft(&y, Direction::Backward);
+        let rescaled: Vec<Complex64> = z.into_iter().map(|v| v / n as f64).collect();
+        assert!(max_abs_diff(&rescaled, &x) < 1e-11);
+    }
+
+    #[test]
+    fn in_place_matches_out_of_place() {
+        let n = 7;
+        let x: Vec<Complex64> =
+            (0..n).map(|j| Complex64::new(1.0 / (j + 1) as f64, j as f64)).collect();
+        let mut y = x.clone();
+        dft_in_place(&mut y, Direction::Forward);
+        assert!(max_abs_diff(&y, &dft(&x, Direction::Forward)) < 1e-13);
+    }
+}

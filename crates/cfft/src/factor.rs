@@ -1,0 +1,123 @@
+//! Integer factorization helpers used by the planner.
+
+/// Largest prime radix the mixed-radix (Stockham) driver handles directly.
+/// Lengths containing a larger prime factor are routed to Bluestein.
+pub const MAX_DIRECT_PRIME: usize = 31;
+
+/// Factorizes `n` into the radix sequence the Stockham driver executes.
+///
+/// Radix-4 steps are preferred (fewest multiplies per output), then the
+/// remaining small primes in increasing order. Returns `None` when `n`
+/// contains a prime factor above [`MAX_DIRECT_PRIME`]; such lengths go to
+/// the Bluestein kernel instead.
+pub fn factorize(mut n: usize) -> Option<Vec<usize>> {
+    assert!(n > 0, "cannot factorize zero");
+    let mut out = Vec::new();
+    while n % 4 == 0 {
+        out.push(4);
+        n /= 4;
+    }
+    if n % 2 == 0 {
+        out.push(2);
+        n /= 2;
+    }
+    for p in [3usize, 5, 7, 11, 13, 17, 19, 23, 29, 31] {
+        while n % p == 0 {
+            out.push(p);
+            n /= p;
+        }
+    }
+    if n == 1 {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// `true` when `n` is a power of two (and nonzero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Smallest power of two `≥ n`.
+#[inline]
+pub fn next_power_of_two(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// The largest prime factor of `n` (1 for `n = 1`).
+pub fn largest_prime_factor(mut n: usize) -> usize {
+    assert!(n > 0);
+    let mut largest = 1;
+    let mut p = 2;
+    while p * p <= n {
+        while n % p == 0 {
+            largest = largest.max(p);
+            n /= p;
+        }
+        p += 1;
+    }
+    if n > 1 {
+        largest = largest.max(n);
+    }
+    largest
+}
+
+/// `true` when the mixed-radix driver can transform length `n` directly.
+pub fn is_smooth(n: usize) -> bool {
+    n > 0 && largest_prime_factor(n) <= MAX_DIRECT_PRIME
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorization_multiplies_back() {
+        for n in 1..=2048usize {
+            if let Some(fs) = factorize(n) {
+                assert_eq!(fs.iter().product::<usize>(), n, "n={n}");
+                for f in fs {
+                    assert!(f == 4 || (f <= MAX_DIRECT_PRIME && f >= 2));
+                }
+            } else {
+                assert!(largest_prime_factor(n) > MAX_DIRECT_PRIME, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefers_radix_4() {
+        assert_eq!(factorize(16).unwrap(), vec![4, 4]);
+        assert_eq!(factorize(8).unwrap(), vec![4, 2]);
+        assert_eq!(factorize(2).unwrap(), vec![2]);
+        assert_eq!(factorize(1).unwrap(), Vec::<usize>::new());
+        assert_eq!(factorize(60).unwrap(), vec![4, 3, 5]);
+    }
+
+    #[test]
+    fn large_primes_are_rejected() {
+        assert!(factorize(37).is_none());
+        assert!(factorize(2 * 41).is_none());
+        assert!(factorize(31).is_some());
+    }
+
+    #[test]
+    fn largest_prime_factor_basics() {
+        assert_eq!(largest_prime_factor(1), 1);
+        assert_eq!(largest_prime_factor(2), 2);
+        assert_eq!(largest_prime_factor(360), 5);
+        assert_eq!(largest_prime_factor(97), 97);
+        assert_eq!(largest_prime_factor(2 * 97), 97);
+    }
+
+    #[test]
+    fn power_of_two_checks() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(1024));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(24));
+        assert_eq!(next_power_of_two(17), 32);
+    }
+}

@@ -1,0 +1,428 @@
+//! Mixed-radix Stockham autosort FFT.
+//!
+//! The workhorse kernel of the crate: an out-of-place decimation-in-
+//! frequency Cooley–Tukey that ping-pongs between the data buffer and one
+//! scratch buffer of equal size. Stockham's self-sorting formulation needs
+//! no bit-reversal pass, and one generic driver covers every radix the
+//! factorizer emits (4 and 2 specialised, 3 and 5 with Winograd-style
+//! constants, any other prime ≤ 31 through a small O(r²) butterfly).
+//!
+//! One stage with sub-length `n = r·m` and stride `s` (so `n·s` = total
+//! length `N`) maps
+//!
+//! ```text
+//! y[q + s(r·p + v)] = ω_n^{p·v} · Σ_u x[q + s(p + m·u)] · ω_r^{u·v}
+//! ```
+//!
+//! for `p ∈ [0, m)`, `q ∈ [0, s)`, and then recurses on `(m, r·s)` with the
+//! buffers swapped. Twiddles come from the single length-`N` table:
+//! `ω_n^{p·v} = ω_N^{p·v·s}`.
+
+use crate::complex::Complex64;
+use crate::factor::factorize;
+use crate::twiddle::{shared_table, TwiddleTable};
+use crate::Direction;
+use std::sync::Arc;
+
+/// Cosine/sine constants for the specialised odd radices.
+const C3: f64 = -0.5; // cos(2π/3)
+const S3: f64 = 0.866_025_403_784_438_6; // sin(2π/3)
+const C5_1: f64 = 0.309_016_994_374_947_45; // cos(2π/5)
+const C5_2: f64 = -0.809_016_994_374_947_5; // cos(4π/5)
+const S5_1: f64 = 0.951_056_516_295_153_5; // sin(2π/5)
+const S5_2: f64 = 0.587_785_252_292_473_1; // sin(4π/5)
+
+/// A prepared mixed-radix plan for one `(length, direction)` pair.
+#[derive(Debug, Clone)]
+pub struct MixedRadixPlan {
+    n: usize,
+    dir: Direction,
+    factors: Vec<usize>,
+    /// Length-`n` twiddle table shared across plans of the same length.
+    table: Arc<TwiddleTable>,
+    /// Per-prime ω_r tables for the generic butterfly.
+    radix_tables: Vec<Arc<TwiddleTable>>,
+}
+
+impl MixedRadixPlan {
+    /// Builds a plan, or `None` when `n` has a prime factor the driver does
+    /// not handle (the planner then falls back to Bluestein).
+    pub fn new(n: usize, dir: Direction) -> Option<Self> {
+        let factors = factorize(n)?;
+        let radix_tables = factors
+            .iter()
+            .map(|&r| shared_table(r, dir))
+            .collect();
+        Some(MixedRadixPlan {
+            n,
+            dir,
+            factors,
+            table: shared_table(n, dir),
+            radix_tables,
+        })
+    }
+
+    /// Transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the degenerate length… never: lengths are ≥ 1.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Transform direction.
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.dir
+    }
+
+    /// The radix sequence executed by [`Self::execute`].
+    #[inline]
+    pub fn factors(&self) -> &[usize] {
+        &self.factors
+    }
+
+    /// Executes the transform in place, using `scratch` (same length) as the
+    /// ping-pong partner buffer. Unnormalised in both directions, matching
+    /// FFTW's convention.
+    pub fn execute(&self, data: &mut [Complex64], scratch: &mut [Complex64]) {
+        assert_eq!(data.len(), self.n, "data length mismatch with plan");
+        assert_eq!(scratch.len(), self.n, "scratch length mismatch with plan");
+        if self.n == 1 {
+            return;
+        }
+
+        // Ping-pong between `data` and `scratch`. `in_data` tracks which
+        // buffer currently holds the live values.
+        let mut in_data = true;
+        let mut n = self.n;
+        let mut s = 1usize;
+        for (stage, &r) in self.factors.iter().enumerate() {
+            let m = n / r;
+            {
+                let (src, dst): (&[Complex64], &mut [Complex64]) = if in_data {
+                    (&*data, &mut *scratch)
+                } else {
+                    (&*scratch, &mut *data)
+                };
+                self.stage(r, m, s, src, dst, &self.radix_tables[stage]);
+            }
+            in_data = !in_data;
+            n = m;
+            s *= r;
+        }
+        if !in_data {
+            data.copy_from_slice(scratch);
+        }
+    }
+
+    /// One Stockham stage of radix `r`: `n = r·m`, stride `s`.
+    fn stage(
+        &self,
+        r: usize,
+        m: usize,
+        s: usize,
+        src: &[Complex64],
+        dst: &mut [Complex64],
+        radix_table: &TwiddleTable,
+    ) {
+        let total = self.n;
+        match r {
+            2 => stage2(m, s, total, &self.table, src, dst),
+            3 => stage3(self.dir, m, s, total, &self.table, src, dst),
+            4 => stage4(self.dir, m, s, total, &self.table, src, dst),
+            5 => stage5(self.dir, m, s, total, &self.table, src, dst),
+            _ => stage_generic(r, m, s, total, &self.table, radix_table, src, dst),
+        }
+    }
+}
+
+/// Advances a twiddle index by `step` modulo `total` without division.
+/// Requires `step < total`.
+#[inline(always)]
+fn advance(idx: &mut usize, step: usize, total: usize) {
+    *idx += step;
+    if *idx >= total {
+        *idx -= total;
+    }
+}
+
+fn stage2(
+    m: usize,
+    s: usize,
+    total: usize,
+    table: &TwiddleTable,
+    src: &[Complex64],
+    dst: &mut [Complex64],
+) {
+    let mut widx = 0usize; // ω_N^{p·s}
+    for p in 0..m {
+        let wp = table.factor_unreduced(widx);
+        let i0 = s * p;
+        let i1 = s * (p + m);
+        let o0 = s * (2 * p);
+        let o1 = s * (2 * p + 1);
+        for q in 0..s {
+            let a = src[q + i0];
+            let b = src[q + i1];
+            dst[q + o0] = a + b;
+            dst[q + o1] = (a - b) * wp;
+        }
+        advance(&mut widx, s, total);
+    }
+}
+
+fn stage4(
+    dir: Direction,
+    m: usize,
+    s: usize,
+    total: usize,
+    table: &TwiddleTable,
+    src: &[Complex64],
+    dst: &mut [Complex64],
+) {
+    // ω_4 = −i forward, +i backward.
+    let fwd = matches!(dir, Direction::Forward);
+    let mut w1 = 0usize;
+    for p in 0..m {
+        let wp1 = table.factor_unreduced(w1);
+        let wp2 = table.factor(2 * w1);
+        let wp3 = table.factor(w1 + 2 * w1);
+        let i = [s * p, s * (p + m), s * (p + 2 * m), s * (p + 3 * m)];
+        let o = [s * 4 * p, s * (4 * p + 1), s * (4 * p + 2), s * (4 * p + 3)];
+        for q in 0..s {
+            let t0 = src[q + i[0]];
+            let t1 = src[q + i[1]];
+            let t2 = src[q + i[2]];
+            let t3 = src[q + i[3]];
+            let a02 = t0 + t2;
+            let s02 = t0 - t2;
+            let a13 = t1 + t3;
+            let s13 = t1 - t3;
+            let js13 = if fwd { s13.mul_neg_i() } else { s13.mul_i() };
+            dst[q + o[0]] = a02 + a13;
+            dst[q + o[1]] = (s02 + js13) * wp1;
+            dst[q + o[2]] = (a02 - a13) * wp2;
+            dst[q + o[3]] = (s02 - js13) * wp3;
+        }
+        advance(&mut w1, s, total);
+    }
+}
+
+fn stage3(
+    dir: Direction,
+    m: usize,
+    s: usize,
+    total: usize,
+    table: &TwiddleTable,
+    src: &[Complex64],
+    dst: &mut [Complex64],
+) {
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Backward => 1.0,
+    };
+    let mut w1 = 0usize;
+    for p in 0..m {
+        let wp1 = table.factor_unreduced(w1);
+        let wp2 = table.factor(2 * w1);
+        let i = [s * p, s * (p + m), s * (p + 2 * m)];
+        let o = [s * 3 * p, s * (3 * p + 1), s * (3 * p + 2)];
+        for q in 0..s {
+            let t0 = src[q + i[0]];
+            let t1 = src[q + i[1]];
+            let t2 = src[q + i[2]];
+            let a = t1 + t2;
+            let b = (t1 - t2).mul_i().scale(sign * S3);
+            let base = t0 + a.scale(C3);
+            dst[q + o[0]] = t0 + a;
+            dst[q + o[1]] = (base + b) * wp1;
+            dst[q + o[2]] = (base - b) * wp2;
+        }
+        advance(&mut w1, s, total);
+    }
+}
+
+fn stage5(
+    dir: Direction,
+    m: usize,
+    s: usize,
+    total: usize,
+    table: &TwiddleTable,
+    src: &[Complex64],
+    dst: &mut [Complex64],
+) {
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Backward => 1.0,
+    };
+    let mut w1 = 0usize;
+    for p in 0..m {
+        let wp = [
+            table.factor_unreduced(w1),
+            table.factor(2 * w1),
+            table.factor(3 * w1),
+            table.factor(4 * w1),
+        ];
+        let i = [
+            s * p,
+            s * (p + m),
+            s * (p + 2 * m),
+            s * (p + 3 * m),
+            s * (p + 4 * m),
+        ];
+        let o0 = s * 5 * p;
+        for q in 0..s {
+            let t0 = src[q + i[0]];
+            let t1 = src[q + i[1]];
+            let t2 = src[q + i[2]];
+            let t3 = src[q + i[3]];
+            let t4 = src[q + i[4]];
+            let a1 = t1 + t4;
+            let b1 = (t1 - t4).mul_i().scale(sign);
+            let a2 = t2 + t3;
+            let b2 = (t2 - t3).mul_i().scale(sign);
+            let m1 = t0 + a1.scale(C5_1) + a2.scale(C5_2);
+            let m2 = t0 + a1.scale(C5_2) + a2.scale(C5_1);
+            let v1 = b1.scale(S5_1) + b2.scale(S5_2);
+            let v2 = b1.scale(S5_2) - b2.scale(S5_1);
+            dst[q + o0] = t0 + a1 + a2;
+            dst[q + o0 + s] = (m1 + v1) * wp[0];
+            dst[q + o0 + 2 * s] = (m2 + v2) * wp[1];
+            dst[q + o0 + 3 * s] = (m2 - v2) * wp[2];
+            dst[q + o0 + 4 * s] = (m1 - v1) * wp[3];
+        }
+        advance(&mut w1, s, total);
+    }
+}
+
+/// Generic O(r²) butterfly for any remaining prime radix ≤ 31.
+#[allow(clippy::too_many_arguments)]
+fn stage_generic(
+    r: usize,
+    m: usize,
+    s: usize,
+    total: usize,
+    table: &TwiddleTable,
+    radix_table: &TwiddleTable,
+    src: &[Complex64],
+    dst: &mut [Complex64],
+) {
+    debug_assert!(r <= 32);
+    let mut t = [Complex64::ZERO; 32];
+    let mut w1 = 0usize;
+    for p in 0..m {
+        for q in 0..s {
+            for (u, slot) in t[..r].iter_mut().enumerate() {
+                *slot = src[q + s * (p + u * m)];
+            }
+            for v in 0..r {
+                // r-point DFT output v, then the inter-stage twiddle ω_N^{p·v·s}.
+                let mut acc = Complex64::ZERO;
+                let mut ridx = 0usize;
+                for &tu in &t[..r] {
+                    acc = tu.mul_add(radix_table.factor_unreduced(ridx), acc);
+                    ridx += v;
+                    if ridx >= r {
+                        ridx -= r;
+                    }
+                }
+                let tw = table.factor(v * w1);
+                dst[q + s * (r * p + v)] = acc * tw;
+            }
+        }
+        advance(&mut w1, s, total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::max_abs_diff;
+    use crate::dft::dft;
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|j| {
+                let x = j as f64;
+                Complex64::new((0.3 * x).sin() + 0.1 * x, (0.7 * x).cos() - 0.05 * x)
+            })
+            .collect()
+    }
+
+    fn run(n: usize, dir: Direction) -> (Vec<Complex64>, Vec<Complex64>) {
+        let x = signal(n);
+        let plan = MixedRadixPlan::new(n, dir).expect("smooth length");
+        let mut y = x.clone();
+        let mut scratch = vec![Complex64::ZERO; n];
+        plan.execute(&mut y, &mut scratch);
+        (y, dft(&x, dir))
+    }
+
+    #[test]
+    fn matches_naive_dft_for_many_smooth_sizes() {
+        for n in [
+            1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 16, 20, 21, 24, 25, 27, 30, 32, 35, 48,
+            49, 60, 64, 81, 100, 105, 121, 125, 128, 135, 169, 240, 243, 256, 343, 384, 512, 625,
+            640,
+        ] {
+            let (y, want) = run(n, Direction::Forward);
+            let err = max_abs_diff(&y, &want);
+            assert!(err < 1e-8 * (n as f64).max(1.0), "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn backward_matches_naive_dft() {
+        for n in [2usize, 6, 8, 18, 36, 50, 96, 128] {
+            let (y, want) = run(n, Direction::Backward);
+            assert!(max_abs_diff(&y, &want) < 1e-9 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn round_trip_recovers_input() {
+        for n in [4usize, 12, 36, 120, 210, 256] {
+            let x = signal(n);
+            let f = MixedRadixPlan::new(n, Direction::Forward).unwrap();
+            let b = MixedRadixPlan::new(n, Direction::Backward).unwrap();
+            let mut y = x.clone();
+            let mut scratch = vec![Complex64::ZERO; n];
+            f.execute(&mut y, &mut scratch);
+            b.execute(&mut y, &mut scratch);
+            let y: Vec<Complex64> = y.into_iter().map(|v| v / n as f64).collect();
+            assert!(max_abs_diff(&y, &x) < 1e-10 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn rejects_rough_lengths() {
+        assert!(MixedRadixPlan::new(37, Direction::Forward).is_none());
+        assert!(MixedRadixPlan::new(2 * 101, Direction::Forward).is_none());
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 144;
+        let x = signal(n);
+        let plan = MixedRadixPlan::new(n, Direction::Forward).unwrap();
+        let mut y = x.clone();
+        let mut scratch = vec![Complex64::ZERO; n];
+        plan.execute(&mut y, &mut scratch);
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum();
+        assert!((ey - n as f64 * ex).abs() < 1e-6 * ey.max(1.0));
+    }
+
+    #[test]
+    fn generic_prime_radices_work() {
+        for n in [7usize, 11, 13, 17, 19, 23, 29, 31, 7 * 11, 13 * 4, 29 * 3] {
+            let (y, want) = run(n, Direction::Forward);
+            assert!(max_abs_diff(&y, &want) < 1e-8 * n as f64, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Classic in-place iterative radix-2 FFT (decimation in time).
+//!
+//! Kept alongside the Stockham driver as a second strategy the planner can
+//! measure: it needs no scratch buffer (bit-reversal permutation plus
+//! in-place butterflies), which wins for lengths whose working set fits in
+//! L1/L2 but loses at large sizes where Stockham's sequential passes stream
+//! better.
+
+use crate::complex::Complex64;
+use crate::factor::is_power_of_two;
+use crate::twiddle::{shared_table, TwiddleTable};
+use crate::Direction;
+use std::sync::Arc;
+
+/// A prepared in-place radix-2 plan. Only power-of-two lengths.
+#[derive(Debug, Clone)]
+pub struct Radix2Plan {
+    n: usize,
+    dir: Direction,
+    table: Arc<TwiddleTable>,
+    /// Precomputed bit-reversal swap pairs `(i, j)` with `i < j`.
+    swaps: Vec<(u32, u32)>,
+}
+
+impl Radix2Plan {
+    /// Builds a plan, or `None` when `n` is not a power of two.
+    pub fn new(n: usize, dir: Direction) -> Option<Self> {
+        if !is_power_of_two(n) || n > u32::MAX as usize {
+            return None;
+        }
+        let bits = n.trailing_zeros();
+        let mut swaps = Vec::new();
+        for i in 0..n as u32 {
+            let j = i.reverse_bits() >> (32 - bits.max(1));
+            let j = if bits == 0 { i } else { j };
+            if i < j {
+                swaps.push((i, j));
+            }
+        }
+        Some(Radix2Plan { n, dir, table: shared_table(n.max(1), dir), swaps })
+    }
+
+    /// Transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Transform direction.
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.dir
+    }
+
+    /// Executes the transform fully in place (unnormalised).
+    pub fn execute(&self, data: &mut [Complex64]) {
+        assert_eq!(data.len(), self.n, "data length mismatch with plan");
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
+        }
+        // Butterfly passes: len = 2, 4, ..., n. The twiddle for butterfly k
+        // of a block of size `len` is ω_n^{k·(n/len)}.
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for block in (0..n).step_by(len) {
+                let mut widx = 0usize;
+                for k in 0..half {
+                    let w = self.table.factor_unreduced(widx);
+                    let a = data[block + k];
+                    let b = data[block + k + half] * w;
+                    data[block + k] = a + b;
+                    data[block + k + half] = a - b;
+                    widx += step;
+                }
+            }
+            len *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::max_abs_diff;
+    use crate::dft::dft;
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|j| Complex64::new((j as f64 * 0.37).cos(), (j as f64 * 0.11).sin() - 0.2))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_for_powers_of_two() {
+        for n in [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 1024] {
+            let x = signal(n);
+            let plan = Radix2Plan::new(n, Direction::Forward).unwrap();
+            let mut y = x.clone();
+            plan.execute(&mut y);
+            let want = dft(&x, Direction::Forward);
+            assert!(max_abs_diff(&y, &want) < 1e-8 * n.max(1) as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_powers_of_two() {
+        assert!(Radix2Plan::new(24, Direction::Forward).is_none());
+        assert!(Radix2Plan::new(0, Direction::Forward).is_none());
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let n = 64;
+        let x = signal(n);
+        let f = Radix2Plan::new(n, Direction::Forward).unwrap();
+        let b = Radix2Plan::new(n, Direction::Backward).unwrap();
+        let mut y = x.clone();
+        f.execute(&mut y);
+        b.execute(&mut y);
+        let y: Vec<Complex64> = y.into_iter().map(|v| v / n as f64).collect();
+        assert!(max_abs_diff(&y, &x) < 1e-11 * n as f64);
+    }
+
+    #[test]
+    fn agrees_with_stockham_driver() {
+        use crate::mixed::MixedRadixPlan;
+        let n = 512;
+        let x = signal(n);
+        let r2 = Radix2Plan::new(n, Direction::Forward).unwrap();
+        let mx = MixedRadixPlan::new(n, Direction::Forward).unwrap();
+        let mut a = x.clone();
+        r2.execute(&mut a);
+        let mut b = x.clone();
+        let mut scratch = vec![Complex64::ZERO; n];
+        mx.execute(&mut b, &mut scratch);
+        assert!(max_abs_diff(&a, &b) < 1e-9 * n as f64);
+    }
+}

@@ -1,0 +1,145 @@
+//! 1-D (slab) domain decomposition (§2.2).
+//!
+//! The input array is split into x-slabs (one per rank); after the
+//! all-to-all it is split into y-slabs. The general case — extents not
+//! divisible by `p` — is handled the way the paper's code does ("our
+//! current code handles the general case whether Nx and Ny are divisible
+//! by p or not"): the first `N mod p` ranks carry one extra plane.
+
+/// How one axis of length `n` is divided among `p` ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxisSplit {
+    counts: Vec<usize>,
+    offsets: Vec<usize>,
+}
+
+impl AxisSplit {
+    /// Splits `n` planes over `p` ranks, big blocks first.
+    pub fn new(n: usize, p: usize) -> Self {
+        assert!(p >= 1, "cannot split over zero ranks");
+        let base = n / p;
+        let extra = n % p;
+        let mut counts = Vec::with_capacity(p);
+        let mut offsets = Vec::with_capacity(p);
+        let mut off = 0;
+        for r in 0..p {
+            let c = base + usize::from(r < extra);
+            counts.push(c);
+            offsets.push(off);
+            off += c;
+        }
+        AxisSplit { counts, offsets }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Planes owned by `rank`.
+    #[inline]
+    pub fn count(&self, rank: usize) -> usize {
+        self.counts[rank]
+    }
+
+    /// First plane owned by `rank`.
+    #[inline]
+    pub fn offset(&self, rank: usize) -> usize {
+        self.offsets[rank]
+    }
+
+    /// All counts, rank-ordered.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// The rank owning plane `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        debug_assert!(i < self.offsets.last().unwrap() + self.counts.last().unwrap());
+        // Counts are non-increasing, so a linear scan from the estimated
+        // position is exact; p is small enough that binary search wins
+        // nothing.
+        match self.offsets.binary_search(&i) {
+            Ok(r) => r,
+            Err(r) => r - 1,
+        }
+    }
+
+    /// Largest per-rank count (`⌈n/p⌉`).
+    pub fn max_count(&self) -> usize {
+        self.counts.first().copied().unwrap_or(0)
+    }
+}
+
+/// The two axis splits a slab-decomposed 3-D FFT needs: x-slabs before the
+/// all-to-all, y-slabs after.
+#[derive(Debug, Clone)]
+pub struct Decomp {
+    /// Split of the x axis (input distribution).
+    pub x: AxisSplit,
+    /// Split of the y axis (output distribution).
+    pub y: AxisSplit,
+}
+
+impl Decomp {
+    /// Builds the decomposition for `nx`, `ny` over `p` ranks.
+    pub fn new(nx: usize, ny: usize, p: usize) -> Self {
+        Decomp { x: AxisSplit::new(nx, p), y: AxisSplit::new(ny, p) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divisible_split_is_uniform() {
+        let s = AxisSplit::new(256, 16);
+        assert!(s.counts().iter().all(|&c| c == 16));
+        assert_eq!(s.offset(5), 80);
+        assert_eq!(s.max_count(), 16);
+    }
+
+    #[test]
+    fn non_divisible_split_partitions_exactly() {
+        for n in [7usize, 10, 100, 255, 257] {
+            for p in [1usize, 2, 3, 5, 8, 16] {
+                let s = AxisSplit::new(n, p);
+                let total: usize = s.counts().iter().sum();
+                assert_eq!(total, n, "n={n} p={p}");
+                // Offsets are the prefix sums.
+                let mut off = 0;
+                for r in 0..p {
+                    assert_eq!(s.offset(r), off);
+                    off += s.count(r);
+                }
+                // Counts differ by at most one, larger first.
+                let max = s.count(0);
+                assert!(s.counts().iter().all(|&c| c == max || c + 1 == max));
+            }
+        }
+    }
+
+    #[test]
+    fn owner_inverts_offsets() {
+        let s = AxisSplit::new(17, 5); // counts 4,4,3,3,3
+        for i in 0..17 {
+            let r = s.owner(i);
+            assert!(i >= s.offset(r) && i < s.offset(r) + s.count(r), "i={i} r={r}");
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_planes_gives_empty_slabs() {
+        let s = AxisSplit::new(3, 5);
+        assert_eq!(s.counts(), &[1, 1, 1, 0, 0]);
+        assert_eq!(s.offset(4), 3);
+    }
+
+    #[test]
+    fn decomp_builds_both_axes() {
+        let d = Decomp::new(10, 20, 4);
+        assert_eq!(d.x.counts(), &[3, 3, 2, 2]);
+        assert_eq!(d.y.counts(), &[5, 5, 5, 5]);
+    }
+}

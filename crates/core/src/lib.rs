@@ -1,0 +1,52 @@
+//! # fft3d — auto-tunable parallel 3-D FFT with computation-communication
+//! overlap
+//!
+//! The primary contribution of Song & Hollingsworth, *"Designing and
+//! Auto-Tuning Parallel 3-D FFT for Computation-Communication Overlap"*
+//! (PPoPP 2014), reimplemented in Rust:
+//!
+//! * 1-D (slab) decomposition with the seven-step procedure of §2.2;
+//! * communication tiles and a window of concurrent non-blocking
+//!   all-to-alls (`T`, `W`), with *all four* compute steps (FFTy, Pack,
+//!   Unpack, FFTx) overlapping communication — Algorithm 1;
+//! * fully asynchronous progression by periodic `MPI_Test` (`Fy, Fp, Fu,
+//!   Fx`) — §3.3;
+//! * loop tiling of Pack/Unpack for cache reuse (`Px, Pz, Uy, Uz`) — §3.4;
+//! * the `Nx = Ny` fast-transpose path — §3.5;
+//! * the comparators of §5: FFTW-style blocking, Hoefler et al.'s TH, and
+//!   the non-overlapped NEW-0/TH-0.
+//!
+//! Two interchangeable backends run the same pipeline schedule
+//! ([`pipeline::OverlapEnv`]):
+//!
+//! * [`real_env::fft3_dist`] executes on real data over the [`mpisim`]
+//!   runtime (correctness; verified against [`serial::fft3_serial`]);
+//! * [`sim_env::fft3_simulated`] charges [`simnet`]'s calibrated cost
+//!   models (performance studies at the paper's scales).
+//!
+//! ```
+//! use fft3d::{ProblemSpec, TuningParams, Variant};
+//! use fft3d::sim_env::fft3_simulated;
+//! use simnet::model::umd_cluster;
+//!
+//! let spec = ProblemSpec::cube(256, 16);
+//! let params = TuningParams::seed(&spec);
+//! let new = fft3_simulated(umd_cluster(), spec, Variant::New, params, false);
+//! let fftw = fft3_simulated(umd_cluster(), spec, Variant::Fftw, params, false);
+//! assert!(new.time < fftw.time); // overlap wins on the slow network
+//! ```
+
+pub mod breakdown;
+pub mod decomp;
+pub mod multi;
+pub mod params;
+pub mod pencil;
+pub mod pipeline;
+pub mod real_env;
+pub mod serial;
+pub mod sim_env;
+
+pub use breakdown::{RunStats, StepTimes};
+pub use params::{ProblemSpec, ThParams, TuningParams};
+pub use real_env::{fft3_dist, OutLayout, RunOutput, Variant};
+pub use sim_env::{fft3_simulated, th_simulated, SimReport};

@@ -1,0 +1,241 @@
+//! Inter-array + intra-array overlap — the paper's §7 third extension.
+//!
+//! Scientific simulations often transform a *sequence* of arrays per time
+//! step (e.g. three velocity components). Kandalla et al. overlap only
+//! *between* arrays; the paper overlaps only *within* one array; §7 plans
+//! to combine both. This module implements that combination on the
+//! simulated backend: the communication tiles of consecutive arrays form
+//! one long pipeline, so array `a+1`'s FFTz/Transpose/FFTy/Pack also hide
+//! the tail of array `a`'s all-to-alls — the fill/drain bubbles between
+//! arrays disappear.
+
+use crate::breakdown::StepTimes;
+use crate::decomp::Decomp;
+use crate::params::{ProblemSpec, TuningParams};
+use crate::pipeline::{run_new, OverlapEnv};
+use crate::real_env::Variant;
+use crate::sim_env::fft3_simulated;
+use simnet::model::{TransposeCost, ELEM_BYTES};
+use simnet::{run_sim, OpId, Platform, SimRank};
+
+/// Result of a multi-array simulated run.
+#[derive(Debug, Clone)]
+pub struct MultiReport {
+    /// Slowest rank's completion for the fused pipeline.
+    pub fused_time: f64,
+    /// The same workload as back-to-back single-array transforms.
+    pub sequential_time: f64,
+    /// Rank-0 breakdown of the fused pipeline.
+    pub steps: StepTimes,
+}
+
+/// A pipeline whose tile stream spans `narrays` independent arrays: tile
+/// indices `a·k ..< (a+1)·k` belong to array `a`, and the per-array FFTz +
+/// Transpose runs (with polls on the in-flight window) at each array
+/// boundary.
+struct MultiEnv<'a> {
+    sim: &'a mut SimRank,
+    spec: ProblemSpec,
+    params: TuningParams,
+    narrays: usize,
+    tiles_per_array: usize,
+    transpose_cost: TransposeCost,
+    steps: StepTimes,
+}
+
+impl MultiEnv<'_> {
+    fn nxl(&self) -> usize {
+        Decomp::new(self.spec.nx, self.spec.ny, self.spec.p).x.count(self.sim.rank())
+    }
+
+    fn nyl(&self) -> usize {
+        Decomp::new(self.spec.nx, self.spec.ny, self.spec.p).y.count(self.sim.rank())
+    }
+
+    fn tile_len(&self, tile: usize) -> usize {
+        let local = tile % self.tiles_per_array;
+        let z0 = local * self.params.t;
+        (z0 + self.params.t).min(self.spec.nz) - z0
+    }
+
+    fn phase(&mut self, secs: f64, polls: u32, inflight: &[(usize, OpId)]) -> (f64, f64) {
+        let ops: Vec<OpId> = inflight.iter().map(|&(_, op)| op).collect();
+        let t0 = self.sim.now();
+        let test = self.sim.compute_with_polls(secs, polls, &ops).as_secs_f64();
+        ((self.sim.now() - t0).as_secs_f64() - test, test)
+    }
+
+    /// FFTz + Transpose of array `a`, polling the previous array's
+    /// still-in-flight tiles — the inter-array part of the overlap.
+    fn fixed_steps(&mut self, inflight: &mut [(usize, OpId)]) {
+        let m = self.sim.platform().machine.clone();
+        let fftz = m.fft_batch(self.spec.nz, (self.nxl() * self.spec.ny) as u64);
+        let bytes =
+            (self.nxl() * self.spec.ny * self.spec.nz) as u64 * ELEM_BYTES;
+        let transpose = m.transpose(bytes, self.transpose_cost);
+        // Poll as often as a FFTy phase would, scaled to this duration.
+        let polls = self.params.fy.max(self.params.fx);
+        let (c, t) = self.phase(fftz, polls, inflight);
+        self.steps.fftz += c;
+        self.steps.test += t;
+        let (c, t) = self.phase(transpose, polls, inflight);
+        self.steps.transpose += c;
+        self.steps.test += t;
+    }
+}
+
+impl OverlapEnv for MultiEnv<'_> {
+    type Req = OpId;
+
+    fn num_tiles(&self) -> usize {
+        self.narrays * self.tiles_per_array
+    }
+
+    fn window(&self) -> usize {
+        self.params.w
+    }
+
+    fn fftz_transpose(&mut self) {
+        // Array 0's fixed steps: nothing in flight yet.
+        self.fixed_steps(&mut []);
+    }
+
+    fn ffty_pack(&mut self, tile: usize, inflight: &mut [(usize, OpId)]) {
+        // At an array boundary, run the next array's fixed steps first —
+        // overlapped with the previous array's in-flight all-to-alls.
+        if tile % self.tiles_per_array == 0 && tile != 0 {
+            self.fixed_steps(inflight);
+        }
+        let tz = self.tile_len(tile);
+        let m = self.sim.platform().machine.clone();
+        let nxl = self.nxl();
+        let (c, t) =
+            self.phase(m.fft_batch(self.spec.ny, (nxl * tz) as u64), self.params.fy, inflight);
+        self.steps.ffty += c;
+        self.steps.test += t;
+        let tile_bytes = (tz * nxl * self.spec.ny) as u64 * ELEM_BYTES;
+        let subtile = (self.params.px.min(nxl.max(1))
+            * self.spec.ny
+            * self.params.pz.min(tz.max(1))) as u64
+            * ELEM_BYTES;
+        let run = (self.spec.ny / self.spec.p.max(1)).max(1) as u64 * ELEM_BYTES;
+        let (c, t) = self.phase(m.pack(tile_bytes, subtile, run), self.params.fp, inflight);
+        self.steps.pack += c;
+        self.steps.test += t;
+    }
+
+    fn post_a2a(&mut self, tile: usize) -> OpId {
+        let tz = self.tile_len(tile) as u64;
+        let bytes =
+            tz * self.nxl() as u64 * (self.spec.ny / self.spec.p.max(1)) as u64 * ELEM_BYTES;
+        let t0 = self.sim.now();
+        let op = self.sim.post_alltoall(bytes);
+        self.steps.ialltoall += (self.sim.now() - t0).as_secs_f64();
+        op
+    }
+
+    fn wait(&mut self, _tile: usize, req: OpId) {
+        let t0 = self.sim.now();
+        self.sim.wait(req);
+        self.steps.wait += (self.sim.now() - t0).as_secs_f64();
+    }
+
+    fn unpack_fftx(&mut self, tile: usize, inflight: &mut [(usize, OpId)]) {
+        let tz = self.tile_len(tile);
+        let m = self.sim.platform().machine.clone();
+        let nyl = self.nyl();
+        let tile_bytes = (tz * nyl * self.spec.nx) as u64 * ELEM_BYTES;
+        let subtile = (self.spec.nx
+            * self.params.uy.min(nyl.max(1))
+            * self.params.uz.min(tz.max(1))) as u64
+            * ELEM_BYTES;
+        let run = (self.spec.nx / self.spec.p.max(1)).max(1) as u64 * ELEM_BYTES;
+        let (c, t) = self.phase(m.pack(tile_bytes, subtile, run), self.params.fu, inflight);
+        self.steps.unpack += c;
+        self.steps.test += t;
+        let (c, t) =
+            self.phase(m.fft_batch(self.spec.nx, (nyl * tz) as u64), self.params.fx, inflight);
+        self.steps.fftx += c;
+        self.steps.test += t;
+    }
+}
+
+/// Simulates `narrays` successive 3-D FFTs with combined inter+intra-array
+/// overlap and compares against running them back to back.
+pub fn multi_simulated(
+    platform: Platform,
+    spec: ProblemSpec,
+    params: TuningParams,
+    narrays: usize,
+) -> MultiReport {
+    assert!(narrays >= 1);
+    let transpose_cost =
+        if spec.square_xy() { TransposeCost::Fast } else { TransposeCost::Generic };
+
+    let per_rank = run_sim(platform.clone(), spec.p, move |sim| {
+        let start = sim.now();
+        let mut env = MultiEnv {
+            sim,
+            spec,
+            params,
+            narrays,
+            tiles_per_array: params.tiles(&spec),
+            transpose_cost,
+            steps: StepTimes::default(),
+        };
+        run_new(&mut env);
+        (env.steps, (env.sim.now() - start).as_secs_f64())
+    });
+    let fused_time = per_rank.iter().map(|r| r.1).fold(0.0, f64::max);
+
+    let single = fft3_simulated(platform, spec, Variant::New, params, false);
+    MultiReport {
+        fused_time,
+        sequential_time: single.time * narrays as f64,
+        steps: per_rank[0].0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::model::umd_cluster;
+
+    #[test]
+    fn fused_multi_array_beats_sequential() {
+        let spec = ProblemSpec::cube(256, 16);
+        let params = TuningParams::seed(&spec);
+        let rep = multi_simulated(umd_cluster(), spec, params, 4);
+        assert!(
+            rep.fused_time < rep.sequential_time,
+            "fused {:.3}s must beat sequential {:.3}s",
+            rep.fused_time,
+            rep.sequential_time
+        );
+    }
+
+    #[test]
+    fn one_array_is_close_to_the_single_pipeline() {
+        let spec = ProblemSpec::cube(256, 16);
+        let params = TuningParams::seed(&spec);
+        let rep = multi_simulated(umd_cluster(), spec, params, 1);
+        // Same work, slightly different poll placement during fixed steps.
+        let ratio = rep.fused_time / rep.sequential_time;
+        assert!((0.8..=1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn gain_grows_with_array_count() {
+        let spec = ProblemSpec::cube(256, 16);
+        let params = TuningParams::seed(&spec);
+        let g2 = {
+            let r = multi_simulated(umd_cluster(), spec, params, 2);
+            r.sequential_time / r.fused_time
+        };
+        let g6 = {
+            let r = multi_simulated(umd_cluster(), spec, params, 6);
+            r.sequential_time / r.fused_time
+        };
+        assert!(g6 >= g2 * 0.99, "g2={g2:.3} g6={g6:.3}");
+    }
+}

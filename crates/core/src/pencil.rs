@@ -1,0 +1,445 @@
+//! 2-D (pencil) domain decomposition — the paper's §7 future work.
+//!
+//! §2.2 explains the trade-off: pencils scale to `N²` processes but need
+//! *two* all-to-all exchanges with more complex patterns, so slabs can win
+//! at moderate scale. This module provides the pencil substrate the future
+//! work would build overlap into:
+//!
+//! * [`fft3_pencil`] — a real, verified pencil transform over `mpisim`
+//!   (blocking exchanges within row/column subcommunicators);
+//! * [`pencil_simulated`] — its cost model on `simnet`, used by the
+//!   `decomp_crossover` bench to locate the slab-vs-pencil crossover.
+//!
+//! The process grid is `pr × pc` (`p = pr · pc`). Distributions:
+//!
+//! ```text
+//! stage 0: (X_r, Y_c, Z_all)  x-y-z layout   → FFTz
+//! row exchange (size pc):     z ↔ y
+//! stage 1: (X_r, Y_all, Z_c)  x-z-y layout   → FFTy
+//! column exchange (size pr):  y ↔ x
+//! stage 2: (X_all, Y2_r, Z_c) y-z-x layout   → FFTx
+//! ```
+
+use crate::decomp::AxisSplit;
+use crate::params::ProblemSpec;
+use cfft::planner::{Planner, Rigor};
+use cfft::{Complex64, Direction};
+use mpisim::Comm;
+use simnet::model::ELEM_BYTES;
+use simnet::{run_sim, Platform};
+
+/// The pencil process grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PencilGrid {
+    /// Rows (splits x before the exchanges, y after).
+    pub pr: usize,
+    /// Columns (splits y before the exchanges, z after).
+    pub pc: usize,
+}
+
+impl PencilGrid {
+    /// A near-square grid for `p` processes.
+    pub fn near_square(p: usize) -> Self {
+        let mut pr = (p as f64).sqrt() as usize;
+        while pr > 1 && p % pr != 0 {
+            pr -= 1;
+        }
+        PencilGrid { pr: pr.max(1), pc: p / pr.max(1) }
+    }
+
+    /// Total processes.
+    pub fn len(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// `true` for the degenerate empty grid (never constructed).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(row, col)` of a linear rank.
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        (rank / self.pc, rank % self.pc)
+    }
+}
+
+/// Result of a pencil transform on one rank: the `(Y2_r, Z_c)` pencil of
+/// the spectrum in `y-z-x` layout (x contiguous).
+pub struct PencilOutput {
+    /// Local data, `ny2l · nzl · nx` elements.
+    pub data: Vec<Complex64>,
+    /// This rank's y-extent after the second exchange.
+    pub ny2l: usize,
+    /// This rank's z-extent after the first exchange.
+    pub nzl: usize,
+}
+
+/// Distributed 3-D FFT with 2-D (pencil) decomposition, blocking exchanges.
+///
+/// `input` is this rank's `(X_r, Y_c, Z_all)` block in local `x-y-z`
+/// layout. Collective over `comm`; `grid.len()` must equal `comm.size()`.
+pub fn fft3_pencil(
+    comm: &Comm,
+    spec: ProblemSpec,
+    grid: PencilGrid,
+    dir: Direction,
+    input: &[Complex64],
+) -> PencilOutput {
+    assert_eq!(grid.len(), comm.size(), "grid must match communicator");
+    assert_eq!(grid.len(), spec.p, "grid must match spec.p");
+    let (row, col) = grid.coords(comm.rank());
+
+    let xs = AxisSplit::new(spec.nx, grid.pr); // X_r
+    let ys = AxisSplit::new(spec.ny, grid.pc); // Y_c
+    let zs = AxisSplit::new(spec.nz, grid.pc); // Z_c
+    let y2s = AxisSplit::new(spec.ny, grid.pr); // Y2_r
+
+    let (nxl, nyc) = (xs.count(row), ys.count(col));
+    let nzl = zs.count(col);
+    let ny2l = y2s.count(row);
+    assert_eq!(input.len(), nxl * nyc * spec.nz, "input must be the rank's pencil");
+
+    // Row communicator: same row, ranked by column. Column communicator:
+    // same column, ranked by row.
+    let row_comm = comm.split(row as i64, col as i64).expect("non-negative color");
+    let col_comm = comm.split((grid.pr + col) as i64, row as i64).expect("non-negative color");
+
+    let mut planner = Planner::new(Rigor::Estimate);
+    let plan_z = planner.plan(spec.nz.max(1), dir);
+    let plan_y = planner.plan(spec.ny.max(1), dir);
+    let plan_x = planner.plan(spec.nx.max(1), dir);
+    let mut scratch = vec![
+        Complex64::ZERO;
+        plan_z.scratch_len().max(plan_y.scratch_len()).max(plan_x.scratch_len())
+    ];
+
+    // ---- Stage 0: FFTz on contiguous z lines -----------------------------
+    let mut a = input.to_vec();
+    for line in 0..nxl * nyc {
+        let s = line * spec.nz;
+        plan_z.execute(&mut a[s..s + spec.nz], &mut scratch);
+    }
+
+    // ---- Row exchange: z ↔ y ---------------------------------------------
+    // Send to row-peer j its z-range; receive every peer's y-range for ours.
+    let send_counts: Vec<usize> = (0..grid.pc).map(|j| nxl * nyc * zs.count(j)).collect();
+    let recv_counts: Vec<usize> = (0..grid.pc).map(|i| nxl * ys.count(i) * nzl).collect();
+    let mut send = vec![Complex64::ZERO; send_counts.iter().sum()];
+    {
+        let mut off = 0;
+        for j in 0..grid.pc {
+            let (z0, zc) = (zs.offset(j), zs.count(j));
+            for x in 0..nxl {
+                for y in 0..nyc {
+                    let src = (x * nyc + y) * spec.nz + z0;
+                    send[off..off + zc].copy_from_slice(&a[src..src + zc]);
+                    off += zc;
+                }
+            }
+        }
+    }
+    let mut recv = vec![Complex64::ZERO; recv_counts.iter().sum()];
+    row_comm.alltoallv(&send, &send_counts, &recv_counts, &mut recv);
+
+    // Unpack to (nxl, nzl, ny) in x-z-y layout (y contiguous).
+    let mut b = vec![Complex64::ZERO; nxl * nzl * spec.ny];
+    {
+        let mut off = 0;
+        for i in 0..grid.pc {
+            let (y0, yc) = (ys.offset(i), ys.count(i));
+            for x in 0..nxl {
+                for yl in 0..yc {
+                    for zl in 0..nzl {
+                        b[(x * nzl + zl) * spec.ny + y0 + yl] = recv[off];
+                        off += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Stage 1: FFTy on contiguous y lines ------------------------------
+    for line in 0..nxl * nzl {
+        let s = line * spec.ny;
+        plan_y.execute(&mut b[s..s + spec.ny], &mut scratch);
+    }
+
+    // ---- Column exchange: y ↔ x -------------------------------------------
+    let send_counts: Vec<usize> = (0..grid.pr).map(|j| nxl * y2s.count(j) * nzl).collect();
+    let recv_counts: Vec<usize> = (0..grid.pr).map(|i| xs.count(i) * ny2l * nzl).collect();
+    let mut send = vec![Complex64::ZERO; send_counts.iter().sum()];
+    {
+        let mut off = 0;
+        for j in 0..grid.pr {
+            let (y0, yc) = (y2s.offset(j), y2s.count(j));
+            for x in 0..nxl {
+                for zl in 0..nzl {
+                    let src = (x * nzl + zl) * spec.ny + y0;
+                    send[off..off + yc].copy_from_slice(&b[src..src + yc]);
+                    off += yc;
+                }
+            }
+        }
+    }
+    let mut recv = vec![Complex64::ZERO; recv_counts.iter().sum()];
+    col_comm.alltoallv(&send, &send_counts, &recv_counts, &mut recv);
+
+    // Unpack to (ny2l, nzl, nx) in y-z-x layout (x contiguous).
+    let mut cbuf = vec![Complex64::ZERO; ny2l * nzl * spec.nx];
+    {
+        let mut off = 0;
+        for i in 0..grid.pr {
+            let (x0, xc) = (xs.offset(i), xs.count(i));
+            for xl in 0..xc {
+                for zl in 0..nzl {
+                    for yl in 0..ny2l {
+                        cbuf[(yl * nzl + zl) * spec.nx + x0 + xl] = recv[off];
+                        off += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Stage 2: FFTx on contiguous x lines ------------------------------
+    for line in 0..ny2l * nzl {
+        let s = line * spec.nx;
+        plan_x.execute(&mut cbuf[s..s + spec.nx], &mut scratch);
+    }
+
+    PencilOutput { data: cbuf, ny2l, nzl }
+}
+
+/// Simulated cost of the (blocking) pencil transform: three FFT sweeps,
+/// two pack/exchange/unpack stages over `√p`-sized subgroups.
+pub fn pencil_simulated(platform: Platform, spec: ProblemSpec, grid: PencilGrid) -> f64 {
+    assert_eq!(grid.len(), spec.p);
+    let times = run_sim(platform, spec.p, move |sim| {
+        let m = sim.platform().machine.clone();
+        let net = sim.platform().net.clone();
+        let (pr, pc) = (grid.pr, grid.pc);
+        let nxl = spec.nx.div_ceil(pr);
+        let nyc = spec.ny.div_ceil(pc);
+        let nzl = spec.nz.div_ceil(pc);
+        let ny2l = spec.ny.div_ceil(pr);
+
+        // FFTz + pack/unpack + row exchange.
+        sim.compute(m.fft_batch(spec.nz, (nxl * nyc) as u64));
+        let stage1_bytes = (nxl * nyc * spec.nz) as u64 * ELEM_BYTES;
+        sim.compute(m.pack(stage1_bytes, m.subtile_cache_bytes, nzl as u64 * ELEM_BYTES));
+        // Row exchange rendezvous is only among pc ranks, but the engine's
+        // collectives are global; model the subgroup exchange as a global
+        // rendezvous with the subgroup's transfer cost (symmetric rows run
+        // in parallel on disjoint links).
+        let per_peer = stage1_bytes / pc.max(1) as u64;
+        let (_, _end) = sim.blocking_alltoall(0); // rendezvous
+        sim.compute(net.blocking_duration(pc, per_peer).as_secs_f64());
+        sim.compute(m.pack(stage1_bytes, m.subtile_cache_bytes, (spec.ny / pc.max(1)).max(1) as u64 * ELEM_BYTES));
+
+        // FFTy + pack/unpack + column exchange.
+        sim.compute(m.fft_batch(spec.ny, (nxl * nzl) as u64));
+        let stage2_bytes = (nxl * spec.ny * nzl) as u64 * ELEM_BYTES;
+        let per_peer = stage2_bytes / pr.max(1) as u64;
+        sim.compute(m.pack(stage2_bytes, m.subtile_cache_bytes, (spec.ny / pr.max(1)).max(1) as u64 * ELEM_BYTES));
+        let (_, _end) = sim.blocking_alltoall(0);
+        sim.compute(net.blocking_duration(pr, per_peer).as_secs_f64());
+        sim.compute(m.pack(stage2_bytes, m.subtile_cache_bytes, (spec.nx / pr.max(1)).max(1) as u64 * ELEM_BYTES));
+
+        // FFTx.
+        sim.compute(m.fft_batch(spec.nx, (ny2l * nzl) as u64));
+        sim.now().as_secs_f64()
+    });
+    times.into_iter().fold(0.0, f64::max)
+}
+
+/// Simulated cost of the pencil transform **with the paper's overlap
+/// applied to both exchanges** — §7's main future-work item realised on
+/// the model.
+///
+/// Stage 1 (z↔y within rows) tiles along x: each x-slice's FFTz/Pack
+/// overlaps the previous slices' row exchanges; Unpack/FFTy overlap the
+/// next ones. Stage 2 (y↔x within columns) tiles along z the same way,
+/// ending in FFTx. `w` windows and `f` polls per phase mirror the slab
+/// pipeline's `W`/`F*`.
+pub fn pencil_overlap_simulated(
+    platform: Platform,
+    spec: ProblemSpec,
+    grid: PencilGrid,
+    w: usize,
+    f: u32,
+) -> f64 {
+    assert_eq!(grid.len(), spec.p);
+    assert!(w >= 1);
+    let times = run_sim(platform, spec.p, move |sim| {
+        let m = sim.platform().machine.clone();
+        let (pr, pc) = (grid.pr, grid.pc);
+        let nxl = spec.nx.div_ceil(pr).max(1);
+        let nyc = spec.ny.div_ceil(pc).max(1);
+        let nzl = spec.nz.div_ceil(pc).max(1);
+        let ny2l = spec.ny.div_ceil(pr).max(1);
+        let cache = m.subtile_cache_bytes;
+
+        // ---- Stage 1: tiles along x, exchange within rows (size pc) ----
+        let k1 = nxl.min(16).max(1);
+        let xt = nxl.div_ceil(k1); // x-planes per tile
+        let tile_bytes = (xt * nyc * spec.nz) as u64 * ELEM_BYTES;
+        let per_peer = tile_bytes / pc.max(1) as u64;
+        let mut window: Vec<simnet::OpId> = Vec::new();
+        let mut drain = |sim: &mut simnet::SimRank, window: &mut Vec<simnet::OpId>, keep: usize| {
+            while window.len() > keep {
+                let op = window.remove(0);
+                sim.wait(op);
+                // Unpack + FFTy of the drained tile.
+                let unpack = m.pack(tile_bytes, cache, (spec.ny / pc.max(1)).max(1) as u64 * ELEM_BYTES);
+                let ffty = m.fft_batch(spec.ny, (xt * nzl) as u64);
+                sim.compute_with_polls(unpack + ffty, f, window);
+            }
+        };
+        for _i in 0..k1 {
+            let fftz = m.fft_batch(spec.nz, (xt * nyc) as u64);
+            let pack = m.pack(tile_bytes, cache, nzl as u64 * ELEM_BYTES);
+            sim.compute_with_polls(fftz + pack, f, &window);
+            drain(sim, &mut window, w.saturating_sub(1));
+            window.push(sim.post_alltoall_in_group(pc, per_peer));
+        }
+        drain(sim, &mut window, 0);
+
+        // ---- Stage 2: tiles along z, exchange within columns (size pr) --
+        let k2 = nzl.min(16).max(1);
+        let zt = nzl.div_ceil(k2);
+        let tile_bytes = (nxl * spec.ny * zt) as u64 * ELEM_BYTES;
+        let per_peer = tile_bytes / pr.max(1) as u64;
+        let mut window: Vec<simnet::OpId> = Vec::new();
+        let mut drain2 = |sim: &mut simnet::SimRank, window: &mut Vec<simnet::OpId>, keep: usize| {
+            while window.len() > keep {
+                let op = window.remove(0);
+                sim.wait(op);
+                let unpack = m.pack(tile_bytes, cache, (spec.nx / pr.max(1)).max(1) as u64 * ELEM_BYTES);
+                let fftx = m.fft_batch(spec.nx, (ny2l * zt) as u64);
+                sim.compute_with_polls(unpack + fftx, f, window);
+            }
+        };
+        for _j in 0..k2 {
+            let pack = m.pack(tile_bytes, cache, (spec.ny / pr.max(1)).max(1) as u64 * ELEM_BYTES);
+            sim.compute_with_polls(pack, f, &window);
+            drain2(sim, &mut window, w.saturating_sub(1));
+            window.push(sim.post_alltoall_in_group(pr, per_peer));
+        }
+        drain2(sim, &mut window, 0);
+
+        sim.now().as_secs_f64()
+    });
+    times.into_iter().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::{fft3_serial, full_test_array, test_field};
+    use simnet::model::umd_cluster;
+    use std::sync::Arc;
+
+    fn pencil_input(spec: &ProblemSpec, grid: PencilGrid, rank: usize) -> Vec<Complex64> {
+        let (row, col) = grid.coords(rank);
+        let xs = AxisSplit::new(spec.nx, grid.pr);
+        let ys = AxisSplit::new(spec.ny, grid.pc);
+        let mut v = Vec::new();
+        for xl in 0..xs.count(row) {
+            for yl in 0..ys.count(col) {
+                for z in 0..spec.nz {
+                    v.push(test_field(xs.offset(row) + xl, ys.offset(col) + yl, z));
+                }
+            }
+        }
+        v
+    }
+
+    fn check(spec: ProblemSpec, grid: PencilGrid) {
+        let mut reference = full_test_array(spec.nx, spec.ny, spec.nz);
+        fft3_serial(&mut reference, spec.nx, spec.ny, spec.nz, Direction::Forward);
+        let reference = Arc::new(reference);
+
+        let errs = mpisim::run(spec.p, move |comm| {
+            let input = pencil_input(&spec, grid, comm.rank());
+            let out = fft3_pencil(&comm, spec, grid, Direction::Forward, &input);
+            let (row, col) = grid.coords(comm.rank());
+            let y2s = AxisSplit::new(spec.ny, grid.pr);
+            let zsp = AxisSplit::new(spec.nz, grid.pc);
+            let mut err = 0.0f64;
+            for yl in 0..out.ny2l {
+                for zl in 0..out.nzl {
+                    for x in 0..spec.nx {
+                        let got = out.data[(yl * out.nzl + zl) * spec.nx + x];
+                        let want = reference[(x * spec.ny + y2s.offset(row) + yl) * spec.nz
+                            + zsp.offset(col)
+                            + zl];
+                        err = err.max((got - want).abs());
+                    }
+                }
+            }
+            err
+        });
+        for (r, e) in errs.iter().enumerate() {
+            assert!(*e < 1e-9 * spec.len() as f64, "rank {r}: err {e} ({spec:?}, {grid:?})");
+        }
+    }
+
+    #[test]
+    fn pencil_matches_serial_2x2() {
+        check(ProblemSpec::cube(8, 4), PencilGrid { pr: 2, pc: 2 });
+    }
+
+    #[test]
+    fn pencil_matches_serial_2x3() {
+        check(ProblemSpec { nx: 8, ny: 12, nz: 6, p: 6 }, PencilGrid { pr: 2, pc: 3 });
+    }
+
+    #[test]
+    fn pencil_matches_serial_non_divisible() {
+        check(ProblemSpec { nx: 7, ny: 9, nz: 10, p: 6 }, PencilGrid { pr: 3, pc: 2 });
+    }
+
+    #[test]
+    fn pencil_degenerate_1xp_equals_slab_distribution() {
+        // pr = 1 reduces to a slab-like decomposition on z/y only.
+        check(ProblemSpec::cube(8, 4), PencilGrid { pr: 1, pc: 4 });
+        check(ProblemSpec::cube(8, 4), PencilGrid { pr: 4, pc: 1 });
+    }
+
+    #[test]
+    fn near_square_grids() {
+        assert_eq!(PencilGrid::near_square(16), PencilGrid { pr: 4, pc: 4 });
+        assert_eq!(PencilGrid::near_square(12), PencilGrid { pr: 3, pc: 4 });
+        assert_eq!(PencilGrid::near_square(7), PencilGrid { pr: 1, pc: 7 });
+    }
+
+    #[test]
+    fn simulated_pencil_runs_and_is_positive() {
+        let spec = ProblemSpec::cube(256, 16);
+        let t = pencil_simulated(umd_cluster(), spec, PencilGrid::near_square(16));
+        assert!(t > 0.0 && t.is_finite());
+    }
+
+    #[test]
+    fn overlapped_pencil_beats_blocking_pencil() {
+        // §7 realised: applying the overlap method to the 2-D decomposition
+        // hides exchange time on the communication-bound UMD model.
+        let spec = ProblemSpec::cube(256, 16);
+        let grid = PencilGrid::near_square(16);
+        let blocking = pencil_simulated(umd_cluster(), spec, grid);
+        let overlapped = pencil_overlap_simulated(umd_cluster(), spec, grid, 2, 16);
+        assert!(
+            overlapped < blocking,
+            "overlap must help the pencil path too: {overlapped:.3} vs {blocking:.3}"
+        );
+    }
+
+    #[test]
+    fn overlapped_pencil_is_deterministic() {
+        let spec = ProblemSpec::cube(128, 8);
+        let grid = PencilGrid::near_square(8);
+        let a = pencil_overlap_simulated(umd_cluster(), spec, grid, 2, 8);
+        let b = pencil_overlap_simulated(umd_cluster(), spec, grid, 2, 8);
+        assert_eq!(a, b);
+    }
+}

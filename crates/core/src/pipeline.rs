@@ -1,0 +1,236 @@
+//! The overlap pipeline drivers — Algorithm 1 of the paper, factored out of
+//! the two backends (real execution on `mpisim`, modeled execution on
+//! `simnet`) so both run the *same* schedule.
+
+/// What a backend must provide for the tile pipeline to run over it.
+///
+/// Tiles are indexed `0..num_tiles()`. `inflight` always holds the tiles
+/// whose all-to-all is outstanding, oldest first; the compute hooks poll
+/// them per the backend's `F*` parameters.
+pub trait OverlapEnv {
+    /// Backend-specific request handle for one tile's all-to-all.
+    type Req;
+
+    /// Number of communication tiles `k = ⌈Nz/T⌉`.
+    fn num_tiles(&self) -> usize;
+    /// Window size `W` (0 disables overlap: the NEW-0/TH-0 variants).
+    fn window(&self) -> usize;
+    /// Steps 1–2: FFTz and Transpose (performed once, not per tile).
+    fn fftz_transpose(&mut self);
+    /// Algorithm 2: FFTy and Pack on `tile`, polling `inflight` `Fy`+`Fp`
+    /// times.
+    fn ffty_pack(&mut self, tile: usize, inflight: &mut [(usize, Self::Req)]);
+    /// Posts the non-blocking all-to-all for `tile`.
+    fn post_a2a(&mut self, tile: usize) -> Self::Req;
+    /// `MPI_Wait` on `tile`'s all-to-all.
+    fn wait(&mut self, tile: usize, req: Self::Req);
+    /// Algorithm 3: Unpack and FFTx on `tile`, polling `inflight` `Fu`+`Fx`
+    /// times.
+    fn unpack_fftx(&mut self, tile: usize, inflight: &mut [(usize, Self::Req)]);
+}
+
+/// Runs the paper's full pipeline (Algorithm 1): all four compute steps
+/// overlap with the windowed all-to-alls.
+///
+/// ```text
+/// for i ← 0 to k + W − 1 do
+///     if i < k  then FFTy and Pack on tile i
+///     if i ≥ W  then MPI_Wait on tile (i − W)
+///     if i < k  then MPI_Ialltoall on tile i
+///     if i ≥ W  then Unpack and FFTx on tile (i − W)
+/// ```
+///
+/// With `window() == 0` this degenerates to the paper's NEW-0: per tile,
+/// post immediately followed by wait (lines 6–7 "replaced with
+/// `MPI_Ialltoall` and `MPI_Wait` on tile i"), no polls.
+pub fn run_new<E: OverlapEnv>(env: &mut E) {
+    env.fftz_transpose();
+    let k = env.num_tiles();
+    let w = env.window();
+    if w == 0 {
+        for i in 0..k {
+            env.ffty_pack(i, &mut []);
+            let req = env.post_a2a(i);
+            env.wait(i, req);
+            env.unpack_fftx(i, &mut []);
+        }
+        return;
+    }
+    let mut inflight: Vec<(usize, E::Req)> = Vec::with_capacity(w);
+    for i in 0..k + w {
+        if i < k {
+            env.ffty_pack(i, &mut inflight);
+        }
+        if i >= w {
+            let (tile, req) = inflight.remove(0);
+            debug_assert_eq!(tile, i - w, "window must complete in order");
+            env.wait(tile, req);
+        }
+        if i < k {
+            let req = env.post_a2a(i);
+            inflight.push((i, req));
+        }
+        if i >= w {
+            env.unpack_fftx(i - w, &mut inflight);
+        }
+    }
+    debug_assert!(inflight.is_empty());
+}
+
+/// Runs the TH comparator's schedule (Hoefler et al. [18]): only FFTy and
+/// Pack overlap with communication; Unpack and FFTx happen after the wait,
+/// with no progression polls — the reason TH's Wait bar dwarfs NEW's in
+/// Figure 8.
+pub fn run_th<E: OverlapEnv>(env: &mut E) {
+    env.fftz_transpose();
+    let k = env.num_tiles();
+    let w = env.window();
+    if w == 0 {
+        for i in 0..k {
+            env.ffty_pack(i, &mut []);
+            let req = env.post_a2a(i);
+            env.wait(i, req);
+            env.unpack_fftx(i, &mut []);
+        }
+        return;
+    }
+    let mut inflight: Vec<(usize, E::Req)> = Vec::with_capacity(w);
+    for i in 0..k + w {
+        if i < k {
+            env.ffty_pack(i, &mut inflight);
+        }
+        if i >= w {
+            let (tile, req) = inflight.remove(0);
+            debug_assert_eq!(tile, i - w);
+            env.wait(tile, req);
+            // No polls during Unpack/FFTx: pass an empty in-flight view.
+            env.unpack_fftx(tile, &mut []);
+        }
+        if i < k {
+            let req = env.post_a2a(i);
+            inflight.push((i, req));
+        }
+    }
+    debug_assert!(inflight.is_empty());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted environment that records the call sequence.
+    struct Recorder {
+        k: usize,
+        w: usize,
+        log: Vec<String>,
+        next_req: usize,
+    }
+
+    impl Recorder {
+        fn new(k: usize, w: usize) -> Self {
+            Recorder { k, w, log: Vec::new(), next_req: 0 }
+        }
+    }
+
+    impl OverlapEnv for Recorder {
+        type Req = usize;
+        fn num_tiles(&self) -> usize {
+            self.k
+        }
+        fn window(&self) -> usize {
+            self.w
+        }
+        fn fftz_transpose(&mut self) {
+            self.log.push("zT".into());
+        }
+        fn ffty_pack(&mut self, tile: usize, inflight: &mut [(usize, usize)]) {
+            self.log.push(format!("yP{tile}(w{})", inflight.len()));
+        }
+        fn post_a2a(&mut self, tile: usize) -> usize {
+            self.log.push(format!("A{tile}"));
+            self.next_req += 1;
+            self.next_req
+        }
+        fn wait(&mut self, tile: usize, _req: usize) {
+            self.log.push(format!("W{tile}"));
+        }
+        fn unpack_fftx(&mut self, tile: usize, inflight: &mut [(usize, usize)]) {
+            self.log.push(format!("uX{tile}(w{})", inflight.len()));
+        }
+    }
+
+    #[test]
+    fn new_schedule_matches_algorithm_1() {
+        // k = 3 tiles, W = 2: figure 3's interleaving.
+        let mut env = Recorder::new(3, 2);
+        run_new(&mut env);
+        assert_eq!(
+            env.log,
+            vec![
+                "zT", "yP0(w0)", "A0", "yP1(w1)", "A1", "yP2(w2)", "W0", "A2", "uX0(w2)",
+                "W1", "uX1(w1)", "W2", "uX2(w0)"
+            ]
+        );
+    }
+
+    #[test]
+    fn new_with_window_zero_is_sequential_per_tile() {
+        let mut env = Recorder::new(2, 0);
+        run_new(&mut env);
+        assert_eq!(
+            env.log,
+            vec!["zT", "yP0(w0)", "A0", "W0", "uX0(w0)", "yP1(w0)", "A1", "W1", "uX1(w0)"]
+        );
+    }
+
+    #[test]
+    fn th_does_not_poll_during_unpack() {
+        let mut env = Recorder::new(3, 1);
+        run_th(&mut env);
+        // Every uX entry must report an empty window.
+        for entry in env.log.iter().filter(|e| e.starts_with("uX")) {
+            assert!(entry.ends_with("(w0)"), "TH polled during unpack: {entry}");
+        }
+        // But packs after the first do see in-flight tiles.
+        assert!(env.log.iter().any(|e| e.starts_with("yP") && e.ends_with("(w1)")));
+    }
+
+    #[test]
+    fn every_tile_is_waited_exactly_once() {
+        for (k, w) in [(1, 1), (4, 1), (4, 2), (4, 4), (5, 3), (8, 2)] {
+            let mut env = Recorder::new(k, w);
+            run_new(&mut env);
+            for t in 0..k {
+                let waits = env.log.iter().filter(|e| **e == format!("W{t}")).count();
+                assert_eq!(waits, 1, "k={k} w={w} tile={t}");
+                let posts = env.log.iter().filter(|e| **e == format!("A{t}")).count();
+                assert_eq!(posts, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn window_never_exceeds_w() {
+        for (k, w) in [(6, 1), (6, 2), (6, 3)] {
+            let mut env = Recorder::new(k, w);
+            run_new(&mut env);
+            for e in &env.log {
+                if let Some(pos) = e.find("(w") {
+                    let n: usize = e[pos + 2..e.len() - 1].parse().unwrap();
+                    assert!(n <= w, "k={k} w={w}: {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wait_precedes_unpack_for_same_tile() {
+        let mut env = Recorder::new(5, 2);
+        run_new(&mut env);
+        for t in 0..5 {
+            let wi = env.log.iter().position(|e| *e == format!("W{t}")).unwrap();
+            let ui = env.log.iter().position(|e| e.starts_with(&format!("uX{t}("))).unwrap();
+            assert!(wi < ui, "tile {t}: wait at {wi}, unpack at {ui}");
+        }
+    }
+}

@@ -1,0 +1,629 @@
+//! Real execution backend: the distributed 3-D FFT running on actual data
+//! over the [`mpisim`] runtime, with [`cfft`] kernels.
+//!
+//! This backend exists to prove the *algorithm* correct — every variant
+//! (NEW, NEW-0, TH, FFTW-style) must reproduce the serial reference
+//! transform bit-for-bit (up to floating-point tolerance) for any problem
+//! shape, divisible or not. The performance story is told by the simulated
+//! backend; here the timings are real wall-clock and only meaningful for
+//! laptop-scale smoke benchmarks.
+
+use crate::breakdown::{RunStats, StepTimes};
+use crate::decomp::Decomp;
+use crate::params::{ProblemSpec, TuningParams};
+use crate::pipeline::{run_new, run_th, OverlapEnv};
+use cfft::planner::{Plan1d, Planner, Rigor};
+use cfft::transpose::{permute3, xzy_fast, Dims3, XYZ_TO_ZXY};
+use cfft::{Complex64, Direction};
+use mpisim::{Comm, IAlltoall};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which algorithm variant to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The paper's NEW: full ten-parameter overlap pipeline (use
+    /// [`TuningParams::without_overlap`] for NEW-0).
+    New,
+    /// Hoefler et al.'s TH: overlap restricted to FFTy+Pack, no loop
+    /// tiling, naive transpose.
+    Th,
+    /// FFTW-style baseline: one blocking all-to-all over the whole slab,
+    /// no tiles, no overlap.
+    Fftw,
+}
+
+/// How the Transpose step is performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransposeStyle {
+    /// §3.5 fast path (`x-z-y`), legal only when `Nx = Ny`.
+    Fast,
+    /// Cache-blocked generic `z-x-y` (the "FFTW guru" quality path).
+    Generic,
+    /// Unblocked triple loop — models TH's non-optimized rearrangement.
+    Naive,
+}
+
+/// Output memory layout of the distributed transform (y-slab local array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutLayout {
+    /// `(z, y_local, x)` with x contiguous — the standard path's result.
+    Zyx,
+    /// `(y_local, z, x)` with x contiguous — the §3.5 fast path's result.
+    Yzx,
+}
+
+/// Result of a distributed execution on one rank.
+pub struct RunOutput {
+    /// This rank's y-slab of the transformed array.
+    pub data: Vec<Complex64>,
+    /// Layout of `data`.
+    pub layout: OutLayout,
+    /// Timing statistics.
+    pub stats: RunStats,
+}
+
+/// Distributes polls evenly across a loop of `total_units` work units.
+struct PollSchedule {
+    total_units: u64,
+    polls: u64,
+    done: u64,
+    issued: u64,
+}
+
+impl PollSchedule {
+    fn new(total_units: usize, polls: u32) -> Self {
+        PollSchedule {
+            total_units: total_units.max(1) as u64,
+            polls: polls as u64,
+            done: 0,
+            issued: 0,
+        }
+    }
+
+    /// Marks one unit done; returns how many polls are now due.
+    fn after_unit(&mut self) -> u64 {
+        self.done += 1;
+        let target = self.polls * self.done / self.total_units;
+        let due = target - self.issued;
+        self.issued = target;
+        due
+    }
+}
+
+struct RealEnv<'a> {
+    comm: &'a Comm,
+    spec: ProblemSpec,
+    params: TuningParams,
+    decomp: Decomp,
+    nxl: usize,
+    nyl: usize,
+    transpose_style: TransposeStyle,
+    layout: OutLayout,
+    plan_z: Arc<Plan1d>,
+    plan_y: Arc<Plan1d>,
+    plan_x: Arc<Plan1d>,
+    plan_scratch: Vec<Complex64>,
+    /// Input slab (x-y-z), consumed by FFTz+Transpose.
+    input: Vec<Complex64>,
+    /// Transposed slab: z-x-y (standard) or x-z-y (fast).
+    zxy: Vec<Complex64>,
+    /// Output slab: z-y-x or y-z-x.
+    out: Vec<Complex64>,
+    /// Per-destination-block staging for the current tile's pack.
+    send: Vec<Complex64>,
+    /// Recycled receive buffers.
+    recv_pool: Vec<Vec<Complex64>>,
+    /// Receive data of the most recently waited tile, awaiting unpack.
+    pending_recv: Option<Vec<Complex64>>,
+    steps: StepTimes,
+    tests: u64,
+    started: Instant,
+}
+
+impl<'a> RealEnv<'a> {
+    fn tile_range(&self, tile: usize) -> (usize, usize) {
+        let z0 = tile * self.params.t;
+        let z1 = (z0 + self.params.t).min(self.spec.nz);
+        (z0, z1)
+    }
+
+    /// Per-destination element counts of tile `tile`'s all-to-all.
+    fn send_counts(&self, tz: usize) -> Vec<usize> {
+        (0..self.spec.p).map(|q| tz * self.nxl * self.decomp.y.count(q)).collect()
+    }
+
+    fn recv_counts(&self, tz: usize) -> Vec<usize> {
+        (0..self.spec.p).map(|s| tz * self.decomp.x.count(s) * self.nyl).collect()
+    }
+
+    fn poll_inflight(&mut self, inflight: &mut [(usize, IAlltoall<Complex64>)], times: u64) {
+        if times == 0 || inflight.is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        for _ in 0..times {
+            for (_, req) in inflight.iter_mut() {
+                req.test(self.comm);
+                self.tests += 1;
+            }
+        }
+        self.steps.test += t0.elapsed().as_secs_f64();
+    }
+
+    /// Flat index into the transposed slab for `(z, xl, y)`.
+    #[inline]
+    fn zxy_idx(&self, z: usize, xl: usize, y: usize) -> usize {
+        match self.transpose_style {
+            TransposeStyle::Fast => (xl * self.spec.nz + z) * self.spec.ny + y,
+            _ => (z * self.nxl + xl) * self.spec.ny + y,
+        }
+    }
+
+    /// Flat index into the output slab for `(z, yl, x)`.
+    #[inline]
+    fn out_idx(&self, z: usize, yl: usize, x: usize) -> usize {
+        match self.layout {
+            OutLayout::Zyx => (z * self.nyl + yl) * self.spec.nx + x,
+            OutLayout::Yzx => (yl * self.spec.nz + z) * self.spec.nx + x,
+        }
+    }
+}
+
+impl<'a> OverlapEnv for RealEnv<'a> {
+    type Req = IAlltoall<Complex64>;
+
+    fn num_tiles(&self) -> usize {
+        self.params.tiles(&self.spec)
+    }
+
+    fn window(&self) -> usize {
+        self.params.w
+    }
+
+    fn fftz_transpose(&mut self) {
+        let (nx_l, ny, nz) = (self.nxl, self.spec.ny, self.spec.nz);
+        // FFTz: z lines are contiguous in the x-y-z input.
+        let t0 = Instant::now();
+        for line in 0..nx_l * ny {
+            let s = line * nz;
+            self.plan_z.execute(&mut self.input[s..s + nz], &mut self.plan_scratch);
+        }
+        self.steps.fftz += t0.elapsed().as_secs_f64();
+
+        // Transpose into the tile-friendly layout.
+        let t0 = Instant::now();
+        let sd = Dims3::new(nx_l, ny, nz);
+        match self.transpose_style {
+            TransposeStyle::Fast => xzy_fast(&self.input, &mut self.zxy, sd),
+            TransposeStyle::Generic => permute3(&self.input, &mut self.zxy, sd, XYZ_TO_ZXY),
+            TransposeStyle::Naive => {
+                // Deliberately unblocked: models a straightforward loop nest.
+                for x in 0..nx_l {
+                    for y in 0..ny {
+                        for z in 0..nz {
+                            self.zxy[(z * nx_l + x) * ny + y] = self.input[(x * ny + y) * nz + z];
+                        }
+                    }
+                }
+            }
+        }
+        self.steps.transpose += t0.elapsed().as_secs_f64();
+    }
+
+    fn ffty_pack(&mut self, tile: usize, inflight: &mut [(usize, Self::Req)]) {
+        let (z0, z1) = self.tile_range(tile);
+        let tz = z1 - z0;
+        let (p, ny) = (self.spec.p, self.spec.ny);
+        let nxl = self.nxl;
+        let (px, pz) = (self.params.px.min(nxl.max(1)), self.params.pz.min(tz.max(1)));
+        if nxl == 0 || tz == 0 {
+            return;
+        }
+
+        // Sub-tile grid (Figure 4, left): Px × Ny × Pz blocks.
+        let xblocks = nxl.div_ceil(px);
+        let zblocks = tz.div_ceil(pz);
+        let subtiles = xblocks * zblocks;
+        let mut sched_y = PollSchedule::new(subtiles, self.params.fy);
+        let mut sched_p = PollSchedule::new(subtiles, self.params.fp);
+
+        let send_counts = self.send_counts(tz);
+        let mut send_displs = vec![0usize; p];
+        for q in 1..p {
+            send_displs[q] = send_displs[q - 1] + send_counts[q - 1];
+        }
+        let total_send: usize = send_counts.iter().sum();
+        if self.send.len() < total_send {
+            self.send.resize(total_send, Complex64::ZERO);
+        }
+
+        for zb in 0..zblocks {
+            let zs = z0 + zb * pz;
+            let ze = (zs + pz).min(z1);
+            for xb in 0..xblocks {
+                let xs = xb * px;
+                let xe = (xs + px).min(nxl);
+
+                // FFTy on every y line of the sub-tile.
+                let t0 = Instant::now();
+                for z in zs..ze {
+                    for xl in xs..xe {
+                        let s = self.zxy_idx(z, xl, 0);
+                        self.plan_y.execute(&mut self.zxy[s..s + ny], &mut self.plan_scratch);
+                    }
+                }
+                self.steps.ffty += t0.elapsed().as_secs_f64();
+                let due = sched_y.after_unit();
+                self.poll_inflight(inflight, due);
+
+                // Pack the sub-tile into per-destination blocks, each laid
+                // out (z_local, x_local, y_local).
+                let t0 = Instant::now();
+                for z in zs..ze {
+                    let zl = z - z0;
+                    for xl in xs..xe {
+                        let row = self.zxy_idx(z, xl, 0);
+                        let in_block_row = zl * nxl + xl;
+                        for q in 0..p {
+                            let nyl_q = self.decomp.y.count(q);
+                            let yoff = self.decomp.y.offset(q);
+                            let dst = send_displs[q] + in_block_row * nyl_q;
+                            let src = row + yoff;
+                            // Contiguous y-run copy.
+                            self.send[dst..dst + nyl_q]
+                                .copy_from_slice(&self.zxy[src..src + nyl_q]);
+                        }
+                    }
+                }
+                self.steps.pack += t0.elapsed().as_secs_f64();
+                let due = sched_p.after_unit();
+                self.poll_inflight(inflight, due);
+            }
+        }
+    }
+
+    fn post_a2a(&mut self, tile: usize) -> Self::Req {
+        let (z0, z1) = self.tile_range(tile);
+        let tz = z1 - z0;
+        let send_counts = self.send_counts(tz);
+        let recv_counts = self.recv_counts(tz);
+        let total_send: usize = send_counts.iter().sum();
+        let total_recv: usize = recv_counts.iter().sum();
+        let mut recv = self.recv_pool.pop().unwrap_or_default();
+        recv.resize(total_recv, Complex64::ZERO);
+        let t0 = Instant::now();
+        let req = self.comm.ialltoallv(&self.send[..total_send], &send_counts, &recv_counts, recv);
+        self.steps.ialltoall += t0.elapsed().as_secs_f64();
+        req
+    }
+
+    fn wait(&mut self, _tile: usize, req: Self::Req) {
+        let t0 = Instant::now();
+        let recv = req.wait(self.comm);
+        self.steps.wait += t0.elapsed().as_secs_f64();
+        self.pending_recv = Some(recv);
+    }
+
+    fn unpack_fftx(&mut self, tile: usize, inflight: &mut [(usize, Self::Req)]) {
+        let recv = self.pending_recv.take().expect("unpack without a waited tile");
+        let (z0, z1) = self.tile_range(tile);
+        let tz = z1 - z0;
+        let (p, nx) = (self.spec.p, self.spec.nx);
+        let nyl = self.nyl;
+        if nyl == 0 || tz == 0 {
+            self.recv_pool.push(recv);
+            return;
+        }
+        let (uy, uz) = (self.params.uy.min(nyl), self.params.uz.min(tz));
+
+        let recv_counts = self.recv_counts(tz);
+        let mut recv_displs = vec![0usize; p];
+        for s in 1..p {
+            recv_displs[s] = recv_displs[s - 1] + recv_counts[s - 1];
+        }
+
+        // Sub-tile grid (Figure 4, right): Nx × Uy × Uz blocks.
+        let yblocks = nyl.div_ceil(uy);
+        let zblocks = tz.div_ceil(uz);
+        let subtiles = yblocks * zblocks;
+        let mut sched_u = PollSchedule::new(subtiles, self.params.fu);
+        let mut sched_x = PollSchedule::new(subtiles, self.params.fx);
+
+        for zb in 0..zblocks {
+            let zs = z0 + zb * uz;
+            let ze = (zs + uz).min(z1);
+            for yb in 0..yblocks {
+                let ys = yb * uy;
+                let ye = (ys + uy).min(nyl);
+
+                // Unpack: source block from rank s is (z_local, x_in_s,
+                // y_local); destination rows are x-contiguous.
+                let t0 = Instant::now();
+                for z in zs..ze {
+                    let zl = z - z0;
+                    for yl in ys..ye {
+                        let out_row = self.out_idx(z, yl, 0);
+                        for s in 0..p {
+                            let nxl_s = self.decomp.x.count(s);
+                            let xoff = self.decomp.x.offset(s);
+                            let base = recv_displs[s] + (zl * nxl_s) * nyl + yl;
+                            for xl in 0..nxl_s {
+                                self.out[out_row + xoff + xl] = recv[base + xl * nyl];
+                            }
+                        }
+                    }
+                }
+                self.steps.unpack += t0.elapsed().as_secs_f64();
+                let due = sched_u.after_unit();
+                self.poll_inflight(inflight, due);
+
+                // FFTx on the unpacked x lines.
+                let t0 = Instant::now();
+                for z in zs..ze {
+                    for yl in ys..ye {
+                        let s = self.out_idx(z, yl, 0);
+                        self.plan_x.execute(&mut self.out[s..s + nx], &mut self.plan_scratch);
+                    }
+                }
+                self.steps.fftx += t0.elapsed().as_secs_f64();
+                let due = sched_x.after_unit();
+                self.poll_inflight(inflight, due);
+            }
+        }
+        self.recv_pool.push(recv);
+    }
+}
+
+/// Executes one distributed 3-D FFT on this rank.
+///
+/// `input` is this rank's x-slab in `x-y-z` layout (`count_x(rank)·ny·nz`
+/// elements). Returns this rank's y-slab of the result plus statistics.
+/// Collective: every rank of `comm` must call this with consistent
+/// arguments.
+pub fn fft3_dist(
+    comm: &Comm,
+    spec: ProblemSpec,
+    variant: Variant,
+    params: TuningParams,
+    dir: Direction,
+    rigor: Rigor,
+    input: &[Complex64],
+) -> RunOutput {
+    assert_eq!(comm.size(), spec.p, "communicator size must match spec.p");
+    let rank = comm.rank();
+    let decomp = Decomp::new(spec.nx, spec.ny, spec.p);
+    let nxl = decomp.x.count(rank);
+    let nyl = decomp.y.count(rank);
+    assert_eq!(
+        input.len(),
+        nxl * spec.ny * spec.nz,
+        "input must be this rank's x-slab in x-y-z layout"
+    );
+
+    // Resolve the effective parameters and styles per variant.
+    let (params, transpose_style) = match variant {
+        Variant::New => {
+            params
+                .validate(&spec)
+                .or_else(|e| if params.w == 0 { Ok(()) } else { Err(e) })
+                .unwrap_or_else(|e| panic!("infeasible parameters: {e}"));
+            let style = if spec.square_xy() { TransposeStyle::Fast } else { TransposeStyle::Generic };
+            (params, style)
+        }
+        Variant::Th => {
+            // TH: tile/window honoured, but no loop tiling and no polls
+            // outside FFTy/Pack; plain transpose.
+            let nxl_max = decomp.x.max_count().max(1);
+            let nyl_max = decomp.y.max_count().max(1);
+            let p = TuningParams {
+                t: params.t,
+                w: params.w,
+                px: nxl_max,
+                pz: params.t,
+                uy: nyl_max,
+                uz: params.t,
+                fy: params.fy,
+                fp: params.fp,
+                fu: 0,
+                fx: 0,
+            };
+            (p, TransposeStyle::Naive)
+        }
+        Variant::Fftw => {
+            // One tile spanning the whole slab, no window, no polls.
+            let p = TuningParams {
+                t: spec.nz,
+                w: 0,
+                px: decomp.x.max_count().max(1),
+                pz: spec.nz,
+                uy: decomp.y.max_count().max(1),
+                uz: spec.nz,
+                fy: 0,
+                fp: 0,
+                fu: 0,
+                fx: 0,
+            };
+            (p, TransposeStyle::Generic)
+        }
+    };
+
+    let mut planner = Planner::new(rigor);
+    let plan_z = planner.plan(spec.nz.max(1), dir);
+    let plan_y = planner.plan(spec.ny.max(1), dir);
+    let plan_x = planner.plan(spec.nx.max(1), dir);
+    let scratch_len = plan_z
+        .scratch_len()
+        .max(plan_y.scratch_len())
+        .max(plan_x.scratch_len());
+
+    let layout = if transpose_style == TransposeStyle::Fast { OutLayout::Yzx } else { OutLayout::Zyx };
+    let mut env = RealEnv {
+        comm,
+        spec,
+        params,
+        nxl,
+        nyl,
+        decomp,
+        transpose_style,
+        layout,
+        plan_z,
+        plan_y,
+        plan_x,
+        plan_scratch: vec![Complex64::ZERO; scratch_len],
+        input: input.to_vec(),
+        zxy: vec![Complex64::ZERO; nxl * spec.ny * spec.nz],
+        out: vec![Complex64::ZERO; spec.nz * nyl * spec.nx],
+        send: Vec::new(),
+        recv_pool: Vec::new(),
+        pending_recv: None,
+        steps: StepTimes::default(),
+        tests: 0,
+        started: Instant::now(),
+    };
+
+    match variant {
+        Variant::Th => run_th(&mut env),
+        _ => run_new(&mut env),
+    }
+
+    let elapsed = env.started.elapsed().as_secs_f64();
+    RunOutput {
+        data: std::mem::take(&mut env.out),
+        layout,
+        stats: RunStats { steps: env.steps, elapsed, tests: env.tests },
+    }
+}
+
+/// Builds this rank's x-slab of the deterministic test field.
+pub fn local_test_slab(spec: &ProblemSpec, rank: usize) -> Vec<Complex64> {
+    let decomp = Decomp::new(spec.nx, spec.ny, spec.p);
+    let nxl = decomp.x.count(rank);
+    let xoff = decomp.x.offset(rank);
+    let mut v = Vec::with_capacity(nxl * spec.ny * spec.nz);
+    for xl in 0..nxl {
+        for y in 0..spec.ny {
+            for z in 0..spec.nz {
+                v.push(crate::serial::test_field(xoff + xl, y, z));
+            }
+        }
+    }
+    v
+}
+
+/// Compares a rank's distributed output slab against the serial reference
+/// transform of the full test field; returns the max absolute deviation.
+pub fn compare_with_serial(
+    spec: &ProblemSpec,
+    rank: usize,
+    out: &RunOutput,
+    reference: &[Complex64],
+) -> f64 {
+    let decomp = Decomp::new(spec.nx, spec.ny, spec.p);
+    let nyl = decomp.y.count(rank);
+    let yoff = decomp.y.offset(rank);
+    let mut err: f64 = 0.0;
+    for z in 0..spec.nz {
+        for yl in 0..nyl {
+            for x in 0..spec.nx {
+                let got = match out.layout {
+                    OutLayout::Zyx => out.data[(z * nyl + yl) * spec.nx + x],
+                    OutLayout::Yzx => out.data[(yl * spec.nz + z) * spec.nx + x],
+                };
+                let want = reference[(x * spec.ny + (yoff + yl)) * spec.nz + z];
+                err = err.max((got - want).abs());
+            }
+        }
+    }
+    err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::{fft3_serial, full_test_array};
+
+    fn check_variant(spec: ProblemSpec, variant: Variant, params: TuningParams, dir: Direction) {
+        let mut reference = full_test_array(spec.nx, spec.ny, spec.nz);
+        fft3_serial(&mut reference, spec.nx, spec.ny, spec.nz, dir);
+        let reference = std::sync::Arc::new(reference);
+
+        let errs = mpisim::run(spec.p, move |comm| {
+            let input = local_test_slab(&spec, comm.rank());
+            let out = fft3_dist(&comm, spec, variant, params, dir, Rigor::Estimate, &input);
+            compare_with_serial(&spec, comm.rank(), &out, &reference)
+        });
+        let scale = (spec.len() as f64).max(1.0);
+        for (r, e) in errs.iter().enumerate() {
+            assert!(*e < 1e-9 * scale, "rank {r}: err {e} (spec {spec:?}, {variant:?})");
+        }
+    }
+
+    #[test]
+    fn new_variant_matches_serial_cube() {
+        let spec = ProblemSpec::cube(16, 4);
+        let params = TuningParams::seed(&spec);
+        check_variant(spec, Variant::New, params, Direction::Forward);
+    }
+
+    #[test]
+    fn new_variant_matches_serial_non_square() {
+        // Nx ≠ Ny forces the generic transpose path.
+        let spec = ProblemSpec { nx: 12, ny: 8, nz: 10, p: 4 };
+        let params = TuningParams { t: 3, w: 2, px: 2, pz: 2, uy: 2, uz: 3, fy: 2, fp: 1, fu: 1, fx: 2 };
+        check_variant(spec, Variant::New, params, Direction::Forward);
+    }
+
+    #[test]
+    fn new_variant_handles_non_divisible_extents() {
+        // Nx mod p ≠ 0 and Ny mod p ≠ 0 (the paper's "general case").
+        let spec = ProblemSpec { nx: 10, ny: 9, nz: 8, p: 4 };
+        let params = TuningParams { t: 4, w: 2, px: 1, pz: 2, uy: 2, uz: 2, fy: 1, fp: 1, fu: 1, fx: 1 };
+        check_variant(spec, Variant::New, params, Direction::Forward);
+    }
+
+    #[test]
+    fn new_0_variant_matches_serial() {
+        let spec = ProblemSpec::cube(12, 3);
+        let params = TuningParams::seed(&spec).without_overlap();
+        check_variant(spec, Variant::New, params, Direction::Forward);
+    }
+
+    #[test]
+    fn th_variant_matches_serial() {
+        let spec = ProblemSpec::cube(16, 4);
+        let params = TuningParams::seed(&spec);
+        check_variant(spec, Variant::Th, params, Direction::Forward);
+    }
+
+    #[test]
+    fn fftw_variant_matches_serial() {
+        let spec = ProblemSpec::cube(12, 4);
+        let params = TuningParams::seed(&spec);
+        check_variant(spec, Variant::Fftw, params, Direction::Forward);
+    }
+
+    #[test]
+    fn backward_direction_matches_serial() {
+        let spec = ProblemSpec::cube(8, 2);
+        let params = TuningParams::seed(&spec);
+        check_variant(spec, Variant::New, params, Direction::Backward);
+    }
+
+    #[test]
+    fn single_rank_works() {
+        let spec = ProblemSpec::cube(8, 1);
+        let params = TuningParams::seed(&spec);
+        check_variant(spec, Variant::New, params, Direction::Forward);
+    }
+
+    #[test]
+    fn poll_schedule_distributes_evenly() {
+        let mut s = PollSchedule::new(4, 8);
+        let emitted: Vec<u64> = (0..4).map(|_| s.after_unit()).collect();
+        assert_eq!(emitted, vec![2, 2, 2, 2]);
+        let mut s = PollSchedule::new(3, 2);
+        let emitted: Vec<u64> = (0..3).map(|_| s.after_unit()).collect();
+        assert_eq!(emitted.iter().sum::<u64>(), 2);
+    }
+}

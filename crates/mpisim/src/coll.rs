@@ -1,0 +1,214 @@
+//! Blocking collective operations.
+//!
+//! Simple, correctness-first algorithms: the real-mode runtime exists to
+//! validate the 3-D FFT pipeline at laptop scale (p ≤ 64), where flat and
+//! tree algorithms are indistinguishable in cost next to the transforms.
+
+use crate::comm::{encode_tag, Comm, Kind};
+use crate::world::Msg;
+
+impl Comm {
+    /// Internal send in the collective tag space: `(seq, round)` identifies
+    /// the message uniquely within this communicator.
+    fn coll_send<T: Clone + Send + 'static>(&self, buf: &[T], dest: usize, seq: u64, round: u64) {
+        self.world.mailboxes[self.world_rank(dest)].push(Msg {
+            src: self.rank(),
+            tag: encode_tag(self.ctx, Kind::Coll, (seq << 8) | round),
+            data: Box::new(buf.to_vec()),
+        });
+    }
+
+    fn coll_recv<T: Clone + Send + 'static>(&self, src: usize, seq: u64, round: u64) -> Vec<T> {
+        let msg = self.my_mailbox().take(src, encode_tag(self.ctx, Kind::Coll, (seq << 8) | round));
+        *msg.data
+            .downcast::<Vec<T>>()
+            .unwrap_or_else(|_| panic!("collective type mismatch from rank {src}"))
+    }
+
+    /// Dissemination barrier: `⌈log2 p⌉` rounds of pairwise signals.
+    pub fn barrier(&self) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let me = self.rank();
+        let seq = self.next_coll_seq();
+        let mut dist = 1;
+        let mut round = 0u64;
+        while dist < p {
+            let to = (me + dist) % p;
+            let from = (me + p - dist) % p;
+            self.coll_send(&[1u8], to, seq, round);
+            let _ = self.coll_recv::<u8>(from, seq, round);
+            dist *= 2;
+            round += 1;
+        }
+    }
+
+    /// Broadcast from `root` along a binomial tree.
+    pub fn bcast<T: Clone + Send + 'static>(&self, buf: &mut Vec<T>, root: usize) {
+        let p = self.size();
+        let seq = self.next_coll_seq();
+        if p == 1 {
+            return;
+        }
+        let me = self.rank();
+        // Rotate so the root is virtual rank 0.
+        let vrank = (me + p - root) % p;
+        if vrank != 0 {
+            // Receive from parent.
+            let parent_v = vrank & (vrank - 1); // clear lowest set bit
+            let parent = (parent_v + root) % p;
+            *buf = self.coll_recv::<T>(parent, seq, 0);
+        }
+        // Forward to children: vrank | (1 << b) for bits above our lowest
+        // set bit (all bits for the root).
+        let lowest = if vrank == 0 { usize::BITS } else { vrank.trailing_zeros() };
+        for b in (0..lowest).rev() {
+            let child_v = vrank | (1usize << b);
+            if child_v != vrank && child_v < p {
+                let child = (child_v + root) % p;
+                self.coll_send(buf, child, seq, 0);
+            }
+        }
+    }
+
+    /// Gathers equal-sized contributions to `root`; returns the
+    /// concatenation (rank order) on the root, `None` elsewhere.
+    pub fn gather<T: Clone + Send + 'static>(&self, contrib: &[T], root: usize) -> Option<Vec<T>> {
+        let p = self.size();
+        let seq = self.next_coll_seq();
+        if self.rank() == root {
+            let mut out = Vec::with_capacity(contrib.len() * p);
+            for s in 0..p {
+                if s == root {
+                    out.extend_from_slice(contrib);
+                } else {
+                    out.extend(self.coll_recv::<T>(s, seq, 0));
+                }
+            }
+            Some(out)
+        } else {
+            self.coll_send(contrib, root, seq, 0);
+            None
+        }
+    }
+
+    /// All-gather: every rank receives the rank-ordered concatenation.
+    pub fn allgather<T: Clone + Send + 'static>(&self, contrib: &[T]) -> Vec<T> {
+        let mut v = self.gather(contrib, 0).unwrap_or_default();
+        self.bcast(&mut v, 0);
+        v
+    }
+
+    /// Element-wise f64 sum-reduction to `root`.
+    pub fn reduce_sum(&self, contrib: &[f64], root: usize) -> Option<Vec<f64>> {
+        let p = self.size();
+        let seq = self.next_coll_seq();
+        if self.rank() == root {
+            let mut acc = contrib.to_vec();
+            for s in 0..p {
+                if s == root {
+                    continue;
+                }
+                let v = self.coll_recv::<f64>(s, seq, 0);
+                assert_eq!(v.len(), acc.len(), "reduce length mismatch from rank {s}");
+                for (a, b) in acc.iter_mut().zip(v) {
+                    *a += b;
+                }
+            }
+            Some(acc)
+        } else {
+            self.coll_send(contrib, root, seq, 0);
+            None
+        }
+    }
+
+    /// Element-wise f64 sum-reduction delivered to every rank.
+    pub fn allreduce_sum(&self, contrib: &[f64]) -> Vec<f64> {
+        let mut v = self.reduce_sum(contrib, 0).unwrap_or_default();
+        self.bcast(&mut v, 0);
+        v
+    }
+
+    /// Maximum of one f64 across ranks, delivered everywhere.
+    pub fn allreduce_max(&self, x: f64) -> f64 {
+        let all = self.allgather(&[x]);
+        all.into_iter().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        let before = Arc::new(AtomicUsize::new(0));
+        let b2 = before.clone();
+        run(5, move |comm| {
+            b2.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            assert_eq!(b2.load(Ordering::SeqCst), 5);
+            comm.barrier();
+        });
+    }
+
+    #[test]
+    fn repeated_barriers_do_not_cross_talk() {
+        run(4, |comm| {
+            for _ in 0..50 {
+                comm.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        run(6, |comm| {
+            for root in 0..comm.size() {
+                let mut v = if comm.rank() == root {
+                    vec![root as u64 * 3, 17]
+                } else {
+                    Vec::new()
+                };
+                comm.bcast(&mut v, root);
+                assert_eq!(v, vec![root as u64 * 3, 17]);
+            }
+        });
+    }
+
+    #[test]
+    fn gather_concatenates_in_rank_order() {
+        run(4, |comm| {
+            let contrib = [comm.rank() as i32, -(comm.rank() as i32)];
+            let out = comm.gather(&contrib, 2);
+            if comm.rank() == 2 {
+                assert_eq!(out.unwrap(), vec![0, 0, 1, -1, 2, -2, 3, -3]);
+            } else {
+                assert!(out.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn allgather_delivers_everywhere() {
+        run(3, |comm| {
+            let out = comm.allgather(&[comm.rank() as u8]);
+            assert_eq!(out, vec![0, 1, 2]);
+        });
+    }
+
+    #[test]
+    fn reduce_and_allreduce_sum() {
+        run(4, |comm| {
+            let contrib = [1.0, comm.rank() as f64];
+            let all = comm.allreduce_sum(&contrib);
+            assert_eq!(all, vec![4.0, 6.0]);
+            let max = comm.allreduce_max(comm.rank() as f64);
+            assert_eq!(max, 3.0);
+        });
+    }
+}

@@ -1,0 +1,267 @@
+//! Communicators and point-to-point messaging.
+
+use crate::world::{Msg, World};
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// Message kinds multiplexed onto the mailbox tag space.
+#[derive(Clone, Copy)]
+pub(crate) enum Kind {
+    P2p = 1,
+    Coll = 2,
+    Nbc = 3,
+}
+
+/// Encodes `(ctx, kind, payload)` into a mailbox tag.
+pub(crate) fn encode_tag(ctx: u64, kind: Kind, payload: u64) -> u64 {
+    debug_assert!(payload < (1 << 40), "tag payload overflow");
+    (ctx << 44) | ((kind as u64) << 40) | payload
+}
+
+fn mix_ctx(parent: u64, seq: u64, color: i64) -> u64 {
+    // SplitMix64-style mixing, truncated to the 20 bits the tag layout
+    // reserves for context ids. Collisions across live communicators are
+    // astronomically unlikely at the scales the runtime supports.
+    let mut z = parent
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(seq)
+        .wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        .wrapping_add(color as u64);
+    z ^= z >> 31;
+    z & 0xf_ffff
+}
+
+/// A communicator: a rank's handle onto an ordered group of ranks.
+///
+/// Mirrors the MPI object of the same name. `Comm` is deliberately not
+/// `Sync`: each rank thread owns its own handle, as in MPI. Collective
+/// calls must be made by every member in the same order.
+pub struct Comm {
+    pub(crate) world: Arc<World>,
+    pub(crate) ctx: u64,
+    rank: usize,
+    /// World ranks of the members, indexed by communicator rank.
+    members: Arc<Vec<usize>>,
+    coll_seq: Cell<u64>,
+    split_seq: Cell<u64>,
+}
+
+impl Comm {
+    pub(crate) fn world_comm(world: Arc<World>, rank: usize) -> Self {
+        let members = Arc::new((0..world.size).collect());
+        Comm { world, ctx: 0, rank, members, coll_seq: Cell::new(0), split_seq: Cell::new(0) }
+    }
+
+    /// This rank's index within the communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// World rank backing communicator rank `r`.
+    #[inline]
+    pub(crate) fn world_rank(&self, r: usize) -> usize {
+        self.members[r]
+    }
+
+    /// Next collective sequence number (consistent across members because
+    /// collectives must be called in the same order on every rank).
+    pub(crate) fn next_coll_seq(&self) -> u64 {
+        let s = self.coll_seq.get();
+        self.coll_seq.set(s + 1);
+        s
+    }
+
+    /// The mailbox of this rank.
+    pub(crate) fn my_mailbox(&self) -> &crate::world::Mailbox {
+        &self.world.mailboxes[self.world_rank(self.rank)]
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Buffered (eager) send: copies `buf` and returns immediately.
+    pub fn send<T: Clone + Send + 'static>(&self, buf: &[T], dest: usize, tag: u32) {
+        assert!(dest < self.size(), "send destination {dest} out of range");
+        let data: Vec<T> = buf.to_vec();
+        self.world.mailboxes[self.world_rank(dest)].push(Msg {
+            src: self.rank,
+            tag: encode_tag(self.ctx, Kind::P2p, tag as u64),
+            data: Box::new(data),
+        });
+    }
+
+    /// Blocking receive into `buf`; the matched message length must equal
+    /// `buf.len()`.
+    pub fn recv<T: Clone + Send + 'static>(&self, buf: &mut [T], src: usize, tag: u32) {
+        let v = self.recv_vec::<T>(src, tag);
+        assert_eq!(
+            v.len(),
+            buf.len(),
+            "recv length mismatch: message has {}, buffer holds {}",
+            v.len(),
+            buf.len()
+        );
+        buf.clone_from_slice(&v);
+    }
+
+    /// Blocking receive returning the payload vector.
+    pub fn recv_vec<T: Clone + Send + 'static>(&self, src: usize, tag: u32) -> Vec<T> {
+        assert!(src < self.size(), "recv source {src} out of range");
+        let msg = self.my_mailbox().take(src, encode_tag(self.ctx, Kind::P2p, tag as u64));
+        *msg.data.downcast::<Vec<T>>().unwrap_or_else(|_| {
+            panic!("recv type mismatch from rank {src} tag {tag}")
+        })
+    }
+
+    /// Blocking receive from any source; returns `(src, payload)`.
+    pub fn recv_any<T: Clone + Send + 'static>(&self, tag: u32) -> (usize, Vec<T>) {
+        let msg = self.my_mailbox().take_any(encode_tag(self.ctx, Kind::P2p, tag as u64));
+        let data = *msg
+            .data
+            .downcast::<Vec<T>>()
+            .unwrap_or_else(|_| panic!("recv type mismatch (any source, tag {tag})"));
+        (msg.src, data)
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator management
+    // ------------------------------------------------------------------
+
+    /// Duplicates the communicator into a fresh context (tag space).
+    pub fn dup(&self) -> Comm {
+        self.split(0, self.rank as i64).expect("dup never excludes the caller")
+    }
+
+    /// Splits by `color` (ranks sharing a color form a new communicator,
+    /// ordered by `key` then current rank). A negative color returns `None`
+    /// (the MPI `MPI_UNDEFINED` case).
+    pub fn split(&self, color: i64, key: i64) -> Option<Comm> {
+        let seq = self.split_seq.get();
+        self.split_seq.set(seq + 1);
+        // The split rendezvous is keyed by (ctx, seq) so concurrent splits
+        // of different communicators cannot collide.
+        let table_seq = (self.ctx << 20) ^ seq;
+        let (new_rank, members_world) = self.world.split_table.split(
+            table_seq,
+            self.size(),
+            color,
+            key,
+            self.world_rank(self.rank),
+        );
+        if color < 0 {
+            return None;
+        }
+        let ctx = mix_ctx(self.ctx, seq.wrapping_add(1), color);
+        Some(Comm {
+            world: self.world.clone(),
+            ctx,
+            rank: new_rank,
+            members: Arc::new(members_world),
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    #[test]
+    fn tag_encoding_is_injective_across_kinds() {
+        let a = encode_tag(1, Kind::P2p, 5);
+        let b = encode_tag(1, Kind::Coll, 5);
+        let c = encode_tag(2, Kind::P2p, 5);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn send_recv_round_trip() {
+        run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(&[1.5f64, 2.5], 1, 7);
+            } else {
+                let mut buf = [0.0f64; 2];
+                comm.recv(&mut buf, 0, 7);
+                assert_eq!(buf, [1.5, 2.5]);
+            }
+        });
+    }
+
+    #[test]
+    fn messages_with_different_tags_do_not_cross() {
+        run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(&[1u32], 1, 10);
+                comm.send(&[2u32], 1, 20);
+            } else {
+                // Receive in reverse tag order.
+                let b = comm.recv_vec::<u32>(0, 20);
+                let a = comm.recv_vec::<u32>(0, 10);
+                assert_eq!((a[0], b[0]), (1, 2));
+            }
+        });
+    }
+
+    #[test]
+    fn recv_any_reports_source() {
+        run(3, |comm| {
+            if comm.rank() > 0 {
+                comm.send(&[comm.rank() as u64], 0, 3);
+            } else {
+                let mut seen = [false; 3];
+                for _ in 0..2 {
+                    let (src, v) = comm.recv_any::<u64>(3);
+                    assert_eq!(v[0] as usize, src);
+                    seen[src] = true;
+                }
+                assert!(seen[1] && seen[2]);
+            }
+        });
+    }
+
+    #[test]
+    fn split_creates_independent_tag_spaces() {
+        run(4, |comm| {
+            let color = (comm.rank() % 2) as i64;
+            let sub = comm.split(color, comm.rank() as i64).unwrap();
+            assert_eq!(sub.size(), 2);
+            // Ranks 0,2 -> color 0 (sub ranks 0,1); ranks 1,3 -> color 1.
+            let peer = 1 - sub.rank();
+            sub.send(&[comm.rank() as u32], peer, 0);
+            let got = sub.recv_vec::<u32>(peer, 0);
+            // The peer's world rank differs from ours by 2.
+            assert_eq!((got[0] as i64 - comm.rank() as i64).abs(), 2);
+        });
+    }
+
+    #[test]
+    fn dup_preserves_rank_and_size() {
+        run(3, |comm| {
+            let d = comm.dup();
+            assert_eq!(d.rank(), comm.rank());
+            assert_eq!(d.size(), comm.size());
+            assert_ne!(d.ctx, comm.ctx);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_recv_length_panics() {
+        run(1, |comm| {
+            comm.send(&[1u8, 2, 3], 0, 0);
+            let mut buf = [0u8; 2];
+            comm.recv(&mut buf, 0, 0);
+        });
+    }
+}

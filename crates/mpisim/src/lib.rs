@@ -1,0 +1,141 @@
+//! # mpisim — a thread-backed message-passing runtime with MPI semantics
+//!
+//! The workspace's stand-in for an MPI-3 library: ranks are OS threads in
+//! one process, exchanging typed messages through matched mailboxes. The
+//! pieces of MPI-3 the paper's design depends on are reproduced faithfully:
+//!
+//! * **Non-blocking all-to-all with manual progression** ([`IAlltoall`]):
+//!   a libNBC-style round schedule that advances *only* inside
+//!   `test`/`wait` calls — the semantics behind the paper's `MPI_Test`
+//!   frequency parameters (`Fy`, `Fp`, `Fu`, `Fx`, §3.3).
+//! * Blocking collectives: `alltoall(v)`, `barrier`, `bcast`, `gather`,
+//!   `allgather`, reductions.
+//! * Tagged point-to-point with MPI matching/ordering semantics, and
+//!   communicator `dup`/`split`.
+//!
+//! Use [`run`] to launch a set of ranks:
+//!
+//! ```
+//! let sums = mpisim::run(4, |comm| {
+//!     let contrib = [comm.rank() as f64];
+//!     comm.allreduce_sum(&contrib)[0]
+//! });
+//! assert_eq!(sums, vec![6.0; 4]);
+//! ```
+//!
+//! A rank panic aborts the whole world (peers unwind with an "aborted"
+//! panic instead of deadlocking), mirroring `MPI_Abort`.
+
+mod coll;
+mod comm;
+mod nbc;
+mod world;
+
+pub use comm::Comm;
+pub use nbc::IAlltoall;
+
+use std::panic::AssertUnwindSafe;
+use world::World;
+
+/// Launches `size` ranks, each running `f` with its own [`Comm`] handle for
+/// the world communicator, and returns their results in rank order.
+///
+/// Panics propagate: if any rank panics, `run` re-raises the first panic
+/// after all ranks have unwound.
+pub fn run<F, R>(size: usize, f: F) -> Vec<R>
+where
+    F: Fn(Comm) -> R + Send + Sync,
+    R: Send,
+{
+    let world = World::new(size);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..size)
+            .map(|rank| {
+                let world = world.clone();
+                let f = &f;
+                s.spawn(move || {
+                    let comm = Comm::world_comm(world.clone(), rank);
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| f(comm))) {
+                        Ok(v) => Ok(v),
+                        Err(e) => {
+                            world.abort();
+                            Err(e)
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut results = Vec::with_capacity(size);
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join().expect("rank thread cannot itself panic outside catch_unwind") {
+                Ok(v) => results.push(v),
+                Err(e) => {
+                    // Prefer the original panic over secondary "aborted"
+                    // panics from peers that were woken by the abort flag.
+                    let secondary = |p: &Box<dyn std::any::Any + Send>| {
+                        p.downcast_ref::<String>()
+                            .map(|s| s.contains("peer rank panicked"))
+                            .or_else(|| {
+                                p.downcast_ref::<&str>()
+                                    .map(|s| s.contains("peer rank panicked"))
+                            })
+                            .unwrap_or(false)
+                    };
+                    match &first_panic {
+                        None => first_panic = Some(e),
+                        Some(prev) if secondary(prev) && !secondary(&e) => {
+                            first_panic = Some(e)
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        if let Some(p) = first_panic {
+            std::panic::resume_unwind(p);
+        }
+        results
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_results_in_rank_order() {
+        let out = run(6, |comm| comm.rank() * comm.size());
+        assert_eq!(out, vec![0, 6, 12, 18, 24, 30]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = run(1, |comm| {
+            assert_eq!(comm.rank(), 0);
+            assert_eq!(comm.size(), 1);
+            comm.barrier();
+            42
+        });
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate failure")]
+    fn rank_panic_propagates() {
+        run(3, |comm| {
+            if comm.rank() == 1 {
+                panic!("deliberate failure in rank 1");
+            }
+            // Peers block on a message that never comes; the abort
+            // machinery must unwind them rather than deadlock.
+            let _ = comm.recv_vec::<u8>((comm.rank() + 1) % comm.size(), 99);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "world size must be ≥ 1")]
+    fn zero_ranks_rejected() {
+        run(0, |_comm| ());
+    }
+}

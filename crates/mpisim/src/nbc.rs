@@ -1,0 +1,380 @@
+//! Non-blocking collectives with **manual progression** — the runtime's
+//! analogue of `MPI_Ialltoall` / `MPI_Test` / `MPI_Wait` over a libNBC-style
+//! round schedule.
+//!
+//! The collective is decomposed into `p` pairwise-exchange rounds; in round
+//! `r`, rank `i` sends its block for rank `(i+r) mod p` and receives the
+//! block from rank `(i−r) mod p`. Crucially, **rounds advance only inside
+//! [`IAlltoall::test`] or [`IAlltoall::wait`]**: round `r`'s send is not even
+//! posted until rounds `< r` have completed locally. A rank that computes
+//! without polling therefore stalls its partners — precisely the
+//! asynchronous-progression behaviour (Hoefler & Lumsdaine's "to thread or
+//! not to thread") that the paper's `Fy/Fp/Fu/Fx` parameters exist to
+//! manage.
+
+use crate::comm::{encode_tag, Comm, Kind};
+use crate::world::Msg;
+
+/// Block displacements implied by per-peer counts.
+fn displs(counts: &[usize]) -> Vec<usize> {
+    let mut d = Vec::with_capacity(counts.len());
+    let mut acc = 0;
+    for &c in counts {
+        d.push(acc);
+        acc += c;
+    }
+    d
+}
+
+/// An in-flight non-blocking all-to-all (vector variant). Created by
+/// [`Comm::ialltoallv`] / [`Comm::ialltoall`]; completed by `test`/`wait`.
+///
+/// Owns both the staged send blocks and the receive buffer; `wait` (or
+/// [`IAlltoall::take_recv`] after completion) hands the received data back,
+/// laid out as contiguous per-source blocks in rank order.
+pub struct IAlltoall<T> {
+    seq: u64,
+    /// Per-destination staged send blocks (`None` once pushed).
+    send_blocks: Vec<Option<Vec<T>>>,
+    recv: Vec<T>,
+    recv_counts: Vec<usize>,
+    recv_displs: Vec<usize>,
+    /// Next round awaiting its receive.
+    round: usize,
+    /// Rounds whose sends have been posted (`round ≤ sent ≤ round+1`).
+    sent: usize,
+    size: usize,
+    rank: usize,
+    /// Number of `test` calls made on this request (diagnostics mirroring
+    /// the paper's Test-time accounting).
+    tests: u64,
+}
+
+impl Comm {
+    /// Starts a non-blocking all-to-all: block `d` of `send` (length
+    /// `count`) goes to rank `d`. `recv` must have length `count · size` and
+    /// is consumed into the returned request.
+    pub fn ialltoall<T: Clone + Send + 'static>(
+        &self,
+        send: &[T],
+        count: usize,
+        recv: Vec<T>,
+    ) -> IAlltoall<T> {
+        let counts = vec![count; self.size()];
+        self.ialltoallv(send, &counts, &counts, recv)
+    }
+
+    /// Vector variant: `send_counts[d]` elements go to rank `d` (packed
+    /// contiguously in rank order), `recv_counts[s]` arrive from rank `s`.
+    pub fn ialltoallv<T: Clone + Send + 'static>(
+        &self,
+        send: &[T],
+        send_counts: &[usize],
+        recv_counts: &[usize],
+        recv: Vec<T>,
+    ) -> IAlltoall<T> {
+        let p = self.size();
+        assert_eq!(send_counts.len(), p, "send_counts must have one entry per rank");
+        assert_eq!(recv_counts.len(), p, "recv_counts must have one entry per rank");
+        let total_send: usize = send_counts.iter().sum();
+        let total_recv: usize = recv_counts.iter().sum();
+        assert_eq!(send.len(), total_send, "send buffer length mismatch");
+        assert_eq!(recv.len(), total_recv, "recv buffer length mismatch");
+
+        let sd = displs(send_counts);
+        let send_blocks: Vec<Option<Vec<T>>> = (0..p)
+            .map(|d| Some(send[sd[d]..sd[d] + send_counts[d]].to_vec()))
+            .collect();
+
+        let mut req = IAlltoall {
+            seq: self.next_coll_seq(),
+            send_blocks,
+            recv,
+            recv_displs: displs(recv_counts),
+            recv_counts: recv_counts.to_vec(),
+            round: 0,
+            sent: 0,
+            size: p,
+            rank: self.rank(),
+            tests: 0,
+        };
+        // Round 0 is the local block: complete it at post time, like real
+        // NBC implementations do the self-copy eagerly.
+        req.progress(self);
+        req
+    }
+}
+
+impl<T: Clone + Send + 'static> IAlltoall<T> {
+    fn round_tag(&self, round: usize) -> u64 {
+        // 30 bits of sequence, 10 bits of round index.
+        (self.seq << 10) | round as u64
+    }
+
+    /// Advances as many rounds as currently possible. Returns `true` when
+    /// the collective has completed.
+    fn progress(&mut self, comm: &Comm) -> bool {
+        let p = self.size;
+        while self.round < p {
+            let r = self.round;
+            if self.sent == r {
+                let dest = (self.rank + r) % p;
+                let block = self.send_blocks[dest].take().expect("block sent twice");
+                if dest == self.rank {
+                    // Self block: copy directly.
+                    let off = self.recv_displs[self.rank];
+                    self.recv[off..off + block.len()].clone_from_slice(&block);
+                    self.sent = r + 1;
+                    self.round = r + 1;
+                    continue;
+                }
+                comm.world.mailboxes[comm.world_rank(dest)].push(Msg {
+                    src: self.rank,
+                    tag: encode_tag(comm.ctx, Kind::Nbc, self.round_tag(r)),
+                    data: Box::new(block),
+                });
+                self.sent = r + 1;
+            }
+            let src = (self.rank + p - r) % p;
+            debug_assert_ne!(src, self.rank, "self round handled above");
+            let tag = encode_tag(comm.ctx, Kind::Nbc, self.round_tag(r));
+            match comm.my_mailbox().try_take(src, tag) {
+                Some(msg) => {
+                    let block = *msg
+                        .data
+                        .downcast::<Vec<T>>()
+                        .unwrap_or_else(|_| panic!("alltoall type mismatch in round {r}"));
+                    assert_eq!(
+                        block.len(),
+                        self.recv_counts[src],
+                        "alltoall count mismatch: rank {src} sent {}, we expected {}",
+                        block.len(),
+                        self.recv_counts[src]
+                    );
+                    let off = self.recv_displs[src];
+                    self.recv[off..off + block.len()].clone_from_slice(&block);
+                    self.round = r + 1;
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// One `MPI_Test`: makes progress and reports completion.
+    pub fn test(&mut self, comm: &Comm) -> bool {
+        self.tests += 1;
+        self.progress(comm)
+    }
+
+    /// `true` once every round has completed (no progress attempt).
+    pub fn is_complete(&self) -> bool {
+        self.round == self.size
+    }
+
+    /// Number of `test` calls made so far.
+    pub fn test_count(&self) -> u64 {
+        self.tests
+    }
+
+    /// `MPI_Wait`: progresses (blocking between arrivals) until completion,
+    /// then returns the receive buffer (per-source blocks in rank order).
+    pub fn wait(mut self, comm: &Comm) -> Vec<T> {
+        while !self.progress(comm) {
+            comm.my_mailbox().park_for_arrival();
+        }
+        self.recv
+    }
+
+    /// Takes the receive buffer out of a completed request.
+    ///
+    /// # Panics
+    /// If the collective has not completed.
+    pub fn take_recv(self) -> Vec<T> {
+        assert!(self.is_complete(), "take_recv on an incomplete all-to-all");
+        self.recv
+    }
+}
+
+impl Comm {
+    /// Blocking all-to-all, implemented as post + wait (what FFTW's
+    /// transpose does with `MPI_Alltoall`).
+    pub fn alltoall<T: Clone + Send + 'static>(
+        &self,
+        send: &[T],
+        count: usize,
+        recv: &mut [T],
+    ) {
+        let staging = recv.to_vec();
+        let out = self.ialltoall(send, count, staging).wait(self);
+        recv.clone_from_slice(&out);
+    }
+
+    /// Blocking vector all-to-all.
+    pub fn alltoallv<T: Clone + Send + 'static>(
+        &self,
+        send: &[T],
+        send_counts: &[usize],
+        recv_counts: &[usize],
+        recv: &mut [T],
+    ) {
+        let staging = recv.to_vec();
+        let out = self.ialltoallv(send, send_counts, recv_counts, staging).wait(self);
+        recv.clone_from_slice(&out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run;
+
+    #[test]
+    fn ialltoall_permutes_blocks() {
+        let p = 4;
+        run(p, move |comm| {
+            let me = comm.rank();
+            // Block for dest d = [me*10 + d].
+            let send: Vec<i64> = (0..p).map(|d| (me * 10 + d) as i64).collect();
+            let recv = vec![0i64; p];
+            let req = comm.ialltoall(&send, 1, recv);
+            let out = req.wait(&comm);
+            // Block from src s must be s*10 + me.
+            for s in 0..p {
+                assert_eq!(out[s], (s * 10 + me) as i64);
+            }
+        });
+    }
+
+    #[test]
+    fn blocking_alltoall_matches_nonblocking() {
+        let p = 3;
+        run(p, move |comm| {
+            let me = comm.rank();
+            let send: Vec<u32> = (0..2 * p).map(|i| (me * 100 + i) as u32).collect();
+            let mut recv = vec![0u32; 2 * p];
+            comm.alltoall(&send, 2, &mut recv);
+            for s in 0..p {
+                assert_eq!(recv[2 * s], (s * 100 + 2 * me) as u32);
+                assert_eq!(recv[2 * s + 1], (s * 100 + 2 * me + 1) as u32);
+            }
+        });
+    }
+
+    #[test]
+    fn alltoallv_with_uneven_counts() {
+        let p = 3;
+        run(p, move |comm| {
+            let me = comm.rank();
+            // Rank i sends (d+1) elements to rank d, all valued i.
+            let send_counts: Vec<usize> = (0..p).map(|d| d + 1).collect();
+            let recv_counts = vec![me + 1; p];
+            let send: Vec<u8> = vec![me as u8; send_counts.iter().sum()];
+            let mut recv = vec![0u8; recv_counts.iter().sum()];
+            comm.alltoallv(&send, &send_counts, &recv_counts, &mut recv);
+            for s in 0..p {
+                for j in 0..me + 1 {
+                    assert_eq!(recv[s * (me + 1) + j], s as u8);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn test_polling_completes_the_collective() {
+        run(2, |comm| {
+            let send = vec![comm.rank() as i32; 2];
+            let recv = vec![0i32; 2];
+            let mut req = comm.ialltoall(&send, 1, recv);
+            let mut polls = 0u64;
+            let done = loop {
+                polls += 1;
+                if req.test(&comm) {
+                    break req.take_recv();
+                }
+                std::thread::yield_now();
+            };
+            assert_eq!(req_polls_ok(polls), true);
+            assert_eq!(done[1 - comm.rank()], (1 - comm.rank()) as i32);
+            assert_eq!(done[comm.rank()], comm.rank() as i32);
+        });
+
+        fn req_polls_ok(polls: u64) -> bool {
+            polls >= 1
+        }
+    }
+
+    #[test]
+    fn later_rounds_wait_for_local_progression() {
+        // With p = 4, round r's send is posted only after rounds < r have
+        // completed locally, so a rank that never polls withholds its later-
+        // round sends and stalls its partners — the manual-progression
+        // behaviour the paper's F* parameters manage. Rank 0 delays its
+        // polling; everyone still completes once it does poll.
+        let p = 4;
+        run(p, move |comm| {
+            let me = comm.rank();
+            let send: Vec<i32> = (0..p).map(|d| (me * 10 + d) as i32).collect();
+            let mut req = comm.ialltoall(&send, 1, vec![0i32; p]);
+            if me == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                // Peers cannot all be done: they need our round-2+ sends,
+                // which only our own progression posts. (Round 1's send was
+                // posted at ialltoall time.)
+            }
+            let out = loop {
+                if req.test(&comm) {
+                    break req.take_recv();
+                }
+                std::thread::yield_now();
+            };
+            for s in 0..p {
+                assert_eq!(out[s], (s * 10 + me) as i32);
+            }
+        });
+    }
+
+    #[test]
+    fn multiple_outstanding_alltoalls_do_not_mix() {
+        // The windowed pipeline posts W alltoalls concurrently; their round
+        // tags must keep them apart even when tested out of order.
+        let p = 3;
+        run(p, move |comm| {
+            let me = comm.rank();
+            let a: Vec<i32> = (0..p).map(|d| (me * 10 + d) as i32).collect();
+            let b: Vec<i32> = (0..p).map(|d| (me * 10 + d + 100) as i32).collect();
+            let ra = comm.ialltoall(&a, 1, vec![0i32; p]);
+            let rb = comm.ialltoall(&b, 1, vec![0i32; p]);
+            // Complete the *second* first.
+            let out_b = rb.wait(&comm);
+            let out_a = ra.wait(&comm);
+            for s in 0..p {
+                assert_eq!(out_a[s], (s * 10 + me) as i32);
+                assert_eq!(out_b[s], (s * 10 + me + 100) as i32);
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_alltoall_is_a_copy() {
+        run(1, |comm| {
+            let send = vec![42u64, 7];
+            let out = comm.ialltoall(&send, 2, vec![0u64; 2]).wait(&comm);
+            assert_eq!(out, vec![42, 7]);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn mismatched_counts_panic() {
+        run(2, |comm| {
+            // Rank 0 claims it will send 2 to each; rank 1 expects 3 from each.
+            if comm.rank() == 0 {
+                let send = vec![0u8; 4];
+                let _ = comm.ialltoallv(&send, &[2, 2], &[2, 2], vec![0u8; 4]).wait(&comm);
+            } else {
+                let send = vec![0u8; 6];
+                let _ = comm.ialltoallv(&send, &[3, 3], &[3, 3], vec![0u8; 6]).wait(&comm);
+            }
+        });
+    }
+}

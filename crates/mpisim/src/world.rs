@@ -1,0 +1,260 @@
+//! Shared state backing a set of simulated ranks.
+//!
+//! One [`World`] is created per [`crate::run`] invocation. It owns a mailbox
+//! per rank (tag/source-matched message queues), a generation-counted
+//! barrier, and the bookkeeping used by communicator `split`.
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A message in flight: the payload is a type-erased `Vec<T>`.
+pub(crate) struct Msg {
+    pub src: usize,
+    pub tag: u64,
+    pub data: Box<dyn Any + Send>,
+}
+
+/// Per-rank mailbox with blocking matched receive.
+pub(crate) struct Mailbox {
+    queue: Mutex<Vec<Msg>>,
+    arrived: Condvar,
+    /// Set when any rank panics; blocking receives then panic instead of
+    /// hanging the joiner (the runtime's `MPI_Abort` analogue).
+    aborted: Arc<AtomicBool>,
+}
+
+impl Mailbox {
+    fn new(aborted: Arc<AtomicBool>) -> Self {
+        Mailbox { queue: Mutex::new(Vec::new()), arrived: Condvar::new(), aborted }
+    }
+
+    fn check_abort(&self) {
+        if self.aborted.load(Ordering::Acquire) {
+            panic!("mpisim: aborted because a peer rank panicked");
+        }
+    }
+
+    /// Deposits a message and wakes any waiting receiver.
+    pub fn push(&self, msg: Msg) {
+        let mut q = self.queue.lock();
+        q.push(msg);
+        self.arrived.notify_all();
+    }
+
+    /// Removes and returns the first message matching `(src, tag)`, or
+    /// `None` when none is queued. FIFO per (src, tag) pair, as MPI
+    /// ordering semantics require.
+    pub fn try_take(&self, src: usize, tag: u64) -> Option<Msg> {
+        let mut q = self.queue.lock();
+        let pos = q.iter().position(|m| m.src == src && m.tag == tag)?;
+        Some(q.remove(pos))
+    }
+
+    /// Blocking matched receive.
+    pub fn take(&self, src: usize, tag: u64) -> Msg {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
+                return q.remove(pos);
+            }
+            self.arrived.wait_for(&mut q, std::time::Duration::from_millis(50));
+            self.check_abort();
+        }
+    }
+
+    /// Blocking receive from any source with the given tag. Returns the
+    /// earliest queued match.
+    pub fn take_any(&self, tag: u64) -> Msg {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|m| m.tag == tag) {
+                return q.remove(pos);
+            }
+            self.arrived.wait_for(&mut q, std::time::Duration::from_millis(50));
+            self.check_abort();
+        }
+    }
+
+    /// Parks the caller until any new message arrives (used by `wait` on
+    /// non-blocking collectives to avoid spinning).
+    pub fn park_for_arrival(&self) {
+        {
+            let mut q = self.queue.lock();
+            // Re-check under the lock happens at the caller; a single wakeup
+            // is enough because the caller loops.
+            self.arrived.wait_for(&mut q, std::time::Duration::from_millis(50));
+        }
+        self.check_abort();
+    }
+
+    /// Number of queued messages (diagnostics).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+}
+
+/// Rendezvous table used by `Comm::split`: ranks post `(color, key, rank)`
+/// tuples under a split-operation sequence number and the last arrival
+/// computes the grouping.
+pub(crate) struct SplitTable {
+    entries: Mutex<HashMap<u64, Vec<(i64, i64, usize)>>>,
+    done: Condvar,
+    results: Mutex<HashMap<u64, HashMap<usize, (usize, Vec<usize>)>>>,
+}
+
+impl SplitTable {
+    fn new() -> Self {
+        SplitTable {
+            entries: Mutex::new(HashMap::new()),
+            done: Condvar::new(),
+            results: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Posts this rank's split key and blocks until the grouping for `seq`
+    /// is available; returns `(new_rank, member_world_ranks)` where members
+    /// are sorted by `(key, world_rank)`. A negative `color` opts out and
+    /// returns an empty membership.
+    pub fn split(
+        &self,
+        seq: u64,
+        n: usize,
+        color: i64,
+        key: i64,
+        rank: usize,
+    ) -> (usize, Vec<usize>) {
+        {
+            let mut e = self.entries.lock();
+            let v = e.entry(seq).or_default();
+            v.push((color, key, rank));
+            if v.len() == n {
+                // Last arrival computes every group's membership.
+                let list = e.remove(&seq).expect("just inserted");
+                let mut by_color: HashMap<i64, Vec<(i64, usize)>> = HashMap::new();
+                for (c, k, r) in list {
+                    if c >= 0 {
+                        by_color.entry(c).or_default().push((k, r));
+                    }
+                }
+                let mut res: HashMap<usize, (usize, Vec<usize>)> = HashMap::new();
+                for (_c, mut members) in by_color {
+                    members.sort();
+                    let ranks: Vec<usize> = members.iter().map(|&(_, r)| r).collect();
+                    for (new_rank, &(_, r)) in members.iter().enumerate() {
+                        res.insert(r, (new_rank, ranks.clone()));
+                    }
+                }
+                self.results.lock().insert(seq, res);
+                self.done.notify_all();
+            }
+        }
+        let mut r = self.results.lock();
+        loop {
+            if let Some(groups) = r.get_mut(&seq) {
+                if color < 0 {
+                    return (usize::MAX, Vec::new());
+                }
+                if let Some(out) = groups.remove(&rank) {
+                    return out;
+                }
+            }
+            self.done.wait(&mut r);
+        }
+    }
+}
+
+/// The process-wide state shared by all ranks of one `run` invocation.
+pub(crate) struct World {
+    pub size: usize,
+    pub mailboxes: Vec<Mailbox>,
+    pub split_table: SplitTable,
+    aborted: Arc<AtomicBool>,
+}
+
+impl World {
+    pub fn new(size: usize) -> Arc<Self> {
+        assert!(size >= 1, "world size must be ≥ 1");
+        let aborted = Arc::new(AtomicBool::new(false));
+        Arc::new(World {
+            size,
+            mailboxes: (0..size).map(|_| Mailbox::new(aborted.clone())).collect(),
+            split_table: SplitTable::new(),
+            aborted,
+        })
+    }
+
+    /// Marks the world aborted and wakes every blocked receiver so rank
+    /// threads unwind instead of deadlocking after a peer panic.
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+        for mb in &self.mailboxes {
+            mb.arrived.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn mailbox_matches_src_and_tag() {
+        let mb = Mailbox::new(Arc::new(AtomicBool::new(false)));
+        mb.push(Msg { src: 1, tag: 7, data: Box::new(vec![1i32]) });
+        mb.push(Msg { src: 2, tag: 7, data: Box::new(vec![2i32]) });
+        mb.push(Msg { src: 1, tag: 9, data: Box::new(vec![3i32]) });
+        assert!(mb.try_take(3, 7).is_none());
+        let m = mb.try_take(2, 7).unwrap();
+        assert_eq!(m.src, 2);
+        let m = mb.take(1, 9);
+        assert_eq!(*m.data.downcast::<Vec<i32>>().unwrap(), vec![3]);
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn mailbox_is_fifo_per_pair() {
+        let mb = Mailbox::new(Arc::new(AtomicBool::new(false)));
+        mb.push(Msg { src: 0, tag: 1, data: Box::new(vec![10i32]) });
+        mb.push(Msg { src: 0, tag: 1, data: Box::new(vec![20i32]) });
+        let a = mb.take(0, 1);
+        let b = mb.take(0, 1);
+        assert_eq!(*a.data.downcast::<Vec<i32>>().unwrap(), vec![10]);
+        assert_eq!(*b.data.downcast::<Vec<i32>>().unwrap(), vec![20]);
+    }
+
+    #[test]
+    fn blocking_take_wakes_on_push() {
+        let mb = Arc::new(Mailbox::new(Arc::new(AtomicBool::new(false))));
+        let mb2 = mb.clone();
+        let h = thread::spawn(move || {
+            let m = mb2.take(5, 42);
+            *m.data.downcast::<Vec<u8>>().unwrap()
+        });
+        thread::sleep(std::time::Duration::from_millis(20));
+        mb.push(Msg { src: 5, tag: 42, data: Box::new(vec![9u8]) });
+        assert_eq!(h.join().unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn split_groups_by_color_and_orders_by_key() {
+        let t = Arc::new(SplitTable::new());
+        let mut handles = Vec::new();
+        // 4 ranks: colors 0,0,1,1; keys reversed within color.
+        for (rank, (color, key)) in [(0i64, 1i64), (0, 0), (1, 5), (1, 2)].iter().enumerate() {
+            let t = t.clone();
+            let (color, key) = (*color, *key);
+            handles.push(thread::spawn(move || t.split(0, 4, color, key, rank)));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Ranks 0,1 share color 0; rank 1 has the lower key so becomes rank 0.
+        assert_eq!(results[0], (1, vec![1, 0]));
+        assert_eq!(results[1], (0, vec![1, 0]));
+        assert_eq!(results[2], (1, vec![3, 2]));
+        assert_eq!(results[3], (0, vec![3, 2]));
+    }
+}

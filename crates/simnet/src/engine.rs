@@ -1,0 +1,408 @@
+//! Conservative virtual-time engine.
+//!
+//! Rank threads execute real control flow but advance a *virtual* clock.
+//! The engine enforces one invariant: **a rank may interact with shared
+//! state only while it holds the minimum virtual clock among runnable
+//! ranks** (ties broken by rank id). Under that discipline, any question a
+//! rank asks at time `t` ("has everyone posted collective 17 yet?") has a
+//! causally complete answer — no other rank can later act at a time
+//! `≤ t` — so simulations are bit-reproducible regardless of host thread
+//! scheduling.
+//!
+//! The only cross-rank coupling the network model needs is per-collective:
+//! the *ready time* (the max of all ranks' post times). Everything else —
+//! round progression, bandwidth sharing, poll accounting — is rank-local
+//! arithmetic, which is what makes the simulator fast enough to sit inside
+//! an auto-tuning loop.
+
+use crate::time::SimTime;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Identifies one collective operation: the N-th collective posted on the
+/// communicator (all ranks must post collectives in the same order, the
+/// usual MPI rule).
+pub type OpSeq = u64;
+
+/// Answer to "is collective `seq` ready?" asked at the caller's clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadyInfo {
+    /// All ranks have posted; the collective became ready at this time.
+    Ready(SimTime),
+    /// Not all ranks have posted; it cannot become ready before this time
+    /// (the minimum clock among ranks that have not posted).
+    NotBefore(SimTime),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Runnable: eligible for min-clock selection.
+    Ready,
+    /// Parked until the given collective becomes ready.
+    Blocked(OpSeq),
+    /// Rank function returned.
+    Done,
+}
+
+struct OpShared {
+    posted: Vec<bool>,
+    nposted: usize,
+    post_max: SimTime,
+    ready: Option<SimTime>,
+}
+
+impl OpShared {
+    fn new(p: usize) -> Self {
+        OpShared { posted: vec![false; p], nposted: 0, post_max: SimTime::ZERO, ready: None }
+    }
+}
+
+struct State {
+    clocks: Vec<SimTime>,
+    status: Vec<Status>,
+    running: usize,
+    ops: Vec<OpShared>,
+}
+
+/// The shared engine. One per simulation run.
+pub struct Engine {
+    state: Mutex<State>,
+    /// One condvar per rank thread; `schedule` wakes exactly the new runner.
+    cvs: Vec<Condvar>,
+    size: usize,
+    panicked: AtomicBool,
+}
+
+impl Engine {
+    /// Creates an engine for `size` ranks. Rank 0 starts as the runner.
+    pub fn new(size: usize) -> Arc<Self> {
+        assert!(size >= 1, "simulation needs at least one rank");
+        Arc::new(Engine {
+            state: Mutex::new(State {
+                clocks: vec![SimTime::ZERO; size],
+                status: vec![Status::Ready; size],
+                running: 0,
+                ops: Vec::new(),
+            }),
+            cvs: (0..size).map(|_| Condvar::new()).collect(),
+            size,
+            panicked: AtomicBool::new(false),
+        })
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Marks the simulation panicked and wakes all parked ranks so they
+    /// unwind rather than deadlock.
+    pub fn abort(&self) {
+        self.panicked.store(true, Ordering::Release);
+        let _g = self.state.lock();
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+    }
+
+    fn check_abort(&self) {
+        if self.panicked.load(Ordering::Acquire) {
+            panic!("simnet: aborted because a peer rank panicked");
+        }
+    }
+
+    /// Picks the next runner: minimum clock among `Ready` ranks, ties to the
+    /// lowest rank. Panics on deadlock (no runnable rank while some are
+    /// still blocked).
+    fn schedule(&self, s: &mut State) {
+        let mut best: Option<usize> = None;
+        for r in 0..self.size {
+            if s.status[r] == Status::Ready {
+                match best {
+                    None => best = Some(r),
+                    Some(b) if s.clocks[r] < s.clocks[b] => best = Some(r),
+                    _ => {}
+                }
+            }
+        }
+        match best {
+            Some(r) => {
+                s.running = r;
+                self.cvs[r].notify_all();
+            }
+            None => {
+                if s.status.iter().any(|st| matches!(st, Status::Blocked(_))) {
+                    // Every runnable rank is gone but someone still waits on
+                    // a collective no one can complete.
+                    self.panicked.store(true, Ordering::Release);
+                    for cv in &self.cvs {
+                        cv.notify_all();
+                    }
+                    panic!(
+                        "simnet: deadlock — all ranks blocked on collectives \
+                         that can no longer complete"
+                    );
+                }
+                // All done; nothing to schedule.
+                s.running = usize::MAX;
+            }
+        }
+    }
+
+    /// Establishes the min-clock invariant for `rank` at `clock`: publishes
+    /// the clock, hands off if another rank is now earlier, and returns once
+    /// `rank` is the runner again.
+    pub fn turn(&self, rank: usize, clock: SimTime) {
+        let mut s = self.state.lock();
+        s.clocks[rank] = clock;
+        // Fast path: still the earliest runnable rank.
+        let mut earliest = rank;
+        for r in 0..self.size {
+            if s.status[r] == Status::Ready
+                && (s.clocks[r], r) < (s.clocks[earliest], earliest)
+            {
+                earliest = r;
+            }
+        }
+        if earliest == rank {
+            s.running = rank;
+            return;
+        }
+        self.schedule(&mut s);
+        while s.running != rank {
+            // Check the abort flag *before* parking: the abort's notify is
+            // issued under the state lock, so checking while holding it
+            // leaves no lost-wakeup window.
+            self.check_abort();
+            self.cvs[rank].wait(&mut s);
+        }
+        self.check_abort();
+    }
+
+    fn op_mut(s: &mut State, seq: OpSeq, p: usize) -> &mut OpShared {
+        let idx = seq as usize;
+        while s.ops.len() <= idx {
+            s.ops.push(OpShared::new(p));
+        }
+        &mut s.ops[idx]
+    }
+
+    /// Records that `rank` posted collective `seq` at `clock`. Must be — and
+    /// is — preceded by [`Self::turn`]. When the last rank posts, the ready
+    /// time freezes and ranks blocked on the collective are released.
+    pub fn post(&self, rank: usize, clock: SimTime, seq: OpSeq) {
+        self.turn(rank, clock);
+        let mut s = self.state.lock();
+        let size = self.size;
+        let op = Self::op_mut(&mut s, seq, size);
+        assert!(!op.posted[rank], "rank {rank} posted collective {seq} twice");
+        op.posted[rank] = true;
+        op.nposted += 1;
+        op.post_max = op.post_max.max(clock);
+        if op.nposted == size {
+            op.ready = Some(op.post_max);
+            // Release ranks parked in block_on_ready.
+            for r in 0..size {
+                if s.status[r] == Status::Blocked(seq) {
+                    s.status[r] = Status::Ready;
+                }
+            }
+        }
+    }
+
+    /// Asks, at `clock`, whether collective `seq` is ready. The answer is
+    /// causally exact thanks to the min-clock discipline.
+    pub fn query(&self, rank: usize, clock: SimTime, seq: OpSeq) -> ReadyInfo {
+        self.turn(rank, clock);
+        let mut s = self.state.lock();
+        let size = self.size;
+        let op = Self::op_mut(&mut s, seq, size);
+        if let Some(t) = op.ready {
+            return ReadyInfo::Ready(t);
+        }
+        // Lower bound: the earliest any non-posted rank could still post.
+        let posted = op.posted.clone();
+        let mut bound: Option<SimTime> = None;
+        for r in 0..size {
+            if !posted[r] {
+                assert!(
+                    s.status[r] != Status::Done,
+                    "rank {r} finished without posting collective {seq}"
+                );
+                let c = s.clocks[r];
+                bound = Some(match bound {
+                    None => c,
+                    Some(b) => b.min(c),
+                });
+            }
+        }
+        ReadyInfo::NotBefore(bound.expect("unready op must have a non-posted rank"))
+    }
+
+    /// Parks `rank` until collective `seq` is ready; returns the ready time.
+    /// The rank's clock is *not* advanced — the caller folds the ready time
+    /// into its own completion computation.
+    pub fn block_on_ready(&self, rank: usize, clock: SimTime, seq: OpSeq) -> SimTime {
+        match self.query(rank, clock, seq) {
+            ReadyInfo::Ready(t) => t,
+            ReadyInfo::NotBefore(_) => {
+                let mut s = self.state.lock();
+                s.status[rank] = Status::Blocked(seq);
+                self.schedule(&mut s);
+                while s.running != rank {
+                    self.check_abort();
+                    self.cvs[rank].wait(&mut s);
+                    // Woken spuriously or released: if released we are Ready
+                    // and will be scheduled once we hold the min clock.
+                }
+                self.check_abort();
+                let size = self.size;
+                Self::op_mut(&mut s, seq, size)
+                    .ready
+                    .expect("released from block_on_ready without a ready time")
+            }
+        }
+    }
+
+    /// Marks `rank` finished and hands the engine to the remaining ranks.
+    pub fn done(&self, rank: usize) {
+        let mut s = self.state.lock();
+        s.status[rank] = Status::Done;
+        self.schedule(&mut s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn spawn_ranks<F>(p: usize, f: F)
+    where
+        F: Fn(Arc<Engine>, usize) + Send + Sync,
+    {
+        let eng = Engine::new(p);
+        thread::scope(|s| {
+            for r in 0..p {
+                let eng = eng.clone();
+                let f = &f;
+                s.spawn(move || {
+                    f(eng.clone(), r);
+                    eng.done(r);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn post_and_ready_time_is_max_of_posts() {
+        spawn_ranks(3, |eng, r| {
+            let t = SimTime::from_micros(10 * (r as u64 + 1));
+            eng.post(r, t, 0);
+            let ready = eng.block_on_ready(r, t, 0);
+            assert_eq!(ready, SimTime::from_micros(30));
+        });
+    }
+
+    #[test]
+    fn query_gives_lower_bound_before_ready() {
+        spawn_ranks(2, |eng, r| {
+            if r == 0 {
+                eng.post(0, SimTime::from_micros(1), 0);
+                // Rank 1 has not posted; its clock is a valid lower bound.
+                match eng.query(0, SimTime::from_micros(1), 0) {
+                    ReadyInfo::Ready(_) => {
+                        // Possible only if rank 1 already posted — at a
+                        // larger clock, fine.
+                    }
+                    ReadyInfo::NotBefore(b) => assert!(b <= SimTime::from_micros(500)),
+                }
+                let ready = eng.block_on_ready(0, SimTime::from_micros(1), 0);
+                assert_eq!(ready, SimTime::from_micros(500));
+            } else {
+                eng.post(1, SimTime::from_micros(500), 0);
+            }
+        });
+    }
+
+    #[test]
+    fn min_clock_rank_runs_first() {
+        // Both ranks contend; the engine must always grant the turn to the
+        // earlier clock, so the later rank observes the earlier one's post.
+        spawn_ranks(2, |eng, r| {
+            if r == 0 {
+                eng.post(0, SimTime::from_nanos(5), 0);
+            } else {
+                // Rank 1 queries at a much later time: by then rank 0's
+                // post (at 5 ns) must be visible.
+                eng.post(1, SimTime::from_micros(100), 0);
+                let ready = eng.block_on_ready(1, SimTime::from_micros(100), 0);
+                assert_eq!(ready, SimTime::from_micros(100));
+            }
+        });
+    }
+
+    #[test]
+    fn several_sequential_collectives() {
+        spawn_ranks(4, |eng, r| {
+            let mut clock = SimTime::from_micros(r as u64);
+            for seq in 0..10u64 {
+                eng.post(r, clock, seq);
+                let ready = eng.block_on_ready(r, clock, seq);
+                assert!(ready >= clock);
+                clock = ready + SimTime::from_micros(1);
+            }
+        });
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        // Rank 1 exits without posting; rank 0 blocks forever on seq 0. The
+        // scheduler must panic with the deadlock diagnostic in one thread
+        // and wake the other with the abort diagnostic.
+        let eng = Engine::new(2);
+        let mut payloads = Vec::new();
+        thread::scope(|s| {
+            let handles = [
+                s.spawn({
+                    let e = eng.clone();
+                    move || {
+                        e.post(0, SimTime::ZERO, 0);
+                        e.block_on_ready(0, SimTime::ZERO, 0);
+                        e.done(0);
+                    }
+                }),
+                s.spawn({
+                    let e = eng.clone();
+                    move || {
+                        // Never posts seq 0.
+                        e.done(1);
+                    }
+                }),
+            ];
+            for h in handles {
+                if let Err(e) = h.join() {
+                    let msg = e
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_default();
+                    payloads.push(msg);
+                }
+            }
+        });
+        assert!(
+            payloads.iter().any(|m| m.contains("deadlock")),
+            "expected a deadlock diagnostic, got {payloads:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "posted collective 0 twice")]
+    fn double_post_is_rejected() {
+        let eng = Engine::new(1);
+        eng.post(0, SimTime::ZERO, 0);
+        eng.post(0, SimTime::ZERO, 0);
+    }
+}

@@ -1,0 +1,393 @@
+//! Machine and network cost models, with presets for the paper's two
+//! platforms.
+//!
+//! The simulator does not replay measured numbers: every cost below is a
+//! *mechanism* whose interaction produces the paper's trade-offs.
+//!
+//! * The compute model makes the loop-tiling parameters (`Px, Pz, Uy, Uz`)
+//!   matter through an L2-residency term and a short-stride penalty (§3.4).
+//! * The network model makes `T` matter through per-round latency α versus
+//!   pipelining, `W` through concurrent-window bandwidth sharing, and the
+//!   `F*` parameters through progression-gated rounds (§3.2–3.3).
+//!
+//! Absolute constants were calibrated against the FFTW column of Table 2
+//! (see `crates/bench/src/bin/calibrate.rs`); shapes are emergent.
+
+use crate::time::SimTime;
+
+/// Bytes per complex-double element.
+pub const ELEM_BYTES: u64 = 16;
+
+/// Per-node computation cost model.
+#[derive(Debug, Clone)]
+pub struct MachineModel {
+    /// Sustained flop rate (flop/s) for in-cache 1-D FFT butterflies.
+    pub fft_flops: f64,
+    /// Multiplier (< 1) applied when an FFT line's working set exceeds L2.
+    pub fft_oo_cache_factor: f64,
+    /// L2 cache size in bytes (both paper machines: 512 KiB).
+    pub l2_bytes: u64,
+    /// Effective cache budget for a pack/unpack sub-tile (the paper's §4.4
+    /// seed assumes 256 KiB usable, i.e. 16 Ki elements).
+    pub subtile_cache_bytes: u64,
+    /// Streaming rate (bytes/s) for pack/unpack when the sub-tile fits in
+    /// cache after the preceding FFT step touched it.
+    pub pack_bw: f64,
+    /// Multiplier when the sub-tile overflows the cache (the FFT'd data has
+    /// been evicted before Pack re-reads it).
+    pub pack_oo_cache_factor: f64,
+    /// Multiplier when the innermost contiguous run of a sub-tile is below
+    /// a cache line (hardware prefetch and line utilisation collapse).
+    pub pack_short_stride_factor: f64,
+    /// Contiguous-run threshold (bytes) triggering the short-stride penalty.
+    pub short_stride_bytes: u64,
+    /// Loop/bookkeeping overhead per sub-tile visit (seconds): many tiny
+    /// sub-tiles lose to this term.
+    pub subtile_overhead: f64,
+    /// Transpose streaming rate (bytes/s) for the generic `z-x-y` path.
+    pub transpose_bw_generic: f64,
+    /// Transpose streaming rate for the §3.5 `x-z-y` fast path (`Nx = Ny`).
+    pub transpose_bw_fast: f64,
+    /// Transpose streaming rate for an unblocked triple loop — the
+    /// non-optimized rearrangement the TH comparator performs (visible as
+    /// TH's tall Transpose bar in Figure 8).
+    pub transpose_bw_naive: f64,
+    /// Cost of one `MPI_Test` call (seconds).
+    pub t_test: f64,
+}
+
+impl MachineModel {
+    /// Cost of one 1-D FFT of length `n` (Cooley–Tukey flop count over the
+    /// sustained rate, degraded when the line spills out of L2).
+    pub fn fft_line(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        let flops = 5.0 * n as f64 * (n as f64).log2();
+        let in_cache = (n as u64 * ELEM_BYTES) <= self.l2_bytes;
+        let rate = if in_cache { self.fft_flops } else { self.fft_flops * self.fft_oo_cache_factor };
+        flops / rate
+    }
+
+    /// Cost of a batch of 1-D FFT lines.
+    pub fn fft_batch(&self, n: usize, lines: u64) -> f64 {
+        self.fft_line(n) * lines as f64
+    }
+
+    /// Cost of packing (or unpacking) `total_bytes`, iterated in sub-tiles
+    /// of `subtile_bytes` whose innermost contiguous run is `run_bytes`.
+    ///
+    /// This is the term the paper's loop tiling (§3.4) optimises: the rate
+    /// is best when the sub-tile still resides in cache from the preceding
+    /// FFT, the contiguous run spans cache lines, and the sub-tile is not so
+    /// small that per-sub-tile overhead dominates.
+    pub fn pack(&self, total_bytes: u64, subtile_bytes: u64, run_bytes: u64) -> f64 {
+        if total_bytes == 0 {
+            return 0.0;
+        }
+        let mut rate = self.pack_bw;
+        if subtile_bytes > self.subtile_cache_bytes {
+            rate *= self.pack_oo_cache_factor;
+        }
+        if run_bytes < self.short_stride_bytes {
+            // Scale smoothly down to the floor factor as runs shrink.
+            let frac = run_bytes as f64 / self.short_stride_bytes as f64;
+            rate *= self.pack_short_stride_factor
+                + (1.0 - self.pack_short_stride_factor) * frac;
+        }
+        let subtiles = (total_bytes as f64 / subtile_bytes.max(1) as f64).ceil();
+        total_bytes as f64 / rate + subtiles * self.subtile_overhead
+    }
+
+    /// Cost of the Transpose step over `total_bytes`.
+    pub fn transpose(&self, total_bytes: u64, style: TransposeCost) -> f64 {
+        let bw = match style {
+            TransposeCost::Fast => self.transpose_bw_fast,
+            TransposeCost::Generic => self.transpose_bw_generic,
+            TransposeCost::Naive => self.transpose_bw_naive,
+        };
+        total_bytes as f64 / bw
+    }
+}
+
+/// Which transpose implementation a variant uses (cost tier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransposeCost {
+    /// §3.5 `x-z-y` fast path (`Nx = Ny` only).
+    Fast,
+    /// Cache-blocked generic permutation.
+    Generic,
+    /// Unblocked triple loop (TH).
+    Naive,
+}
+
+/// All-to-all communication cost model.
+#[derive(Debug, Clone)]
+pub struct NetModel {
+    /// Per-message latency α (seconds): injection + routing.
+    pub alpha: f64,
+    /// Per-rank link bandwidth β (bytes/s), full duplex.
+    pub link_bw: f64,
+    /// Contention scale: effective bandwidth divides by
+    /// `1 + (p / p0)^gamma` as the all-to-all pattern saturates the fabric.
+    pub contention_p0: f64,
+    /// Contention exponent (torus ≈ higher than a fat Clos).
+    pub contention_gamma: f64,
+    /// Messages smaller than this use the log-round (Bruck) schedule.
+    pub bruck_threshold_bytes: u64,
+    /// Per-peer setup charged when an all-to-all is posted.
+    pub post_overhead_per_peer: f64,
+}
+
+/// The round structure of one all-to-all operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct A2aShape {
+    /// Number of point-to-point rounds the schedule executes.
+    pub rounds: u32,
+    /// Bytes this rank moves in one round.
+    pub round_bytes: u64,
+}
+
+impl NetModel {
+    /// Chooses the schedule for `p` ranks exchanging `bytes_per_peer` with
+    /// each peer: pairwise exchange (p−1 rounds of one block) for large
+    /// messages, Bruck (⌈log2 p⌉ rounds of p/2 blocks) for small ones —
+    /// the same switch real MPI/libNBC implementations make.
+    pub fn shape(&self, p: usize, bytes_per_peer: u64) -> A2aShape {
+        if p <= 1 {
+            return A2aShape { rounds: 0, round_bytes: 0 };
+        }
+        if bytes_per_peer < self.bruck_threshold_bytes {
+            let rounds = (usize::BITS - (p - 1).leading_zeros()).max(1);
+            A2aShape { rounds, round_bytes: bytes_per_peer * (p as u64) / 2 }
+        } else {
+            A2aShape { rounds: (p - 1) as u32, round_bytes: bytes_per_peer }
+        }
+    }
+
+    /// Effective per-rank bandwidth with `p` ranks participating and
+    /// `active_windows` concurrent all-to-alls sharing this rank's link.
+    /// Sharing is fair: the aggregate across concurrent windows never
+    /// exceeds the (contention-degraded) link bandwidth.
+    pub fn effective_bw(&self, p: usize, active_windows: u32) -> f64 {
+        let contention = 1.0 + (p as f64 / self.contention_p0).powf(self.contention_gamma);
+        self.link_bw / contention / active_windows.max(1) as f64
+    }
+
+    /// Duration of one schedule round.
+    pub fn round_time(&self, p: usize, shape: A2aShape, active_windows: u32) -> SimTime {
+        SimTime::from_secs_f64(
+            self.alpha + shape.round_bytes as f64 / self.effective_bw(p, active_windows),
+        )
+    }
+
+    /// Duration of a fully progressed (blocking) all-to-all after all ranks
+    /// have arrived.
+    pub fn blocking_duration(&self, p: usize, bytes_per_peer: u64) -> SimTime {
+        let shape = self.shape(p, bytes_per_peer);
+        SimTime::from_secs_f64(
+            shape.rounds as f64
+                * (self.alpha + shape.round_bytes as f64 / self.effective_bw(p, 1)),
+        )
+    }
+
+    /// Post-time overhead of initiating an all-to-all among `p` ranks.
+    pub fn post_overhead(&self, p: usize) -> SimTime {
+        SimTime::from_secs_f64(self.post_overhead_per_peer * p as f64)
+    }
+}
+
+/// A complete platform description.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    /// Human-readable name used in reports.
+    pub name: &'static str,
+    /// Compute model.
+    pub machine: MachineModel,
+    /// Network model.
+    pub net: NetModel,
+    /// Execution-noise amplitude: each compute phase is scaled by a
+    /// deterministic pseudo-random factor in `[1 − jitter, 1 + jitter]`
+    /// (OS jitter, cache conflicts). Zero by default; the paper's
+    /// best-of-25 methodology (§5.2.1) exists to cope with this term.
+    pub jitter: f64,
+}
+
+impl Platform {
+    /// Returns the platform with execution noise enabled.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        self.jitter = jitter;
+        self
+    }
+}
+
+/// "UMD-Cluster": 64-node Linux cluster, one Intel Xeon 2.66 GHz (SSE) core
+/// per node, 512 KB L2, Myrinet 2000 interconnect (§5.1).
+///
+/// Myrinet 2000 sustains ≈ 230 MB/s per link with multi-microsecond
+/// latency; a 2.66 GHz SSE Xeon sustains ≈ 1.3 Gflop/s on complex-double
+/// FFT butterflies with early-2000s FFTW.
+pub fn umd_cluster() -> Platform {
+    Platform {
+        name: "UMD-Cluster",
+        machine: MachineModel {
+            fft_flops: 0.96e9,
+            fft_oo_cache_factor: 0.62,
+            l2_bytes: 512 * 1024,
+            subtile_cache_bytes: 256 * 1024,
+            pack_bw: 0.70e9,
+            pack_oo_cache_factor: 0.42,
+            pack_short_stride_factor: 0.38,
+            short_stride_bytes: 64,
+            subtile_overhead: 0.35e-6,
+            transpose_bw_generic: 0.43e9,
+            transpose_bw_fast: 0.77e9,
+            transpose_bw_naive: 0.19e9,
+            t_test: 0.9e-6,
+        },
+        jitter: 0.0,
+        net: NetModel {
+            alpha: 8.5e-6,
+            link_bw: 156e6,
+            contention_p0: 48.0,
+            contention_gamma: 1.15,
+            bruck_threshold_bytes: 4 * 1024,
+            post_overhead_per_peer: 0.35e-6,
+        },
+    }
+}
+
+/// "Hopper": Cray XE6 at NERSC, two 12-core AMD Magny-Cours 2.1 GHz per
+/// node (4 cores/processor used), 64 KB L1 + 512 KB L2 per core, Gemini
+/// 3-D-torus interconnect (§5.1).
+///
+/// Gemini delivers multi-GB/s per-rank bandwidth at ≈ 1.5 µs latency, but
+/// the 3-D torus congests faster with p than a Clos network — hence the
+/// larger contention exponent.
+pub fn hopper() -> Platform {
+    Platform {
+        name: "Hopper",
+        machine: MachineModel {
+            fft_flops: 2.24e9,
+            fft_oo_cache_factor: 0.66,
+            l2_bytes: 512 * 1024,
+            subtile_cache_bytes: 256 * 1024,
+            pack_bw: 1.93e9,
+            pack_oo_cache_factor: 0.45,
+            pack_short_stride_factor: 0.40,
+            short_stride_bytes: 64,
+            subtile_overhead: 0.25e-6,
+            transpose_bw_generic: 1.2e9,
+            transpose_bw_fast: 2.07e9,
+            transpose_bw_naive: 0.54e9,
+            t_test: 0.6e-6,
+        },
+        jitter: 0.0,
+        net: NetModel {
+            alpha: 1.6e-6,
+            link_bw: 1.63e9,
+            contention_p0: 40.0,
+            contention_gamma: 1.19,
+            bruck_threshold_bytes: 4 * 1024,
+            post_overhead_per_peer: 0.2e-6,
+        },
+    }
+}
+
+/// Looks a platform up by name (`"umd"` / `"hopper"`), for CLI harnesses.
+pub fn by_name(name: &str) -> Option<Platform> {
+    match name.to_ascii_lowercase().as_str() {
+        "umd" | "umd-cluster" | "umd_cluster" => Some(umd_cluster()),
+        "hopper" => Some(hopper()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_cost_grows_superlinearly() {
+        let m = umd_cluster().machine;
+        let c256 = m.fft_line(256);
+        let c512 = m.fft_line(512);
+        assert!(c512 > 2.0 * c256);
+        assert_eq!(m.fft_line(1), 0.0);
+    }
+
+    #[test]
+    fn out_of_cache_lines_cost_more_per_flop() {
+        let m = umd_cluster().machine;
+        // 64 Ki elements = 1 MiB > 512 KiB L2.
+        let per_flop_small = m.fft_line(1024) / (5.0 * 1024.0 * 10.0);
+        let n = 65536;
+        let per_flop_big = m.fft_line(n) / (5.0 * n as f64 * (n as f64).log2());
+        assert!(per_flop_big > per_flop_small * 1.3);
+    }
+
+    #[test]
+    fn pack_prefers_cache_resident_subtiles() {
+        let m = umd_cluster().machine;
+        let total = 8 * 1024 * 1024;
+        let good = m.pack(total, 128 * 1024, 4096);
+        let too_big = m.pack(total, 4 * 1024 * 1024, 4096);
+        let too_small = m.pack(total, 256, 4096);
+        assert!(good < too_big, "cache-resident sub-tile must beat oversized");
+        assert!(good < too_small, "overhead must punish tiny sub-tiles");
+    }
+
+    #[test]
+    fn pack_penalises_short_runs() {
+        let m = umd_cluster().machine;
+        let total = 1024 * 1024;
+        let long_run = m.pack(total, 128 * 1024, 4096);
+        let short_run = m.pack(total, 128 * 1024, 16);
+        assert!(short_run > long_run * 1.3);
+    }
+
+    #[test]
+    fn a2a_shape_switches_to_bruck_for_small_messages() {
+        let n = umd_cluster().net;
+        let small = n.shape(16, 512);
+        assert_eq!(small.rounds, 4); // ⌈log2 16⌉
+        let large = n.shape(16, 1 << 20);
+        assert_eq!(large.rounds, 15);
+        assert_eq!(large.round_bytes, 1 << 20);
+        assert_eq!(n.shape(1, 1 << 20).rounds, 0);
+    }
+
+    #[test]
+    fn contention_reduces_effective_bandwidth() {
+        let n = hopper().net;
+        assert!(n.effective_bw(256, 1) < n.effective_bw(16, 1));
+        assert!(n.effective_bw(16, 4) < n.effective_bw(16, 1));
+    }
+
+    #[test]
+    fn blocking_duration_scales_with_message_size() {
+        let n = umd_cluster().net;
+        let a = n.blocking_duration(16, 64 * 1024);
+        let b = n.blocking_duration(16, 128 * 1024);
+        assert!(b > a);
+        assert_eq!(n.blocking_duration(1, 1 << 20), SimTime::ZERO);
+    }
+
+    #[test]
+    fn platform_lookup() {
+        assert_eq!(by_name("umd").unwrap().name, "UMD-Cluster");
+        assert_eq!(by_name("Hopper").unwrap().name, "Hopper");
+        assert!(by_name("bluegene").is_none());
+    }
+
+    #[test]
+    fn transpose_cost_tiers_are_ordered() {
+        let m = hopper().machine;
+        let fast = m.transpose(1 << 24, TransposeCost::Fast);
+        let generic = m.transpose(1 << 24, TransposeCost::Generic);
+        let naive = m.transpose(1 << 24, TransposeCost::Naive);
+        assert!(fast < generic);
+        assert!(generic < naive);
+    }
+}

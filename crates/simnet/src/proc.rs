@@ -1,0 +1,529 @@
+//! Per-rank simulation handle: virtual compute, collective posts, polls,
+//! and waits.
+//!
+//! A [`SimRank`] owns everything rank-local: its virtual clock and the
+//! progression state machines of its in-flight all-to-alls. The manual-
+//! progression model lives here:
+//!
+//! * a collective becomes *ready* when every rank has posted it (the
+//!   engine's one piece of shared state);
+//! * after readiness, the schedule's rounds execute one at a time, and a
+//!   round may **start only at a progression opportunity** — an
+//!   `MPI_Test` poll ([`SimRank::compute_with_polls`]) or a blocking
+//!   [`SimRank::wait`], which progresses continuously;
+//! * each poll costs the platform's `t_test`, so polling too often burns
+//!   compute while polling too rarely leaves rounds stalled between polls —
+//!   the §3.3 trade-off the `F*` parameters tune.
+
+use crate::engine::{Engine, OpSeq, ReadyInfo};
+use crate::model::{A2aShape, Platform};
+use crate::time::SimTime;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Handle to an in-flight non-blocking all-to-all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpId(OpSeq);
+
+#[derive(Debug, Clone, Copy)]
+enum Ready {
+    Unknown,
+    /// Cannot be ready before this time (peers' clock lower bound); polls
+    /// earlier than it skip the engine round-trip entirely.
+    Bound(SimTime),
+    Known(SimTime),
+}
+
+#[derive(Debug)]
+struct LocalOp {
+    shape: A2aShape,
+    /// Participant count the round model uses (≤ `size`; subgroup
+    /// collectives of symmetric process grids use their group size).
+    group: usize,
+    ready: Ready,
+    rounds_done: u32,
+    inflight_end: Option<SimTime>,
+    completed: Option<SimTime>,
+}
+
+/// A simulated rank: the object the 3-D FFT's simulated backend drives.
+pub struct SimRank {
+    engine: Arc<Engine>,
+    platform: Arc<Platform>,
+    rank: usize,
+    size: usize,
+    clock: SimTime,
+    next_seq: OpSeq,
+    ops: HashMap<OpSeq, LocalOp>,
+    /// Posted-but-incomplete all-to-alls: concurrent windows share this
+    /// rank's link bandwidth.
+    active: u32,
+    test_calls: u64,
+    /// Deterministic per-rank noise state (xorshift64*).
+    noise_state: u64,
+}
+
+impl SimRank {
+    pub(crate) fn new(engine: Arc<Engine>, platform: Arc<Platform>, rank: usize) -> Self {
+        let size = engine.size();
+        SimRank {
+            engine,
+            platform,
+            rank,
+            size,
+            clock: SimTime::ZERO,
+            next_seq: 0,
+            ops: HashMap::new(),
+            active: 0,
+            test_calls: 0,
+            noise_state: 0x9e37_79b9_7f4a_7c15 ^ (rank as u64).wrapping_mul(0xda94_2042_e4dd_58b5),
+        }
+    }
+
+    /// Next noise factor in `[1 − jitter, 1 + jitter]` (1.0 when noise is
+    /// disabled). Deterministic per rank and draw index.
+    fn noise_factor(&mut self) -> f64 {
+        let j = self.platform.jitter;
+        if j == 0.0 {
+            return 1.0;
+        }
+        let mut x = self.noise_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.noise_state = x;
+        let u = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64;
+        1.0 + j * (2.0 * u - 1.0)
+    }
+
+    /// This rank's id.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the simulation.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The platform model this simulation runs on.
+    #[inline]
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Total `MPI_Test` calls made so far (the paper's Test accounting).
+    #[inline]
+    pub fn test_calls(&self) -> u64 {
+        self.test_calls
+    }
+
+    /// Number of posted, incomplete all-to-alls.
+    #[inline]
+    pub fn active_ops(&self) -> u32 {
+        self.active
+    }
+
+    /// Spends `secs` of pure computation (no progression opportunities).
+    /// Subject to the platform's execution noise.
+    pub fn compute(&mut self, secs: f64) {
+        let f = self.noise_factor();
+        self.clock += SimTime::from_secs_f64(secs * f);
+    }
+
+    /// Posts a non-blocking all-to-all moving `bytes_per_peer` to every
+    /// peer. Charges the post overhead and makes one free progression
+    /// attempt (real NBC implementations kick round 0 at post time).
+    pub fn post_alltoall(&mut self, bytes_per_peer: u64) -> OpId {
+        self.post_alltoall_in_group(self.size, bytes_per_peer)
+    }
+
+    /// Posts a non-blocking all-to-all among a *subgroup* of `group` ranks
+    /// (e.g. the row/column communicators of a pencil decomposition). The
+    /// rendezvous is still global — valid for the symmetric schedules this
+    /// simulator targets, where every subgroup runs the same program — but
+    /// the round structure and bandwidth model use the subgroup size.
+    pub fn post_alltoall_in_group(&mut self, group: usize, bytes_per_peer: u64) -> OpId {
+        assert!(group >= 1 && group <= self.size, "group must be within the world");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.clock += self.platform.net.post_overhead(group);
+        self.engine.post(self.rank, self.clock, seq);
+        let shape = self.platform.net.shape(group, bytes_per_peer);
+        self.ops.insert(
+            seq,
+            LocalOp {
+                shape,
+                group,
+                ready: Ready::Unknown,
+                rounds_done: 0,
+                inflight_end: None,
+                completed: None,
+            },
+        );
+        self.active += 1;
+        self.progress(seq);
+        OpId(seq)
+    }
+
+    /// One `MPI_Test` on `op`: charges `t_test` and progresses the round
+    /// pipeline. Returns `true` when the collective has completed.
+    pub fn test(&mut self, op: OpId) -> bool {
+        self.test_calls += 1;
+        self.clock += SimTime::from_secs_f64(self.platform.machine.t_test);
+        self.progress(op.0);
+        self.ops[&op.0].completed.is_some()
+    }
+
+    /// `true` once `op` has been observed complete (no progression attempt).
+    pub fn is_complete(&self, op: OpId) -> bool {
+        self.ops[&op.0].completed.is_some()
+    }
+
+    /// Executes a compute phase of `secs` with `polls` evenly spaced
+    /// progression opportunities, each testing every op in `ops` (the
+    /// paper's Algorithms 2–3: "call `MPI_Test` on the `W` previous tiles
+    /// `F` times in total during this algorithm").
+    ///
+    /// Returns the `t_test` overhead charged, so callers can account
+    /// compute and Test time separately (Figure 8's breakdown).
+    pub fn compute_with_polls(&mut self, secs: f64, polls: u32, ops: &[OpId]) -> SimTime {
+        let total = SimTime::from_secs_f64(secs * self.noise_factor());
+        if polls == 0 || ops.is_empty() {
+            self.clock += total;
+            return SimTime::ZERO;
+        }
+        let start_tests = self.test_calls;
+        let slice = total / (polls as u64 + 1);
+        for _ in 0..polls {
+            self.clock += slice;
+            for &op in ops {
+                self.test(op);
+            }
+        }
+        // Remainder of the compute after the last poll.
+        self.clock += total - slice * polls as u64;
+        SimTime::from_secs_f64(
+            (self.test_calls - start_tests) as f64 * self.platform.machine.t_test,
+        )
+    }
+
+    /// `MPI_Wait`: progresses continuously until `op` completes; advances
+    /// the clock to the completion time and returns it.
+    pub fn wait(&mut self, op: OpId) -> SimTime {
+        let seq = op.0;
+        if let Some(t) = self.ops[&seq].completed {
+            return t;
+        }
+        let ready = match self.ops[&seq].ready {
+            Ready::Known(t) => t,
+            _ => {
+                let t = self.engine.block_on_ready(self.rank, self.clock, seq);
+                self.ops.get_mut(&seq).expect("op exists").ready = Ready::Known(t);
+                t
+            }
+        };
+        // Remaining rounds run back to back; bandwidth share is sampled per
+        // round because other ops may still be active.
+        let (mut t, mut rd, inflight, rounds) = {
+            let o = &self.ops[&seq];
+            (self.clock.max(ready), o.rounds_done, o.inflight_end, o.shape.rounds)
+        };
+        if let Some(e) = inflight {
+            t = t.max(e);
+            rd += 1;
+        }
+        while rd < rounds {
+            let o = &self.ops[&seq];
+            let rt = self.platform.net.round_time(o.group, o.shape, self.active);
+            t += rt;
+            rd += 1;
+        }
+        {
+            let o = self.ops.get_mut(&seq).expect("op exists");
+            o.rounds_done = rd;
+            o.inflight_end = None;
+            o.completed = Some(t);
+        }
+        self.active -= 1;
+        self.clock = self.clock.max(t);
+        t
+    }
+
+    /// Blocking all-to-all (the FFTW baseline's `MPI_Alltoall`): rendezvous
+    /// with all ranks, then the full exchange at blocking-collective
+    /// efficiency. Returns `(ready_time, completion_time)`.
+    pub fn blocking_alltoall(&mut self, bytes_per_peer: u64) -> (SimTime, SimTime) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.clock += self.platform.net.post_overhead(self.size);
+        self.engine.post(self.rank, self.clock, seq);
+        let ready = self.engine.block_on_ready(self.rank, self.clock, seq);
+        let end = ready + self.platform.net.blocking_duration(self.size, bytes_per_peer);
+        self.clock = end;
+        (ready, end)
+    }
+
+    /// Barrier: rendezvous plus a log-round release cost.
+    pub fn barrier(&mut self) {
+        let _ = self.blocking_alltoall(0);
+    }
+
+    /// Advances round state for `seq` at the current clock; the heart of
+    /// the manual-progression model.
+    fn progress(&mut self, seq: OpSeq) {
+        let clock = self.clock;
+        // Resolve readiness, using the cached lower bound to avoid engine
+        // round-trips for polls that cannot possibly observe readiness.
+        let ready = {
+            let o = self.ops.get_mut(&seq).expect("progress on unknown op");
+            if o.completed.is_some() {
+                return;
+            }
+            match o.ready {
+                Ready::Known(t) => Some(t),
+                Ready::Bound(b) if clock < b => None,
+                _ => None, // needs an engine query below
+            }
+        };
+        let ready = match ready {
+            Some(t) => t,
+            None => {
+                let o = &self.ops[&seq];
+                if let Ready::Bound(b) = o.ready {
+                    if clock < b {
+                        return;
+                    }
+                }
+                match self.engine.query(self.rank, clock, seq) {
+                    ReadyInfo::Ready(t) => {
+                        self.ops.get_mut(&seq).expect("op exists").ready = Ready::Known(t);
+                        t
+                    }
+                    ReadyInfo::NotBefore(b) => {
+                        self.ops.get_mut(&seq).expect("op exists").ready = Ready::Bound(b);
+                        return;
+                    }
+                }
+            }
+        };
+        if clock < ready {
+            return;
+        }
+        // Zero-round collectives (p = 1) complete at readiness.
+        let (rounds, inflight, rounds_done) = {
+            let o = &self.ops[&seq];
+            (o.shape.rounds, o.inflight_end, o.rounds_done)
+        };
+        if rounds == 0 {
+            self.ops.get_mut(&seq).expect("op exists").completed = Some(ready);
+            self.active -= 1;
+            return;
+        }
+        let mut rd = rounds_done;
+        let mut last_end = None;
+        if let Some(e) = inflight {
+            if e <= clock {
+                rd += 1;
+                last_end = Some(e);
+            } else {
+                return; // round still in flight; nothing to start
+            }
+        }
+        if rd == rounds {
+            let o = self.ops.get_mut(&seq).expect("op exists");
+            o.rounds_done = rd;
+            o.inflight_end = None;
+            o.completed = Some(last_end.expect("final round had an end"));
+            self.active -= 1;
+            return;
+        }
+        // Start the next round at this progression opportunity.
+        let rt = {
+            let o = &self.ops[&seq];
+            self.platform.net.round_time(o.group, o.shape, self.active)
+        };
+        let o = self.ops.get_mut(&seq).expect("op exists");
+        o.rounds_done = rd;
+        o.inflight_end = Some(clock.max(ready) + rt);
+    }
+
+    /// Called by the launcher when the rank function returns.
+    pub(crate) fn finish(&mut self) {
+        self.engine.done(self.rank);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::umd_cluster;
+    use crate::run_sim;
+
+    #[test]
+    fn single_rank_alltoall_completes_at_post() {
+        let times = run_sim(umd_cluster(), 1, |sim| {
+            let op = sim.post_alltoall(1 << 20);
+            sim.wait(op);
+            sim.now()
+        });
+        // p = 1: zero rounds, so only the post overhead elapses.
+        assert!(times[0] < SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn wait_without_polls_pays_nearly_full_serial_time() {
+        let p = 4;
+        let bytes = 1 << 20;
+        let times = run_sim(umd_cluster(), p, move |sim| {
+            let op = sim.post_alltoall(bytes);
+            sim.compute(0.01); // compute with zero polls: no progression
+            let end = sim.wait(op);
+            (end, sim.now())
+        });
+        let plat = umd_cluster();
+        let shape = plat.net.shape(p, bytes);
+        let rt = plat.net.round_time(p, shape, 1);
+        for (end, now) in &times {
+            assert_eq!(end, now);
+            // At most the round kicked at post time (only the last poster is
+            // "ready" then) overlaps the compute; the rest serialize inside
+            // wait.
+            let lower = SimTime::from_secs_f64(0.01) + rt * (shape.rounds as u64 - 1);
+            let upper = SimTime::from_secs_f64(0.01) + rt * shape.rounds as u64
+                + SimTime::from_millis(1);
+            assert!(*end >= lower, "end={end} lower={lower}");
+            assert!(*end <= upper, "end={end} upper={upper}");
+        }
+    }
+
+    #[test]
+    fn ample_polling_overlaps_communication_with_compute() {
+        // With enough evenly spaced polls, rounds pipeline behind compute:
+        // the post→wait span is close to max(compute, comm) instead of
+        // compute + comm.
+        let p = 4;
+        let bytes = 1 << 20;
+        let plat = umd_cluster();
+        let comm = plat.net.blocking_duration(p, bytes).as_secs_f64();
+        let compute = comm * 1.5; // compute-heavy: overlap can hide comm fully
+        let times = run_sim(umd_cluster(), p, move |sim| {
+            let op = sim.post_alltoall(bytes);
+            sim.compute_with_polls(compute, 200, &[op]);
+            sim.wait(op);
+            sim.now().as_secs_f64()
+        });
+        for &t in &times {
+            assert!(
+                t < compute * 1.15,
+                "overlapped time {t:.4} should be close to compute {compute:.4}"
+            );
+            assert!(t >= compute);
+        }
+    }
+
+    #[test]
+    fn too_few_polls_stall_rounds() {
+        let p = 8;
+        let bytes = 1 << 20;
+        let plat = umd_cluster();
+        let comm = plat.net.blocking_duration(p, bytes).as_secs_f64();
+        let compute = comm * 1.5;
+        let run_with_polls = |polls: u32| {
+            run_sim(umd_cluster(), p, move |sim| {
+                let op = sim.post_alltoall(bytes);
+                sim.compute_with_polls(compute, polls, &[op]);
+                sim.wait(op);
+                sim.now().as_secs_f64()
+            })[0]
+        };
+        let sparse = run_with_polls(2);
+        let ample = run_with_polls(64);
+        assert!(
+            sparse > ample * 1.1,
+            "2 polls ({sparse:.4}s) must be slower than 64 polls ({ample:.4}s)"
+        );
+    }
+
+    #[test]
+    fn excessive_polling_costs_test_overhead() {
+        let p = 4;
+        let bytes = 64 * 1024;
+        let times_few = run_sim(umd_cluster(), p, move |sim| {
+            let op = sim.post_alltoall(bytes);
+            sim.compute_with_polls(0.005, 32, &[op]);
+            sim.wait(op);
+            sim.now().as_secs_f64()
+        });
+        let times_many = run_sim(umd_cluster(), p, move |sim| {
+            let op = sim.post_alltoall(bytes);
+            sim.compute_with_polls(0.005, 50_000, &[op]);
+            sim.wait(op);
+            sim.now().as_secs_f64()
+        });
+        assert!(times_many[0] > times_few[0] + 0.02,
+            "50k tests at ~0.9µs each must add visible overhead: few={} many={}",
+            times_few[0], times_many[0]);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let times = run_sim(umd_cluster(), 4, |sim| {
+            sim.compute(0.001 * (sim.rank() as f64 + 1.0));
+            sim.barrier();
+            sim.now()
+        });
+        assert!(times.iter().all(|&t| t == times[0]));
+        assert!(times[0] >= SimTime::from_secs_f64(0.004));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let go = || {
+            run_sim(umd_cluster(), 6, |sim| {
+                let op = sim.post_alltoall(123_456);
+                sim.compute_with_polls(0.003, 17, &[op]);
+                sim.wait(op);
+                let op2 = sim.post_alltoall(7_777);
+                sim.compute_with_polls(0.001, 3, &[op2]);
+                sim.wait(op2);
+                sim.now()
+            })
+        };
+        let a = go();
+        for _ in 0..5 {
+            assert_eq!(go(), a);
+        }
+    }
+
+    #[test]
+    fn concurrent_windows_share_bandwidth() {
+        // Two overlapping alltoalls must take longer than one, but less
+        // than two run serially (they do overlap).
+        let p = 4;
+        let bytes = 1 << 20;
+        let one = run_sim(umd_cluster(), p, move |sim| {
+            let op = sim.post_alltoall(bytes);
+            sim.compute_with_polls(1.0, 5_000, &[op]);
+            sim.wait(op)
+        })[0];
+        let two = run_sim(umd_cluster(), p, move |sim| {
+            let a = sim.post_alltoall(bytes);
+            let b = sim.post_alltoall(bytes);
+            sim.compute_with_polls(1.0, 5_000, &[a, b]);
+            let ea = sim.wait(a);
+            let eb = sim.wait(b);
+            ea.max(eb)
+        })[0];
+        assert!(two > one);
+        assert!(two < one * 2);
+    }
+}

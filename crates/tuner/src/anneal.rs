@@ -1,0 +1,249 @@
+//! Simulated annealing over the reduced parameter space — one of the
+//! alternative optimisation strategies the paper's §7 plans to try against
+//! Nelder–Mead.
+//!
+//! Neighbour moves step one dimension by one grid index; the temperature
+//! schedule is geometric. Shares the feasibility-penalty and history-cache
+//! treatment with the NM driver so comparisons are apples-to-apples.
+
+use crate::space::{decode_new, encode_new, new_space};
+use fft3d::{ProblemSpec, TuningParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Result of an annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealResult {
+    /// Best feasible configuration found.
+    pub best: TuningParams,
+    /// Its objective value.
+    pub best_value: f64,
+    /// Configurations actually executed (cache misses).
+    pub executed: usize,
+    /// Σ execution time of executed configurations.
+    pub tuning_cost: f64,
+}
+
+/// Tunes the ten NEW parameters by simulated annealing with `max_execs`
+/// executed evaluations.
+pub fn anneal_new(
+    spec: &ProblemSpec,
+    mut objective: impl FnMut(&TuningParams) -> f64,
+    max_execs: usize,
+    rng_seed: u64,
+) -> AnnealResult {
+    let space = new_space(spec);
+    let dims: Vec<usize> = space.dims.iter().map(|d| d.len()).collect();
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut cache: HashMap<Vec<usize>, f64> = HashMap::new();
+    let mut executed = 0usize;
+    let mut tuning_cost = 0.0;
+
+    let eval = |idx: &[usize],
+                    cache: &mut HashMap<Vec<usize>, f64>,
+                    executed: &mut usize,
+                    cost: &mut f64,
+                    objective: &mut dyn FnMut(&TuningParams) -> f64|
+     -> f64 {
+        let values: Vec<usize> =
+            idx.iter().zip(&space.dims).map(|(&i, d)| d.values[i]).collect();
+        let p = decode_new(&values);
+        if !p.is_feasible(spec) {
+            return f64::INFINITY;
+        }
+        if let Some(&v) = cache.get(&values) {
+            return v;
+        }
+        let v = objective(&p);
+        cache.insert(values, v);
+        *executed += 1;
+        *cost += v;
+        v
+    };
+
+    // Start at the §4.4 seed.
+    let seed = TuningParams::seed(spec);
+    let seed_values = encode_new(&seed);
+    let mut cur: Vec<usize> = seed_values
+        .iter()
+        .zip(&space.dims)
+        .map(|(&v, d)| d.nearest_index(v))
+        .collect();
+    let mut cur_val = eval(&cur, &mut cache, &mut executed, &mut tuning_cost, &mut objective);
+    let mut best = cur.clone();
+    let mut best_val = cur_val;
+
+    // Geometric cooling sized to the execution budget.
+    let mut temp = (cur_val.abs().max(1e-6)) * 0.5;
+    let cooling = 0.93f64;
+    while executed < max_execs {
+        // Neighbour: ±1 index in a random dimension.
+        let d = rng.gen_range(0..dims.len());
+        let mut next = cur.clone();
+        let up = rng.gen_bool(0.5);
+        if up && next[d] + 1 < dims[d] {
+            next[d] += 1;
+        } else if !up && next[d] > 0 {
+            next[d] -= 1;
+        } else {
+            continue;
+        }
+        let next_val =
+            eval(&next, &mut cache, &mut executed, &mut tuning_cost, &mut objective);
+        let accept = next_val <= cur_val
+            || (next_val.is_finite()
+                && rng.gen_bool(((cur_val - next_val) / temp).exp().clamp(0.0, 1.0)));
+        if accept {
+            cur = next;
+            cur_val = next_val;
+            if cur_val < best_val {
+                best = cur.clone();
+                best_val = cur_val;
+            }
+        }
+        temp = (temp * cooling).max(1e-9);
+    }
+
+    let values: Vec<usize> =
+        best.iter().zip(&space.dims).map(|(&i, d)| d.values[i]).collect();
+    AnnealResult { best: decode_new(&values), best_value: best_val, executed, tuning_cost }
+}
+
+/// Cyclic coordinate descent: sweep dimensions, trying every candidate of
+/// one dimension while holding the others fixed; repeat until a full sweep
+/// makes no progress. The greedy end of the strategy spectrum.
+pub fn coordinate_descent_new(
+    spec: &ProblemSpec,
+    mut objective: impl FnMut(&TuningParams) -> f64,
+    max_execs: usize,
+) -> AnnealResult {
+    let space = new_space(spec);
+    let mut cache: HashMap<Vec<usize>, f64> = HashMap::new();
+    let mut executed = 0usize;
+    let mut tuning_cost = 0.0;
+
+    let seed = TuningParams::seed(spec);
+    let mut cur: Vec<usize> = encode_new(&seed)
+        .iter()
+        .zip(&space.dims)
+        .map(|(&v, d)| d.nearest_index(v))
+        .collect();
+
+    let eval = |idx: &[usize],
+                    cache: &mut HashMap<Vec<usize>, f64>,
+                    executed: &mut usize,
+                    cost: &mut f64,
+                    objective: &mut dyn FnMut(&TuningParams) -> f64|
+     -> f64 {
+        let values: Vec<usize> =
+            idx.iter().zip(&space.dims).map(|(&i, d)| d.values[i]).collect();
+        let p = decode_new(&values);
+        if !p.is_feasible(spec) {
+            return f64::INFINITY;
+        }
+        if let Some(&v) = cache.get(&values) {
+            return v;
+        }
+        let v = objective(&p);
+        cache.insert(values, v);
+        *executed += 1;
+        *cost += v;
+        v
+    };
+
+    let mut cur_val =
+        eval(&cur, &mut cache, &mut executed, &mut tuning_cost, &mut objective);
+    loop {
+        let mut improved = false;
+        for d in 0..space.dims.len() {
+            if executed >= max_execs {
+                break;
+            }
+            let mut best_i = cur[d];
+            for i in 0..space.dims[d].len() {
+                if i == cur[d] {
+                    continue;
+                }
+                if executed >= max_execs {
+                    break;
+                }
+                let mut cand = cur.clone();
+                cand[d] = i;
+                let v = eval(&cand, &mut cache, &mut executed, &mut tuning_cost, &mut objective);
+                if v < cur_val {
+                    cur_val = v;
+                    best_i = i;
+                    improved = true;
+                }
+            }
+            cur[d] = best_i;
+        }
+        if !improved || executed >= max_execs {
+            break;
+        }
+    }
+
+    let values: Vec<usize> =
+        cur.iter().zip(&space.dims).map(|(&i, d)| d.values[i]).collect();
+    AnnealResult { best: decode_new(&values), best_value: cur_val, executed, tuning_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ProblemSpec {
+        ProblemSpec::cube(64, 4)
+    }
+
+    fn synthetic(p: &TuningParams) -> f64 {
+        ((p.t as f64).log2() - 3.0).powi(2)
+            + 0.2 * (p.w as f64 - 2.0).abs()
+            + 0.05 * ((p.fy as f64).log2() - 2.0).abs()
+    }
+
+    #[test]
+    fn annealing_improves_on_the_seed() {
+        let s = spec();
+        let seed_val = synthetic(&TuningParams::seed(&s));
+        let res = anneal_new(&s, synthetic, 150, 42);
+        assert!(res.best_value <= seed_val);
+        assert!(res.best.is_feasible(&s));
+        assert!(res.executed <= 150);
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let s = spec();
+        let a = anneal_new(&s, synthetic, 80, 7);
+        let b = anneal_new(&s, synthetic, 80, 7);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_value, b.best_value);
+    }
+
+    #[test]
+    fn coordinate_descent_finds_the_t_optimum() {
+        let s = spec();
+        let res = coordinate_descent_new(&s, synthetic, 400);
+        assert_eq!(res.best.t, 8, "coordinate sweep must locate T = 8: {:?}", res.best);
+        assert!(res.best.is_feasible(&s));
+    }
+
+    #[test]
+    fn budgets_are_respected() {
+        let s = spec();
+        let mut calls = 0usize;
+        let res = anneal_new(
+            &s,
+            |p| {
+                calls += 1;
+                synthetic(p)
+            },
+            30,
+            1,
+        );
+        assert_eq!(calls, res.executed);
+        assert!(calls <= 30);
+    }
+}

@@ -1,0 +1,234 @@
+//! Nelder–Mead simplex minimization (Nelder & Mead 1965), as used by the
+//! Active Harmony framework the paper tunes with (§4.3).
+//!
+//! The search runs in a continuous coordinate space; the caller's objective
+//! performs the round-to-grid, feasibility penalty, and history caching
+//! (§4.4 techniques 1–2), exactly mirroring the AH client/server split.
+
+/// Standard NM coefficients.
+const ALPHA: f64 = 1.0; // reflection
+const GAMMA: f64 = 2.0; // expansion
+const RHO: f64 = 0.5; // contraction
+const SIGMA: f64 = 0.5; // shrink
+
+/// Outcome of a Nelder–Mead run.
+#[derive(Debug, Clone)]
+pub struct NmResult {
+    /// Best point found (continuous coordinates).
+    pub best_point: Vec<f64>,
+    /// Objective value at the best point.
+    pub best_value: f64,
+    /// Number of objective invocations.
+    pub evals: usize,
+    /// Number of NM iterations performed.
+    pub iterations: usize,
+}
+
+/// Minimizes `f` starting from `initial` (a `(d+1) × d` simplex).
+///
+/// Terminates when the simplex collapses (every vertex rounds to the same
+/// grid cell: max coordinate spread < 0.5) or when `max_evals` objective
+/// calls have been spent.
+pub fn minimize<F>(initial: Vec<Vec<f64>>, mut f: F, max_evals: usize) -> NmResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let d = initial
+        .first()
+        .expect("initial simplex must be non-empty")
+        .len();
+    assert!(d >= 1, "dimension must be ≥ 1");
+    assert_eq!(initial.len(), d + 1, "simplex needs d+1 vertices");
+
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        f(x)
+    };
+
+    // Vertices with values, kept sorted best-first.
+    let mut simplex: Vec<(Vec<f64>, f64)> = initial
+        .into_iter()
+        .map(|p| {
+            let v = eval(&p, &mut evals);
+            (p, v)
+        })
+        .collect();
+    simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+    let mut iterations = 0usize;
+    while evals < max_evals {
+        iterations += 1;
+
+        // Collapse test: all vertices in the same rounded cell.
+        let collapsed = (0..d).all(|j| {
+            let lo = simplex.iter().map(|(p, _)| p[j]).fold(f64::INFINITY, f64::min);
+            let hi = simplex.iter().map(|(p, _)| p[j]).fold(f64::NEG_INFINITY, f64::max);
+            hi - lo < 0.5
+        });
+        if collapsed {
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let worst = simplex[d].0.clone();
+        let mut centroid = vec![0.0; d];
+        for (p, _) in &simplex[..d] {
+            for j in 0..d {
+                centroid[j] += p[j] / d as f64;
+            }
+        }
+
+        let lerp = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+            a.iter().zip(b).map(|(&x, &y)| x + t * (y - x)).collect()
+        };
+
+        // Reflection.
+        let reflected = lerp(&centroid, &worst, -ALPHA);
+        let fr = eval(&reflected, &mut evals);
+        let (f_best, f_second_worst, f_worst) = (simplex[0].1, simplex[d - 1].1, simplex[d].1);
+
+        if fr < f_best {
+            // Expansion.
+            let expanded = lerp(&centroid, &worst, -GAMMA);
+            let fe = eval(&expanded, &mut evals);
+            simplex[d] = if fe < fr { (expanded, fe) } else { (reflected, fr) };
+        } else if fr < f_second_worst {
+            simplex[d] = (reflected, fr);
+        } else {
+            // Contraction (outside if the reflection improved on the worst,
+            // inside otherwise).
+            let contracted = if fr < f_worst {
+                lerp(&centroid, &reflected, RHO)
+            } else {
+                lerp(&centroid, &worst, RHO)
+            };
+            let fc = eval(&contracted, &mut evals);
+            if fc < f_worst.min(fr) {
+                simplex[d] = (contracted, fc);
+            } else {
+                // Shrink toward the best vertex.
+                let best = simplex[0].0.clone();
+                for k in 1..=d {
+                    let p = lerp(&best, &simplex[k].0, SIGMA);
+                    let v = eval(&p, &mut evals);
+                    simplex[k] = (p, v);
+                }
+            }
+        }
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+    }
+
+    let (best_point, best_value) = simplex.swap_remove(0);
+    NmResult { best_point, best_value, evals, iterations }
+}
+
+/// Builds the §4.4 initial simplex: the default point plus `d` neighbours,
+/// each shifted by one grid step in one dimension (away from the nearer
+/// boundary).
+pub fn initial_simplex(seed: &[f64], dim_lens: &[usize]) -> Vec<Vec<f64>> {
+    assert_eq!(seed.len(), dim_lens.len());
+    let d = seed.len();
+    let mut simplex = Vec::with_capacity(d + 1);
+    simplex.push(seed.to_vec());
+    for j in 0..d {
+        let mut p = seed.to_vec();
+        let hi = (dim_lens[j] - 1) as f64;
+        // Step one candidate index; flip direction at the upper boundary.
+        p[j] = if seed[j] + 1.0 <= hi { seed[j] + 1.0 } else { (seed[j] - 1.0).max(0.0) };
+        simplex.push(p);
+    }
+    simplex
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_convex_quadratic() {
+        // f(x) = Σ (x_i − target_i)²
+        let target = [3.0, -2.0, 5.0];
+        let f = |x: &[f64]| -> f64 {
+            x.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum()
+        };
+        let init = vec![
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let res = minimize(init, f, 500);
+        assert!(res.best_value < 0.3, "value={}", res.best_value);
+        for (a, b) in res.best_point.iter().zip(&target) {
+            assert!((a - b).abs() < 0.5, "point={:?}", res.best_point);
+        }
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let mut calls = 0usize;
+        let f = |x: &[f64]| {
+            x[0] * x[0] + x[1] * x[1]
+        };
+        let counted = |x: &[f64]| {
+            calls += 1;
+            f(x)
+        };
+        let init = vec![vec![10.0, 10.0], vec![11.0, 10.0], vec![10.0, 11.0]];
+        let res = minimize(init, counted, 20);
+        assert!(res.evals <= 22, "NM may finish the in-flight step but not run away");
+        assert!(res.evals >= 3);
+    }
+
+    #[test]
+    fn handles_infinite_penalties() {
+        // Half the space is infeasible; NM must still find the feasible
+        // minimum at x = 2.
+        let f = |x: &[f64]| {
+            if x[0] < 0.0 {
+                f64::INFINITY
+            } else {
+                (x[0] - 2.0) * (x[0] - 2.0)
+            }
+        };
+        let init = vec![vec![8.0], vec![9.0]];
+        let res = minimize(init, f, 100);
+        assert!(res.best_value < 0.5);
+        assert!(res.best_point[0] >= 0.0);
+    }
+
+    #[test]
+    fn one_dimensional_search_works() {
+        let f = |x: &[f64]| (x[0] - 7.0).abs();
+        let init = vec![vec![0.0], vec![1.0]];
+        let res = minimize(init, f, 100);
+        assert!(res.best_value < 1.0);
+    }
+
+    #[test]
+    fn initial_simplex_has_d_plus_1_distinct_points() {
+        let seed = vec![2.0, 0.0, 5.0];
+        let lens = vec![6, 4, 6];
+        let s = initial_simplex(&seed, &lens);
+        assert_eq!(s.len(), 4);
+        for i in 0..s.len() {
+            for j in i + 1..s.len() {
+                assert_ne!(s[i], s[j], "vertices {i} and {j} coincide");
+            }
+        }
+        // At the top boundary the step flips downward.
+        let seed = vec![5.0];
+        let s = initial_simplex(&seed, &[6]);
+        assert_eq!(s[1][0], 4.0);
+    }
+
+    #[test]
+    fn collapse_terminates_early() {
+        // Constant objective: the simplex shrinks until collapse.
+        let f = |_: &[f64]| 1.0;
+        let init = vec![vec![0.0, 0.0], vec![4.0, 0.0], vec![0.0, 4.0]];
+        let res = minimize(init, f, 10_000);
+        assert!(res.evals < 200, "should collapse quickly, used {}", res.evals);
+    }
+}

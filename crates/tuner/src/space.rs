@@ -1,0 +1,243 @@
+//! Discrete parameter spaces with log-scale reduction (§4.4, technique 4).
+//!
+//! "Instead of searching a whole set of all possible values of a parameter,
+//! we reduce a search space to a log scale and consider power-of-two values
+//! for testing. The minimum and maximum values are additionally considered
+//! … As an exception, the log-scale reduction is not applied to W because
+//! there are few possible values for W."
+
+use fft3d::{ProblemSpec, ThParams, TuningParams};
+
+/// One searchable dimension: an ordered list of candidate values.
+#[derive(Debug, Clone)]
+pub struct DimSpec {
+    /// Parameter name (Table 1's notation).
+    pub name: &'static str,
+    /// Sorted candidate values.
+    pub values: Vec<usize>,
+}
+
+impl DimSpec {
+    /// Log-scale-reduced candidates for the range `[lo, hi]`: the powers of
+    /// two inside it plus both boundaries.
+    pub fn log_scale(name: &'static str, lo: usize, hi: usize) -> Self {
+        assert!(lo >= 1 && hi >= lo, "bad range [{lo}, {hi}] for {name}");
+        let mut values = vec![lo];
+        let mut v = 1usize;
+        while v <= hi {
+            if v > lo && v < hi {
+                values.push(v);
+            }
+            v = v.saturating_mul(2);
+        }
+        if hi > lo {
+            values.push(hi);
+        }
+        values.dedup();
+        DimSpec { name, values }
+    }
+
+    /// Every value in `[lo, hi]` (the W exception).
+    pub fn full_range(name: &'static str, lo: usize, hi: usize) -> Self {
+        DimSpec { name, values: (lo..=hi).collect() }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if there are no candidates (never happens for valid ranges).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Index of the candidate closest to `value` (for seeding the simplex
+    /// at a specific parameter configuration).
+    pub fn nearest_index(&self, value: usize) -> usize {
+        self.values
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &v)| v.abs_diff(value))
+            .map(|(i, _)| i)
+            .expect("dimension has candidates")
+    }
+
+    /// Candidate at a clamped, rounded continuous coordinate.
+    pub fn at_coord(&self, x: f64) -> usize {
+        let i = x.round().clamp(0.0, (self.values.len() - 1) as f64) as usize;
+        self.values[i]
+    }
+}
+
+/// An ordered set of dimensions plus a decoder to the concrete parameter
+/// type.
+pub struct Space {
+    /// The dimensions, in a fixed order.
+    pub dims: Vec<DimSpec>,
+}
+
+impl Space {
+    /// Dimensionality `d` (NM simplices have `d + 1` vertices).
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Rounds a continuous point to concrete candidate values.
+    pub fn decode(&self, x: &[f64]) -> Vec<usize> {
+        assert_eq!(x.len(), self.dims.len());
+        x.iter().zip(&self.dims).map(|(&c, d)| d.at_coord(c)).collect()
+    }
+
+    /// Continuous coordinates of a concrete value vector.
+    pub fn encode(&self, values: &[usize]) -> Vec<f64> {
+        assert_eq!(values.len(), self.dims.len());
+        values
+            .iter()
+            .zip(&self.dims)
+            .map(|(&v, d)| d.nearest_index(v) as f64)
+            .collect()
+    }
+
+    /// A conservative size estimate (product of per-dim candidate counts).
+    pub fn size(&self) -> u128 {
+        self.dims.iter().map(|d| d.len() as u128).product()
+    }
+}
+
+/// Builds the ten-dimensional NEW space for `spec` (Table 1, reduced per
+/// §4.4).
+pub fn new_space(spec: &ProblemSpec) -> Space {
+    let nxl = spec.nx.div_ceil(spec.p).max(1);
+    let nyl = spec.ny.div_ceil(spec.p).max(1);
+    let max_tiles = spec.nz; // T = 1
+    let f_max = (16 * spec.p).next_power_of_two().clamp(64, 4096);
+    // Simulation-tractability clamp: cap the tile count at 256 (T ≥ Nz/256).
+    // Sub-plane tiles are never competitive — each tile pays a full
+    // all-to-all round structure — and simulating thousands of collectives
+    // per evaluation would dominate tuning wall time.
+    let t_min = (spec.nz / 256).max(1);
+    Space {
+        dims: vec![
+            DimSpec::log_scale("T", t_min, spec.nz),
+            DimSpec::full_range("W", 1, max_tiles.min(8)),
+            DimSpec::log_scale("Px", 1, nxl),
+            DimSpec::log_scale("Pz", 1, spec.nz),
+            DimSpec::log_scale("Uy", 1, nyl),
+            DimSpec::log_scale("Uz", 1, spec.nz),
+            DimSpec::log_scale("Fy", 1, f_max),
+            DimSpec::log_scale("Fp", 1, f_max),
+            DimSpec::log_scale("Fu", 1, f_max),
+            DimSpec::log_scale("Fx", 1, f_max),
+        ],
+    }
+}
+
+/// Decodes a ten-value vector from [`new_space`] into [`TuningParams`].
+pub fn decode_new(values: &[usize]) -> TuningParams {
+    assert_eq!(values.len(), 10);
+    TuningParams {
+        t: values[0],
+        w: values[1],
+        px: values[2],
+        pz: values[3],
+        uy: values[4],
+        uz: values[5],
+        fy: values[6] as u32,
+        fp: values[7] as u32,
+        fu: values[8] as u32,
+        fx: values[9] as u32,
+    }
+}
+
+/// Encodes [`TuningParams`] into the value vector of [`new_space`].
+pub fn encode_new(p: &TuningParams) -> Vec<usize> {
+    vec![
+        p.t, p.w, p.px, p.pz, p.uy, p.uz, p.fy as usize, p.fp as usize, p.fu as usize,
+        p.fx as usize,
+    ]
+}
+
+/// Builds the three-dimensional TH space (T, W, F).
+pub fn th_space(spec: &ProblemSpec) -> Space {
+    let f_max = (16 * spec.p).next_power_of_two().clamp(64, 4096);
+    Space {
+        dims: vec![
+            DimSpec::log_scale("T", 1, spec.nz),
+            DimSpec::full_range("W", 1, spec.nz.min(8)),
+            DimSpec::log_scale("F", 1, f_max),
+        ],
+    }
+}
+
+/// Decodes a three-value vector from [`th_space`].
+pub fn decode_th(values: &[usize]) -> ThParams {
+    assert_eq!(values.len(), 3);
+    ThParams { t: values[0], w: values[1], f: values[2] as u32 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_scale_matches_paper_example() {
+        // "when Nz = 24, T can be 1, 2, 4, 8, 16, or 24."
+        let d = DimSpec::log_scale("T", 1, 24);
+        assert_eq!(d.values, vec![1, 2, 4, 8, 16, 24]);
+    }
+
+    #[test]
+    fn log_scale_with_power_of_two_bounds() {
+        let d = DimSpec::log_scale("T", 1, 32);
+        assert_eq!(d.values, vec![1, 2, 4, 8, 16, 32]);
+        let d = DimSpec::log_scale("X", 4, 16);
+        assert_eq!(d.values, vec![4, 8, 16]);
+    }
+
+    #[test]
+    fn degenerate_single_value_range() {
+        let d = DimSpec::log_scale("T", 1, 1);
+        assert_eq!(d.values, vec![1]);
+    }
+
+    #[test]
+    fn nearest_index_and_coords() {
+        let d = DimSpec::log_scale("T", 1, 24);
+        assert_eq!(d.values[d.nearest_index(24)], 24);
+        assert_eq!(d.values[d.nearest_index(9)], 8);
+        assert_eq!(d.at_coord(-3.0), 1);
+        assert_eq!(d.at_coord(100.0), 24);
+        assert_eq!(d.at_coord(2.4), 4);
+    }
+
+    #[test]
+    fn new_space_has_ten_dims_and_large_size() {
+        let spec = ProblemSpec::cube(256, 16);
+        let s = new_space(&spec);
+        assert_eq!(s.ndims(), 10);
+        // The reduced space is large but tractable; the raw space (the
+        // paper's "conservative" 10^10) is what reduction avoids.
+        assert!(s.size() > 100_000, "size = {}", s.size());
+    }
+
+    #[test]
+    fn decode_encode_round_trip() {
+        let spec = ProblemSpec::cube(256, 16);
+        let s = new_space(&spec);
+        let seed = TuningParams::seed(&spec);
+        let coords = s.encode(&encode_new(&seed));
+        let decoded = decode_new(&s.decode(&coords));
+        // The seed is on-grid for cubes of powers of two, so the round trip
+        // is exact.
+        assert_eq!(decoded, seed);
+    }
+
+    #[test]
+    fn th_space_is_three_dimensional() {
+        let spec = ProblemSpec::cube(256, 16);
+        let s = th_space(&spec);
+        assert_eq!(s.ndims(), 3);
+        assert!(s.size() < 1000);
+    }
+}

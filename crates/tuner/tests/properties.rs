@@ -1,0 +1,93 @@
+//! Property-based tests of the tuner: the search respects feasibility and
+//! budgets, improves on the seed, and the space machinery is sound.
+
+use fft3d::{ProblemSpec, TuningParams};
+use proptest::prelude::*;
+use tuner::driver::{tune_new, tune_th};
+use tuner::random::random_configs;
+use tuner::space::{decode_new, encode_new, new_space, DimSpec};
+
+fn specs() -> impl Strategy<Value = ProblemSpec> {
+    (prop::sample::select(vec![16usize, 24, 32, 64, 128, 256]), 1usize..=32)
+        .prop_map(|(n, p)| ProblemSpec::cube(n, p))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Log-scale dimensions contain their boundaries, are sorted, and stay
+    /// within range.
+    #[test]
+    fn log_scale_dims_are_well_formed(lo in 1usize..64, span in 0usize..4000) {
+        let hi = lo + span;
+        let d = DimSpec::log_scale("X", lo, hi);
+        prop_assert_eq!(*d.values.first().unwrap(), lo);
+        prop_assert_eq!(*d.values.last().unwrap(), hi);
+        prop_assert!(d.values.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(d.values.iter().all(|&v| v >= lo && v <= hi));
+        // Log reduction: candidate count is logarithmic, not linear.
+        prop_assert!(d.len() <= 2 + 64 - hi.leading_zeros() as usize + 1);
+    }
+
+    /// decode ∘ encode is the identity on every grid point of the NEW
+    /// space.
+    #[test]
+    fn decode_encode_identity_on_grid(spec in specs(), seed: u64) {
+        let space = new_space(&spec);
+        // Draw a random grid point.
+        let mut s = seed;
+        let mut values = Vec::new();
+        for d in &space.dims {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            values.push(d.values[(s >> 33) as usize % d.len()]);
+        }
+        let coords = space.encode(&values);
+        prop_assert_eq!(space.decode(&coords), values);
+    }
+
+    /// Random configurations are feasible and within the reduced grid.
+    #[test]
+    fn random_configs_feasible(spec in specs(), seed: u64, n in 1usize..30) {
+        for c in random_configs(&spec, n, seed) {
+            prop_assert!(c.is_feasible(&spec), "{:?} for {:?}", c, spec);
+        }
+    }
+
+    /// Tuning a synthetic objective never returns something worse than the
+    /// seed, never executes an infeasible configuration, and respects the
+    /// request budget.
+    #[test]
+    fn tuning_contract(spec in specs(), a in 1.0f64..6.0, b in 0.0f64..2.0) {
+        let objective = move |p: &TuningParams| {
+            ((p.t as f64).log2() - a).powi(2) + b * (p.w as f64 - 2.0).abs()
+                + 0.01 * (p.fy as f64).log2()
+        };
+        let seed_val = objective(&TuningParams::seed(&spec));
+        let max_requests = 120;
+        let mut executed = 0usize;
+        let res = tune_new(
+            &spec,
+            |p| {
+                assert!(p.is_feasible(&spec), "executed infeasible {p:?}");
+                executed += 1;
+                objective(p)
+            },
+            max_requests,
+        );
+        prop_assert!(res.best_value <= seed_val + 1e-12);
+        prop_assert!(res.best.is_feasible(&spec));
+        prop_assert_eq!(res.executed, executed);
+        // Budget holds up to the in-flight NM step.
+        prop_assert!(res.requests <= max_requests + 2 * 11);
+    }
+
+    /// The TH tuner obeys the same contract on its 3-D space.
+    #[test]
+    fn th_tuning_contract(spec in specs(), a in 1.0f64..6.0) {
+        let objective = move |p: &fft3d::ThParams| ((p.t as f64).log2() - a).abs() + p.w as f64 * 0.05;
+        let res = tune_th(&spec, objective, 100);
+        prop_assert!(res.best.is_feasible(&spec));
+        prop_assert!(res.executed >= 1);
+        prop_assert_eq!(res.requests, res.executed + res.cache_hits + res.infeasible);
+    }
+}

@@ -1,0 +1,52 @@
+//! Auto-tuning walkthrough on the simulated Hopper model: seed vs tuned
+//! configuration, tuning trajectory, and the speedup over the FFTW
+//! baseline — §4 of the paper end to end.
+//!
+//! ```sh
+//! cargo run --release --example autotune [N] [p]
+//! ```
+
+use fft3d::{fft3_simulated, ProblemSpec, TuningParams, Variant};
+use simnet::model::hopper;
+use tuner::driver::{tune_new, DEFAULT_MAX_EVALS};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(512);
+    let p: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let spec = ProblemSpec::cube(n, p);
+    println!("auto-tuning NEW for {n}³ on {p} simulated Hopper ranks\n");
+
+    let seed = TuningParams::seed(&spec);
+    let seed_time = fft3_simulated(hopper(), spec, Variant::New, seed, false).time;
+    let fftw_time = fft3_simulated(hopper(), spec, Variant::Fftw, seed, false).time;
+    println!("FFTW baseline : {fftw_time:.4}s");
+    println!("NEW @ seed    : {seed_time:.4}s  ({:.2}× over FFTW)", fftw_time / seed_time);
+
+    // The tuning objective excludes FFTz/Transpose (§4.4 technique 3).
+    let result = tune_new(
+        &spec,
+        |params| fft3_simulated(hopper(), spec, Variant::New, *params, true).time,
+        DEFAULT_MAX_EVALS,
+    );
+
+    println!("\ntuning trajectory (objective excludes FFTz/Transpose):");
+    let mut best_so_far = f64::INFINITY;
+    for (i, (params, v)) in result.history.iter().enumerate() {
+        if *v < best_so_far {
+            best_so_far = *v;
+            println!("  eval {:>3}: {:.4}s  T={} W={} F=({},{},{},{})",
+                i + 1, v, params.t, params.w, params.fy, params.fp, params.fu, params.fx);
+        }
+    }
+    println!(
+        "\n{} executed / {} cache hits / {} infeasible rejections (of {} requests)",
+        result.executed, result.cache_hits, result.infeasible, result.requests
+    );
+
+    let tuned_time = fft3_simulated(hopper(), spec, Variant::New, result.best, false).time;
+    println!("\nbest configuration: {:?}", result.best);
+    println!("NEW @ tuned   : {tuned_time:.4}s  ({:.2}× over FFTW)", fftw_time / tuned_time);
+    println!("simulated auto-tuning cost: {:.1}s of cluster time", result.tuning_cost);
+    assert!(tuned_time <= seed_time * 1.0001, "tuning must not regress");
+}

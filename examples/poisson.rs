@@ -1,0 +1,114 @@
+//! Spectral Poisson solver — the "differential equation solving" use case
+//! from the paper's introduction.
+//!
+//! Solves `−∇²u = f` on the periodic box `[0, 2π)³` by a forward
+//! distributed 3-D FFT, division by `|k|²`, and a backward distributed
+//! FFT, then checks against the analytic solution.
+//!
+//! ```sh
+//! cargo run --release --example poisson
+//! ```
+
+use cfft::planner::Rigor;
+use cfft::{Complex64, Direction};
+use fft3d::real_env::fft3_dist;
+use fft3d::{ProblemSpec, TuningParams, Variant};
+use fft3d_repro::{extract_slab, gather_full, wavenumber};
+
+/// Right-hand side: f = 14·sin(x)·cos(2y)·sin(3z) so that the analytic
+/// solution of −∇²u = f is u = sin(x)·cos(2y)·sin(3z) (|k|² = 1+4+9 = 14).
+fn rhs(x: f64, y: f64, z: f64) -> f64 {
+    14.0 * x.sin() * (2.0 * y).cos() * (3.0 * z).sin()
+}
+
+fn exact(x: f64, y: f64, z: f64) -> f64 {
+    x.sin() * (2.0 * y).cos() * (3.0 * z).sin()
+}
+
+fn main() {
+    let n = 32;
+    let spec = ProblemSpec::cube(n, 4);
+    let params = TuningParams::seed(&spec);
+    let h = 2.0 * std::f64::consts::PI / n as f64;
+    println!("solving −∇²u = f spectrally on a {n}³ periodic grid, {} ranks", spec.p);
+
+    let max_err = mpisim::run(spec.p, move |comm| {
+        // Build this rank's x-slab of f.
+        let decomp = fft3d::decomp::Decomp::new(spec.nx, spec.ny, spec.p);
+        let nxl = decomp.x.count(comm.rank());
+        let xoff = decomp.x.offset(comm.rank());
+        let mut slab = Vec::with_capacity(nxl * n * n);
+        for xl in 0..nxl {
+            for y in 0..n {
+                for z in 0..n {
+                    let (xf, yf, zf) = ((xoff + xl) as f64 * h, y as f64 * h, z as f64 * h);
+                    slab.push(Complex64::new(rhs(xf, yf, zf), 0.0));
+                }
+            }
+        }
+
+        // Forward transform (overlapped NEW pipeline).
+        let fwd = fft3_dist(
+            &comm,
+            spec,
+            Variant::New,
+            params,
+            Direction::Forward,
+            Rigor::Estimate,
+            &slab,
+        );
+
+        // Divide by |k|² in spectral space. The examples keep this simple
+        // by assembling the full spectrum; production codes scale their
+        // distributed slab directly.
+        let mut spectrum = gather_full(&comm, &spec, &fwd);
+        for kx in 0..n {
+            for ky in 0..n {
+                for kz in 0..n {
+                    let k2 = wavenumber(kx, n).powi(2)
+                        + wavenumber(ky, n).powi(2)
+                        + wavenumber(kz, n).powi(2);
+                    let idx = (kx * n + ky) * n + kz;
+                    spectrum[idx] = if k2 == 0.0 {
+                        Complex64::ZERO // zero-mean gauge for the DC mode
+                    } else {
+                        spectrum[idx] / k2
+                    };
+                }
+            }
+        }
+
+        // Backward transform and 1/N³ normalisation.
+        let spec_slab = extract_slab(&spectrum, &spec, comm.rank());
+        let bwd = fft3_dist(
+            &comm,
+            spec,
+            Variant::New,
+            params,
+            Direction::Backward,
+            Rigor::Estimate,
+            &spec_slab,
+        );
+        let u = gather_full(&comm, &spec, &bwd);
+        let scale = 1.0 / (spec.len() as f64);
+
+        // Compare with the analytic solution.
+        let mut err = 0.0f64;
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    let got = u[(x * n + y) * n + z].re * scale;
+                    let want = exact(x as f64 * h, y as f64 * h, z as f64 * h);
+                    err = err.max((got - want).abs());
+                }
+            }
+        }
+        err
+    })
+    .into_iter()
+    .fold(0.0, f64::max);
+
+    println!("max |u − u_exact| = {max_err:.3e}");
+    assert!(max_err < 1e-10, "spectral Poisson solve should be exact to rounding");
+    println!("solved ✓ (spectral accuracy, as expected for a band-limited RHS)");
+}

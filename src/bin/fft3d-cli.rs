@@ -1,0 +1,132 @@
+//! Command-line driver: run a distributed 3-D FFT (real data, thread
+//! runtime) or a simulated cluster run, from the shell.
+//!
+//! ```sh
+//! fft3d-cli real --n 64 --p 4 --variant new
+//! fft3d-cli sim  --n 512 --p 32 --platform hopper --variant fftw
+//! fft3d-cli tune --n 256 --p 16 --platform umd
+//! ```
+
+use cfft::planner::Rigor;
+use cfft::Direction;
+use fft3d::real_env::{compare_with_serial, fft3_dist, local_test_slab};
+use fft3d::serial::{fft3_serial, full_test_array};
+use fft3d::{fft3_simulated, ProblemSpec, TuningParams, Variant};
+use tuner::driver::{tune_new, DEFAULT_MAX_EVALS};
+
+struct Args {
+    n: usize,
+    p: usize,
+    platform: String,
+    variant: Variant,
+    verify: bool,
+}
+
+fn parse(mut raw: impl Iterator<Item = String>) -> (String, Args) {
+    let mode = raw.next().unwrap_or_else(|| usage("missing mode"));
+    let mut args =
+        Args { n: 64, p: 4, platform: "umd".into(), variant: Variant::New, verify: true };
+    while let Some(flag) = raw.next() {
+        let mut val = || raw.next().unwrap_or_else(|| usage("missing value"));
+        match flag.as_str() {
+            "--n" => args.n = val().parse().unwrap_or_else(|_| usage("bad --n")),
+            "--p" => args.p = val().parse().unwrap_or_else(|_| usage("bad --p")),
+            "--platform" => args.platform = val(),
+            "--variant" => {
+                args.variant = match val().as_str() {
+                    "new" => Variant::New,
+                    "th" => Variant::Th,
+                    "fftw" => Variant::Fftw,
+                    other => usage(&format!("unknown variant {other}")),
+                }
+            }
+            "--no-verify" => args.verify = false,
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    (mode, args)
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: fft3d-cli <real|sim|tune> [--n N] [--p P] \
+         [--platform umd|hopper] [--variant new|th|fftw] [--no-verify]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let (mode, args) = parse(std::env::args().skip(1));
+    let spec = ProblemSpec::cube(args.n, args.p);
+    let params = TuningParams::seed(&spec);
+
+    match mode.as_str() {
+        "real" => {
+            println!("real run: {}³ on {} ranks, {:?}", args.n, args.p, args.variant);
+            let reference = if args.verify {
+                let mut r = full_test_array(spec.nx, spec.ny, spec.nz);
+                fft3_serial(&mut r, spec.nx, spec.ny, spec.nz, Direction::Forward);
+                Some(std::sync::Arc::new(r))
+            } else {
+                None
+            };
+            let variant = args.variant;
+            let results = mpisim::run(spec.p, move |comm| {
+                let input = local_test_slab(&spec, comm.rank());
+                let t0 = std::time::Instant::now();
+                let out = fft3_dist(
+                    &comm,
+                    spec,
+                    variant,
+                    params,
+                    Direction::Forward,
+                    Rigor::Estimate,
+                    &input,
+                );
+                let wall = t0.elapsed().as_secs_f64();
+                let err = reference
+                    .as_ref()
+                    .map(|r| compare_with_serial(&spec, comm.rank(), &out, r));
+                (wall, err, out.stats.steps)
+            });
+            let slowest = results.iter().map(|r| r.0).fold(0.0, f64::max);
+            println!("wall time (slowest rank): {slowest:.4}s");
+            println!("rank 0 breakdown:\n{}", results[0].2);
+            if let Some(err) = results.iter().filter_map(|r| r.1).fold(None, |a: Option<f64>, e| {
+                Some(a.map_or(e, |x| x.max(e)))
+            }) {
+                println!("max |distributed − serial| = {err:.3e}");
+                assert!(err < 1e-8 * spec.len() as f64, "verification failed");
+                println!("verified ✓");
+            }
+        }
+        "sim" => {
+            let platform = simnet::model::by_name(&args.platform)
+                .unwrap_or_else(|| usage("unknown platform"));
+            println!(
+                "simulated run: {}³ on {} ranks of {}, {:?}",
+                args.n, args.p, platform.name, args.variant
+            );
+            let rep = fft3_simulated(platform, spec, args.variant, params, false);
+            println!("modeled time: {:.4}s", rep.time);
+            println!("breakdown:\n{}", rep.steps);
+        }
+        "tune" => {
+            let platform = simnet::model::by_name(&args.platform)
+                .unwrap_or_else(|| usage("unknown platform"));
+            println!("tuning NEW: {}³ on {} ranks of {}", args.n, args.p, platform.name);
+            let result = tune_new(
+                &spec,
+                |p| fft3_simulated(platform.clone(), spec, Variant::New, *p, true).time,
+                DEFAULT_MAX_EVALS,
+            );
+            println!("best configuration: {:?}", result.best);
+            println!(
+                "objective {:.4}s after {} executed configurations ({:.1}s tuning cost)",
+                result.best_value, result.executed, result.tuning_cost
+            );
+        }
+        other => usage(&format!("unknown mode {other}")),
+    }
+}

@@ -1,0 +1,151 @@
+//! Cross-crate integration on the simulated backend: the qualitative
+//! claims of the paper's evaluation must hold as model-level invariants.
+
+use fft3d::{fft3_simulated, th_simulated, ProblemSpec, ThParams, TuningParams, Variant};
+use simnet::model::{hopper, umd_cluster};
+use tuner::driver::{tune_new, tune_th};
+
+#[test]
+fn tuned_new_beats_fftw_everywhere_reported() {
+    // Spot-check one cell per panel (the full sweep lives in repro_all).
+    for (plat, p, n) in [("umd", 16usize, 256usize), ("hopper", 32, 384)] {
+        let platform = if plat == "umd" { umd_cluster() } else { hopper() };
+        let spec = ProblemSpec::cube(n, p);
+        let tuned = tune_new(
+            &spec,
+            |params| fft3_simulated(platform.clone(), spec, Variant::New, *params, true).time,
+            120,
+        );
+        let new = fft3_simulated(platform.clone(), spec, Variant::New, tuned.best, false).time;
+        let fftw =
+            fft3_simulated(platform.clone(), spec, Variant::Fftw, tuned.best, false).time;
+        assert!(new < fftw, "{plat} p={p} N={n}: NEW {new:.3} vs FFTW {fftw:.3}");
+    }
+}
+
+#[test]
+fn tuning_never_loses_to_the_seed() {
+    let spec = ProblemSpec::cube(256, 16);
+    let seed_time =
+        fft3_simulated(umd_cluster(), spec, Variant::New, TuningParams::seed(&spec), true).time;
+    let tuned = tune_new(
+        &spec,
+        |params| fft3_simulated(umd_cluster(), spec, Variant::New, *params, true).time,
+        160,
+    );
+    assert!(tuned.best_value <= seed_time + 1e-12);
+}
+
+#[test]
+fn new_overlaps_more_than_th() {
+    // Figure 8's central claim, as an invariant over several settings.
+    for (p, n) in [(16usize, 256usize), (32, 384)] {
+        let spec = ProblemSpec::cube(n, p);
+        let params = TuningParams::seed(&spec);
+        let new = fft3_simulated(umd_cluster(), spec, Variant::New, params, false);
+        let th = th_simulated(umd_cluster(), spec, ThParams::seed(&spec), false);
+        assert!(
+            new.steps.wait < th.steps.wait,
+            "p={p} N={n}: NEW wait {:.3} must be < TH wait {:.3}",
+            new.steps.wait,
+            th.steps.wait
+        );
+    }
+}
+
+#[test]
+fn breakdown_sums_are_consistent_with_elapsed() {
+    let spec = ProblemSpec::cube(256, 16);
+    let params = TuningParams::seed(&spec);
+    let rep = fft3_simulated(hopper(), spec, Variant::New, params, false);
+    for stats in &rep.per_rank {
+        let sum = stats.steps.total();
+        // A rank is always doing exactly one accounted thing, so the busy
+        // sum must match elapsed up to rounding.
+        assert!(
+            (sum - stats.elapsed).abs() < 1e-6 + 0.01 * stats.elapsed,
+            "sum {sum:.4} vs elapsed {:.4}",
+            stats.elapsed
+        );
+    }
+}
+
+#[test]
+fn more_ranks_reduce_time_for_fixed_problem() {
+    let n = 512;
+    let t16 =
+        fft3_simulated(hopper(), ProblemSpec::cube(n, 16), Variant::New, TuningParams::seed(&ProblemSpec::cube(n, 16)), false)
+            .time;
+    let t32 =
+        fft3_simulated(hopper(), ProblemSpec::cube(n, 32), Variant::New, TuningParams::seed(&ProblemSpec::cube(n, 32)), false)
+            .time;
+    assert!(t32 < t16, "strong scaling must hold at this size: {t32:.3} vs {t16:.3}");
+}
+
+#[test]
+fn window_zero_means_no_test_calls() {
+    let spec = ProblemSpec::cube(128, 8);
+    let params = TuningParams::seed(&spec).without_overlap();
+    let rep = fft3_simulated(umd_cluster(), spec, Variant::New, params, false);
+    for stats in &rep.per_rank {
+        assert_eq!(stats.tests, 0, "NEW-0 must not poll");
+    }
+    assert_eq!(rep.steps.test, 0.0);
+}
+
+#[test]
+fn th_tuning_explores_a_smaller_space() {
+    let spec = ProblemSpec::cube(256, 16);
+    let new = tune_new(
+        &spec,
+        |params| fft3_simulated(umd_cluster(), spec, Variant::New, *params, true).time,
+        160,
+    );
+    let th = tune_th(
+        &spec,
+        |params| th_simulated(umd_cluster(), spec, *params, true).time,
+        160,
+    );
+    assert!(
+        th.executed < new.executed,
+        "3-dim TH ({}) must execute fewer configs than 10-dim NEW ({})",
+        th.executed,
+        new.executed
+    );
+}
+
+#[test]
+fn cross_platform_configs_are_suboptimal() {
+    // Figure 9 as an invariant: tune on Hopper, run on UMD, compare with
+    // native UMD tuning.
+    let spec = ProblemSpec::cube(256, 16);
+    let umd_tuned = tune_new(
+        &spec,
+        |params| fft3_simulated(umd_cluster(), spec, Variant::New, *params, true).time,
+        160,
+    );
+    let hop_tuned = tune_new(
+        &spec,
+        |params| fft3_simulated(hopper(), spec, Variant::New, *params, true).time,
+        160,
+    );
+    let native = fft3_simulated(umd_cluster(), spec, Variant::New, umd_tuned.best, false).time;
+    let cross = fft3_simulated(umd_cluster(), spec, Variant::New, hop_tuned.best, false).time;
+    assert!(
+        native <= cross * 1.001,
+        "natively tuned {native:.4} must not lose to cross-tuned {cross:.4}"
+    );
+}
+
+#[test]
+fn determinism_across_repetitions() {
+    let spec = ProblemSpec::cube(384, 32);
+    let params = TuningParams::seed(&spec);
+    let a = fft3_simulated(hopper(), spec, Variant::New, params, false);
+    let b = fft3_simulated(hopper(), spec, Variant::New, params, false);
+    assert_eq!(a.time, b.time);
+    for (x, y) in a.per_rank.iter().zip(&b.per_rank) {
+        assert_eq!(x.elapsed, y.elapsed);
+        assert_eq!(x.tests, y.tests);
+    }
+}
