@@ -8,21 +8,25 @@
 
 use cfft::planner::Rigor;
 use cfft::Direction;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fft3d::real_env::{fft3_dist, local_test_slab};
 use fft3d::{ProblemSpec, TuningParams, Variant};
+use std::time::Duration;
 
 fn bench_variants(c: &mut Criterion) {
     let mut g = c.benchmark_group("distributed_real");
-    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for n in [32usize, 64] {
         let spec = ProblemSpec::cube(n, 4);
         let params = TuningParams::seed(&spec);
         g.throughput(Throughput::Elements(spec.len() as u64));
-        for (label, variant) in
-            [("new", Variant::New), ("th", Variant::Th), ("fftw_style", Variant::Fftw)]
-        {
+        for (label, variant) in [
+            ("new", Variant::New),
+            ("th", Variant::Th),
+            ("fftw_style", Variant::Fftw),
+        ] {
             g.bench_with_input(
                 BenchmarkId::new(label, format!("{n}cubed_p4")),
                 &spec,
@@ -51,7 +55,9 @@ fn bench_variants(c: &mut Criterion) {
 
 fn bench_serial_reference(c: &mut Criterion) {
     let mut g = c.benchmark_group("serial_reference");
-    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for n in [32usize, 64] {
         let x = fft3d::serial::full_test_array(n, n, n);
         g.throughput(Throughput::Elements((n * n * n) as u64));

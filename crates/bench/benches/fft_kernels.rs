@@ -6,16 +6,20 @@ use cfft::mixed::MixedRadixPlan;
 use cfft::planner::{Planner, Rigor};
 use cfft::radix2::Radix2Plan;
 use cfft::{Complex64, Direction};
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
 
 fn signal(n: usize) -> Vec<Complex64> {
-    (0..n).map(|j| Complex64::new((j as f64 * 0.1).sin(), (j as f64 * 0.07).cos())).collect()
+    (0..n)
+        .map(|j| Complex64::new((j as f64 * 0.1).sin(), (j as f64 * 0.07).cos()))
+        .collect()
 }
 
 fn bench_power_of_two_strategies(c: &mut Criterion) {
     let mut g = c.benchmark_group("pow2_kernels");
-    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for n in [256usize, 1024, 4096] {
         g.throughput(Throughput::Elements(n as u64));
         let x = signal(n);
@@ -39,7 +43,9 @@ fn bench_power_of_two_strategies(c: &mut Criterion) {
 fn bench_paper_line_lengths(c: &mut Criterion) {
     // The 1-D lengths the paper's grids induce: 256..2048 per line.
     let mut g = c.benchmark_group("paper_line_lengths");
-    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let mut planner = Planner::new(Rigor::Measure);
     for n in [256usize, 384, 512, 640, 1280, 2048] {
         g.throughput(Throughput::Elements(n as u64));
@@ -56,7 +62,9 @@ fn bench_paper_line_lengths(c: &mut Criterion) {
 
 fn bench_bluestein_primes(c: &mut Criterion) {
     let mut g = c.benchmark_group("bluestein_primes");
-    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for n in [251usize, 509, 1021] {
         g.throughput(Throughput::Elements(n as u64));
         let plan = BluesteinPlan::new(n, Direction::Forward);

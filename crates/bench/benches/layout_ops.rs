@@ -4,12 +4,14 @@
 
 use cfft::transpose::{permute3, transpose2, xzy_fast, Dims3, XYZ_TO_ZXY};
 use cfft::Complex64;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
 
 fn cube(n: usize) -> (Dims3, Vec<Complex64>) {
     let d = Dims3::new(n, n, n);
-    let v = (0..d.len()).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+    let v = (0..d.len())
+        .map(|i| Complex64::new(i as f64, -(i as f64)))
+        .collect();
     (d, v)
 }
 
@@ -26,7 +28,9 @@ fn naive_zxy(src: &[Complex64], dst: &mut [Complex64], d: Dims3) {
 
 fn bench_transpose_tiers(c: &mut Criterion) {
     let mut g = c.benchmark_group("transpose_tiers");
-    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for n in [32usize, 64] {
         let (d, src) = cube(n);
         g.throughput(Throughput::Bytes((d.len() * 16) as u64));
@@ -46,10 +50,11 @@ fn bench_transpose_tiers(c: &mut Criterion) {
 
 fn bench_transpose2(c: &mut Criterion) {
     let mut g = c.benchmark_group("transpose2d");
-    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for n in [256usize, 1024] {
-        let src: Vec<Complex64> =
-            (0..n * n).map(|i| Complex64::new(i as f64, 0.0)).collect();
+        let src: Vec<Complex64> = (0..n * n).map(|i| Complex64::new(i as f64, 0.0)).collect();
         let mut dst = vec![Complex64::ZERO; n * n];
         g.throughput(Throughput::Bytes((n * n * 16) as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {

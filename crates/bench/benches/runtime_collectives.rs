@@ -2,12 +2,14 @@
 //! test-progressed non-blocking all-to-all, and the barrier.
 
 use cfft::Complex64;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
 
 fn bench_alltoall(c: &mut Criterion) {
     let mut g = c.benchmark_group("alltoall");
-    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for (p, count) in [(4usize, 1024usize), (8, 1024), (4, 16384)] {
         let bytes = (p * count * 16) as u64;
         g.throughput(Throughput::Bytes(bytes));
@@ -32,7 +34,8 @@ fn bench_alltoall(c: &mut Criterion) {
                 b.iter(|| {
                     mpisim::run(p, move |comm| {
                         let send = vec![Complex64::new(comm.rank() as f64, 0.0); p * count];
-                        let mut req = comm.ialltoall(&send, count, vec![Complex64::ZERO; p * count]);
+                        let mut req =
+                            comm.ialltoall(&send, count, vec![Complex64::ZERO; p * count]);
                         while !req.test(&comm) {
                             std::hint::spin_loop();
                         }
@@ -47,7 +50,9 @@ fn bench_alltoall(c: &mut Criterion) {
 
 fn bench_barrier(c: &mut Criterion) {
     let mut g = c.benchmark_group("barrier");
-    g.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for p in [2usize, 8, 16] {
         g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
             b.iter(|| {

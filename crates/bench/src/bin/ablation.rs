@@ -29,9 +29,14 @@ fn main() {
     let full = fft3_simulated(platform.clone(), spec, Variant::New, tuned, false).time;
 
     // (1) Remove overlap entirely (W = F* = 0): the paper's NEW-0.
-    let no_overlap =
-        fft3_simulated(platform.clone(), spec, Variant::New, tuned.without_overlap(), false)
-            .time;
+    let no_overlap = fft3_simulated(
+        platform.clone(),
+        spec,
+        Variant::New,
+        tuned.without_overlap(),
+        false,
+    )
+    .time;
 
     // (2) Keep the window but never poll: rounds progress only inside Wait
     //     (the §3.3 manual-progression motivation).
@@ -39,7 +44,13 @@ fn main() {
         platform.clone(),
         spec,
         Variant::New,
-        TuningParams { fy: 0, fp: 0, fu: 0, fx: 0, ..tuned },
+        TuningParams {
+            fy: 0,
+            fp: 0,
+            fu: 0,
+            fx: 0,
+            ..tuned
+        },
         false,
     )
     .time;
@@ -51,7 +62,13 @@ fn main() {
         platform.clone(),
         spec,
         Variant::New,
-        TuningParams { px: nxl.max(1), pz: tuned.t, uy: nyl.max(1), uz: tuned.t, ..tuned },
+        TuningParams {
+            px: nxl.max(1),
+            pz: tuned.t,
+            uy: nyl.max(1),
+            uz: tuned.t,
+            ..tuned
+        },
         false,
     )
     .time;

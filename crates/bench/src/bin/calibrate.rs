@@ -4,11 +4,10 @@
 //!
 //! Usage: `cargo run -p fft-bench --release --bin calibrate`
 
-use fft_bench::paper::TABLE2;
 use fft3d::{fft3_simulated, th_simulated, ProblemSpec, ThParams, TuningParams, Variant};
+use fft_bench::paper::TABLE2;
 use simnet::model::{hopper, umd_cluster, Platform};
 use std::time::Instant;
-
 
 fn platform(name: &str) -> Platform {
     match name {
@@ -20,7 +19,17 @@ fn platform(name: &str) -> Platform {
 fn main() {
     println!(
         "{:<8} {:>4} {:>5} | {:>8} {:>8} {:>6} | {:>8} {:>8} | {:>8} {:>8} | {:>6}",
-        "plat", "p", "N", "fftw(p)", "fftw(m)", "ratio", "new(p)", "new(m)", "th(p)", "th(m)", "wall"
+        "plat",
+        "p",
+        "N",
+        "fftw(p)",
+        "fftw(m)",
+        "ratio",
+        "new(p)",
+        "new(m)",
+        "th(p)",
+        "th(m)",
+        "wall"
     );
     let mut log_err_sum = 0.0;
     for &(plat, p, n, fftw_p, new_p, th_p) in TABLE2 {

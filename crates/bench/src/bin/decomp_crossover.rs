@@ -15,7 +15,10 @@ use fft3d::{fft3_simulated, ProblemSpec, TuningParams, Variant};
 use simnet::model::hopper;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
     println!("slab vs pencil on the Hopper model, N = {n}³\n");
     println!(
         "{:>6} | {:>12} | {:>12} | {:>14} | {:>10}",
@@ -31,16 +34,30 @@ fn main() {
             let spec = ProblemSpec::cube(n, p);
             let pencil = pencil_simulated(hopper(), spec, grid);
             let ovl = pencil_overlap_simulated(hopper(), spec, grid, 2, 32);
-            println!("{p:>6} | {:>12} | {pencil:>12.4} | {ovl:>14.4} | {:>10}", "n/a", "pencil");
+            println!(
+                "{p:>6} | {:>12} | {pencil:>12.4} | {ovl:>14.4} | {:>10}",
+                "n/a", "pencil"
+            );
             continue;
         }
         let spec = ProblemSpec::cube(n, p);
-        let slab = fft3_simulated(hopper(), spec, Variant::New, TuningParams::seed(&spec), false).time;
+        let slab = fft3_simulated(
+            hopper(),
+            spec,
+            Variant::New,
+            TuningParams::seed(&spec),
+            false,
+        )
+        .time;
         let grid = PencilGrid::near_square(p);
         let pencil = pencil_simulated(hopper(), spec, grid);
         let ovl = pencil_overlap_simulated(hopper(), spec, grid, 2, 32);
         let best_pencil = pencil.min(ovl);
-        let winner = if slab <= best_pencil { "slab" } else { "pencil" };
+        let winner = if slab <= best_pencil {
+            "slab"
+        } else {
+            "pencil"
+        };
         if slab > best_pencil && crossover.is_none() {
             crossover = Some(p);
         }

@@ -17,7 +17,10 @@ use tuner::driver::tune_new;
 fn main() {
     let spec = ProblemSpec::cube(256, 16);
     let jitter = 0.08;
-    println!("noise study — UMD model with ±{:.0} % compute jitter, p = 16, N = 256³\n", jitter * 100.0);
+    println!(
+        "noise study — UMD model with ±{:.0} % compute jitter, p = 16, N = 256³\n",
+        jitter * 100.0
+    );
 
     // Spread of one configuration under noise. The simulator is
     // deterministic per (rank, draw-index), so vary the "run" by rotating
@@ -64,8 +67,7 @@ fn main() {
         160,
     )
     .best;
-    let regression =
-        fft3_simulated(umd_cluster(), spec, Variant::New, noisy_tuned, true).time;
+    let regression = fft3_simulated(umd_cluster(), spec, Variant::New, noisy_tuned, true).time;
     println!(
         "noise-free objective of the noise-free-tuned config : {noise_free_best:.4}s\n\
          noise-free objective of the noisily-tuned config    : {regression:.4}s\n\

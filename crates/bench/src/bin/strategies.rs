@@ -23,12 +23,19 @@ fn main() {
         "strategy comparison on the UMD model, N = {n}³, p = {p}, ≈{budget} executed configs\n"
     );
 
-    let objective =
-        |params: &TuningParams| fft3_simulated(umd_cluster(), spec, Variant::New, *params, true).time;
+    let objective = |params: &TuningParams| {
+        fft3_simulated(umd_cluster(), spec, Variant::New, *params, true).time
+    };
 
     let seed_val = objective(&TuningParams::seed(&spec));
-    println!("{:<22} {:>10} {:>8} {:>12}", "strategy", "best (s)", "execs", "tuning (s)");
-    println!("{:<22} {:>10.4} {:>8} {:>12}", "seed (no tuning)", seed_val, 1, "-");
+    println!(
+        "{:<22} {:>10} {:>8} {:>12}",
+        "strategy", "best (s)", "execs", "tuning (s)"
+    );
+    println!(
+        "{:<22} {:>10.4} {:>8} {:>12}",
+        "seed (no tuning)", seed_val, 1, "-"
+    );
 
     // NM requests ≈ 1.6 × executions in practice; give it a matching budget.
     let nm = tune_new(&spec, objective, budget * 8 / 5);
@@ -53,7 +60,10 @@ fn main() {
     let rs_cost: f64 = rs_values.iter().sum();
     println!(
         "{:<22} {:>10.4} {:>8} {:>12.1}",
-        "random search", rs_best, rs_values.len(), rs_cost
+        "random search",
+        rs_best,
+        rs_values.len(),
+        rs_cost
     );
 
     println!(

@@ -16,7 +16,10 @@ fn main() {
         panels.push(("Table 2(b) — Hopper", run_panel("hopper", HOPPER_CELLS)));
     }
     if which == "hopper-large" || which == "all" {
-        panels.push(("Table 2(c) — Hopper (large scale)", run_panel("hopper", HOPPER_LARGE_CELLS)));
+        panels.push((
+            "Table 2(c) — Hopper (large scale)",
+            run_panel("hopper", HOPPER_LARGE_CELLS),
+        ));
     }
     for (title, cells) in &panels {
         println!("\n## {title} (+ Figure 7 speedups)\n");

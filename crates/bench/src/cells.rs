@@ -92,18 +92,20 @@ pub fn run_cell(platform_tag: &'static str, p: usize, n: usize) -> CellResult {
     let platform = platform_by_tag(platform_tag);
     let spec = ProblemSpec::cube(n, p);
 
-    let fftw_report =
-        fft3_simulated(platform.clone(), spec, Variant::Fftw, TuningParams::seed(&spec), false);
+    let fftw_report = fft3_simulated(
+        platform.clone(),
+        spec,
+        Variant::Fftw,
+        TuningParams::seed(&spec),
+        false,
+    );
 
     let tuned_new = tune_new(
         &spec,
-        |params| {
-            fft3_simulated(platform.clone(), spec, Variant::New, *params, true).time
-        },
+        |params| fft3_simulated(platform.clone(), spec, Variant::New, *params, true).time,
         DEFAULT_MAX_EVALS,
     );
-    let new_report =
-        fft3_simulated(platform.clone(), spec, Variant::New, tuned_new.best, false);
+    let new_report = fft3_simulated(platform.clone(), spec, Variant::New, tuned_new.best, false);
 
     let tuned_th = tune_th(
         &spec,

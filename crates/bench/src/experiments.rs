@@ -10,8 +10,16 @@ use tuner::driver::{tune_new, tune_th, DEFAULT_MAX_EVALS};
 use tuner::random::{percentile_rank, random_search};
 
 /// The Table 2(a) cells.
-pub const UMD_CELLS: &[(usize, usize)] =
-    &[(16, 256), (16, 384), (16, 512), (16, 640), (32, 256), (32, 384), (32, 512), (32, 640)];
+pub const UMD_CELLS: &[(usize, usize)] = &[
+    (16, 256),
+    (16, 384),
+    (16, 512),
+    (16, 640),
+    (32, 256),
+    (32, 384),
+    (32, 512),
+    (32, 640),
+];
 /// The Table 2(b) cells.
 pub const HOPPER_CELLS: &[(usize, usize)] = UMD_CELLS;
 /// The Table 2(c) cells.
@@ -122,7 +130,12 @@ pub fn run_fig8_panel(platform_tag: &'static str, p: usize, n: usize) -> Fig8Pan
         false,
     );
     let th = th_simulated(platform.clone(), spec, tuned_th.best, false);
-    let th0 = th_simulated(platform.clone(), spec, tuned_th.best.without_overlap(), false);
+    let th0 = th_simulated(
+        platform.clone(),
+        spec,
+        tuned_th.best.without_overlap(),
+        false,
+    );
 
     Fig8Panel {
         title: format!("{platform_tag} (p = {p}, N³ = {n}³)"),
@@ -154,9 +167,7 @@ pub struct Fig9Row {
 /// Runs Figure 9 given already-tuned UMD and Hopper small-scale panels.
 pub fn run_fig9(umd: &[CellResult], hopper: &[CellResult]) -> Vec<Fig9Row> {
     let mut rows = Vec::new();
-    for (native_cells, foreign_cells, tag) in
-        [(umd, hopper, "umd"), (hopper, umd, "hopper")]
-    {
+    for (native_cells, foreign_cells, tag) in [(umd, hopper, "umd"), (hopper, umd, "hopper")] {
         for c in native_cells {
             let foreign = foreign_cells
                 .iter()

@@ -32,7 +32,8 @@ pub fn render_table2(cells: &[CellResult]) -> String {
     .unwrap();
     writeln!(s, "|---|---|---|---|---|---|---|---|---|---|---|---|---|").unwrap();
     for c in cells {
-        let (fp, np, tp) = paper_table2(c.platform, c.p, c.n).unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+        let (fp, np, tp) =
+            paper_table2(c.platform, c.p, c.n).unwrap_or((f64::NAN, f64::NAN, f64::NAN));
         writeln!(
             s,
             "| {} | {} | {}³ | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {:.2} | {:.2} | {:.2} | {:.2} |",
@@ -58,8 +59,16 @@ pub fn render_table2(cells: &[CellResult]) -> String {
 /// Renders Table 3 (tuned parameter values, paper beside measured).
 pub fn render_table3(cells: &[CellResult]) -> String {
     let mut s = String::new();
-    writeln!(s, "| plat | p | N | src | T | W | Px | Pz | Uy | Uz | Fy | Fp | Fu | Fx |").unwrap();
-    writeln!(s, "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|").unwrap();
+    writeln!(
+        s,
+        "| plat | p | N | src | T | W | Px | Pz | Uy | Uz | Fy | Fp | Fu | Fx |"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|"
+    )
+    .unwrap();
     for c in cells {
         if let Some(&(_, _, _, v)) = paper::TABLE3
             .iter()
@@ -93,12 +102,22 @@ pub fn render_table4(cells: &[CellResult]) -> String {
     .unwrap();
     writeln!(s, "|---|---|---|---|---|---|---|---|---|---|---|").unwrap();
     for c in cells {
-        let (fp, np, tp) = paper_table4(c.platform, c.p, c.n).unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+        let (fp, np, tp) =
+            paper_table4(c.platform, c.p, c.n).unwrap_or((f64::NAN, f64::NAN, f64::NAN));
         writeln!(
             s,
             "| {} | {} | {}³ | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} | {} | {} |",
-            c.platform, c.p, c.n, fp, c.fftw_tuning, np, c.new_tuning, tp, c.th_tuning,
-            c.new_evals, c.th_evals
+            c.platform,
+            c.p,
+            c.n,
+            fp,
+            c.fftw_tuning,
+            np,
+            c.new_tuning,
+            tp,
+            c.th_tuning,
+            c.new_evals,
+            c.th_evals
         )
         .unwrap();
     }
@@ -139,6 +158,31 @@ pub fn render_fig8_panel(
     s
 }
 
+/// Renders one rank's overlap-efficiency summary (derived from a trace —
+/// see `fft3d::trace`) as a small table.
+pub fn render_overlap(rank: usize, s: &fft3d::OverlapSummary) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "| rank | in-flight (s) | covered (s) | coverage | wait stall (s) | tests | tests/tile |"
+    )
+    .unwrap();
+    writeln!(out, "|---|---|---|---|---|---|---|").unwrap();
+    writeln!(
+        out,
+        "| {} | {:.4} | {:.4} | {:.1} % | {:.4} | {} | {:.1} |",
+        rank,
+        s.inflight,
+        s.covered,
+        100.0 * s.coverage,
+        s.wait_stall,
+        s.tests,
+        s.tests_per_tile
+    )
+    .unwrap();
+    out
+}
+
 /// ASCII cumulative-distribution rendering for Figure 5.
 pub fn render_cdf(values: &[f64], bins: usize) -> String {
     let mut sorted = values.to_vec();
@@ -162,8 +206,28 @@ mod tests {
     #[test]
     fn paper_lookups_work() {
         assert_eq!(paper_table2("umd", 16, 256), Some((0.369, 0.245, 0.319)));
-        assert_eq!(paper_table4("hopper", 256, 2048), Some((465.411, 224.744, 75.616)));
+        assert_eq!(
+            paper_table4("hopper", 256, 2048),
+            Some((465.411, 224.744, 75.616))
+        );
         assert_eq!(paper_table2("umd", 16, 999), None);
+    }
+
+    #[test]
+    fn overlap_rendering_includes_coverage_percent() {
+        let s = fft3d::OverlapSummary {
+            inflight: 2.0,
+            covered: 1.0,
+            coverage: 0.5,
+            wait_stall: 0.25,
+            tests: 12,
+            tests_completed: 3,
+            tiles: 4,
+            tests_per_tile: 3.0,
+        };
+        let out = render_overlap(0, &s);
+        assert!(out.contains("50.0 %"), "{out}");
+        assert!(out.contains("| 12 |"), "{out}");
     }
 
     #[test]

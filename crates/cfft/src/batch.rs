@@ -26,7 +26,11 @@ pub struct BatchLayout {
 impl BatchLayout {
     /// Contiguous lines laid end to end: `stride = 1`, `dist = n`.
     pub fn contiguous(n: usize, howmany: usize) -> Self {
-        BatchLayout { howmany, stride: 1, dist: n }
+        BatchLayout {
+            howmany,
+            stride: 1,
+            dist: n,
+        }
     }
 
     /// Smallest buffer length able to hold this batch of `n`-length lines.
@@ -119,7 +123,12 @@ mod tests {
         let mut data = signal(n * howmany);
         let orig = data.clone();
         let mut scratch = BatchScratch::for_plan(&plan);
-        execute_batch(&plan, &mut data, BatchLayout::contiguous(n, howmany), &mut scratch);
+        execute_batch(
+            &plan,
+            &mut data,
+            BatchLayout::contiguous(n, howmany),
+            &mut scratch,
+        );
         for l in 0..howmany {
             let want = dft(&orig[l * n..(l + 1) * n], Direction::Forward);
             assert!(max_abs_diff(&data[l * n..(l + 1) * n], &want) < 1e-9 * n as f64);
@@ -134,7 +143,11 @@ mod tests {
         let plan = planner.plan(rows, Direction::Forward);
         let mut data = signal(rows * cols);
         let orig = data.clone();
-        let layout = BatchLayout { howmany: cols, stride: cols, dist: 1 };
+        let layout = BatchLayout {
+            howmany: cols,
+            stride: cols,
+            dist: 1,
+        };
         let mut scratch = BatchScratch::for_plan(&plan);
         execute_batch(&plan, &mut data, layout, &mut scratch);
         for c in 0..cols {
@@ -147,7 +160,11 @@ mod tests {
 
     #[test]
     fn required_len_formula() {
-        let l = BatchLayout { howmany: 3, stride: 2, dist: 10 };
+        let l = BatchLayout {
+            howmany: 3,
+            stride: 2,
+            dist: 10,
+        };
         assert_eq!(l.required_len(4), 2 * 10 + 3 * 2 + 1);
         assert_eq!(BatchLayout::contiguous(8, 0).required_len(8), 0);
     }
@@ -159,7 +176,12 @@ mod tests {
         let plan = planner.plan(16, Direction::Forward);
         let mut data = signal(16);
         let mut scratch = BatchScratch::for_plan(&plan);
-        execute_batch(&plan, &mut data, BatchLayout::contiguous(16, 2), &mut scratch);
+        execute_batch(
+            &plan,
+            &mut data,
+            BatchLayout::contiguous(16, 2),
+            &mut scratch,
+        );
     }
 
     #[test]
@@ -172,7 +194,11 @@ mod tests {
         execute_batch(
             &plan,
             &mut data,
-            BatchLayout { howmany: 2, stride: 1, dist: 0 },
+            BatchLayout {
+                howmany: 2,
+                stride: 1,
+                dist: 0,
+            },
             &mut scratch,
         );
     }
@@ -183,6 +209,11 @@ mod tests {
         let plan = planner.plan(8, Direction::Forward);
         let mut data: Vec<Complex64> = vec![];
         let mut scratch = BatchScratch::for_plan(&plan);
-        execute_batch(&plan, &mut data, BatchLayout::contiguous(8, 0), &mut scratch);
+        execute_batch(
+            &plan,
+            &mut data,
+            BatchLayout::contiguous(8, 0),
+            &mut scratch,
+        );
     }
 }

@@ -68,7 +68,15 @@ impl BluesteinPlan {
         let mut chirp_hat = ext;
         fwd.execute(&mut chirp_hat, &mut scratch);
 
-        BluesteinPlan { n, m, dir, chirp, chirp_hat, fwd, bwd }
+        BluesteinPlan {
+            n,
+            m,
+            dir,
+            chirp,
+            chirp_hat,
+            fwd,
+            bwd,
+        }
     }
 
     /// Transform length.
@@ -112,7 +120,7 @@ impl BluesteinPlan {
 
         self.fwd.execute(a, ping);
         for (ai, hi) in a.iter_mut().zip(&self.chirp_hat) {
-            *ai = *ai * *hi;
+            *ai *= *hi;
         }
         self.bwd.execute(a, ping);
 

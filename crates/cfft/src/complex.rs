@@ -48,7 +48,10 @@ impl Complex64 {
     /// The complex conjugate `re - im·i`.
     #[inline(always)]
     pub fn conj(self) -> Self {
-        Complex64 { re: self.re, im: -self.im }
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// The squared magnitude `re² + im²`.
@@ -73,19 +76,28 @@ impl Complex64 {
     /// full complex multiply. Used by the radix-4 butterflies.
     #[inline(always)]
     pub fn mul_i(self) -> Self {
-        Complex64 { re: -self.im, im: self.re }
+        Complex64 {
+            re: -self.im,
+            im: self.re,
+        }
     }
 
     /// Multiplies by `-i` (a −90° rotation).
     #[inline(always)]
     pub fn mul_neg_i(self) -> Self {
-        Complex64 { re: self.im, im: -self.re }
+        Complex64 {
+            re: self.im,
+            im: -self.re,
+        }
     }
 
     /// Scales both components by a real factor.
     #[inline(always)]
     pub fn scale(self, s: f64) -> Self {
-        Complex64 { re: self.re * s, im: self.im * s }
+        Complex64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Fused multiply-add shape `self * b + c`, written so the optimizer can
@@ -109,7 +121,10 @@ impl Add for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn add(self, rhs: Complex64) -> Complex64 {
-        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -117,7 +132,10 @@ impl Sub for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn sub(self, rhs: Complex64) -> Complex64 {
-        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -156,7 +174,10 @@ impl Div<f64> for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn div(self, rhs: f64) -> Complex64 {
-        Complex64 { re: self.re / rhs, im: self.im / rhs }
+        Complex64 {
+            re: self.re / rhs,
+            im: self.im / rhs,
+        }
     }
 }
 
@@ -164,7 +185,10 @@ impl Neg for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn neg(self) -> Complex64 {
-        Complex64 { re: -self.re, im: -self.im }
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -288,7 +312,10 @@ mod tests {
             let t = k as f64 * std::f64::consts::PI / 8.0;
             let z = Complex64::cis(t);
             assert!((z.abs() - 1.0).abs() < 1e-14);
-            assert!((z.arg() - (t - if t > std::f64::consts::PI { 2.0 * std::f64::consts::PI } else { 0.0 })).abs() < 1e-12 || t == 0.0 || true);
+            // arg() is in (-pi, pi]; compare modulo 2pi so the t = pi
+            // boundary (where -pi and pi are the same angle) passes.
+            let diff = (z.arg() - t).rem_euclid(2.0 * std::f64::consts::PI);
+            assert!(diff < 1e-12 || (2.0 * std::f64::consts::PI - diff) < 1e-12);
         }
     }
 
@@ -319,7 +346,7 @@ mod tests {
 
     #[test]
     fn sum_folds_from_zero() {
-        let v = vec![Complex64::new(1.0, 1.0); 4];
+        let v = [Complex64::new(1.0, 1.0); 4];
         let s: Complex64 = v.iter().copied().sum();
         assert!(close(s, Complex64::new(4.0, 4.0)));
     }

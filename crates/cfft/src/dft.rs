@@ -88,8 +88,9 @@ mod tests {
     fn shift_theorem_holds() {
         // DFT(x[j-1]) = DFT(x)[k] * ω^k
         let n = 10;
-        let x: Vec<Complex64> =
-            (0..n).map(|j| Complex64::new((j as f64).sin(), (j as f64).cos())).collect();
+        let x: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::new((j as f64).sin(), (j as f64).cos()))
+            .collect();
         let mut shifted = x.clone();
         shifted.rotate_right(1);
         let yx = dft(&x, Direction::Forward);
@@ -103,8 +104,9 @@ mod tests {
     #[test]
     fn forward_then_backward_recovers_scaled_input() {
         let n = 9;
-        let x: Vec<Complex64> =
-            (0..n).map(|j| Complex64::new(j as f64, -(j as f64) * 0.5)).collect();
+        let x: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::new(j as f64, -(j as f64) * 0.5))
+            .collect();
         let y = dft(&x, Direction::Forward);
         let z = dft(&y, Direction::Backward);
         let rescaled: Vec<Complex64> = z.into_iter().map(|v| v / n as f64).collect();
@@ -114,8 +116,9 @@ mod tests {
     #[test]
     fn in_place_matches_out_of_place() {
         let n = 7;
-        let x: Vec<Complex64> =
-            (0..n).map(|j| Complex64::new(1.0 / (j + 1) as f64, j as f64)).collect();
+        let x: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::new(1.0 / (j + 1) as f64, j as f64))
+            .collect();
         let mut y = x.clone();
         dft_in_place(&mut y, Direction::Forward);
         assert!(max_abs_diff(&y, &dft(&x, Direction::Forward)) < 1e-13);

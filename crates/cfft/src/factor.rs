@@ -79,7 +79,7 @@ mod tests {
             if let Some(fs) = factorize(n) {
                 assert_eq!(fs.iter().product::<usize>(), n, "n={n}");
                 for f in fs {
-                    assert!(f == 4 || (f <= MAX_DIRECT_PRIME && f >= 2));
+                    assert!(f == 4 || (2..=MAX_DIRECT_PRIME).contains(&f));
                 }
             } else {
                 assert!(largest_prime_factor(n) > MAX_DIRECT_PRIME, "n={n}");

@@ -49,10 +49,7 @@ impl MixedRadixPlan {
     /// not handle (the planner then falls back to Bluestein).
     pub fn new(n: usize, dir: Direction) -> Option<Self> {
         let factors = factorize(n)?;
-        let radix_tables = factors
-            .iter()
-            .map(|&r| shared_table(r, dir))
-            .collect();
+        let radix_tables = factors.iter().map(|&r| shared_table(r, dir)).collect();
         Some(MixedRadixPlan {
             n,
             dir,
@@ -366,9 +363,8 @@ mod tests {
     #[test]
     fn matches_naive_dft_for_many_smooth_sizes() {
         for n in [
-            1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 16, 20, 21, 24, 25, 27, 30, 32, 35, 48,
-            49, 60, 64, 81, 100, 105, 121, 125, 128, 135, 169, 240, 243, 256, 343, 384, 512, 625,
-            640,
+            1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 16, 20, 21, 24, 25, 27, 30, 32, 35, 48, 49,
+            60, 64, 81, 100, 105, 121, 125, 128, 135, 169, 240, 243, 256, 343, 384, 512, 625, 640,
         ] {
             let (y, want) = run(n, Direction::Forward);
             let err = max_abs_diff(&y, &want);

@@ -106,7 +106,13 @@ impl Plan1d {
             Kernel::Bluestein(b) => 2 * b.conv_len(),
             Kernel::Rader(r) => r.scratch_len(),
         };
-        Some(Plan1d { n, dir, strategy, kernel, scratch_len })
+        Some(Plan1d {
+            n,
+            dir,
+            strategy,
+            kernel,
+            scratch_len,
+        })
     }
 
     /// Transform length.
@@ -168,7 +174,11 @@ pub struct Planner {
 impl Planner {
     /// A planner with the given rigor.
     pub fn new(rigor: Rigor) -> Self {
-        Planner { rigor, cache: HashMap::new(), planning_time: Duration::ZERO }
+        Planner {
+            rigor,
+            cache: HashMap::new(),
+            planning_time: Duration::ZERO,
+        }
     }
 
     /// The rigor this planner measures with.
@@ -239,15 +249,18 @@ impl Planner {
 
         let reps = self.rigor.reps(n).max(1);
         let mut best: Option<(Duration, Plan1d)> = None;
-        let mut data: Vec<Complex64> =
-            (0..n).map(|j| Complex64::new(j as f64 * 0.001, -(j as f64) * 0.002)).collect();
+        let mut data: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::new(j as f64 * 0.001, -(j as f64) * 0.002))
+            .collect();
         for strat in candidates {
             // Skip the quadratic kernel for sizes where it cannot win; its
             // measurement alone would dominate planning time.
             if strat == Strategy::Naive && n > 64 {
                 continue;
             }
-            let Some(plan) = Plan1d::with_strategy(n, dir, strat) else { continue };
+            let Some(plan) = Plan1d::with_strategy(n, dir, strat) else {
+                continue;
+            };
             let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
             // Warm-up run populates twiddle caches.
             plan.execute(&mut data, &mut scratch);
@@ -278,7 +291,9 @@ mod tests {
     use crate::dft::dft;
 
     fn signal(n: usize) -> Vec<Complex64> {
-        (0..n).map(|j| Complex64::new((j as f64).sin(), (j as f64 * 0.5).cos())).collect()
+        (0..n)
+            .map(|j| Complex64::new((j as f64).sin(), (j as f64 * 0.5).cos()))
+            .collect()
     }
 
     #[test]
@@ -289,7 +304,10 @@ mod tests {
             let x = signal(n);
             let mut y = x.clone();
             plan.execute_alloc(&mut y);
-            assert!(max_abs_diff(&y, &dft(&x, Direction::Forward)) < 1e-7 * n as f64, "n={n}");
+            assert!(
+                max_abs_diff(&y, &dft(&x, Direction::Forward)) < 1e-7 * n as f64,
+                "n={n}"
+            );
         }
     }
 
@@ -318,11 +336,23 @@ mod tests {
     #[test]
     fn estimate_picks_expected_strategies() {
         let mut planner = Planner::new(Rigor::Estimate);
-        assert_eq!(planner.plan(3, Direction::Forward).strategy(), Strategy::Naive);
-        assert_eq!(planner.plan(240, Direction::Forward).strategy(), Strategy::MixedRadix);
+        assert_eq!(
+            planner.plan(3, Direction::Forward).strategy(),
+            Strategy::Naive
+        );
+        assert_eq!(
+            planner.plan(240, Direction::Forward).strategy(),
+            Strategy::MixedRadix
+        );
         // 74 = 2·37 exceeds the direct-prime limit, so Bluestein handles it.
-        assert_eq!(planner.plan(74, Direction::Forward).strategy(), Strategy::Bluestein);
-        assert_eq!(planner.plan(2 * 997, Direction::Forward).strategy(), Strategy::Bluestein);
+        assert_eq!(
+            planner.plan(74, Direction::Forward).strategy(),
+            Strategy::Bluestein
+        );
+        assert_eq!(
+            planner.plan(2 * 997, Direction::Forward).strategy(),
+            Strategy::Bluestein
+        );
     }
 
     #[test]

@@ -119,7 +119,11 @@ impl RaderPlan {
         }
 
         // Cyclic convolution of length m via padded power-of-two FFTs.
-        let pad = if m.is_power_of_two() { m } else { (2 * m - 1).next_power_of_two() };
+        let pad = if m.is_power_of_two() {
+            m
+        } else {
+            (2 * m - 1).next_power_of_two()
+        };
         let fwd = MixedRadixPlan::new(pad, Direction::Forward).expect("pow2 is smooth");
         let bwd = MixedRadixPlan::new(pad, Direction::Backward).expect("pow2 is smooth");
 
@@ -142,7 +146,17 @@ impl RaderPlan {
         let mut kernel_hat = ext;
         fwd.execute(&mut kernel_hat, &mut scratch);
 
-        Some(RaderPlan { n, m, dir, perm_in, perm_out, kernel_hat, pad, fwd, bwd })
+        Some(RaderPlan {
+            n,
+            m,
+            dir,
+            perm_in,
+            perm_out,
+            kernel_hat,
+            pad,
+            fwd,
+            bwd,
+        })
     }
 
     /// Transform length (an odd prime).
@@ -168,7 +182,10 @@ impl RaderPlan {
     /// Executes the (unnormalised) prime-length DFT in place.
     pub fn execute(&self, data: &mut [Complex64], scratch: &mut [Complex64]) {
         assert_eq!(data.len(), self.n, "data length mismatch with plan");
-        assert!(scratch.len() >= 2 * self.pad, "scratch must hold 2·pad elements");
+        assert!(
+            scratch.len() >= 2 * self.pad,
+            "scratch must hold 2·pad elements"
+        );
         let (a, rest) = scratch.split_at_mut(self.pad);
         let ping = &mut rest[..self.pad];
 
@@ -185,7 +202,7 @@ impl RaderPlan {
 
         self.fwd.execute(a, ping);
         for (ai, ki) in a.iter_mut().zip(&self.kernel_hat) {
-            *ai = *ai * *ki;
+            *ai *= *ki;
         }
         self.bwd.execute(a, ping);
         let inv = 1.0 / self.pad as f64;

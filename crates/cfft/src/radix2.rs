@@ -37,7 +37,12 @@ impl Radix2Plan {
                 swaps.push((i, j));
             }
         }
-        Some(Radix2Plan { n, dir, table: shared_table(n.max(1), dir), swaps })
+        Some(Radix2Plan {
+            n,
+            dir,
+            table: shared_table(n.max(1), dir),
+            swaps,
+        })
     }
 
     /// Transform length.

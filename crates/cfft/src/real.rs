@@ -24,14 +24,22 @@ pub struct RealFftPlan {
 impl RealFftPlan {
     /// Builds a plan for real length `n` (must be even and ≥ 2).
     pub fn new(n: usize, rigor: Rigor) -> Self {
-        assert!(n >= 2 && n % 2 == 0, "real FFT length must be even and ≥ 2, got {n}");
+        assert!(
+            n >= 2 && n % 2 == 0,
+            "real FFT length must be even and ≥ 2, got {n}"
+        );
         let mut planner = Planner::new(rigor);
         let half_fwd = planner.plan(n / 2, Direction::Forward);
         let half_bwd = planner.plan(n / 2, Direction::Backward);
         let twiddle = (0..n / 2 + 1)
             .map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
             .collect();
-        RealFftPlan { n, half_fwd, half_bwd, twiddle }
+        RealFftPlan {
+            n,
+            half_fwd,
+            half_bwd,
+            twiddle,
+        }
     }
 
     /// Real transform length.
@@ -55,8 +63,9 @@ impl RealFftPlan {
         assert_eq!(spectrum.len(), h + 1, "spectrum length mismatch");
 
         // Pack even samples into re, odd into im.
-        let mut z: Vec<Complex64> =
-            (0..h).map(|j| Complex64::new(input[2 * j], input[2 * j + 1])).collect();
+        let mut z: Vec<Complex64> = (0..h)
+            .map(|j| Complex64::new(input[2 * j], input[2 * j + 1]))
+            .collect();
         let mut scratch = vec![Complex64::ZERO; self.half_fwd.scratch_len()];
         self.half_fwd.execute(&mut z, &mut scratch);
 
@@ -106,7 +115,9 @@ mod tests {
     use crate::dft::dft;
 
     fn real_signal(n: usize) -> Vec<f64> {
-        (0..n).map(|j| (j as f64 * 0.19).sin() + 0.3 * (j as f64 * 0.05).cos()).collect()
+        (0..n)
+            .map(|j| (j as f64 * 0.19).sin() + 0.3 * (j as f64 * 0.05).cos())
+            .collect()
     }
 
     #[test]

@@ -90,7 +90,11 @@ fn validate_perm(perm: AxisPerm) {
 pub fn permute3(src: &[Complex64], dst: &mut [Complex64], sd: Dims3, perm: AxisPerm) {
     validate_perm(perm);
     assert_eq!(src.len(), sd.len(), "source buffer does not match dims");
-    assert_eq!(dst.len(), sd.len(), "destination buffer does not match dims");
+    assert_eq!(
+        dst.len(),
+        sd.len(),
+        "destination buffer does not match dims"
+    );
     let dd = permuted_dims(sd, perm);
 
     // Inverse permutation: source axis s appears at destination axis inv[s].
@@ -127,7 +131,11 @@ pub fn permute3(src: &[Complex64], dst: &mut [Complex64], sd: Dims3, perm: AxisP
 /// `rows × cols` row-major matrix.
 pub fn transpose2(src: &[Complex64], dst: &mut [Complex64], rows: usize, cols: usize) {
     assert_eq!(src.len(), rows * cols, "source buffer does not match dims");
-    assert_eq!(dst.len(), rows * cols, "destination buffer does not match dims");
+    assert_eq!(
+        dst.len(),
+        rows * cols,
+        "destination buffer does not match dims"
+    );
     for br in (0..rows).step_by(BLOCK) {
         let er = (br + BLOCK).min(rows);
         for bc in (0..cols).step_by(BLOCK) {
@@ -146,10 +154,19 @@ pub fn transpose2(src: &[Complex64], dst: &mut [Complex64], rows: usize, cols: u
 /// the generic permutation, which is why the paper prefers it when legal.
 pub fn xzy_fast(src: &[Complex64], dst: &mut [Complex64], sd: Dims3) {
     assert_eq!(src.len(), sd.len(), "source buffer does not match dims");
-    assert_eq!(dst.len(), sd.len(), "destination buffer does not match dims");
+    assert_eq!(
+        dst.len(),
+        sd.len(),
+        "destination buffer does not match dims"
+    );
     let plane = sd.n1 * sd.n2;
     for i0 in 0..sd.n0 {
-        transpose2(&src[i0 * plane..(i0 + 1) * plane], &mut dst[i0 * plane..(i0 + 1) * plane], sd.n1, sd.n2);
+        transpose2(
+            &src[i0 * plane..(i0 + 1) * plane],
+            &mut dst[i0 * plane..(i0 + 1) * plane],
+            sd.n1,
+            sd.n2,
+        );
     }
 }
 
@@ -158,7 +175,9 @@ mod tests {
     use super::*;
 
     fn fill(d: Dims3) -> Vec<Complex64> {
-        (0..d.len()).map(|i| Complex64::new(i as f64, -(i as f64))).collect()
+        (0..d.len())
+            .map(|i| Complex64::new(i as f64, -(i as f64)))
+            .collect()
     }
 
     #[test]
@@ -217,8 +236,9 @@ mod tests {
     #[test]
     fn transpose2_blocked_vs_naive() {
         let (r, cdim) = (37, 23); // deliberately not multiples of BLOCK
-        let src: Vec<Complex64> =
-            (0..r * cdim).map(|i| Complex64::new(i as f64, 0.5 * i as f64)).collect();
+        let src: Vec<Complex64> = (0..r * cdim)
+            .map(|i| Complex64::new(i as f64, 0.5 * i as f64))
+            .collect();
         let mut dst = vec![Complex64::ZERO; r * cdim];
         transpose2(&src, &mut dst, r, cdim);
         for i in 0..r {

@@ -10,8 +10,11 @@ use cfft::{Complex64, Direction};
 use proptest::prelude::*;
 
 fn complex_vec(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
-    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n..=n)
-        .prop_map(|v| v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n..=n).prop_map(|v| {
+        v.into_iter()
+            .map(|(re, im)| Complex64::new(re, im))
+            .collect()
+    })
 }
 
 /// Lengths mixing smooth, prime, and awkward composites.

@@ -163,8 +163,16 @@ mod tests {
 
     #[test]
     fn add_and_scale() {
-        let a = StepTimes { fftz: 1.0, wait: 2.0, ..Default::default() };
-        let b = StepTimes { fftz: 0.5, test: 1.0, ..Default::default() };
+        let a = StepTimes {
+            fftz: 1.0,
+            wait: 2.0,
+            ..Default::default()
+        };
+        let b = StepTimes {
+            fftz: 0.5,
+            test: 1.0,
+            ..Default::default()
+        };
         let c = a + b;
         assert_eq!(c.fftz, 1.5);
         assert_eq!(c.wait, 2.0);
@@ -175,8 +183,16 @@ mod tests {
 
     #[test]
     fn max_is_elementwise() {
-        let a = StepTimes { fftz: 1.0, wait: 5.0, ..Default::default() };
-        let b = StepTimes { fftz: 2.0, wait: 1.0, ..Default::default() };
+        let a = StepTimes {
+            fftz: 1.0,
+            wait: 5.0,
+            ..Default::default()
+        };
+        let b = StepTimes {
+            fftz: 2.0,
+            wait: 1.0,
+            ..Default::default()
+        };
         let m = a.max(&b);
         assert_eq!(m.fftz, 2.0);
         assert_eq!(m.wait, 5.0);
@@ -187,7 +203,17 @@ mod tests {
         let names: Vec<&str> = StepTimes::default().entries().iter().map(|e| e.0).collect();
         assert_eq!(
             names,
-            vec!["FFTz", "Transpose", "FFTy", "Pack", "Unpack", "FFTx", "Ialltoall", "Wait", "Test"]
+            vec![
+                "FFTz",
+                "Transpose",
+                "FFTy",
+                "Pack",
+                "Unpack",
+                "FFTx",
+                "Ialltoall",
+                "Wait",
+                "Test"
+            ]
         );
     }
 }

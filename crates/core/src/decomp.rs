@@ -84,7 +84,10 @@ pub struct Decomp {
 impl Decomp {
     /// Builds the decomposition for `nx`, `ny` over `p` ranks.
     pub fn new(nx: usize, ny: usize, p: usize) -> Self {
-        Decomp { x: AxisSplit::new(nx, p), y: AxisSplit::new(ny, p) }
+        Decomp {
+            x: AxisSplit::new(nx, p),
+            y: AxisSplit::new(ny, p),
+        }
     }
 }
 
@@ -125,7 +128,10 @@ mod tests {
         let s = AxisSplit::new(17, 5); // counts 4,4,3,3,3
         for i in 0..17 {
             let r = s.owner(i);
-            assert!(i >= s.offset(r) && i < s.offset(r) + s.count(r), "i={i} r={r}");
+            assert!(
+                i >= s.offset(r) && i < s.offset(r) + s.count(r),
+                "i={i} r={r}"
+            );
         }
     }
 

@@ -36,6 +36,8 @@
 //! assert!(new.time < fftw.time); // overlap wins on the slow network
 //! ```
 
+// `x % n == 0` keeps the stated MSRV (1.85); `is_multiple_of` needs 1.87.
+#![allow(clippy::manual_is_multiple_of)]
 pub mod breakdown;
 pub mod decomp;
 pub mod multi;
@@ -45,8 +47,13 @@ pub mod pipeline;
 pub mod real_env;
 pub mod serial;
 pub mod sim_env;
+pub mod trace;
 
 pub use breakdown::{RunStats, StepTimes};
 pub use params::{ProblemSpec, ThParams, TuningParams};
-pub use real_env::{fft3_dist, OutLayout, RunOutput, Variant};
-pub use sim_env::{fft3_simulated, th_simulated, SimReport};
+pub use real_env::{fft3_dist, fft3_dist_traced, OutLayout, RunOutput, Variant};
+pub use sim_env::{fft3_simulated, fft3_simulated_traced, th_simulated, SimReport};
+pub use trace::{
+    derive_step_times, overlap_summary, trace_to_json, EventKind, MemRecorder, NoopRecorder,
+    OverlapSummary, Recorder, TraceEvent,
+};

@@ -45,11 +45,15 @@ struct MultiEnv<'a> {
 
 impl MultiEnv<'_> {
     fn nxl(&self) -> usize {
-        Decomp::new(self.spec.nx, self.spec.ny, self.spec.p).x.count(self.sim.rank())
+        Decomp::new(self.spec.nx, self.spec.ny, self.spec.p)
+            .x
+            .count(self.sim.rank())
     }
 
     fn nyl(&self) -> usize {
-        Decomp::new(self.spec.nx, self.spec.ny, self.spec.p).y.count(self.sim.rank())
+        Decomp::new(self.spec.nx, self.spec.ny, self.spec.p)
+            .y
+            .count(self.sim.rank())
     }
 
     fn tile_len(&self, tile: usize) -> usize {
@@ -70,8 +74,7 @@ impl MultiEnv<'_> {
     fn fixed_steps(&mut self, inflight: &mut [(usize, OpId)]) {
         let m = self.sim.platform().machine.clone();
         let fftz = m.fft_batch(self.spec.nz, (self.nxl() * self.spec.ny) as u64);
-        let bytes =
-            (self.nxl() * self.spec.ny * self.spec.nz) as u64 * ELEM_BYTES;
+        let bytes = (self.nxl() * self.spec.ny * self.spec.nz) as u64 * ELEM_BYTES;
         let transpose = m.transpose(bytes, self.transpose_cost);
         // Poll as often as a FFTy phase would, scaled to this duration.
         let polls = self.params.fy.max(self.params.fx);
@@ -109,15 +112,17 @@ impl OverlapEnv for MultiEnv<'_> {
         let tz = self.tile_len(tile);
         let m = self.sim.platform().machine.clone();
         let nxl = self.nxl();
-        let (c, t) =
-            self.phase(m.fft_batch(self.spec.ny, (nxl * tz) as u64), self.params.fy, inflight);
+        let (c, t) = self.phase(
+            m.fft_batch(self.spec.ny, (nxl * tz) as u64),
+            self.params.fy,
+            inflight,
+        );
         self.steps.ffty += c;
         self.steps.test += t;
         let tile_bytes = (tz * nxl * self.spec.ny) as u64 * ELEM_BYTES;
-        let subtile = (self.params.px.min(nxl.max(1))
-            * self.spec.ny
-            * self.params.pz.min(tz.max(1))) as u64
-            * ELEM_BYTES;
+        let subtile =
+            (self.params.px.min(nxl.max(1)) * self.spec.ny * self.params.pz.min(tz.max(1))) as u64
+                * ELEM_BYTES;
         let run = (self.spec.ny / self.spec.p.max(1)).max(1) as u64 * ELEM_BYTES;
         let (c, t) = self.phase(m.pack(tile_bytes, subtile, run), self.params.fp, inflight);
         self.steps.pack += c;
@@ -145,16 +150,18 @@ impl OverlapEnv for MultiEnv<'_> {
         let m = self.sim.platform().machine.clone();
         let nyl = self.nyl();
         let tile_bytes = (tz * nyl * self.spec.nx) as u64 * ELEM_BYTES;
-        let subtile = (self.spec.nx
-            * self.params.uy.min(nyl.max(1))
-            * self.params.uz.min(tz.max(1))) as u64
-            * ELEM_BYTES;
+        let subtile =
+            (self.spec.nx * self.params.uy.min(nyl.max(1)) * self.params.uz.min(tz.max(1))) as u64
+                * ELEM_BYTES;
         let run = (self.spec.nx / self.spec.p.max(1)).max(1) as u64 * ELEM_BYTES;
         let (c, t) = self.phase(m.pack(tile_bytes, subtile, run), self.params.fu, inflight);
         self.steps.unpack += c;
         self.steps.test += t;
-        let (c, t) =
-            self.phase(m.fft_batch(self.spec.nx, (nyl * tz) as u64), self.params.fx, inflight);
+        let (c, t) = self.phase(
+            m.fft_batch(self.spec.nx, (nyl * tz) as u64),
+            self.params.fx,
+            inflight,
+        );
         self.steps.fftx += c;
         self.steps.test += t;
     }
@@ -169,8 +176,11 @@ pub fn multi_simulated(
     narrays: usize,
 ) -> MultiReport {
     assert!(narrays >= 1);
-    let transpose_cost =
-        if spec.square_xy() { TransposeCost::Fast } else { TransposeCost::Generic };
+    let transpose_cost = if spec.square_xy() {
+        TransposeCost::Fast
+    } else {
+        TransposeCost::Generic
+    };
 
     let per_rank = run_sim(platform.clone(), spec.p, move |sim| {
         let start = sim.now();

@@ -18,7 +18,12 @@ impl ProblemSpec {
     /// A cubic problem (`N³` elements), the shape every experiment in the
     /// paper uses.
     pub fn cube(n: usize, p: usize) -> Self {
-        ProblemSpec { nx: n, ny: n, nz: n, p }
+        ProblemSpec {
+            nx: n,
+            ny: n,
+            nz: n,
+            p,
+        }
     }
 
     /// Total element count.
@@ -100,14 +105,23 @@ impl TuningParams {
     /// must be ≥ 1 and ≤ Nz, and the sub-tile size Pz must be ≥ 1 and
     /// ≤ T", etc.) against `spec`.
     pub fn validate(&self, spec: &ProblemSpec) -> Result<(), ParamError> {
+        self.validate_without_window(spec)?;
+        let tiles = spec.nz.div_ceil(self.t);
+        if self.w < 1 || self.w > tiles {
+            return Err(ParamError::Window(self.w));
+        }
+        Ok(())
+    }
+
+    /// [`Self::validate`] minus the window-range rule: the checks that must
+    /// hold even for the non-overlapped NEW-0 encoding (`w = 0`), where a
+    /// window constraint is meaningless but a zero `Px`/`Uy`/`T` would still
+    /// divide by zero deeper in the pipeline.
+    pub fn validate_without_window(&self, spec: &ProblemSpec) -> Result<(), ParamError> {
         let nxl = spec.nx.div_ceil(spec.p);
         let nyl = spec.ny.div_ceil(spec.p);
         if self.t < 1 || self.t > spec.nz {
             return Err(ParamError::TileSize(self.t));
-        }
-        let tiles = spec.nz.div_ceil(self.t);
-        if self.w < 1 || self.w > tiles {
-            return Err(ParamError::Window(self.w));
         }
         if self.px < 1 || self.px > nxl {
             return Err(ParamError::PackX(self.px));
@@ -147,7 +161,18 @@ impl TuningParams {
         let uz = (8192 / spec.nx.max(1) / uy.max(1)).clamp(1, t);
         let f = (spec.p / 2).max(1) as u32;
         let tiles = spec.nz.div_ceil(t);
-        TuningParams { t, w: 2.min(tiles), px, pz, uy, uz, fy: f, fp: f, fu: f, fx: f }
+        TuningParams {
+            t,
+            w: 2.min(tiles),
+            px,
+            pz,
+            uy,
+            uz,
+            fy: f,
+            fp: f,
+            fu: f,
+            fx: f,
+        }
     }
 
     /// The non-overlapped variant of a configuration: the paper's NEW-0
@@ -185,10 +210,7 @@ pub struct ThParams {
 impl ThParams {
     /// Feasibility for `spec` (same T/W rules as NEW).
     pub fn is_feasible(&self, spec: &ProblemSpec) -> bool {
-        self.t >= 1
-            && self.t <= spec.nz
-            && self.w >= 1
-            && self.w <= spec.nz.div_ceil(self.t)
+        self.t >= 1 && self.t <= spec.nz && self.w >= 1 && self.w <= spec.nz.div_ceil(self.t)
     }
 
     /// Number of communication tiles.
@@ -199,7 +221,11 @@ impl ThParams {
     /// Default starting point for tuning.
     pub fn seed(spec: &ProblemSpec) -> ThParams {
         let t = (spec.nz / 16).max(1);
-        ThParams { t, w: 2.min(spec.nz.div_ceil(t)), f: (spec.p as u32 / 2).max(1) }
+        ThParams {
+            t,
+            w: 2.min(spec.nz.div_ceil(t)),
+            f: (spec.p as u32 / 2).max(1),
+        }
     }
 
     /// Non-overlapped TH-0 variant.
@@ -224,7 +250,10 @@ mod tests {
             for p in [16usize, 32, 128, 256] {
                 let s = ProblemSpec::cube(n, p);
                 let seed = TuningParams::seed(&s);
-                assert!(seed.is_feasible(&s), "seed infeasible for N={n} p={p}: {seed:?}");
+                assert!(
+                    seed.is_feasible(&s),
+                    "seed infeasible for N={n} p={p}: {seed:?}"
+                );
             }
         }
     }
@@ -255,9 +284,31 @@ mod tests {
     }
 
     #[test]
+    fn without_window_still_rejects_degenerate_subtiles() {
+        let s = spec();
+        let mut p = TuningParams::seed(&s).without_overlap();
+        assert_eq!(p.validate_without_window(&s), Ok(()));
+        assert!(matches!(p.validate(&s), Err(ParamError::Window(0))));
+        p.px = 0;
+        assert_eq!(p.validate_without_window(&s), Err(ParamError::PackX(0)));
+        p.px = 16;
+        p.uy = 0;
+        assert_eq!(p.validate_without_window(&s), Err(ParamError::UnpackY(0)));
+        p.uy = 16;
+        p.t = 0;
+        assert!(matches!(
+            p.validate_without_window(&s),
+            Err(ParamError::TileSize(0))
+        ));
+    }
+
+    #[test]
     fn tile_count_rounds_up() {
         let s = ProblemSpec::cube(24, 4);
-        let p = TuningParams { t: 7, ..TuningParams::seed(&s) };
+        let p = TuningParams {
+            t: 7,
+            ..TuningParams::seed(&s)
+        };
         assert_eq!(p.tiles(&s), 4); // 24/7 → 4 tiles (7,7,7,3)
     }
 
@@ -282,6 +333,12 @@ mod tests {
     #[test]
     fn square_xy_detection() {
         assert!(ProblemSpec::cube(64, 4).square_xy());
-        assert!(!ProblemSpec { nx: 64, ny: 32, nz: 64, p: 4 }.square_xy());
+        assert!(!ProblemSpec {
+            nx: 64,
+            ny: 32,
+            nz: 64,
+            p: 4
+        }
+        .square_xy());
     }
 }

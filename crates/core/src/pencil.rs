@@ -44,7 +44,10 @@ impl PencilGrid {
         while pr > 1 && p % pr != 0 {
             pr -= 1;
         }
-        PencilGrid { pr: pr.max(1), pc: p / pr.max(1) }
+        PencilGrid {
+            pr: pr.max(1),
+            pc: p / pr.max(1),
+        }
     }
 
     /// Total processes.
@@ -97,12 +100,20 @@ pub fn fft3_pencil(
     let (nxl, nyc) = (xs.count(row), ys.count(col));
     let nzl = zs.count(col);
     let ny2l = y2s.count(row);
-    assert_eq!(input.len(), nxl * nyc * spec.nz, "input must be the rank's pencil");
+    assert_eq!(
+        input.len(),
+        nxl * nyc * spec.nz,
+        "input must be the rank's pencil"
+    );
 
     // Row communicator: same row, ranked by column. Column communicator:
     // same column, ranked by row.
-    let row_comm = comm.split(row as i64, col as i64).expect("non-negative color");
-    let col_comm = comm.split((grid.pr + col) as i64, row as i64).expect("non-negative color");
+    let row_comm = comm
+        .split(row as i64, col as i64)
+        .expect("non-negative color");
+    let col_comm = comm
+        .split((grid.pr + col) as i64, row as i64)
+        .expect("non-negative color");
 
     let mut planner = Planner::new(Rigor::Estimate);
     let plan_z = planner.plan(spec.nz.max(1), dir);
@@ -110,7 +121,10 @@ pub fn fft3_pencil(
     let plan_x = planner.plan(spec.nx.max(1), dir);
     let mut scratch = vec![
         Complex64::ZERO;
-        plan_z.scratch_len().max(plan_y.scratch_len()).max(plan_x.scratch_len())
+        plan_z
+            .scratch_len()
+            .max(plan_y.scratch_len())
+            .max(plan_x.scratch_len())
     ];
 
     // ---- Stage 0: FFTz on contiguous z lines -----------------------------
@@ -207,7 +221,11 @@ pub fn fft3_pencil(
         plan_x.execute(&mut cbuf[s..s + spec.nx], &mut scratch);
     }
 
-    PencilOutput { data: cbuf, ny2l, nzl }
+    PencilOutput {
+        data: cbuf,
+        ny2l,
+        nzl,
+    }
 }
 
 /// Simulated cost of the (blocking) pencil transform: three FFT sweeps,
@@ -234,16 +252,28 @@ pub fn pencil_simulated(platform: Platform, spec: ProblemSpec, grid: PencilGrid)
         let per_peer = stage1_bytes / pc.max(1) as u64;
         let (_, _end) = sim.blocking_alltoall(0); // rendezvous
         sim.compute(net.blocking_duration(pc, per_peer).as_secs_f64());
-        sim.compute(m.pack(stage1_bytes, m.subtile_cache_bytes, (spec.ny / pc.max(1)).max(1) as u64 * ELEM_BYTES));
+        sim.compute(m.pack(
+            stage1_bytes,
+            m.subtile_cache_bytes,
+            (spec.ny / pc.max(1)).max(1) as u64 * ELEM_BYTES,
+        ));
 
         // FFTy + pack/unpack + column exchange.
         sim.compute(m.fft_batch(spec.ny, (nxl * nzl) as u64));
         let stage2_bytes = (nxl * spec.ny * nzl) as u64 * ELEM_BYTES;
         let per_peer = stage2_bytes / pr.max(1) as u64;
-        sim.compute(m.pack(stage2_bytes, m.subtile_cache_bytes, (spec.ny / pr.max(1)).max(1) as u64 * ELEM_BYTES));
+        sim.compute(m.pack(
+            stage2_bytes,
+            m.subtile_cache_bytes,
+            (spec.ny / pr.max(1)).max(1) as u64 * ELEM_BYTES,
+        ));
         let (_, _end) = sim.blocking_alltoall(0);
         sim.compute(net.blocking_duration(pr, per_peer).as_secs_f64());
-        sim.compute(m.pack(stage2_bytes, m.subtile_cache_bytes, (spec.nx / pr.max(1)).max(1) as u64 * ELEM_BYTES));
+        sim.compute(m.pack(
+            stage2_bytes,
+            m.subtile_cache_bytes,
+            (spec.nx / pr.max(1)).max(1) as u64 * ELEM_BYTES,
+        ));
 
         // FFTx.
         sim.compute(m.fft_batch(spec.nx, (ny2l * nzl) as u64));
@@ -280,17 +310,21 @@ pub fn pencil_overlap_simulated(
         let cache = m.subtile_cache_bytes;
 
         // ---- Stage 1: tiles along x, exchange within rows (size pc) ----
-        let k1 = nxl.min(16).max(1);
+        let k1 = nxl.clamp(1, 16);
         let xt = nxl.div_ceil(k1); // x-planes per tile
         let tile_bytes = (xt * nyc * spec.nz) as u64 * ELEM_BYTES;
         let per_peer = tile_bytes / pc.max(1) as u64;
         let mut window: Vec<simnet::OpId> = Vec::new();
-        let mut drain = |sim: &mut simnet::SimRank, window: &mut Vec<simnet::OpId>, keep: usize| {
+        let drain = |sim: &mut simnet::SimRank, window: &mut Vec<simnet::OpId>, keep: usize| {
             while window.len() > keep {
                 let op = window.remove(0);
                 sim.wait(op);
                 // Unpack + FFTy of the drained tile.
-                let unpack = m.pack(tile_bytes, cache, (spec.ny / pc.max(1)).max(1) as u64 * ELEM_BYTES);
+                let unpack = m.pack(
+                    tile_bytes,
+                    cache,
+                    (spec.ny / pc.max(1)).max(1) as u64 * ELEM_BYTES,
+                );
                 let ffty = m.fft_batch(spec.ny, (xt * nzl) as u64);
                 sim.compute_with_polls(unpack + ffty, f, window);
             }
@@ -305,22 +339,30 @@ pub fn pencil_overlap_simulated(
         drain(sim, &mut window, 0);
 
         // ---- Stage 2: tiles along z, exchange within columns (size pr) --
-        let k2 = nzl.min(16).max(1);
+        let k2 = nzl.clamp(1, 16);
         let zt = nzl.div_ceil(k2);
         let tile_bytes = (nxl * spec.ny * zt) as u64 * ELEM_BYTES;
         let per_peer = tile_bytes / pr.max(1) as u64;
         let mut window: Vec<simnet::OpId> = Vec::new();
-        let mut drain2 = |sim: &mut simnet::SimRank, window: &mut Vec<simnet::OpId>, keep: usize| {
+        let drain2 = |sim: &mut simnet::SimRank, window: &mut Vec<simnet::OpId>, keep: usize| {
             while window.len() > keep {
                 let op = window.remove(0);
                 sim.wait(op);
-                let unpack = m.pack(tile_bytes, cache, (spec.nx / pr.max(1)).max(1) as u64 * ELEM_BYTES);
+                let unpack = m.pack(
+                    tile_bytes,
+                    cache,
+                    (spec.nx / pr.max(1)).max(1) as u64 * ELEM_BYTES,
+                );
                 let fftx = m.fft_batch(spec.nx, (ny2l * zt) as u64);
                 sim.compute_with_polls(unpack + fftx, f, window);
             }
         };
         for _j in 0..k2 {
-            let pack = m.pack(tile_bytes, cache, (spec.ny / pr.max(1)).max(1) as u64 * ELEM_BYTES);
+            let pack = m.pack(
+                tile_bytes,
+                cache,
+                (spec.ny / pr.max(1)).max(1) as u64 * ELEM_BYTES,
+            );
             sim.compute_with_polls(pack, f, &window);
             drain2(sim, &mut window, w.saturating_sub(1));
             window.push(sim.post_alltoall_in_group(pr, per_peer));
@@ -356,7 +398,13 @@ mod tests {
 
     fn check(spec: ProblemSpec, grid: PencilGrid) {
         let mut reference = full_test_array(spec.nx, spec.ny, spec.nz);
-        fft3_serial(&mut reference, spec.nx, spec.ny, spec.nz, Direction::Forward);
+        fft3_serial(
+            &mut reference,
+            spec.nx,
+            spec.ny,
+            spec.nz,
+            Direction::Forward,
+        );
         let reference = Arc::new(reference);
 
         let errs = mpisim::run(spec.p, move |comm| {
@@ -370,9 +418,8 @@ mod tests {
                 for zl in 0..out.nzl {
                     for x in 0..spec.nx {
                         let got = out.data[(yl * out.nzl + zl) * spec.nx + x];
-                        let want = reference[(x * spec.ny + y2s.offset(row) + yl) * spec.nz
-                            + zsp.offset(col)
-                            + zl];
+                        let want = reference
+                            [(x * spec.ny + y2s.offset(row) + yl) * spec.nz + zsp.offset(col) + zl];
                         err = err.max((got - want).abs());
                     }
                 }
@@ -380,7 +427,10 @@ mod tests {
             err
         });
         for (r, e) in errs.iter().enumerate() {
-            assert!(*e < 1e-9 * spec.len() as f64, "rank {r}: err {e} ({spec:?}, {grid:?})");
+            assert!(
+                *e < 1e-9 * spec.len() as f64,
+                "rank {r}: err {e} ({spec:?}, {grid:?})"
+            );
         }
     }
 
@@ -391,12 +441,28 @@ mod tests {
 
     #[test]
     fn pencil_matches_serial_2x3() {
-        check(ProblemSpec { nx: 8, ny: 12, nz: 6, p: 6 }, PencilGrid { pr: 2, pc: 3 });
+        check(
+            ProblemSpec {
+                nx: 8,
+                ny: 12,
+                nz: 6,
+                p: 6,
+            },
+            PencilGrid { pr: 2, pc: 3 },
+        );
     }
 
     #[test]
     fn pencil_matches_serial_non_divisible() {
-        check(ProblemSpec { nx: 7, ny: 9, nz: 10, p: 6 }, PencilGrid { pr: 3, pc: 2 });
+        check(
+            ProblemSpec {
+                nx: 7,
+                ny: 9,
+                nz: 10,
+                p: 6,
+            },
+            PencilGrid { pr: 3, pc: 2 },
+        );
     }
 
     #[test]

@@ -128,7 +128,12 @@ mod tests {
 
     impl Recorder {
         fn new(k: usize, w: usize) -> Self {
-            Recorder { k, w, log: Vec::new(), next_req: 0 }
+            Recorder {
+                k,
+                w,
+                log: Vec::new(),
+                next_req: 0,
+            }
         }
     }
 
@@ -167,8 +172,8 @@ mod tests {
         assert_eq!(
             env.log,
             vec![
-                "zT", "yP0(w0)", "A0", "yP1(w1)", "A1", "yP2(w2)", "W0", "A2", "uX0(w2)",
-                "W1", "uX1(w1)", "W2", "uX2(w0)"
+                "zT", "yP0(w0)", "A0", "yP1(w1)", "A1", "yP2(w2)", "W0", "A2", "uX0(w2)", "W1",
+                "uX1(w1)", "W2", "uX2(w0)"
             ]
         );
     }
@@ -192,7 +197,10 @@ mod tests {
             assert!(entry.ends_with("(w0)"), "TH polled during unpack: {entry}");
         }
         // But packs after the first do see in-flight tiles.
-        assert!(env.log.iter().any(|e| e.starts_with("yP") && e.ends_with("(w1)")));
+        assert!(env
+            .log
+            .iter()
+            .any(|e| e.starts_with("yP") && e.ends_with("(w1)")));
     }
 
     #[test]
@@ -229,7 +237,11 @@ mod tests {
         run_new(&mut env);
         for t in 0..5 {
             let wi = env.log.iter().position(|e| *e == format!("W{t}")).unwrap();
-            let ui = env.log.iter().position(|e| e.starts_with(&format!("uX{t}("))).unwrap();
+            let ui = env
+                .log
+                .iter()
+                .position(|e| e.starts_with(&format!("uX{t}(")))
+                .unwrap();
             assert!(wi < ui, "tile {t}: wait at {wi}, unpack at {ui}");
         }
     }

@@ -12,6 +12,7 @@ use crate::breakdown::{RunStats, StepTimes};
 use crate::decomp::Decomp;
 use crate::params::{ProblemSpec, TuningParams};
 use crate::pipeline::{run_new, run_th, OverlapEnv};
+use crate::trace::{EventKind, NoopRecorder, Recorder, TraceEvent};
 use cfft::planner::{Plan1d, Planner, Rigor};
 use cfft::transpose::{permute3, xzy_fast, Dims3, XYZ_TO_ZXY};
 use cfft::{Complex64, Direction};
@@ -91,6 +92,64 @@ impl PollSchedule {
     }
 }
 
+/// Bounded recycle pool for all-to-all receive buffers.
+///
+/// Retains at most `max_buffers` buffers (the windowed pipeline never has
+/// more than `W + 1` tiles between post and unpack), and shrinks a returned
+/// buffer whose capacity exceeds `max_len` — e.g. one that served a larger
+/// earlier tile — before retaining it, so mixed tile sizes cannot pin
+/// peak-tile memory for the rest of the run.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    max_buffers: usize,
+    max_len: usize,
+    bufs: Vec<Vec<Complex64>>,
+}
+
+impl BufferPool {
+    /// A pool retaining at most `max_buffers` buffers of at most `max_len`
+    /// elements of capacity each.
+    pub fn new(max_buffers: usize, max_len: usize) -> Self {
+        BufferPool {
+            max_buffers,
+            max_len,
+            bufs: Vec::new(),
+        }
+    }
+
+    /// Hands out a zero-filled buffer of exactly `len` elements, recycling
+    /// a retained one when available.
+    pub fn take(&mut self, len: usize) -> Vec<Complex64> {
+        let mut buf = self.bufs.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, Complex64::ZERO);
+        buf
+    }
+
+    /// Returns a buffer to the pool; dropped if the pool is full, shrunk
+    /// first if its capacity exceeds the pool's per-buffer cap.
+    pub fn put(&mut self, mut buf: Vec<Complex64>) {
+        if self.bufs.len() >= self.max_buffers {
+            return;
+        }
+        if buf.capacity() > self.max_len {
+            buf.truncate(self.max_len);
+            buf.shrink_to(self.max_len);
+        }
+        self.bufs.push(buf);
+    }
+
+    /// Number of buffers currently retained.
+    pub fn retained(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Total elements of capacity currently retained.
+    pub fn retained_capacity(&self) -> usize {
+        self.bufs.iter().map(|b| b.capacity()).sum()
+    }
+}
+
 struct RealEnv<'a> {
     comm: &'a Comm,
     spec: ProblemSpec,
@@ -112,13 +171,16 @@ struct RealEnv<'a> {
     out: Vec<Complex64>,
     /// Per-destination-block staging for the current tile's pack.
     send: Vec<Complex64>,
-    /// Recycled receive buffers.
-    recv_pool: Vec<Vec<Complex64>>,
+    /// Elements the largest tile's pack can need; `send` never exceeds it.
+    send_cap: usize,
+    /// Recycled receive buffers, bounded to the pipeline's working set.
+    recv_pool: BufferPool,
     /// Receive data of the most recently waited tile, awaiting unpack.
     pending_recv: Option<Vec<Complex64>>,
     steps: StepTimes,
     tests: u64,
     started: Instant,
+    recorder: &'a mut dyn Recorder,
 }
 
 impl<'a> RealEnv<'a> {
@@ -130,25 +192,58 @@ impl<'a> RealEnv<'a> {
 
     /// Per-destination element counts of tile `tile`'s all-to-all.
     fn send_counts(&self, tz: usize) -> Vec<usize> {
-        (0..self.spec.p).map(|q| tz * self.nxl * self.decomp.y.count(q)).collect()
+        (0..self.spec.p)
+            .map(|q| tz * self.nxl * self.decomp.y.count(q))
+            .collect()
     }
 
     fn recv_counts(&self, tz: usize) -> Vec<usize> {
-        (0..self.spec.p).map(|s| tz * self.decomp.x.count(s) * self.nyl).collect()
+        (0..self.spec.p)
+            .map(|s| tz * self.decomp.x.count(s) * self.nyl)
+            .collect()
     }
 
     fn poll_inflight(&mut self, inflight: &mut [(usize, IAlltoall<Complex64>)], times: u64) {
         if times == 0 || inflight.is_empty() {
             return;
         }
-        let t0 = Instant::now();
-        for _ in 0..times {
-            for (_, req) in inflight.iter_mut() {
-                req.test(self.comm);
-                self.tests += 1;
+        if self.recorder.enabled() {
+            // Traced path: time and record each poll individually so the
+            // event stream shows which tile each `MPI_Test` touched and
+            // whether it observed completion.
+            for _ in 0..times {
+                for (tile, req) in inflight.iter_mut() {
+                    let t0 = Instant::now();
+                    let completed = req.test(self.comm);
+                    let t1 = Instant::now();
+                    self.tests += 1;
+                    self.steps.test += (t1 - t0).as_secs_f64();
+                    let tile = *tile;
+                    self.record_span(t0, t1, EventKind::Test { tile, completed });
+                }
             }
+        } else {
+            let t0 = Instant::now();
+            for _ in 0..times {
+                for (_, req) in inflight.iter_mut() {
+                    req.test(self.comm);
+                    self.tests += 1;
+                }
+            }
+            self.steps.test += t0.elapsed().as_secs_f64();
         }
-        self.steps.test += t0.elapsed().as_secs_f64();
+    }
+
+    /// Records one traced span; no-op (and no timestamp math) when tracing
+    /// is disabled.
+    fn record_span(&mut self, t0: Instant, t1: Instant, kind: EventKind) {
+        if self.recorder.enabled() {
+            self.recorder.record(TraceEvent {
+                start: t0.duration_since(self.started).as_secs_f64(),
+                end: t1.duration_since(self.started).as_secs_f64(),
+                kind,
+            });
+        }
     }
 
     /// Flat index into the transposed slab for `(z, xl, y)`.
@@ -187,9 +282,12 @@ impl<'a> OverlapEnv for RealEnv<'a> {
         let t0 = Instant::now();
         for line in 0..nx_l * ny {
             let s = line * nz;
-            self.plan_z.execute(&mut self.input[s..s + nz], &mut self.plan_scratch);
+            self.plan_z
+                .execute(&mut self.input[s..s + nz], &mut self.plan_scratch);
         }
-        self.steps.fftz += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        self.steps.fftz += (t1 - t0).as_secs_f64();
+        self.record_span(t0, t1, EventKind::Fftz);
 
         // Transpose into the tile-friendly layout.
         let t0 = Instant::now();
@@ -208,7 +306,9 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                 }
             }
         }
-        self.steps.transpose += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        self.steps.transpose += (t1 - t0).as_secs_f64();
+        self.record_span(t0, t1, EventKind::Transpose);
     }
 
     fn ffty_pack(&mut self, tile: usize, inflight: &mut [(usize, Self::Req)]) {
@@ -216,7 +316,10 @@ impl<'a> OverlapEnv for RealEnv<'a> {
         let tz = z1 - z0;
         let (p, ny) = (self.spec.p, self.spec.ny);
         let nxl = self.nxl;
-        let (px, pz) = (self.params.px.min(nxl.max(1)), self.params.pz.min(tz.max(1)));
+        let (px, pz) = (
+            self.params.px.min(nxl.max(1)),
+            self.params.pz.min(tz.max(1)),
+        );
         if nxl == 0 || tz == 0 {
             return;
         }
@@ -237,6 +340,11 @@ impl<'a> OverlapEnv for RealEnv<'a> {
         if self.send.len() < total_send {
             self.send.resize(total_send, Complex64::ZERO);
         }
+        if self.send.capacity() > self.send_cap {
+            // Never retain more staging than the largest tile needs.
+            self.send.truncate(self.send_cap);
+            self.send.shrink_to(self.send_cap);
+        }
 
         for zb in 0..zblocks {
             let zs = z0 + zb * pz;
@@ -250,10 +358,20 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                 for z in zs..ze {
                     for xl in xs..xe {
                         let s = self.zxy_idx(z, xl, 0);
-                        self.plan_y.execute(&mut self.zxy[s..s + ny], &mut self.plan_scratch);
+                        self.plan_y
+                            .execute(&mut self.zxy[s..s + ny], &mut self.plan_scratch);
                     }
                 }
-                self.steps.ffty += t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                self.steps.ffty += (t1 - t0).as_secs_f64();
+                self.record_span(
+                    t0,
+                    t1,
+                    EventKind::Ffty {
+                        tile,
+                        subtile: zb * xblocks + xb,
+                    },
+                );
                 let due = sched_y.after_unit();
                 self.poll_inflight(inflight, due);
 
@@ -265,10 +383,10 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                     for xl in xs..xe {
                         let row = self.zxy_idx(z, xl, 0);
                         let in_block_row = zl * nxl + xl;
-                        for q in 0..p {
+                        for (q, &q_displ) in send_displs.iter().enumerate() {
                             let nyl_q = self.decomp.y.count(q);
                             let yoff = self.decomp.y.offset(q);
-                            let dst = send_displs[q] + in_block_row * nyl_q;
+                            let dst = q_displ + in_block_row * nyl_q;
                             let src = row + yoff;
                             // Contiguous y-run copy.
                             self.send[dst..dst + nyl_q]
@@ -276,7 +394,16 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                         }
                     }
                 }
-                self.steps.pack += t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                self.steps.pack += (t1 - t0).as_secs_f64();
+                self.record_span(
+                    t0,
+                    t1,
+                    EventKind::Pack {
+                        tile,
+                        subtile: zb * xblocks + xb,
+                    },
+                );
                 let due = sched_p.after_unit();
                 self.poll_inflight(inflight, due);
             }
@@ -290,29 +417,38 @@ impl<'a> OverlapEnv for RealEnv<'a> {
         let recv_counts = self.recv_counts(tz);
         let total_send: usize = send_counts.iter().sum();
         let total_recv: usize = recv_counts.iter().sum();
-        let mut recv = self.recv_pool.pop().unwrap_or_default();
-        recv.resize(total_recv, Complex64::ZERO);
+        let recv = self.recv_pool.take(total_recv);
         let t0 = Instant::now();
-        let req = self.comm.ialltoallv(&self.send[..total_send], &send_counts, &recv_counts, recv);
-        self.steps.ialltoall += t0.elapsed().as_secs_f64();
+        let req = self
+            .comm
+            .ialltoallv(&self.send[..total_send], &send_counts, &recv_counts, recv);
+        let t1 = Instant::now();
+        self.steps.ialltoall += (t1 - t0).as_secs_f64();
+        let bytes = (total_send * std::mem::size_of::<Complex64>()) as u64;
+        self.record_span(t0, t1, EventKind::PostA2a { tile, bytes });
         req
     }
 
-    fn wait(&mut self, _tile: usize, req: Self::Req) {
+    fn wait(&mut self, tile: usize, req: Self::Req) {
         let t0 = Instant::now();
         let recv = req.wait(self.comm);
-        self.steps.wait += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        self.steps.wait += (t1 - t0).as_secs_f64();
+        self.record_span(t0, t1, EventKind::Wait { tile });
         self.pending_recv = Some(recv);
     }
 
     fn unpack_fftx(&mut self, tile: usize, inflight: &mut [(usize, Self::Req)]) {
-        let recv = self.pending_recv.take().expect("unpack without a waited tile");
+        let recv = self
+            .pending_recv
+            .take()
+            .expect("unpack without a waited tile");
         let (z0, z1) = self.tile_range(tile);
         let tz = z1 - z0;
         let (p, nx) = (self.spec.p, self.spec.nx);
         let nyl = self.nyl;
         if nyl == 0 || tz == 0 {
-            self.recv_pool.push(recv);
+            self.recv_pool.put(recv);
             return;
         }
         let (uy, uz) = (self.params.uy.min(nyl), self.params.uz.min(tz));
@@ -344,17 +480,26 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                     let zl = z - z0;
                     for yl in ys..ye {
                         let out_row = self.out_idx(z, yl, 0);
-                        for s in 0..p {
+                        for (s, &s_displ) in recv_displs.iter().enumerate() {
                             let nxl_s = self.decomp.x.count(s);
                             let xoff = self.decomp.x.offset(s);
-                            let base = recv_displs[s] + (zl * nxl_s) * nyl + yl;
+                            let base = s_displ + (zl * nxl_s) * nyl + yl;
                             for xl in 0..nxl_s {
                                 self.out[out_row + xoff + xl] = recv[base + xl * nyl];
                             }
                         }
                     }
                 }
-                self.steps.unpack += t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                self.steps.unpack += (t1 - t0).as_secs_f64();
+                self.record_span(
+                    t0,
+                    t1,
+                    EventKind::Unpack {
+                        tile,
+                        subtile: zb * yblocks + yb,
+                    },
+                );
                 let due = sched_u.after_unit();
                 self.poll_inflight(inflight, due);
 
@@ -363,15 +508,25 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                 for z in zs..ze {
                     for yl in ys..ye {
                         let s = self.out_idx(z, yl, 0);
-                        self.plan_x.execute(&mut self.out[s..s + nx], &mut self.plan_scratch);
+                        self.plan_x
+                            .execute(&mut self.out[s..s + nx], &mut self.plan_scratch);
                     }
                 }
-                self.steps.fftx += t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                self.steps.fftx += (t1 - t0).as_secs_f64();
+                self.record_span(
+                    t0,
+                    t1,
+                    EventKind::Fftx {
+                        tile,
+                        subtile: zb * yblocks + yb,
+                    },
+                );
                 let due = sched_x.after_unit();
                 self.poll_inflight(inflight, due);
             }
         }
-        self.recv_pool.push(recv);
+        self.recv_pool.put(recv);
     }
 }
 
@@ -390,6 +545,32 @@ pub fn fft3_dist(
     rigor: Rigor,
     input: &[Complex64],
 ) -> RunOutput {
+    fft3_dist_traced(
+        comm,
+        spec,
+        variant,
+        params,
+        dir,
+        rigor,
+        input,
+        &mut NoopRecorder,
+    )
+}
+
+/// [`fft3_dist`] with per-tile event tracing: every phase span, poll and
+/// wait on this rank is appended to `recorder` (see [`crate::trace`]).
+/// Passing a [`NoopRecorder`] makes this identical to [`fft3_dist`].
+#[allow(clippy::too_many_arguments)]
+pub fn fft3_dist_traced(
+    comm: &Comm,
+    spec: ProblemSpec,
+    variant: Variant,
+    params: TuningParams,
+    dir: Direction,
+    rigor: Rigor,
+    input: &[Complex64],
+    recorder: &mut dyn Recorder,
+) -> RunOutput {
     assert_eq!(comm.size(), spec.p, "communicator size must match spec.p");
     let rank = comm.rank();
     let decomp = Decomp::new(spec.nx, spec.ny, spec.p);
@@ -404,11 +585,20 @@ pub fn fft3_dist(
     // Resolve the effective parameters and styles per variant.
     let (params, transpose_style) = match variant {
         Variant::New => {
-            params
-                .validate(&spec)
-                .or_else(|e| if params.w == 0 { Ok(()) } else { Err(e) })
-                .unwrap_or_else(|e| panic!("infeasible parameters: {e}"));
-            let style = if spec.square_xy() { TransposeStyle::Fast } else { TransposeStyle::Generic };
+            // The non-overlapped NEW-0 encoding sets `w = 0`, which the
+            // window-range rule rejects — but every other constraint must
+            // still hold (a zero `Px`/`Uy`/`T` would divide by zero below).
+            if params.w == 0 {
+                params.validate_without_window(&spec)
+            } else {
+                params.validate(&spec)
+            }
+            .unwrap_or_else(|e| panic!("infeasible parameters: {e}"));
+            let style = if spec.square_xy() {
+                TransposeStyle::Fast
+            } else {
+                TransposeStyle::Generic
+            };
             (params, style)
         }
         Variant::Th => {
@@ -457,7 +647,11 @@ pub fn fft3_dist(
         .max(plan_y.scratch_len())
         .max(plan_x.scratch_len());
 
-    let layout = if transpose_style == TransposeStyle::Fast { OutLayout::Yzx } else { OutLayout::Zyx };
+    let layout = if transpose_style == TransposeStyle::Fast {
+        OutLayout::Yzx
+    } else {
+        OutLayout::Zyx
+    };
     let mut env = RealEnv {
         comm,
         spec,
@@ -475,11 +669,13 @@ pub fn fft3_dist(
         zxy: vec![Complex64::ZERO; nxl * spec.ny * spec.nz],
         out: vec![Complex64::ZERO; spec.nz * nyl * spec.nx],
         send: Vec::new(),
-        recv_pool: Vec::new(),
+        send_cap: params.t * nxl * spec.ny,
+        recv_pool: BufferPool::new(params.w + 1, params.t * spec.nx * nyl),
         pending_recv: None,
         steps: StepTimes::default(),
         tests: 0,
         started: Instant::now(),
+        recorder,
     };
 
     match variant {
@@ -491,7 +687,11 @@ pub fn fft3_dist(
     RunOutput {
         data: std::mem::take(&mut env.out),
         layout,
-        stats: RunStats { steps: env.steps, elapsed, tests: env.tests },
+        stats: RunStats {
+            steps: env.steps,
+            elapsed,
+            tests: env.tests,
+        },
     }
 }
 
@@ -555,7 +755,10 @@ mod tests {
         });
         let scale = (spec.len() as f64).max(1.0);
         for (r, e) in errs.iter().enumerate() {
-            assert!(*e < 1e-9 * scale, "rank {r}: err {e} (spec {spec:?}, {variant:?})");
+            assert!(
+                *e < 1e-9 * scale,
+                "rank {r}: err {e} (spec {spec:?}, {variant:?})"
+            );
         }
     }
 
@@ -569,16 +772,48 @@ mod tests {
     #[test]
     fn new_variant_matches_serial_non_square() {
         // Nx ≠ Ny forces the generic transpose path.
-        let spec = ProblemSpec { nx: 12, ny: 8, nz: 10, p: 4 };
-        let params = TuningParams { t: 3, w: 2, px: 2, pz: 2, uy: 2, uz: 3, fy: 2, fp: 1, fu: 1, fx: 2 };
+        let spec = ProblemSpec {
+            nx: 12,
+            ny: 8,
+            nz: 10,
+            p: 4,
+        };
+        let params = TuningParams {
+            t: 3,
+            w: 2,
+            px: 2,
+            pz: 2,
+            uy: 2,
+            uz: 3,
+            fy: 2,
+            fp: 1,
+            fu: 1,
+            fx: 2,
+        };
         check_variant(spec, Variant::New, params, Direction::Forward);
     }
 
     #[test]
     fn new_variant_handles_non_divisible_extents() {
         // Nx mod p ≠ 0 and Ny mod p ≠ 0 (the paper's "general case").
-        let spec = ProblemSpec { nx: 10, ny: 9, nz: 8, p: 4 };
-        let params = TuningParams { t: 4, w: 2, px: 1, pz: 2, uy: 2, uz: 2, fy: 1, fp: 1, fu: 1, fx: 1 };
+        let spec = ProblemSpec {
+            nx: 10,
+            ny: 9,
+            nz: 8,
+            p: 4,
+        };
+        let params = TuningParams {
+            t: 4,
+            w: 2,
+            px: 1,
+            pz: 2,
+            uy: 2,
+            uz: 2,
+            fy: 1,
+            fp: 1,
+            fu: 1,
+            fx: 1,
+        };
         check_variant(spec, Variant::New, params, Direction::Forward);
     }
 
@@ -615,6 +850,88 @@ mod tests {
         let spec = ProblemSpec::cube(8, 1);
         let params = TuningParams::seed(&spec);
         check_variant(spec, Variant::New, params, Direction::Forward);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible parameters")]
+    fn w0_with_zero_subtile_is_rejected_not_a_divide_by_zero() {
+        // Regression: with `w = 0` (NEW-0) the validator used to be skipped
+        // entirely, so a zero Px reached `div_ceil` and crashed with
+        // "attempt to divide by zero" instead of a parameter diagnostic.
+        let spec = ProblemSpec::cube(8, 2);
+        let mut params = TuningParams::seed(&spec).without_overlap();
+        params.px = 0;
+        mpisim::run(spec.p, move |comm| {
+            let input = local_test_slab(&spec, comm.rank());
+            fft3_dist(
+                &comm,
+                spec,
+                Variant::New,
+                params,
+                Direction::Forward,
+                Rigor::Estimate,
+                &input,
+            );
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible parameters")]
+    fn w0_with_zero_tile_is_rejected_not_a_divide_by_zero() {
+        let spec = ProblemSpec::cube(8, 2);
+        let mut params = TuningParams::seed(&spec).without_overlap();
+        params.t = 0;
+        mpisim::run(spec.p, move |comm| {
+            let input = local_test_slab(&spec, comm.rank());
+            fft3_dist(
+                &comm,
+                spec,
+                Variant::New,
+                params,
+                Direction::Forward,
+                Rigor::Estimate,
+                &input,
+            );
+        });
+    }
+
+    #[test]
+    fn buffer_pool_caps_retained_buffers() {
+        // Regression: the recv pool used to be an unbounded Vec that only
+        // ever grew; returns beyond the pipeline's working set are dropped.
+        let mut pool = BufferPool::new(3, 100);
+        for _ in 0..8 {
+            pool.put(vec![Complex64::ZERO; 10]);
+        }
+        assert_eq!(pool.retained(), 3);
+        assert!(pool.retained_capacity() <= 3 * 100);
+    }
+
+    #[test]
+    fn buffer_pool_shrinks_oversized_returns() {
+        // Regression: a buffer sized for a peak tile used to keep its full
+        // capacity forever; now it is shrunk to the per-buffer cap.
+        let mut pool = BufferPool::new(4, 8);
+        pool.put(vec![Complex64::ZERO; 64]);
+        assert!(
+            pool.retained_capacity() <= 8,
+            "capacity {}",
+            pool.retained_capacity()
+        );
+        let b = pool.take(4);
+        assert_eq!(b.len(), 4);
+        assert!(b.capacity() < 64);
+    }
+
+    #[test]
+    fn buffer_pool_recycles_and_zeroes() {
+        let mut pool = BufferPool::new(2, 16);
+        let mut b = pool.take(4);
+        b.fill(Complex64::new(7.0, 7.0));
+        pool.put(b);
+        let b = pool.take(8);
+        assert!(b.iter().all(|&c| c == Complex64::ZERO));
+        assert_eq!(pool.retained(), 0);
     }
 
     #[test]

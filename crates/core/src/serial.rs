@@ -12,13 +12,7 @@ use cfft::{Complex64, Direction};
 
 /// Computes the full 3-D FFT of `data` (layout `x-y-z`, z contiguous, size
 /// `nx·ny·nz`) in place.
-pub fn fft3_serial(
-    data: &mut [Complex64],
-    nx: usize,
-    ny: usize,
-    nz: usize,
-    dir: Direction,
-) {
+pub fn fft3_serial(data: &mut [Complex64], nx: usize, ny: usize, nz: usize, dir: Direction) {
     assert_eq!(data.len(), nx * ny * nz, "array does not match dimensions");
     if data.is_empty() {
         return;
@@ -28,7 +22,12 @@ pub fn fft3_serial(
     // z lines are contiguous: one batched sweep.
     let plan_z = planner.plan(nz, dir);
     let mut scratch = BatchScratch::for_plan(&plan_z);
-    execute_batch(&plan_z, data, BatchLayout::contiguous(nz, nx * ny), &mut scratch);
+    execute_batch(
+        &plan_z,
+        data,
+        BatchLayout::contiguous(nz, nx * ny),
+        &mut scratch,
+    );
 
     // Rotate x-y-z → z-x-y so y lines become contiguous, sweep, rotate
     // again (→ y-z-x) so x lines become contiguous, sweep, and rotate once
@@ -39,13 +38,23 @@ pub fn fft3_serial(
     let d1 = permuted_dims(d0, XYZ_TO_ZXY); // (nz, nx, ny)
     let plan_y = planner.plan(ny, dir);
     let mut scratch = BatchScratch::for_plan(&plan_y);
-    execute_batch(&plan_y, &mut tmp, BatchLayout::contiguous(ny, nz * nx), &mut scratch);
+    execute_batch(
+        &plan_y,
+        &mut tmp,
+        BatchLayout::contiguous(ny, nz * nx),
+        &mut scratch,
+    );
 
     permute3(&tmp, data, d1, XYZ_TO_ZXY);
     let d2 = permuted_dims(d1, XYZ_TO_ZXY); // (ny, nz, nx)
     let plan_x = planner.plan(nx, dir);
     let mut scratch = BatchScratch::for_plan(&plan_x);
-    execute_batch(&plan_x, data, BatchLayout::contiguous(nx, ny * nz), &mut scratch);
+    execute_batch(
+        &plan_x,
+        data,
+        BatchLayout::contiguous(nx, ny * nz),
+        &mut scratch,
+    );
 
     permute3(data, &mut tmp, d2, XYZ_TO_ZXY); // back to (nx, ny, nz)
     data.copy_from_slice(&tmp);
@@ -136,7 +145,10 @@ mod tests {
             fft3_serial(&mut got, nx, ny, nz, Direction::Forward);
             let want = fft3_naive(&x, nx, ny, nz);
             let err = max_abs_diff(&got, &want);
-            assert!(err < 1e-8 * (nx * ny * nz) as f64, "{nx}x{ny}x{nz} err={err}");
+            assert!(
+                err < 1e-8 * (nx * ny * nz) as f64,
+                "{nx}x{ny}x{nz} err={err}"
+            );
         }
     }
 

@@ -11,22 +11,9 @@ use crate::decomp::Decomp;
 use crate::params::{ProblemSpec, ThParams, TuningParams};
 use crate::pipeline::{run_new, run_th, OverlapEnv};
 use crate::real_env::Variant;
+use crate::trace::{EventKind, TraceEvent};
 use simnet::model::{TransposeCost, ELEM_BYTES};
 use simnet::{run_sim, OpId, Platform, SimRank};
-
-/// One recorded pipeline phase on one rank — the raw material for the
-/// Figure-3-style timeline visualisation (`fft-bench --bin timeline`).
-#[derive(Debug, Clone, PartialEq)]
-pub struct PhaseEvent {
-    /// Step label ("FFTz", "FFTy", "Pack", "A2A-post", "Wait", …).
-    pub label: &'static str,
-    /// Communication tile the phase worked on, if any.
-    pub tile: Option<usize>,
-    /// Virtual start time (seconds).
-    pub start: f64,
-    /// Virtual end time (seconds).
-    pub end: f64,
-}
 
 /// One rank's view of the simulated pipeline.
 struct SimEnv<'a, 'b> {
@@ -39,14 +26,45 @@ struct SimEnv<'a, 'b> {
     /// client does not execute FFTz and Transpose during auto-tuning").
     skip_fixed_steps: bool,
     steps: StepTimes,
-    /// Phase log for the timeline view; `None` disables collection.
-    events: Option<Vec<PhaseEvent>>,
+    /// Event log for the timeline view, virtual-time stamped; `None`
+    /// disables collection (and the rank's poll log stays off).
+    events: Option<Vec<TraceEvent>>,
 }
 
 impl SimEnv<'_, '_> {
-    fn record(&mut self, label: &'static str, tile: Option<usize>, start: f64) {
+    /// Records a span from `start` to the current virtual time.
+    fn record(&mut self, kind: EventKind, start: f64) {
         if let Some(ev) = &mut self.events {
-            ev.push(PhaseEvent { label, tile, start, end: self.sim.now().as_secs_f64() });
+            ev.push(TraceEvent {
+                start,
+                end: self.sim.now().as_secs_f64(),
+                kind,
+            });
+        }
+    }
+
+    /// Converts the rank's freshly logged polls into `Test` events, mapping
+    /// each polled op back to its tile via the in-flight window.
+    fn drain_polls(&mut self, inflight: &[(usize, OpId)]) {
+        if self.events.is_none() {
+            return;
+        }
+        let polls = self.sim.take_poll_log();
+        let events = self.events.as_mut().expect("checked above");
+        for rec in polls {
+            let tile = inflight
+                .iter()
+                .find(|&&(_, op)| op == rec.op)
+                .map(|&(t, _)| t)
+                .expect("polled op must be in the in-flight window");
+            events.push(TraceEvent {
+                start: rec.start.as_secs_f64(),
+                end: rec.end.as_secs_f64(),
+                kind: EventKind::Test {
+                    tile,
+                    completed: rec.completed,
+                },
+            });
         }
     }
 }
@@ -106,10 +124,10 @@ impl OverlapEnv for SimEnv<'_, '_> {
         let transpose = m.transpose(bytes, self.transpose_cost);
         let t0 = self.sim.now().as_secs_f64();
         self.sim.compute(fftz);
-        self.record("FFTz", None, t0);
+        self.record(EventKind::Fftz, t0);
         let t0 = self.sim.now().as_secs_f64();
         self.sim.compute(transpose);
-        self.record("Transpose", None, t0);
+        self.record(EventKind::Transpose, t0);
         self.steps.fftz += fftz;
         self.steps.transpose += transpose;
     }
@@ -121,7 +139,8 @@ impl OverlapEnv for SimEnv<'_, '_> {
         let ffty = m.fft_batch(self.spec.ny, (nxl * tz) as u64);
         let t0 = self.sim.now().as_secs_f64();
         let (c, t) = self.phase(ffty, self.params.fy, inflight);
-        self.record("FFTy", Some(tile), t0);
+        self.record(EventKind::Ffty { tile, subtile: 0 }, t0);
+        self.drain_polls(inflight);
         self.steps.ffty += c;
         self.steps.test += t;
 
@@ -135,16 +154,19 @@ impl OverlapEnv for SimEnv<'_, '_> {
         let pack = m.pack(tile_bytes, subtile_bytes, run_bytes);
         let t0 = self.sim.now().as_secs_f64();
         let (c, t) = self.phase(pack, self.params.fp, inflight);
-        self.record("Pack", Some(tile), t0);
+        self.record(EventKind::Pack { tile, subtile: 0 }, t0);
+        self.drain_polls(inflight);
         self.steps.pack += c;
         self.steps.test += t;
     }
 
     fn post_a2a(&mut self, tile: usize) -> OpId {
+        let per_peer = self.bytes_per_peer(tile);
         let t0 = self.sim.now();
-        let op = self.sim.post_alltoall(self.bytes_per_peer(tile));
+        let op = self.sim.post_alltoall(per_peer);
         self.steps.ialltoall += (self.sim.now() - t0).as_secs_f64();
-        self.record("Ialltoall", Some(tile), t0.as_secs_f64());
+        let bytes = per_peer * self.spec.p.saturating_sub(1) as u64;
+        self.record(EventKind::PostA2a { tile, bytes }, t0.as_secs_f64());
         op
     }
 
@@ -152,7 +174,7 @@ impl OverlapEnv for SimEnv<'_, '_> {
         let t0 = self.sim.now();
         self.sim.wait(req);
         self.steps.wait += (self.sim.now() - t0).as_secs_f64();
-        self.record("Wait", Some(tile), t0.as_secs_f64());
+        self.record(EventKind::Wait { tile }, t0.as_secs_f64());
     }
 
     fn unpack_fftx(&mut self, tile: usize, inflight: &mut [(usize, OpId)]) {
@@ -171,14 +193,16 @@ impl OverlapEnv for SimEnv<'_, '_> {
         let unpack = m.pack(tile_bytes, subtile_bytes, run_bytes);
         let t0 = self.sim.now().as_secs_f64();
         let (c, t) = self.phase(unpack, self.params.fu, inflight);
-        self.record("Unpack", Some(tile), t0);
+        self.record(EventKind::Unpack { tile, subtile: 0 }, t0);
+        self.drain_polls(inflight);
         self.steps.unpack += c;
         self.steps.test += t;
 
         let fftx = m.fft_batch(self.spec.nx, (nyl * tz) as u64);
         let t0 = self.sim.now().as_secs_f64();
         let (c, t) = self.phase(fftx, self.params.fx, inflight);
-        self.record("FFTx", Some(tile), t0);
+        self.record(EventKind::Fftx { tile, subtile: 0 }, t0);
+        self.drain_polls(inflight);
         self.steps.fftx += c;
         self.steps.test += t;
     }
@@ -198,12 +222,19 @@ pub struct SimReport {
 
 /// Effective parameters and transpose tier per variant (mirrors
 /// `real_env::fft3_dist`).
-fn resolve(spec: &ProblemSpec, variant: Variant, params: TuningParams) -> (TuningParams, TransposeCost) {
+fn resolve(
+    spec: &ProblemSpec,
+    variant: Variant,
+    params: TuningParams,
+) -> (TuningParams, TransposeCost) {
     let decomp = Decomp::new(spec.nx, spec.ny, spec.p);
     match variant {
         Variant::New => {
-            let style =
-                if spec.square_xy() { TransposeCost::Fast } else { TransposeCost::Generic };
+            let style = if spec.square_xy() {
+                TransposeCost::Fast
+            } else {
+                TransposeCost::Generic
+            };
             (params, style)
         }
         Variant::Th => {
@@ -242,8 +273,11 @@ fn resolve(spec: &ProblemSpec, variant: Variant, params: TuningParams) -> (Tunin
             // Figure 8 shows NEW-0's Transpose equal to NEW's, and the
             // paper treats FFTW ≈ NEW-0; FFTW's rearrangement is equally
             // optimised, so it gets the same tier as NEW.
-            let style =
-                if spec.square_xy() { TransposeCost::Fast } else { TransposeCost::Generic };
+            let style = if spec.square_xy() {
+                TransposeCost::Fast
+            } else {
+                TransposeCost::Generic
+            };
             (p, style)
         }
     }
@@ -274,17 +308,27 @@ pub fn fft3_simulated_with(
     skip_fixed_steps: bool,
     transpose_override: Option<TransposeCost>,
 ) -> SimReport {
-    simulate(platform, spec, variant, params, skip_fixed_steps, transpose_override, false).0
+    simulate(
+        platform,
+        spec,
+        variant,
+        params,
+        skip_fixed_steps,
+        transpose_override,
+        false,
+    )
+    .0
 }
 
-/// [`fft3_simulated`] additionally returning every rank's phase timeline —
-/// the data behind the Figure 3 visualisation.
+/// [`fft3_simulated`] additionally returning every rank's per-tile event
+/// timeline (virtual-time stamped) — the data behind the Figure 3
+/// visualisation and the overlap-efficiency summary (see [`crate::trace`]).
 pub fn fft3_simulated_traced(
     platform: Platform,
     spec: ProblemSpec,
     variant: Variant,
     params: TuningParams,
-) -> (SimReport, Vec<Vec<PhaseEvent>>) {
+) -> (SimReport, Vec<Vec<TraceEvent>>) {
     simulate(platform, spec, variant, params, false, None, true)
 }
 
@@ -297,7 +341,7 @@ fn simulate(
     skip_fixed_steps: bool,
     transpose_override: Option<TransposeCost>,
     trace: bool,
-) -> (SimReport, Vec<Vec<PhaseEvent>>) {
+) -> (SimReport, Vec<Vec<TraceEvent>>) {
     let decomp = Decomp::new(spec.nx, spec.ny, spec.p);
     let (eff, mut tcost) = resolve(&spec, variant, params);
     if let Some(t) = transpose_override {
@@ -307,6 +351,9 @@ fn simulate(
         let decomp = Decomp::new(spec.nx, spec.ny, spec.p);
         let start = sim.now();
         let tests0 = sim.test_calls();
+        if trace {
+            sim.enable_poll_log();
+        }
         let mut env = SimEnv {
             sim,
             spec,
@@ -333,10 +380,16 @@ fn simulate(
         )
     });
     let _ = decomp;
-    let (per_rank, events): (Vec<RunStats>, Vec<Vec<PhaseEvent>>) =
-        results.into_iter().unzip();
+    let (per_rank, events): (Vec<RunStats>, Vec<Vec<TraceEvent>>) = results.into_iter().unzip();
     let time = per_rank.iter().map(|r| r.elapsed).fold(0.0, f64::max);
-    (SimReport { time, steps: per_rank[0].steps, per_rank }, events)
+    (
+        SimReport {
+            time,
+            steps: per_rank[0].steps,
+            per_rank,
+        },
+        events,
+    )
 }
 
 /// Simulates the TH comparator from its three-parameter space.
@@ -391,8 +444,13 @@ mod tests {
         let spec = paper_spec();
         let seed = TuningParams::seed(&spec);
         let new = fft3_simulated(umd_cluster(), spec, Variant::New, seed, false);
-        let new0 =
-            fft3_simulated(umd_cluster(), spec, Variant::New, seed.without_overlap(), false);
+        let new0 = fft3_simulated(
+            umd_cluster(),
+            spec,
+            Variant::New,
+            seed.without_overlap(),
+            false,
+        );
         assert!(
             new.steps.wait < new0.steps.wait * 0.6,
             "NEW wait {:.3}s must be well below NEW-0 wait {:.3}s",
@@ -459,8 +517,19 @@ mod tests {
         let spec = paper_spec();
         let seed = TuningParams::seed(&spec);
         let a = fft3_simulated(umd_cluster(), spec, Variant::New, seed, true).time;
-        let worse = TuningParams { t: 1, w: 1, fy: 1, fp: 0, fu: 0, fx: 0, ..seed };
+        let worse = TuningParams {
+            t: 1,
+            w: 1,
+            fy: 1,
+            fp: 0,
+            fu: 0,
+            fx: 0,
+            ..seed
+        };
         let b = fft3_simulated(umd_cluster(), spec, Variant::New, worse, true).time;
-        assert!(b > a * 1.2, "tiny tiles with no polling must be much slower: {a:.3} vs {b:.3}");
+        assert!(
+            b > a * 1.2,
+            "tiny tiles with no polling must be much slower: {a:.3} vs {b:.3}"
+        );
     }
 }

@@ -13,8 +13,12 @@ use std::sync::Arc;
 
 /// Strategy for small but varied problem shapes.
 fn small_spec() -> impl Strategy<Value = ProblemSpec> {
-    (2usize..=12, 2usize..=12, 2usize..=12, 1usize..=4)
-        .prop_map(|(nx, ny, nz, p)| ProblemSpec { nx, ny, nz, p })
+    (2usize..=12, 2usize..=12, 2usize..=12, 1usize..=4).prop_map(|(nx, ny, nz, p)| ProblemSpec {
+        nx,
+        ny,
+        nz,
+        p,
+    })
 }
 
 /// Strategy for feasible parameters of a given spec, derived from raw draws.
@@ -22,12 +26,12 @@ fn params_for(spec: ProblemSpec) -> impl Strategy<Value = TuningParams> {
     let nxl = spec.nx.div_ceil(spec.p).max(1);
     let nyl = spec.ny.div_ceil(spec.p).max(1);
     (
-        1usize..=spec.nz,   // t
-        1usize..=4,         // w (clamped below)
-        1usize..=nxl,       // px
-        1usize..=spec.nz,   // pz (clamped to t below)
-        1usize..=nyl,       // uy
-        1usize..=spec.nz,   // uz
+        1usize..=spec.nz, // t
+        1usize..=4,       // w (clamped below)
+        1usize..=nxl,     // px
+        1usize..=spec.nz, // pz (clamped to t below)
+        1usize..=nyl,     // uy
+        1usize..=spec.nz, // uz
         0u32..6,
         0u32..6,
         0u32..6,

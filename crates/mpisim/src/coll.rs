@@ -19,7 +19,9 @@ impl Comm {
     }
 
     fn coll_recv<T: Clone + Send + 'static>(&self, src: usize, seq: u64, round: u64) -> Vec<T> {
-        let msg = self.my_mailbox().take(src, encode_tag(self.ctx, Kind::Coll, (seq << 8) | round));
+        let msg = self
+            .my_mailbox()
+            .take(src, encode_tag(self.ctx, Kind::Coll, (seq << 8) | round));
         *msg.data
             .downcast::<Vec<T>>()
             .unwrap_or_else(|_| panic!("collective type mismatch from rank {src}"))
@@ -63,7 +65,11 @@ impl Comm {
         }
         // Forward to children: vrank | (1 << b) for bits above our lowest
         // set bit (all bits for the root).
-        let lowest = if vrank == 0 { usize::BITS } else { vrank.trailing_zeros() };
+        let lowest = if vrank == 0 {
+            usize::BITS
+        } else {
+            vrank.trailing_zeros()
+        };
         for b in (0..lowest).rev() {
             let child_v = vrank | (1usize << b);
             if child_v != vrank && child_v < p {

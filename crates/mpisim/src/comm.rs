@@ -49,7 +49,14 @@ pub struct Comm {
 impl Comm {
     pub(crate) fn world_comm(world: Arc<World>, rank: usize) -> Self {
         let members = Arc::new((0..world.size).collect());
-        Comm { world, ctx: 0, rank, members, coll_seq: Cell::new(0), split_seq: Cell::new(0) }
+        Comm {
+            world,
+            ctx: 0,
+            rank,
+            members,
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+        }
     }
 
     /// This rank's index within the communicator.
@@ -115,15 +122,19 @@ impl Comm {
     /// Blocking receive returning the payload vector.
     pub fn recv_vec<T: Clone + Send + 'static>(&self, src: usize, tag: u32) -> Vec<T> {
         assert!(src < self.size(), "recv source {src} out of range");
-        let msg = self.my_mailbox().take(src, encode_tag(self.ctx, Kind::P2p, tag as u64));
-        *msg.data.downcast::<Vec<T>>().unwrap_or_else(|_| {
-            panic!("recv type mismatch from rank {src} tag {tag}")
-        })
+        let msg = self
+            .my_mailbox()
+            .take(src, encode_tag(self.ctx, Kind::P2p, tag as u64));
+        *msg.data
+            .downcast::<Vec<T>>()
+            .unwrap_or_else(|_| panic!("recv type mismatch from rank {src} tag {tag}"))
     }
 
     /// Blocking receive from any source; returns `(src, payload)`.
     pub fn recv_any<T: Clone + Send + 'static>(&self, tag: u32) -> (usize, Vec<T>) {
-        let msg = self.my_mailbox().take_any(encode_tag(self.ctx, Kind::P2p, tag as u64));
+        let msg = self
+            .my_mailbox()
+            .take_any(encode_tag(self.ctx, Kind::P2p, tag as u64));
         let data = *msg
             .data
             .downcast::<Vec<T>>()
@@ -137,7 +148,8 @@ impl Comm {
 
     /// Duplicates the communicator into a fresh context (tag space).
     pub fn dup(&self) -> Comm {
-        self.split(0, self.rank as i64).expect("dup never excludes the caller")
+        self.split(0, self.rank as i64)
+            .expect("dup never excludes the caller")
     }
 
     /// Splits by `color` (ranks sharing a color form a new communicator,

@@ -68,7 +68,10 @@ where
         let mut results = Vec::with_capacity(size);
         let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
         for h in handles {
-            match h.join().expect("rank thread cannot itself panic outside catch_unwind") {
+            match h
+                .join()
+                .expect("rank thread cannot itself panic outside catch_unwind")
+            {
                 Ok(v) => results.push(v),
                 Err(e) => {
                     // Prefer the original panic over secondary "aborted"
@@ -84,9 +87,7 @@ where
                     };
                     match &first_panic {
                         None => first_panic = Some(e),
-                        Some(prev) if secondary(prev) && !secondary(&e) => {
-                            first_panic = Some(e)
-                        }
+                        Some(prev) if secondary(prev) && !secondary(&e) => first_panic = Some(e),
                         _ => {}
                     }
                 }

@@ -74,8 +74,16 @@ impl Comm {
         recv: Vec<T>,
     ) -> IAlltoall<T> {
         let p = self.size();
-        assert_eq!(send_counts.len(), p, "send_counts must have one entry per rank");
-        assert_eq!(recv_counts.len(), p, "recv_counts must have one entry per rank");
+        assert_eq!(
+            send_counts.len(),
+            p,
+            "send_counts must have one entry per rank"
+        );
+        assert_eq!(
+            recv_counts.len(),
+            p,
+            "recv_counts must have one entry per rank"
+        );
         let total_send: usize = send_counts.iter().sum();
         let total_recv: usize = recv_counts.iter().sum();
         assert_eq!(send.len(), total_send, "send buffer length mismatch");
@@ -177,6 +185,19 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
         self.tests
     }
 
+    /// Rounds of the schedule completed locally so far — the request-level
+    /// progression state a `test` transition advances. Tracing consumers
+    /// read this to see how far each poll pushed the collective.
+    pub fn rounds_done(&self) -> usize {
+        self.round
+    }
+
+    /// Total rounds in the schedule (one per rank, including the eager
+    /// self-copy round).
+    pub fn rounds_total(&self) -> usize {
+        self.size
+    }
+
     /// `MPI_Wait`: progresses (blocking between arrivals) until completion,
     /// then returns the receive buffer (per-source blocks in rank order).
     pub fn wait(mut self, comm: &Comm) -> Vec<T> {
@@ -199,12 +220,7 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
 impl Comm {
     /// Blocking all-to-all, implemented as post + wait (what FFTW's
     /// transpose does with `MPI_Alltoall`).
-    pub fn alltoall<T: Clone + Send + 'static>(
-        &self,
-        send: &[T],
-        count: usize,
-        recv: &mut [T],
-    ) {
+    pub fn alltoall<T: Clone + Send + 'static>(&self, send: &[T], count: usize, recv: &mut [T]) {
         let staging = recv.to_vec();
         let out = self.ialltoall(send, count, staging).wait(self);
         recv.clone_from_slice(&out);
@@ -219,7 +235,9 @@ impl Comm {
         recv: &mut [T],
     ) {
         let staging = recv.to_vec();
-        let out = self.ialltoallv(send, send_counts, recv_counts, staging).wait(self);
+        let out = self
+            .ialltoallv(send, send_counts, recv_counts, staging)
+            .wait(self);
         recv.clone_from_slice(&out);
     }
 }
@@ -239,8 +257,8 @@ mod tests {
             let req = comm.ialltoall(&send, 1, recv);
             let out = req.wait(&comm);
             // Block from src s must be s*10 + me.
-            for s in 0..p {
-                assert_eq!(out[s], (s * 10 + me) as i64);
+            for (s, &v) in out.iter().enumerate() {
+                assert_eq!(v, (s * 10 + me) as i64);
             }
         });
     }
@@ -293,7 +311,7 @@ mod tests {
                 }
                 std::thread::yield_now();
             };
-            assert_eq!(req_polls_ok(polls), true);
+            assert!(req_polls_ok(polls));
             assert_eq!(done[1 - comm.rank()], (1 - comm.rank()) as i32);
             assert_eq!(done[comm.rank()], comm.rank() as i32);
         });
@@ -327,8 +345,8 @@ mod tests {
                 }
                 std::thread::yield_now();
             };
-            for s in 0..p {
-                assert_eq!(out[s], (s * 10 + me) as i32);
+            for (s, &v) in out.iter().enumerate() {
+                assert_eq!(v, (s * 10 + me) as i32);
             }
         });
     }
@@ -355,6 +373,32 @@ mod tests {
     }
 
     #[test]
+    fn round_progress_is_monotone_and_completes() {
+        // rounds_done never decreases across test transitions and reaches
+        // rounds_total exactly when the request reports completion.
+        let p = 4;
+        run(p, move |comm| {
+            let me = comm.rank();
+            let send: Vec<i32> = (0..p).map(|d| (me * 10 + d) as i32).collect();
+            let mut req = comm.ialltoall(&send, 1, vec![0i32; p]);
+            assert_eq!(req.rounds_total(), p);
+            let mut last = req.rounds_done();
+            loop {
+                let done = req.test(&comm);
+                let now = req.rounds_done();
+                assert!(now >= last, "rounds went backwards: {last} -> {now}");
+                last = now;
+                assert_eq!(done, now == req.rounds_total());
+                assert_eq!(done, req.is_complete());
+                if done {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        });
+    }
+
+    #[test]
     fn single_rank_alltoall_is_a_copy() {
         run(1, |comm| {
             let send = vec![42u64, 7];
@@ -370,10 +414,14 @@ mod tests {
             // Rank 0 claims it will send 2 to each; rank 1 expects 3 from each.
             if comm.rank() == 0 {
                 let send = vec![0u8; 4];
-                let _ = comm.ialltoallv(&send, &[2, 2], &[2, 2], vec![0u8; 4]).wait(&comm);
+                let _ = comm
+                    .ialltoallv(&send, &[2, 2], &[2, 2], vec![0u8; 4])
+                    .wait(&comm);
             } else {
                 let send = vec![0u8; 6];
-                let _ = comm.ialltoallv(&send, &[3, 3], &[3, 3], vec![0u8; 6]).wait(&comm);
+                let _ = comm
+                    .ialltoallv(&send, &[3, 3], &[3, 3], vec![0u8; 6])
+                    .wait(&comm);
             }
         });
     }

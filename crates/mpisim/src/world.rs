@@ -28,7 +28,11 @@ pub(crate) struct Mailbox {
 
 impl Mailbox {
     fn new(aborted: Arc<AtomicBool>) -> Self {
-        Mailbox { queue: Mutex::new(Vec::new()), arrived: Condvar::new(), aborted }
+        Mailbox {
+            queue: Mutex::new(Vec::new()),
+            arrived: Condvar::new(),
+            aborted,
+        }
     }
 
     fn check_abort(&self) {
@@ -60,7 +64,8 @@ impl Mailbox {
             if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
                 return q.remove(pos);
             }
-            self.arrived.wait_for(&mut q, std::time::Duration::from_millis(50));
+            self.arrived
+                .wait_for(&mut q, std::time::Duration::from_millis(50));
             self.check_abort();
         }
     }
@@ -73,7 +78,8 @@ impl Mailbox {
             if let Some(pos) = q.iter().position(|m| m.tag == tag) {
                 return q.remove(pos);
             }
-            self.arrived.wait_for(&mut q, std::time::Duration::from_millis(50));
+            self.arrived
+                .wait_for(&mut q, std::time::Duration::from_millis(50));
             self.check_abort();
         }
     }
@@ -85,7 +91,8 @@ impl Mailbox {
             let mut q = self.queue.lock();
             // Re-check under the lock happens at the caller; a single wakeup
             // is enough because the caller loops.
-            self.arrived.wait_for(&mut q, std::time::Duration::from_millis(50));
+            self.arrived
+                .wait_for(&mut q, std::time::Duration::from_millis(50));
         }
         self.check_abort();
     }
@@ -100,10 +107,15 @@ impl Mailbox {
 /// Rendezvous table used by `Comm::split`: ranks post `(color, key, rank)`
 /// tuples under a split-operation sequence number and the last arrival
 /// computes the grouping.
+/// One rank's posted `(color, key, world_rank)` tuple.
+type SplitEntry = (i64, i64, usize);
+/// Per-rank split outcome: `(new_rank, member_world_ranks)`.
+type SplitResult = (usize, Vec<usize>);
+
 pub(crate) struct SplitTable {
-    entries: Mutex<HashMap<u64, Vec<(i64, i64, usize)>>>,
+    entries: Mutex<HashMap<u64, Vec<SplitEntry>>>,
     done: Condvar,
-    results: Mutex<HashMap<u64, HashMap<usize, (usize, Vec<usize>)>>>,
+    results: Mutex<HashMap<u64, HashMap<usize, SplitResult>>>,
 }
 
 impl SplitTable {
@@ -205,9 +217,21 @@ mod tests {
     #[test]
     fn mailbox_matches_src_and_tag() {
         let mb = Mailbox::new(Arc::new(AtomicBool::new(false)));
-        mb.push(Msg { src: 1, tag: 7, data: Box::new(vec![1i32]) });
-        mb.push(Msg { src: 2, tag: 7, data: Box::new(vec![2i32]) });
-        mb.push(Msg { src: 1, tag: 9, data: Box::new(vec![3i32]) });
+        mb.push(Msg {
+            src: 1,
+            tag: 7,
+            data: Box::new(vec![1i32]),
+        });
+        mb.push(Msg {
+            src: 2,
+            tag: 7,
+            data: Box::new(vec![2i32]),
+        });
+        mb.push(Msg {
+            src: 1,
+            tag: 9,
+            data: Box::new(vec![3i32]),
+        });
         assert!(mb.try_take(3, 7).is_none());
         let m = mb.try_take(2, 7).unwrap();
         assert_eq!(m.src, 2);
@@ -219,8 +243,16 @@ mod tests {
     #[test]
     fn mailbox_is_fifo_per_pair() {
         let mb = Mailbox::new(Arc::new(AtomicBool::new(false)));
-        mb.push(Msg { src: 0, tag: 1, data: Box::new(vec![10i32]) });
-        mb.push(Msg { src: 0, tag: 1, data: Box::new(vec![20i32]) });
+        mb.push(Msg {
+            src: 0,
+            tag: 1,
+            data: Box::new(vec![10i32]),
+        });
+        mb.push(Msg {
+            src: 0,
+            tag: 1,
+            data: Box::new(vec![20i32]),
+        });
         let a = mb.take(0, 1);
         let b = mb.take(0, 1);
         assert_eq!(*a.data.downcast::<Vec<i32>>().unwrap(), vec![10]);
@@ -236,7 +268,11 @@ mod tests {
             *m.data.downcast::<Vec<u8>>().unwrap()
         });
         thread::sleep(std::time::Duration::from_millis(20));
-        mb.push(Msg { src: 5, tag: 42, data: Box::new(vec![9u8]) });
+        mb.push(Msg {
+            src: 5,
+            tag: 42,
+            data: Box::new(vec![9u8]),
+        });
         assert_eq!(h.join().unwrap(), vec![9]);
     }
 

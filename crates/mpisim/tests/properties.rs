@@ -13,14 +13,14 @@ fn alltoall_permutes(p: usize, count: usize, salt: u64) {
             .map(|i| {
                 let dest = (i / count) as u64;
                 let j = (i % count) as u64;
-                me * 1_000_003 ^ dest.wrapping_mul(7919) ^ j.wrapping_mul(31) ^ salt
+                (me * 1_000_003) ^ dest.wrapping_mul(7919) ^ j.wrapping_mul(31) ^ salt
             })
             .collect();
         let mut recv = vec![0u64; p * count];
         comm.alltoall(&send, count, &mut recv);
         for s in 0..p as u64 {
             for j in 0..count as u64 {
-                let expect = s * 1_000_003 ^ me.wrapping_mul(7919) ^ j.wrapping_mul(31) ^ salt;
+                let expect = (s * 1_000_003) ^ me.wrapping_mul(7919) ^ j.wrapping_mul(31) ^ salt;
                 assert_eq!(recv[s as usize * count + j as usize], expect);
             }
         }

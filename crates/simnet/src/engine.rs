@@ -54,7 +54,12 @@ struct OpShared {
 
 impl OpShared {
     fn new(p: usize) -> Self {
-        OpShared { posted: vec![false; p], nposted: 0, post_max: SimTime::ZERO, ready: None }
+        OpShared {
+            posted: vec![false; p],
+            nposted: 0,
+            post_max: SimTime::ZERO,
+            ready: None,
+        }
     }
 }
 
@@ -159,9 +164,7 @@ impl Engine {
         // Fast path: still the earliest runnable rank.
         let mut earliest = rank;
         for r in 0..self.size {
-            if s.status[r] == Status::Ready
-                && (s.clocks[r], r) < (s.clocks[earliest], earliest)
-            {
+            if s.status[r] == Status::Ready && (s.clocks[r], r) < (s.clocks[earliest], earliest) {
                 earliest = r;
             }
         }
@@ -196,7 +199,10 @@ impl Engine {
         let mut s = self.state.lock();
         let size = self.size;
         let op = Self::op_mut(&mut s, seq, size);
-        assert!(!op.posted[rank], "rank {rank} posted collective {seq} twice");
+        assert!(
+            !op.posted[rank],
+            "rank {rank} posted collective {seq} twice"
+        );
         op.posted[rank] = true;
         op.nposted += 1;
         op.post_max = op.post_max.max(clock);
@@ -224,8 +230,8 @@ impl Engine {
         // Lower bound: the earliest any non-posted rank could still post.
         let posted = op.posted.clone();
         let mut bound: Option<SimTime> = None;
-        for r in 0..size {
-            if !posted[r] {
+        for (r, &was_posted) in posted.iter().enumerate() {
+            if !was_posted {
                 assert!(
                     s.status[r] != Status::Done,
                     "rank {r} finished without posting collective {seq}"

@@ -37,7 +37,7 @@ pub mod proc;
 pub mod time;
 
 pub use model::Platform;
-pub use proc::{OpId, SimRank};
+pub use proc::{OpId, PollRecord, SimRank};
 pub use time::SimTime;
 
 use engine::Engine;
@@ -85,7 +85,8 @@ where
                             .downcast_ref::<String>()
                             .map(String::as_str)
                             .or_else(|| p.downcast_ref::<&str>().copied());
-                        msg.map(|s| s.contains("peer rank panicked")).unwrap_or(false)
+                        msg.map(|s| s.contains("peer rank panicked"))
+                            .unwrap_or(false)
                     }
                     match &first_panic {
                         None => first_panic = Some(e),

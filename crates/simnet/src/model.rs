@@ -65,7 +65,11 @@ impl MachineModel {
         }
         let flops = 5.0 * n as f64 * (n as f64).log2();
         let in_cache = (n as u64 * ELEM_BYTES) <= self.l2_bytes;
-        let rate = if in_cache { self.fft_flops } else { self.fft_flops * self.fft_oo_cache_factor };
+        let rate = if in_cache {
+            self.fft_flops
+        } else {
+            self.fft_flops * self.fft_oo_cache_factor
+        };
         flops / rate
     }
 
@@ -92,8 +96,7 @@ impl MachineModel {
         if run_bytes < self.short_stride_bytes {
             // Scale smoothly down to the floor factor as runs shrink.
             let frac = run_bytes as f64 / self.short_stride_bytes as f64;
-            rate *= self.pack_short_stride_factor
-                + (1.0 - self.pack_short_stride_factor) * frac;
+            rate *= self.pack_short_stride_factor + (1.0 - self.pack_short_stride_factor) * frac;
         }
         let subtiles = (total_bytes as f64 / subtile_bytes.max(1) as f64).ceil();
         total_bytes as f64 / rate + subtiles * self.subtile_overhead
@@ -155,13 +158,22 @@ impl NetModel {
     /// the same switch real MPI/libNBC implementations make.
     pub fn shape(&self, p: usize, bytes_per_peer: u64) -> A2aShape {
         if p <= 1 {
-            return A2aShape { rounds: 0, round_bytes: 0 };
+            return A2aShape {
+                rounds: 0,
+                round_bytes: 0,
+            };
         }
         if bytes_per_peer < self.bruck_threshold_bytes {
             let rounds = (usize::BITS - (p - 1).leading_zeros()).max(1);
-            A2aShape { rounds, round_bytes: bytes_per_peer * (p as u64) / 2 }
+            A2aShape {
+                rounds,
+                round_bytes: bytes_per_peer * (p as u64) / 2,
+            }
         } else {
-            A2aShape { rounds: (p - 1) as u32, round_bytes: bytes_per_peer }
+            A2aShape {
+                rounds: (p - 1) as u32,
+                round_bytes: bytes_per_peer,
+            }
         }
     }
 
@@ -186,8 +198,7 @@ impl NetModel {
     pub fn blocking_duration(&self, p: usize, bytes_per_peer: u64) -> SimTime {
         let shape = self.shape(p, bytes_per_peer);
         SimTime::from_secs_f64(
-            shape.rounds as f64
-                * (self.alpha + shape.round_bytes as f64 / self.effective_bw(p, 1)),
+            shape.rounds as f64 * (self.alpha + shape.round_bytes as f64 / self.effective_bw(p, 1)),
         )
     }
 
@@ -334,7 +345,10 @@ mod tests {
         let good = m.pack(total, 128 * 1024, 4096);
         let too_big = m.pack(total, 4 * 1024 * 1024, 4096);
         let too_small = m.pack(total, 256, 4096);
-        assert!(good < too_big, "cache-resident sub-tile must beat oversized");
+        assert!(
+            good < too_big,
+            "cache-resident sub-tile must beat oversized"
+        );
         assert!(good < too_small, "overhead must punish tiny sub-tiles");
     }
 

@@ -46,6 +46,20 @@ struct LocalOp {
     completed: Option<SimTime>,
 }
 
+/// One recorded `MPI_Test` call, for tracing consumers: the virtual span
+/// the poll occupied and the request state it observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollRecord {
+    /// The polled operation.
+    pub op: OpId,
+    /// Virtual time the poll started.
+    pub start: SimTime,
+    /// Virtual time the poll ended (`start` plus the platform's `t_test`).
+    pub end: SimTime,
+    /// Whether the poll observed a completed request.
+    pub completed: bool,
+}
+
 /// A simulated rank: the object the 3-D FFT's simulated backend drives.
 pub struct SimRank {
     engine: Arc<Engine>,
@@ -59,6 +73,8 @@ pub struct SimRank {
     /// rank's link bandwidth.
     active: u32,
     test_calls: u64,
+    /// When tracing, every `test()` appends a [`PollRecord`] here.
+    poll_log: Option<Vec<PollRecord>>,
     /// Deterministic per-rank noise state (xorshift64*).
     noise_state: u64,
 }
@@ -76,6 +92,7 @@ impl SimRank {
             ops: HashMap::new(),
             active: 0,
             test_calls: 0,
+            poll_log: None,
             noise_state: 0x9e37_79b9_7f4a_7c15 ^ (rank as u64).wrapping_mul(0xda94_2042_e4dd_58b5),
         }
     }
@@ -152,7 +169,10 @@ impl SimRank {
     /// simulator targets, where every subgroup runs the same program — but
     /// the round structure and bandwidth model use the subgroup size.
     pub fn post_alltoall_in_group(&mut self, group: usize, bytes_per_peer: u64) -> OpId {
-        assert!(group >= 1 && group <= self.size, "group must be within the world");
+        assert!(
+            group >= 1 && group <= self.size,
+            "group must be within the world"
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.clock += self.platform.net.post_overhead(group);
@@ -178,9 +198,37 @@ impl SimRank {
     /// pipeline. Returns `true` when the collective has completed.
     pub fn test(&mut self, op: OpId) -> bool {
         self.test_calls += 1;
+        let start = self.clock;
         self.clock += SimTime::from_secs_f64(self.platform.machine.t_test);
         self.progress(op.0);
-        self.ops[&op.0].completed.is_some()
+        let completed = self.ops[&op.0].completed.is_some();
+        if let Some(log) = &mut self.poll_log {
+            log.push(PollRecord {
+                op,
+                start,
+                end: self.clock,
+                completed,
+            });
+        }
+        completed
+    }
+
+    /// Starts recording every subsequent `MPI_Test` call into the poll log
+    /// (drained with [`Self::take_poll_log`]). Off by default: the log
+    /// costs one `Vec` push per poll, which tracing consumers opt into.
+    pub fn enable_poll_log(&mut self) {
+        if self.poll_log.is_none() {
+            self.poll_log = Some(Vec::new());
+        }
+    }
+
+    /// Takes the polls recorded since the last drain. Empty (and free) when
+    /// the log was never enabled.
+    pub fn take_poll_log(&mut self) -> Vec<PollRecord> {
+        match &mut self.poll_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
     }
 
     /// `true` once `op` has been observed complete (no progression attempt).
@@ -235,7 +283,12 @@ impl SimRank {
         // round because other ops may still be active.
         let (mut t, mut rd, inflight, rounds) = {
             let o = &self.ops[&seq];
-            (self.clock.max(ready), o.rounds_done, o.inflight_end, o.shape.rounds)
+            (
+                self.clock.max(ready),
+                o.rounds_done,
+                o.inflight_end,
+                o.shape.rounds,
+            )
         };
         if let Some(e) = inflight {
             t = t.max(e);
@@ -267,7 +320,11 @@ impl SimRank {
         self.clock += self.platform.net.post_overhead(self.size);
         self.engine.post(self.rank, self.clock, seq);
         let ready = self.engine.block_on_ready(self.rank, self.clock, seq);
-        let end = ready + self.platform.net.blocking_duration(self.size, bytes_per_peer);
+        let end = ready
+            + self
+                .platform
+                .net
+                .blocking_duration(self.size, bytes_per_peer);
         self.clock = end;
         (ready, end)
     }
@@ -398,8 +455,8 @@ mod tests {
             // "ready" then) overlaps the compute; the rest serialize inside
             // wait.
             let lower = SimTime::from_secs_f64(0.01) + rt * (shape.rounds as u64 - 1);
-            let upper = SimTime::from_secs_f64(0.01) + rt * shape.rounds as u64
-                + SimTime::from_millis(1);
+            let upper =
+                SimTime::from_secs_f64(0.01) + rt * shape.rounds as u64 + SimTime::from_millis(1);
             assert!(*end >= lower, "end={end} lower={lower}");
             assert!(*end <= upper, "end={end} upper={upper}");
         }
@@ -469,9 +526,55 @@ mod tests {
             sim.wait(op);
             sim.now().as_secs_f64()
         });
-        assert!(times_many[0] > times_few[0] + 0.02,
+        assert!(
+            times_many[0] > times_few[0] + 0.02,
             "50k tests at ~0.9µs each must add visible overhead: few={} many={}",
-            times_few[0], times_many[0]);
+            times_few[0],
+            times_many[0]
+        );
+    }
+
+    #[test]
+    fn poll_log_records_every_test_span() {
+        let p = 4;
+        let bytes = 1 << 18;
+        let logs = run_sim(umd_cluster(), p, move |sim| {
+            sim.enable_poll_log();
+            let op = sim.post_alltoall(bytes);
+            sim.compute_with_polls(0.005, 16, &[op]);
+            sim.wait(op);
+            (sim.take_poll_log(), sim.test_calls())
+        });
+        for (log, calls) in &logs {
+            assert_eq!(log.len() as u64, *calls);
+            // Virtual timestamps are monotone and each span charges t_test.
+            for w in log.windows(2) {
+                assert!(w[0].end <= w[1].start);
+            }
+            for rec in log {
+                assert!(rec.end > rec.start);
+            }
+            // The completion transition is monotone: once observed complete,
+            // later polls of the same op stay complete.
+            let mut seen_complete = false;
+            for rec in log {
+                if seen_complete {
+                    assert!(rec.completed);
+                }
+                seen_complete |= rec.completed;
+            }
+        }
+    }
+
+    #[test]
+    fn poll_log_is_empty_when_disabled() {
+        let logs = run_sim(umd_cluster(), 2, |sim| {
+            let op = sim.post_alltoall(1024);
+            sim.compute_with_polls(0.001, 4, &[op]);
+            sim.wait(op);
+            sim.take_poll_log()
+        });
+        assert!(logs.iter().all(|l| l.is_empty()));
     }
 
     #[test]

@@ -94,7 +94,11 @@ impl Sub for SimTime {
     type Output = SimTime;
     #[inline]
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.0).expect("SimTime subtraction underflow"))
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
     }
 }
 

@@ -41,13 +41,16 @@ pub fn anneal_new(
     let mut tuning_cost = 0.0;
 
     let eval = |idx: &[usize],
-                    cache: &mut HashMap<Vec<usize>, f64>,
-                    executed: &mut usize,
-                    cost: &mut f64,
-                    objective: &mut dyn FnMut(&TuningParams) -> f64|
+                cache: &mut HashMap<Vec<usize>, f64>,
+                executed: &mut usize,
+                cost: &mut f64,
+                objective: &mut dyn FnMut(&TuningParams) -> f64|
      -> f64 {
-        let values: Vec<usize> =
-            idx.iter().zip(&space.dims).map(|(&i, d)| d.values[i]).collect();
+        let values: Vec<usize> = idx
+            .iter()
+            .zip(&space.dims)
+            .map(|(&i, d)| d.values[i])
+            .collect();
         let p = decode_new(&values);
         if !p.is_feasible(spec) {
             return f64::INFINITY;
@@ -70,7 +73,13 @@ pub fn anneal_new(
         .zip(&space.dims)
         .map(|(&v, d)| d.nearest_index(v))
         .collect();
-    let mut cur_val = eval(&cur, &mut cache, &mut executed, &mut tuning_cost, &mut objective);
+    let mut cur_val = eval(
+        &cur,
+        &mut cache,
+        &mut executed,
+        &mut tuning_cost,
+        &mut objective,
+    );
     let mut best = cur.clone();
     let mut best_val = cur_val;
 
@@ -89,8 +98,13 @@ pub fn anneal_new(
         } else {
             continue;
         }
-        let next_val =
-            eval(&next, &mut cache, &mut executed, &mut tuning_cost, &mut objective);
+        let next_val = eval(
+            &next,
+            &mut cache,
+            &mut executed,
+            &mut tuning_cost,
+            &mut objective,
+        );
         let accept = next_val <= cur_val
             || (next_val.is_finite()
                 && rng.gen_bool(((cur_val - next_val) / temp).exp().clamp(0.0, 1.0)));
@@ -105,9 +119,17 @@ pub fn anneal_new(
         temp = (temp * cooling).max(1e-9);
     }
 
-    let values: Vec<usize> =
-        best.iter().zip(&space.dims).map(|(&i, d)| d.values[i]).collect();
-    AnnealResult { best: decode_new(&values), best_value: best_val, executed, tuning_cost }
+    let values: Vec<usize> = best
+        .iter()
+        .zip(&space.dims)
+        .map(|(&i, d)| d.values[i])
+        .collect();
+    AnnealResult {
+        best: decode_new(&values),
+        best_value: best_val,
+        executed,
+        tuning_cost,
+    }
 }
 
 /// Cyclic coordinate descent: sweep dimensions, trying every candidate of
@@ -131,13 +153,16 @@ pub fn coordinate_descent_new(
         .collect();
 
     let eval = |idx: &[usize],
-                    cache: &mut HashMap<Vec<usize>, f64>,
-                    executed: &mut usize,
-                    cost: &mut f64,
-                    objective: &mut dyn FnMut(&TuningParams) -> f64|
+                cache: &mut HashMap<Vec<usize>, f64>,
+                executed: &mut usize,
+                cost: &mut f64,
+                objective: &mut dyn FnMut(&TuningParams) -> f64|
      -> f64 {
-        let values: Vec<usize> =
-            idx.iter().zip(&space.dims).map(|(&i, d)| d.values[i]).collect();
+        let values: Vec<usize> = idx
+            .iter()
+            .zip(&space.dims)
+            .map(|(&i, d)| d.values[i])
+            .collect();
         let p = decode_new(&values);
         if !p.is_feasible(spec) {
             return f64::INFINITY;
@@ -152,8 +177,13 @@ pub fn coordinate_descent_new(
         v
     };
 
-    let mut cur_val =
-        eval(&cur, &mut cache, &mut executed, &mut tuning_cost, &mut objective);
+    let mut cur_val = eval(
+        &cur,
+        &mut cache,
+        &mut executed,
+        &mut tuning_cost,
+        &mut objective,
+    );
     loop {
         let mut improved = false;
         for d in 0..space.dims.len() {
@@ -170,7 +200,13 @@ pub fn coordinate_descent_new(
                 }
                 let mut cand = cur.clone();
                 cand[d] = i;
-                let v = eval(&cand, &mut cache, &mut executed, &mut tuning_cost, &mut objective);
+                let v = eval(
+                    &cand,
+                    &mut cache,
+                    &mut executed,
+                    &mut tuning_cost,
+                    &mut objective,
+                );
                 if v < cur_val {
                     cur_val = v;
                     best_i = i;
@@ -184,9 +220,17 @@ pub fn coordinate_descent_new(
         }
     }
 
-    let values: Vec<usize> =
-        cur.iter().zip(&space.dims).map(|(&i, d)| d.values[i]).collect();
-    AnnealResult { best: decode_new(&values), best_value: cur_val, executed, tuning_cost }
+    let values: Vec<usize> = cur
+        .iter()
+        .zip(&space.dims)
+        .map(|(&i, d)| d.values[i])
+        .collect();
+    AnnealResult {
+        best: decode_new(&values),
+        best_value: cur_val,
+        executed,
+        tuning_cost,
+    }
 }
 
 #[cfg(test)]
@@ -226,7 +270,11 @@ mod tests {
     fn coordinate_descent_finds_the_t_optimum() {
         let s = spec();
         let res = coordinate_descent_new(&s, synthetic, 400);
-        assert_eq!(res.best.t, 8, "coordinate sweep must locate T = 8: {:?}", res.best);
+        assert_eq!(
+            res.best.t, 8,
+            "coordinate sweep must locate T = 8: {:?}",
+            res.best
+        );
         assert!(res.best.is_feasible(&s));
     }
 

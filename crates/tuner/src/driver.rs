@@ -51,12 +51,7 @@ struct CachedObjective<'a, P> {
 }
 
 impl<P: Clone> CachedObjective<'_, P> {
-    fn eval(
-        &mut self,
-        key: Vec<usize>,
-        decoded: P,
-        feasible: bool,
-    ) -> f64 {
+    fn eval(&mut self, key: Vec<usize>, decoded: P, feasible: bool) -> f64 {
         self.requests += 1;
         if !feasible {
             // Technique 1: report "the worst performance value (infinity)
@@ -181,7 +176,11 @@ fn wider_simplex(seed: &[f64], dim_lens: &[usize], step: usize) -> Vec<Vec<f64>>
         let dir = if j % 2 == 0 { s } else { -s };
         let moved = (p[j] + dir).clamp(0.0, hi);
         // Guarantee the vertex actually moved (degenerate dims stay put).
-        p[j] = if (moved - p[j]).abs() < 0.5 { (p[j] - dir).clamp(0.0, hi) } else { moved };
+        p[j] = if (moved - p[j]).abs() < 0.5 {
+            (p[j] - dir).clamp(0.0, hi)
+        } else {
+            moved
+        };
         simplex.push(p);
     }
     simplex
@@ -205,7 +204,7 @@ pub fn tune_new<'a>(
     run_search(
         &space,
         encode_new(&seed),
-        |v| decode_new(v),
+        decode_new,
         move |p: &TuningParams| p.is_feasible(&spec),
         Box::new(objective),
         max_evals,
@@ -225,7 +224,7 @@ pub fn tune_th<'a>(
     run_search(
         &space,
         vec![seed.t, seed.w, seed.f as usize],
-        |v| decode_th(v),
+        decode_th,
         move |p: &ThParams| p.is_feasible(&spec),
         Box::new(objective),
         max_evals,
@@ -256,7 +255,7 @@ mod tests {
     fn tuner_improves_on_the_seed() {
         let s = spec();
         let seed_val = synthetic(&TuningParams::seed(&s));
-        let res = tune_new(&s, |p| synthetic(p), 200);
+        let res = tune_new(&s, synthetic, 200);
         assert!(res.best_value <= seed_val + 1e-12);
         assert!(res.best.is_feasible(&s));
         assert!(res.executed > 0);
@@ -265,13 +264,17 @@ mod tests {
     #[test]
     fn tuner_finds_the_synthetic_optimum_region() {
         let s = spec();
-        let res = tune_new(&s, |p| synthetic(p), 400);
+        let res = tune_new(&s, synthetic, 400);
         assert!(
             (8..=32).contains(&res.best.t),
             "T should land near 16, got {}",
             res.best.t
         );
-        assert!((1..=3).contains(&res.best.w), "W near 2, got {}", res.best.w);
+        assert!(
+            (1..=3).contains(&res.best.w),
+            "W near 2, got {}",
+            res.best.w
+        );
     }
 
     #[test]
@@ -309,7 +312,7 @@ mod tests {
     #[test]
     fn tuning_cost_sums_executed_times() {
         let s = spec();
-        let res = tune_new(&s, |p| synthetic(p), 150);
+        let res = tune_new(&s, synthetic, 150);
         let sum: f64 = res.history.iter().map(|(_, v)| v).sum();
         assert!((sum - res.tuning_cost).abs() < 1e-9);
     }
@@ -323,7 +326,11 @@ mod tests {
             150,
         );
         assert!(res.best.is_feasible(&s));
-        assert!((4..=16).contains(&res.best.t), "T near 8, got {}", res.best.t);
+        assert!(
+            (4..=16).contains(&res.best.t),
+            "T near 8, got {}",
+            res.best.t
+        );
         // Three dimensions need far fewer executions than ten.
         assert!(res.executed < 80);
     }

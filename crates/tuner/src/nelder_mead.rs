@@ -62,8 +62,14 @@ where
 
         // Collapse test: all vertices in the same rounded cell.
         let collapsed = (0..d).all(|j| {
-            let lo = simplex.iter().map(|(p, _)| p[j]).fold(f64::INFINITY, f64::min);
-            let hi = simplex.iter().map(|(p, _)| p[j]).fold(f64::NEG_INFINITY, f64::max);
+            let lo = simplex
+                .iter()
+                .map(|(p, _)| p[j])
+                .fold(f64::INFINITY, f64::min);
+            let hi = simplex
+                .iter()
+                .map(|(p, _)| p[j])
+                .fold(f64::NEG_INFINITY, f64::max);
             hi - lo < 0.5
         });
         if collapsed {
@@ -92,7 +98,11 @@ where
             // Expansion.
             let expanded = lerp(&centroid, &worst, -GAMMA);
             let fe = eval(&expanded, &mut evals);
-            simplex[d] = if fe < fr { (expanded, fe) } else { (reflected, fr) };
+            simplex[d] = if fe < fr {
+                (expanded, fe)
+            } else {
+                (reflected, fr)
+            };
         } else if fr < f_second_worst {
             simplex[d] = (reflected, fr);
         } else {
@@ -109,10 +119,10 @@ where
             } else {
                 // Shrink toward the best vertex.
                 let best = simplex[0].0.clone();
-                for k in 1..=d {
-                    let p = lerp(&best, &simplex[k].0, SIGMA);
+                for vertex in simplex.iter_mut().take(d + 1).skip(1) {
+                    let p = lerp(&best, &vertex.0, SIGMA);
                     let v = eval(&p, &mut evals);
-                    simplex[k] = (p, v);
+                    *vertex = (p, v);
                 }
             }
         }
@@ -120,7 +130,12 @@ where
     }
 
     let (best_point, best_value) = simplex.swap_remove(0);
-    NmResult { best_point, best_value, evals, iterations }
+    NmResult {
+        best_point,
+        best_value,
+        evals,
+        iterations,
+    }
 }
 
 /// Builds the §4.4 initial simplex: the default point plus `d` neighbours,
@@ -135,7 +150,11 @@ pub fn initial_simplex(seed: &[f64], dim_lens: &[usize]) -> Vec<Vec<f64>> {
         let mut p = seed.to_vec();
         let hi = (dim_lens[j] - 1) as f64;
         // Step one candidate index; flip direction at the upper boundary.
-        p[j] = if seed[j] + 1.0 <= hi { seed[j] + 1.0 } else { (seed[j] - 1.0).max(0.0) };
+        p[j] = if seed[j] + 1.0 <= hi {
+            seed[j] + 1.0
+        } else {
+            (seed[j] - 1.0).max(0.0)
+        };
         simplex.push(p);
     }
     simplex
@@ -149,9 +168,7 @@ mod tests {
     fn minimizes_a_convex_quadratic() {
         // f(x) = Σ (x_i − target_i)²
         let target = [3.0, -2.0, 5.0];
-        let f = |x: &[f64]| -> f64 {
-            x.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum()
-        };
+        let f = |x: &[f64]| -> f64 { x.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum() };
         let init = vec![
             vec![0.0, 0.0, 0.0],
             vec![1.0, 0.0, 0.0],
@@ -168,16 +185,17 @@ mod tests {
     #[test]
     fn respects_eval_budget() {
         let mut calls = 0usize;
-        let f = |x: &[f64]| {
-            x[0] * x[0] + x[1] * x[1]
-        };
+        let f = |x: &[f64]| x[0] * x[0] + x[1] * x[1];
         let counted = |x: &[f64]| {
             calls += 1;
             f(x)
         };
         let init = vec![vec![10.0, 10.0], vec![11.0, 10.0], vec![10.0, 11.0]];
         let res = minimize(init, counted, 20);
-        assert!(res.evals <= 22, "NM may finish the in-flight step but not run away");
+        assert!(
+            res.evals <= 22,
+            "NM may finish the in-flight step but not run away"
+        );
         assert!(res.evals >= 3);
     }
 
@@ -229,6 +247,10 @@ mod tests {
         let f = |_: &[f64]| 1.0;
         let init = vec![vec![0.0, 0.0], vec![4.0, 0.0], vec![0.0, 4.0]];
         let res = minimize(init, f, 10_000);
-        assert!(res.evals < 200, "should collapse quickly, used {}", res.evals);
+        assert!(
+            res.evals < 200,
+            "should collapse quickly, used {}",
+            res.evals
+        );
     }
 }

@@ -116,8 +116,7 @@ mod tests {
         // the premise of Figure 5.
         let s = spec();
         let configs = random_configs(&s, 30, 11);
-        let distinct_t: std::collections::HashSet<usize> =
-            configs.iter().map(|c| c.t).collect();
+        let distinct_t: std::collections::HashSet<usize> = configs.iter().map(|c| c.t).collect();
         assert!(distinct_t.len() >= 3);
     }
 }

@@ -39,7 +39,10 @@ impl DimSpec {
 
     /// Every value in `[lo, hi]` (the W exception).
     pub fn full_range(name: &'static str, lo: usize, hi: usize) -> Self {
-        DimSpec { name, values: (lo..=hi).collect() }
+        DimSpec {
+            name,
+            values: (lo..=hi).collect(),
+        }
     }
 
     /// Number of candidates.
@@ -86,7 +89,10 @@ impl Space {
     /// Rounds a continuous point to concrete candidate values.
     pub fn decode(&self, x: &[f64]) -> Vec<usize> {
         assert_eq!(x.len(), self.dims.len());
-        x.iter().zip(&self.dims).map(|(&c, d)| d.at_coord(c)).collect()
+        x.iter()
+            .zip(&self.dims)
+            .map(|(&c, d)| d.at_coord(c))
+            .collect()
     }
 
     /// Continuous coordinates of a concrete value vector.
@@ -153,7 +159,15 @@ pub fn decode_new(values: &[usize]) -> TuningParams {
 /// Encodes [`TuningParams`] into the value vector of [`new_space`].
 pub fn encode_new(p: &TuningParams) -> Vec<usize> {
     vec![
-        p.t, p.w, p.px, p.pz, p.uy, p.uz, p.fy as usize, p.fp as usize, p.fu as usize,
+        p.t,
+        p.w,
+        p.px,
+        p.pz,
+        p.uy,
+        p.uz,
+        p.fy as usize,
+        p.fp as usize,
+        p.fu as usize,
         p.fx as usize,
     ]
 }
@@ -173,7 +187,11 @@ pub fn th_space(spec: &ProblemSpec) -> Space {
 /// Decodes a three-value vector from [`th_space`].
 pub fn decode_th(values: &[usize]) -> ThParams {
     assert_eq!(values.len(), 3);
-    ThParams { t: values[0], w: values[1], f: values[2] as u32 }
+    ThParams {
+        t: values[0],
+        w: values[1],
+        f: values[2] as u32,
+    }
 }
 
 #[cfg(test)]

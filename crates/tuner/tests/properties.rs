@@ -5,10 +5,13 @@ use fft3d::{ProblemSpec, TuningParams};
 use proptest::prelude::*;
 use tuner::driver::{tune_new, tune_th};
 use tuner::random::random_configs;
-use tuner::space::{decode_new, encode_new, new_space, DimSpec};
+use tuner::space::{new_space, DimSpec};
 
 fn specs() -> impl Strategy<Value = ProblemSpec> {
-    (prop::sample::select(vec![16usize, 24, 32, 64, 128, 256]), 1usize..=32)
+    (
+        prop::sample::select(vec![16usize, 24, 32, 64, 128, 256]),
+        1usize..=32,
+    )
         .prop_map(|(n, p)| ProblemSpec::cube(n, p))
 }
 

@@ -21,7 +21,10 @@ fn main() {
     let seed_time = fft3_simulated(hopper(), spec, Variant::New, seed, false).time;
     let fftw_time = fft3_simulated(hopper(), spec, Variant::Fftw, seed, false).time;
     println!("FFTW baseline : {fftw_time:.4}s");
-    println!("NEW @ seed    : {seed_time:.4}s  ({:.2}× over FFTW)", fftw_time / seed_time);
+    println!(
+        "NEW @ seed    : {seed_time:.4}s  ({:.2}× over FFTW)",
+        fftw_time / seed_time
+    );
 
     // The tuning objective excludes FFTz/Transpose (§4.4 technique 3).
     let result = tune_new(
@@ -35,8 +38,17 @@ fn main() {
     for (i, (params, v)) in result.history.iter().enumerate() {
         if *v < best_so_far {
             best_so_far = *v;
-            println!("  eval {:>3}: {:.4}s  T={} W={} F=({},{},{},{})",
-                i + 1, v, params.t, params.w, params.fy, params.fp, params.fu, params.fx);
+            println!(
+                "  eval {:>3}: {:.4}s  T={} W={} F=({},{},{},{})",
+                i + 1,
+                v,
+                params.t,
+                params.w,
+                params.fy,
+                params.fp,
+                params.fu,
+                params.fx
+            );
         }
     }
     println!(
@@ -46,7 +58,13 @@ fn main() {
 
     let tuned_time = fft3_simulated(hopper(), spec, Variant::New, result.best, false).time;
     println!("\nbest configuration: {:?}", result.best);
-    println!("NEW @ tuned   : {tuned_time:.4}s  ({:.2}× over FFTW)", fftw_time / tuned_time);
-    println!("simulated auto-tuning cost: {:.1}s of cluster time", result.tuning_cost);
+    println!(
+        "NEW @ tuned   : {tuned_time:.4}s  ({:.2}× over FFTW)",
+        fftw_time / tuned_time
+    );
+    println!(
+        "simulated auto-tuning cost: {:.1}s of cluster time",
+        result.tuning_cost
+    );
     assert!(tuned_time <= seed_time * 1.0001, "tuning must not regress");
 }

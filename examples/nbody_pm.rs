@@ -43,8 +43,7 @@ fn deposit(parts: &[[f64; 3]], n: usize) -> Vec<f64> {
         for (dx, wx) in [(0usize, 1.0 - f[0]), (1, f[0])] {
             for (dy, wy) in [(0usize, 1.0 - f[1]), (1, f[1])] {
                 for (dz, wz) in [(0usize, 1.0 - f[2]), (1, f[2])] {
-                    let (x, y, z) =
-                        ((i[0] + dx) % n, (i[1] + dy) % n, (i[2] + dz) % n);
+                    let (x, y, z) = ((i[0] + dx) % n, (i[1] + dy) % n, (i[2] + dz) % n);
                     rho[(x * n + y) * n + z] += wx * wy * wz;
                 }
             }
@@ -58,16 +57,21 @@ fn main() {
     let n_particles = 4096;
     let spec = ProblemSpec::cube(n, 4);
     let params = TuningParams::seed(&spec);
-    println!("PM gravity step: {n_particles} particles on a {n}³ mesh, {} ranks", spec.p);
+    println!(
+        "PM gravity step: {n_particles} particles on a {n}³ mesh, {} ranks",
+        spec.p
+    );
 
     // Deposit on the full mesh (rank-replicated for this example).
     let parts = particles(n_particles);
     let rho = deposit(&parts, n);
     let mean = n_particles as f64 / (n * n * n) as f64;
-    let delta: Vec<Complex64> =
-        rho.iter().map(|&r| Complex64::new(r - mean, 0.0)).collect();
+    let delta: Vec<Complex64> = rho.iter().map(|&r| Complex64::new(r - mean, 0.0)).collect();
     let total: f64 = rho.iter().sum();
-    assert!((total - n_particles as f64).abs() < 1e-6, "CIC must conserve mass");
+    assert!(
+        (total - n_particles as f64).abs() < 1e-6,
+        "CIC must conserve mass"
+    );
 
     let phi = mpisim::run(spec.p, {
         let delta = delta.clone();

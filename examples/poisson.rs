@@ -30,7 +30,10 @@ fn main() {
     let spec = ProblemSpec::cube(n, 4);
     let params = TuningParams::seed(&spec);
     let h = 2.0 * std::f64::consts::PI / n as f64;
-    println!("solving −∇²u = f spectrally on a {n}³ periodic grid, {} ranks", spec.p);
+    println!(
+        "solving −∇²u = f spectrally on a {n}³ periodic grid, {} ranks",
+        spec.p
+    );
 
     let max_err = mpisim::run(spec.p, move |comm| {
         // Build this rank's x-slab of f.
@@ -109,6 +112,9 @@ fn main() {
     .fold(0.0, f64::max);
 
     println!("max |u − u_exact| = {max_err:.3e}");
-    assert!(max_err < 1e-10, "spectral Poisson solve should be exact to rounding");
+    assert!(
+        max_err < 1e-10,
+        "spectral Poisson solve should be exact to rounding"
+    );
     println!("solved ✓ (spectral accuracy, as expected for a band-limited RHS)");
 }

@@ -21,7 +21,13 @@ fn main() {
 
     // Serial reference for verification.
     let mut reference = full_test_array(spec.nx, spec.ny, spec.nz);
-    fft3_serial(&mut reference, spec.nx, spec.ny, spec.nz, Direction::Forward);
+    fft3_serial(
+        &mut reference,
+        spec.nx,
+        spec.ny,
+        spec.nz,
+        Direction::Forward,
+    );
     let reference = std::sync::Arc::new(reference);
 
     let results = mpisim::run(spec.p, {

@@ -44,14 +44,13 @@ fn main() {
             for ky in 0..8usize {
                 for kz in 1..8usize {
                     let k = ((kx * kx + ky * ky + kz * kz) as f64).sqrt();
-                    if k < 1.0 || k > 8.0 {
+                    if !(1.0..=8.0).contains(&k) {
                         continue;
                     }
                     // E(k) ∝ k^-5/3 → per-mode amplitude ∝ k^(-5/3-1)/... use
                     // |A| ∝ k^-11/6 so shell-summed energy follows -5/3.
                     let amp = k.powf(-11.0 / 6.0);
-                    let phase =
-                        std::f64::consts::PI * noise(kx, ky, kz, 7);
+                    let phase = std::f64::consts::PI * noise(kx, ky, kz, 7);
                     m.push((kx as f64, ky as f64, kz as f64, amp, phase));
                 }
             }
@@ -71,8 +70,7 @@ fn main() {
             for xl in 0..nxl {
                 for y in 0..n {
                     for z in 0..n {
-                        let (xf, yf, zf) =
-                            ((xoff + xl) as f64 * h, y as f64 * h, z as f64 * h);
+                        let (xf, yf, zf) = ((xoff + xl) as f64 * h, y as f64 * h, z as f64 * h);
                         let mut v = 0.0;
                         for &(kx, ky, kz, amp, ph) in &modes {
                             v += amp * (kx * xf + ky * yf + kz * zf + ph).cos();
@@ -116,8 +114,8 @@ fn main() {
 
     let energy = &spectra[0];
     println!("\n  k    E(k)");
-    for k in 1..=8 {
-        println!("  {k:>2}  {:.4e}", energy[k]);
+    for (k, e) in energy.iter().enumerate().take(9).skip(1) {
+        println!("  {k:>2}  {e:.4e}");
     }
 
     // Fit the log-log slope over the populated shells 2..=7.

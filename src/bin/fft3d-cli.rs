@@ -24,8 +24,13 @@ struct Args {
 
 fn parse(mut raw: impl Iterator<Item = String>) -> (String, Args) {
     let mode = raw.next().unwrap_or_else(|| usage("missing mode"));
-    let mut args =
-        Args { n: 64, p: 4, platform: "umd".into(), variant: Variant::New, verify: true };
+    let mut args = Args {
+        n: 64,
+        p: 4,
+        platform: "umd".into(),
+        variant: Variant::New,
+        verify: true,
+    };
     while let Some(flag) = raw.next() {
         let mut val = || raw.next().unwrap_or_else(|| usage("missing value"));
         match flag.as_str() {
@@ -63,7 +68,10 @@ fn main() {
 
     match mode.as_str() {
         "real" => {
-            println!("real run: {}³ on {} ranks, {:?}", args.n, args.p, args.variant);
+            println!(
+                "real run: {}³ on {} ranks, {:?}",
+                args.n, args.p, args.variant
+            );
             let reference = if args.verify {
                 let mut r = full_test_array(spec.nx, spec.ny, spec.nz);
                 fft3_serial(&mut r, spec.nx, spec.ny, spec.nz, Direction::Forward);
@@ -93,17 +101,19 @@ fn main() {
             let slowest = results.iter().map(|r| r.0).fold(0.0, f64::max);
             println!("wall time (slowest rank): {slowest:.4}s");
             println!("rank 0 breakdown:\n{}", results[0].2);
-            if let Some(err) = results.iter().filter_map(|r| r.1).fold(None, |a: Option<f64>, e| {
-                Some(a.map_or(e, |x| x.max(e)))
-            }) {
+            if let Some(err) = results
+                .iter()
+                .filter_map(|r| r.1)
+                .fold(None, |a: Option<f64>, e| Some(a.map_or(e, |x| x.max(e))))
+            {
                 println!("max |distributed − serial| = {err:.3e}");
                 assert!(err < 1e-8 * spec.len() as f64, "verification failed");
                 println!("verified ✓");
             }
         }
         "sim" => {
-            let platform = simnet::model::by_name(&args.platform)
-                .unwrap_or_else(|| usage("unknown platform"));
+            let platform =
+                simnet::model::by_name(&args.platform).unwrap_or_else(|| usage("unknown platform"));
             println!(
                 "simulated run: {}³ on {} ranks of {}, {:?}",
                 args.n, args.p, platform.name, args.variant
@@ -113,9 +123,12 @@ fn main() {
             println!("breakdown:\n{}", rep.steps);
         }
         "tune" => {
-            let platform = simnet::model::by_name(&args.platform)
-                .unwrap_or_else(|| usage("unknown platform"));
-            println!("tuning NEW: {}³ on {} ranks of {}", args.n, args.p, platform.name);
+            let platform =
+                simnet::model::by_name(&args.platform).unwrap_or_else(|| usage("unknown platform"));
+            println!(
+                "tuning NEW: {}³ on {} ranks of {}",
+                args.n, args.p, platform.name
+            );
             let result = tune_new(
                 &spec,
                 |p| fft3_simulated(platform.clone(), spec, Variant::New, *p, true).time,

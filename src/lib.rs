@@ -87,8 +87,8 @@ pub fn wavenumber(k: usize, n: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cfft::Direction;
     use cfft::planner::Rigor;
+    use cfft::Direction;
     use fft3d::real_env::{fft3_dist, local_test_slab};
     use fft3d::serial::{fft3_serial, full_test_array};
     use fft3d::{TuningParams, Variant};

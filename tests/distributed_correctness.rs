@@ -25,7 +25,10 @@ fn check(spec: ProblemSpec, variant: Variant, params: TuningParams, dir: Directi
     });
     let tol = 1e-9 * spec.len() as f64;
     for (rank, e) in errs.iter().enumerate() {
-        assert!(*e < tol, "rank {rank}: err {e:.3e} for {spec:?} {variant:?} {dir:?} {params:?}");
+        assert!(
+            *e < tol,
+            "rank {rank}: err {e:.3e} for {spec:?} {variant:?} {dir:?} {params:?}"
+        );
     }
 }
 
@@ -42,7 +45,11 @@ fn all_variants_agree_on_a_cube() {
 fn window_sizes_sweep() {
     let spec = ProblemSpec::cube(32, 4);
     for w in [1usize, 2, 3, 4] {
-        let params = TuningParams { w, t: 8, ..TuningParams::seed(&spec) };
+        let params = TuningParams {
+            w,
+            t: 8,
+            ..TuningParams::seed(&spec)
+        };
         check(spec, Variant::New, params, Direction::Forward);
     }
 }
@@ -106,7 +113,12 @@ fn rectangular_boxes() {
 fn non_divisible_process_counts() {
     // Nx mod p ≠ 0, Ny mod p ≠ 0 — the alltoallv path.
     for p in [3usize, 5, 7] {
-        let spec = ProblemSpec { nx: 16, ny: 17, nz: 12, p };
+        let spec = ProblemSpec {
+            nx: 16,
+            ny: 17,
+            nz: 12,
+            p,
+        };
         let params = TuningParams {
             t: 4,
             w: 2,
@@ -126,7 +138,12 @@ fn non_divisible_process_counts() {
 #[test]
 fn more_ranks_than_planes() {
     // Some ranks own empty slabs.
-    let spec = ProblemSpec { nx: 3, ny: 5, nz: 8, p: 5 };
+    let spec = ProblemSpec {
+        nx: 3,
+        ny: 5,
+        nz: 8,
+        p: 5,
+    };
     let params = TuningParams {
         t: 4,
         w: 1,
@@ -195,8 +212,15 @@ fn planner_rigor_does_not_change_results() {
         let r = r.clone();
         let errs = mpisim::run(spec.p, move |comm| {
             let input = local_test_slab(&spec, comm.rank());
-            let out =
-                fft3_dist(&comm, spec, Variant::New, params, Direction::Forward, rigor, &input);
+            let out = fft3_dist(
+                &comm,
+                spec,
+                Variant::New,
+                params,
+                Direction::Forward,
+                rigor,
+                &input,
+            );
             compare_with_serial(&spec, comm.rank(), &out, &r)
         });
         for e in errs {
@@ -208,7 +232,12 @@ fn planner_rigor_does_not_change_results() {
 #[test]
 fn awkward_prime_extents() {
     // Bluestein path inside the distributed pipeline (37 is prime > 31).
-    let spec = ProblemSpec { nx: 37, ny: 8, nz: 8, p: 2 };
+    let spec = ProblemSpec {
+        nx: 37,
+        ny: 8,
+        nz: 8,
+        p: 2,
+    };
     let params = TuningParams {
         t: 4,
         w: 2,

@@ -56,14 +56,19 @@ fn mismatched_alltoall_counts_are_diagnosed() {
         mpisim::run(2, |comm| {
             if comm.rank() == 0 {
                 let send = vec![0u8; 2];
-                comm.ialltoallv(&send, &[1, 1], &[1, 1], vec![0u8; 2]).wait(&comm);
+                comm.ialltoallv(&send, &[1, 1], &[1, 1], vec![0u8; 2])
+                    .wait(&comm);
             } else {
                 let send = vec![0u8; 4];
-                comm.ialltoallv(&send, &[2, 2], &[2, 2], vec![0u8; 4]).wait(&comm);
+                comm.ialltoallv(&send, &[2, 2], &[2, 2], vec![0u8; 4])
+                    .wait(&comm);
             }
         });
     });
-    assert!(msg.contains("count mismatch") || msg.contains("peer rank panicked"), "{msg}");
+    assert!(
+        msg.contains("count mismatch") || msg.contains("peer rank panicked"),
+        "{msg}"
+    );
 }
 
 #[test]
@@ -77,13 +82,19 @@ fn wrong_payload_type_is_diagnosed() {
             }
         });
     });
-    assert!(msg.contains("type mismatch") || msg.contains("peer rank panicked"), "{msg}");
+    assert!(
+        msg.contains("type mismatch") || msg.contains("peer rank panicked"),
+        "{msg}"
+    );
 }
 
 #[test]
 fn infeasible_parameters_are_rejected_before_running() {
     let spec = ProblemSpec::cube(16, 4);
-    let bad = TuningParams { t: spec.nz + 5, ..TuningParams::seed(&spec) };
+    let bad = TuningParams {
+        t: spec.nz + 5,
+        ..TuningParams::seed(&spec)
+    };
     let msg = panic_message(|| {
         mpisim::run(spec.p, move |comm| {
             let input = fft3d::real_env::local_test_slab(&spec, comm.rank());
@@ -98,7 +109,10 @@ fn infeasible_parameters_are_rejected_before_running() {
             );
         });
     });
-    assert!(msg.contains("infeasible") || msg.contains("peer rank panicked"), "{msg}");
+    assert!(
+        msg.contains("infeasible") || msg.contains("peer rank panicked"),
+        "{msg}"
+    );
 }
 
 #[test]
@@ -118,7 +132,10 @@ fn wrong_input_length_is_rejected() {
             );
         });
     });
-    assert!(msg.contains("x-slab") || msg.contains("peer rank panicked"), "{msg}");
+    assert!(
+        msg.contains("x-slab") || msg.contains("peer rank panicked"),
+        "{msg}"
+    );
 }
 
 #[test]

@@ -9,7 +9,11 @@ use tuner::driver::{tune_new, tune_th};
 fn tuned_new_beats_fftw_everywhere_reported() {
     // Spot-check one cell per panel (the full sweep lives in repro_all).
     for (plat, p, n) in [("umd", 16usize, 256usize), ("hopper", 32, 384)] {
-        let platform = if plat == "umd" { umd_cluster() } else { hopper() };
+        let platform = if plat == "umd" {
+            umd_cluster()
+        } else {
+            hopper()
+        };
         let spec = ProblemSpec::cube(n, p);
         let tuned = tune_new(
             &spec,
@@ -17,17 +21,25 @@ fn tuned_new_beats_fftw_everywhere_reported() {
             120,
         );
         let new = fft3_simulated(platform.clone(), spec, Variant::New, tuned.best, false).time;
-        let fftw =
-            fft3_simulated(platform.clone(), spec, Variant::Fftw, tuned.best, false).time;
-        assert!(new < fftw, "{plat} p={p} N={n}: NEW {new:.3} vs FFTW {fftw:.3}");
+        let fftw = fft3_simulated(platform.clone(), spec, Variant::Fftw, tuned.best, false).time;
+        assert!(
+            new < fftw,
+            "{plat} p={p} N={n}: NEW {new:.3} vs FFTW {fftw:.3}"
+        );
     }
 }
 
 #[test]
 fn tuning_never_loses_to_the_seed() {
     let spec = ProblemSpec::cube(256, 16);
-    let seed_time =
-        fft3_simulated(umd_cluster(), spec, Variant::New, TuningParams::seed(&spec), true).time;
+    let seed_time = fft3_simulated(
+        umd_cluster(),
+        spec,
+        Variant::New,
+        TuningParams::seed(&spec),
+        true,
+    )
+    .time;
     let tuned = tune_new(
         &spec,
         |params| fft3_simulated(umd_cluster(), spec, Variant::New, *params, true).time,
@@ -73,13 +85,26 @@ fn breakdown_sums_are_consistent_with_elapsed() {
 #[test]
 fn more_ranks_reduce_time_for_fixed_problem() {
     let n = 512;
-    let t16 =
-        fft3_simulated(hopper(), ProblemSpec::cube(n, 16), Variant::New, TuningParams::seed(&ProblemSpec::cube(n, 16)), false)
-            .time;
-    let t32 =
-        fft3_simulated(hopper(), ProblemSpec::cube(n, 32), Variant::New, TuningParams::seed(&ProblemSpec::cube(n, 32)), false)
-            .time;
-    assert!(t32 < t16, "strong scaling must hold at this size: {t32:.3} vs {t16:.3}");
+    let t16 = fft3_simulated(
+        hopper(),
+        ProblemSpec::cube(n, 16),
+        Variant::New,
+        TuningParams::seed(&ProblemSpec::cube(n, 16)),
+        false,
+    )
+    .time;
+    let t32 = fft3_simulated(
+        hopper(),
+        ProblemSpec::cube(n, 32),
+        Variant::New,
+        TuningParams::seed(&ProblemSpec::cube(n, 32)),
+        false,
+    )
+    .time;
+    assert!(
+        t32 < t16,
+        "strong scaling must hold at this size: {t32:.3} vs {t16:.3}"
+    );
 }
 
 #[test]

@@ -1,0 +1,350 @@
+//! Vendored stand-in for the subset of `criterion` this workspace uses:
+//! benchmark groups with `sample_size`/`warm_up_time`/`measurement_time`/
+//! `throughput`, `bench_with_input`/`bench_function`, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Under `cargo bench` (`--bench` passed) each benchmark is timed
+//! adaptively and a mean per-iteration time (plus throughput) is printed.
+//! Under `cargo test` (no `--bench` flag) every benchmark body runs exactly
+//! once as a smoke test, so bench bins stay cheap in tier-1.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measure-vs-smoke mode, decided from the harness arguments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    Smoke,
+}
+
+/// Benchmark manager handed to each `criterion_group!` target.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Smoke;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => mode = Mode::Measure,
+                "--test" => mode = Mode::Smoke,
+                a if !a.starts_with('-') => filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { mode, filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            mode: self.mode,
+            filter: self.filter.clone(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(500),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// Units reported alongside timing.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    mode: Mode,
+    filter: Option<String>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    // Lifetime ties the group to its Criterion, like the real API.
+    _marker: std::marker::PhantomData<&'a mut ()>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.id.clone(), |b| f(b));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run_one(&self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: self.mode,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            ns_per_iter: None,
+        };
+        f(&mut bencher);
+        match self.mode {
+            Mode::Smoke => println!("{full}: smoke ok"),
+            Mode::Measure => {
+                let ns = bencher.ns_per_iter.unwrap_or(0.0);
+                let rate = self.throughput.map(|t| match t {
+                    Throughput::Elements(n) => {
+                        format!(" ({:.3} Melem/s)", n as f64 / ns * 1e3)
+                    }
+                    Throughput::Bytes(n) => {
+                        format!(" ({:.3} MiB/s)", n as f64 / ns * 1e9 / (1 << 20) as f64)
+                    }
+                });
+                println!(
+                    "{full:60} time: {}{}",
+                    format_ns(ns),
+                    rate.unwrap_or_default()
+                );
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Timing driver handed to each benchmark body.
+pub struct Bencher {
+    mode: Mode,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Smoke {
+            black_box(f());
+            return;
+        }
+        // Warm-up doubles as calibration: the fastest observed call sizes
+        // the measurement batches. Capped so slow benches stay tractable.
+        let cap = self.warm_up.min(Duration::from_millis(200));
+        let warm_start = Instant::now();
+        let mut once = Duration::MAX;
+        loop {
+            let t = Instant::now();
+            black_box(f());
+            once = once.min(t.elapsed().max(Duration::from_nanos(1)));
+            if warm_start.elapsed() >= cap {
+                break;
+            }
+        }
+
+        let samples = self.sample_size.clamp(2, 100) as u64;
+        let per_sample_ns = (self.measurement.as_nanos() as u64 / samples).max(1);
+        let iters = (per_sample_ns / once.as_nanos() as u64).clamp(1, 1 << 22);
+        let mut total = Duration::ZERO;
+        let mut count = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            total += start.elapsed();
+            count += iters;
+            if total >= self.measurement * 2 {
+                break;
+            }
+        }
+        self.ns_per_iter = Some(total.as_nanos() as f64 / count as f64);
+    }
+}
+
+/// Identity barrier preventing the optimiser from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-runner function invoking each target benchmark fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut count = 0;
+        let mut b = Bencher {
+            mode: Mode::Smoke,
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(10),
+            sample_size: 10,
+            ns_per_iter: None,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(b.ns_per_iter.is_none());
+    }
+
+    #[test]
+    fn measure_mode_produces_a_time() {
+        let mut b = Bencher {
+            mode: Mode::Measure,
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+            sample_size: 4,
+            ns_per_iter: None,
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.ns_per_iter.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            filter: None,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        g.throughput(Throughput::Elements(4));
+        let mut ran = false;
+        g.bench_with_input(BenchmarkId::new("f", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2);
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+}
