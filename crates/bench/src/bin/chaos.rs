@@ -1,0 +1,139 @@
+//! Chaos sweep: how the overlapped pipeline degrades under injected faults.
+//!
+//! Part 1 sweeps straggler severity × window `W` on the simulated backend
+//! (UMD model): each cell reports the modeled completion time under a
+//! seeded [`FaultPlan`] straggler, normalised to the fault-free run of the
+//! same `W` — showing how much cushion a deeper window buys against a slow
+//! rank.
+//!
+//! Part 2 runs real (small-scale) executions over `mpisim` with injected
+//! send delays and transient drops, a watchdog armed, and reports what the
+//! degradation ladder did on each rank: stalls detected, rungs climbed
+//! (boost-polls / shrink-window / fallback), and whether the run abandoned
+//! overlap entirely.
+//!
+//! ```sh
+//! cargo run -p fft-bench --release --bin chaos [-- seed]
+//! ```
+
+use cfft::planner::Rigor;
+use cfft::Direction;
+use fft3d::real_env::local_test_slab;
+use fft3d::{
+    fft3_simulated, try_fft3_dist_traced, NoopRecorder, ProblemSpec, Resilience, TuningParams,
+    Variant,
+};
+use mpisim::FaultPlan;
+use simnet::model::umd_cluster;
+use std::time::Duration;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+
+    simulated_sweep();
+    real_ladder_demo(seed);
+}
+
+/// Straggler severity × window sweep on the calibrated cost model.
+fn simulated_sweep() {
+    let spec = ProblemSpec::cube(256, 16);
+    let base = TuningParams::seed(&spec);
+    let severities = [0.0, 0.5, 1.0, 2.0, 4.0];
+    let windows = [1, 2, 4, 8];
+
+    println!("simulated straggler sweep — UMD model, p = 16, N = 256³");
+    println!("cells: completion time (s), ×slowdown vs fault-free same-W\n");
+    print!("{:>10}", "severity");
+    for w in windows {
+        print!("{:>18}", format!("W = {w}"));
+    }
+    println!();
+
+    for s in severities {
+        print!("{s:>10.1}");
+        for w in windows {
+            let params = TuningParams { w, ..base };
+            let clean = fft3_simulated(umd_cluster(), spec, Variant::New, params, false).time;
+            let platform = if s > 0.0 {
+                umd_cluster().with_straggler(3, s)
+            } else {
+                umd_cluster()
+            };
+            let faulted = fft3_simulated(platform, spec, Variant::New, params, false).time;
+            print!("{:>18}", format!("{faulted:.3}s {:.2}×", faulted / clean));
+        }
+        println!();
+    }
+    println!();
+}
+
+/// Real runs over mpisim: show the ladder working.
+fn real_ladder_demo(seed: u64) {
+    let spec = ProblemSpec::cube(12, 4);
+    let params = TuningParams::seed(&spec);
+    println!("real-backend ladder demo — p = 4, N = 12³, seed {seed}");
+    println!("(watchdog 15 ms, poll boost 4×, 8 strikes per wait)\n");
+
+    let scenarios: Vec<(&str, FaultPlan)> = vec![
+        ("healthy", FaultPlan::seeded(seed)),
+        (
+            "straggler (rank 1, 60 ms send delay)",
+            FaultPlan::seeded(seed).with_straggler(1, 30.0),
+        ),
+        (
+            "transient drops (p = 0.25, ≤ 8 retransmits)",
+            FaultPlan::seeded(seed).with_drops(0.25, 8),
+        ),
+        (
+            "straggler + drops",
+            FaultPlan::seeded(seed)
+                .with_straggler(1, 30.0)
+                .with_drops(0.15, 8),
+        ),
+    ];
+    let res = Resilience {
+        stall_timeout: Some(Duration::from_millis(15)),
+        poll_boost: 4,
+        max_strikes: 8,
+    };
+
+    for (label, plan) in scenarios {
+        let results = mpisim::run_with_faults(spec.p, plan, move |comm| {
+            let input = local_test_slab(&spec, comm.rank());
+            let started = std::time::Instant::now();
+            let out = try_fft3_dist_traced(
+                &comm,
+                spec,
+                Variant::New,
+                params,
+                Direction::Forward,
+                Rigor::Estimate,
+                &input,
+                &res,
+                &mut NoopRecorder,
+            );
+            (started.elapsed(), out.map(|o| o.recovery))
+        });
+
+        println!("{label}:");
+        for (rank, (elapsed, outcome)) in results.iter().enumerate() {
+            match outcome {
+                Ok(rec) => {
+                    let actions: Vec<&str> = rec.actions.iter().map(|a| a.label()).collect();
+                    println!(
+                        "  rank {rank}: {:>7.1} ms  stalls {}  ladder [{}]{}",
+                        elapsed.as_secs_f64() * 1e3,
+                        rec.stalls_detected,
+                        actions.join(", "),
+                        if rec.fell_back { "  FELL BACK" } else { "" },
+                    );
+                }
+                Err(e) => println!("  rank {rank}: FAILED — {e}"),
+            }
+        }
+        println!();
+    }
+}

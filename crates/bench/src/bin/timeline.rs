@@ -29,6 +29,7 @@ fn gantt_char(kind: &EventKind) -> u8 {
         EventKind::PostA2a { .. } => b'A',
         EventKind::Wait { .. } => b'W',
         EventKind::Test { .. } => b't',
+        EventKind::Degrade { .. } => b'D',
     }
 }
 

@@ -1,0 +1,98 @@
+//! Typed errors for the fallible transform entry points.
+//!
+//! The original entry points panic on misuse (infeasible tuning parameters)
+//! and spin forever on a stalled peer. The `try_` family — `try_fft3_dist`,
+//! `try_fft3_dist_traced`, `try_fft3_simulated` — surfaces both conditions
+//! as values of this [`Error`] type instead, and the resilient pipeline
+//! driver ([`crate::pipeline::try_run_new`]) reports which tile the fault
+//! hit.
+
+use crate::params::ParamError;
+
+/// Why a distributed transform could not run (or complete).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The tuning parameters fail validation for the problem and rank
+    /// count; carries the specific constraint violated.
+    InfeasibleParams(ParamError),
+    /// A tile's all-to-all made no progress for the configured watchdog
+    /// timeout, and the degradation ladder ran out of rungs.
+    Stalled {
+        /// Communication tile whose exchange stalled.
+        tile: usize,
+        /// First incomplete round of that exchange's schedule.
+        round: usize,
+        /// Communicator rank whose block the round is missing.
+        peer: usize,
+    },
+    /// A tile's all-to-all lost a round send past the fault plan's
+    /// retransmit budget.
+    Dropped {
+        /// Communication tile whose exchange lost data.
+        tile: usize,
+        /// The round whose send was lost.
+        round: usize,
+        /// Destination rank of the lost block.
+        peer: usize,
+    },
+    /// An invariant the pipeline relies on was violated (a bug, not an
+    /// environmental fault); carries a static description.
+    Internal(&'static str),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // Keep the "infeasible parameters" prefix: the panicking legacy
+            // wrappers format this Display, and existing callers match on
+            // that message.
+            Error::InfeasibleParams(e) => write!(f, "infeasible parameters: {e}"),
+            Error::Stalled { tile, round, peer } => write!(
+                f,
+                "tile {tile} stalled in round {round} waiting on rank {peer}"
+            ),
+            Error::Dropped { tile, round, peer } => write!(
+                f,
+                "tile {tile} lost its round {round} send to rank {peer} past the retransmit budget"
+            ),
+            Error::Internal(msg) => write!(f, "internal pipeline error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ParamError> for Error {
+    fn from(e: ParamError) -> Self {
+        Error::InfeasibleParams(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_the_legacy_infeasible_prefix() {
+        let e = Error::InfeasibleParams(ParamError::Window(9));
+        assert!(e.to_string().starts_with("infeasible parameters: "));
+    }
+
+    #[test]
+    fn fault_errors_name_their_coordinates() {
+        let s = Error::Stalled {
+            tile: 3,
+            round: 2,
+            peer: 5,
+        }
+        .to_string();
+        assert!(s.contains("tile 3") && s.contains("round 2") && s.contains("rank 5"));
+        let d = Error::Dropped {
+            tile: 1,
+            round: 4,
+            peer: 0,
+        }
+        .to_string();
+        assert!(d.contains("tile 1") && d.contains("round 4") && d.contains("rank 0"));
+    }
+}

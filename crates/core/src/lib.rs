@@ -40,6 +40,7 @@
 #![allow(clippy::manual_is_multiple_of)]
 pub mod breakdown;
 pub mod decomp;
+pub mod error;
 pub mod multi;
 pub mod params;
 pub mod pencil;
@@ -50,10 +51,16 @@ pub mod sim_env;
 pub mod trace;
 
 pub use breakdown::{RunStats, StepTimes};
+pub use error::Error;
 pub use params::{ProblemSpec, ThParams, TuningParams};
-pub use real_env::{fft3_dist, fft3_dist_traced, OutLayout, RunOutput, Variant};
-pub use sim_env::{fft3_simulated, fft3_simulated_traced, th_simulated, SimReport};
+pub use pipeline::{Recovery, Resilience};
+pub use real_env::{
+    fft3_dist, fft3_dist_traced, try_fft3_dist, try_fft3_dist_traced, OutLayout, RunOutput, Variant,
+};
+pub use sim_env::{
+    fft3_simulated, fft3_simulated_traced, th_simulated, try_fft3_simulated, SimReport,
+};
 pub use trace::{
-    derive_step_times, overlap_summary, trace_to_json, EventKind, MemRecorder, NoopRecorder,
-    OverlapSummary, Recorder, TraceEvent,
+    derive_step_times, overlap_summary, trace_to_json, DegradeAction, EventKind, MemRecorder,
+    NoopRecorder, OverlapSummary, Recorder, TraceEvent,
 };

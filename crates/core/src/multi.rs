@@ -11,6 +11,7 @@
 
 use crate::breakdown::StepTimes;
 use crate::decomp::Decomp;
+use crate::error::Error;
 use crate::params::{ProblemSpec, TuningParams};
 use crate::pipeline::{run_new, OverlapEnv};
 use crate::real_env::Variant;
@@ -103,7 +104,7 @@ impl OverlapEnv for MultiEnv<'_> {
         self.fixed_steps(&mut []);
     }
 
-    fn ffty_pack(&mut self, tile: usize, inflight: &mut [(usize, OpId)]) {
+    fn ffty_pack(&mut self, tile: usize, inflight: &mut [(usize, OpId)]) -> Result<(), Error> {
         // At an array boundary, run the next array's fixed steps first —
         // overlapped with the previous array's in-flight all-to-alls.
         if tile % self.tiles_per_array == 0 && tile != 0 {
@@ -127,6 +128,7 @@ impl OverlapEnv for MultiEnv<'_> {
         let (c, t) = self.phase(m.pack(tile_bytes, subtile, run), self.params.fp, inflight);
         self.steps.pack += c;
         self.steps.test += t;
+        Ok(())
     }
 
     fn post_a2a(&mut self, tile: usize) -> OpId {
@@ -139,13 +141,14 @@ impl OverlapEnv for MultiEnv<'_> {
         op
     }
 
-    fn wait(&mut self, _tile: usize, req: OpId) {
+    fn wait(&mut self, _tile: usize, req: OpId) -> Result<(), (OpId, Error)> {
         let t0 = self.sim.now();
         self.sim.wait(req);
         self.steps.wait += (self.sim.now() - t0).as_secs_f64();
+        Ok(())
     }
 
-    fn unpack_fftx(&mut self, tile: usize, inflight: &mut [(usize, OpId)]) {
+    fn unpack_fftx(&mut self, tile: usize, inflight: &mut [(usize, OpId)]) -> Result<(), Error> {
         let tz = self.tile_len(tile);
         let m = self.sim.platform().machine.clone();
         let nyl = self.nyl();
@@ -164,6 +167,7 @@ impl OverlapEnv for MultiEnv<'_> {
         );
         self.steps.fftx += c;
         self.steps.test += t;
+        Ok(())
     }
 }
 

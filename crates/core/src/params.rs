@@ -68,7 +68,7 @@ pub struct TuningParams {
 }
 
 /// Why a parameter configuration is infeasible for a given problem.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParamError {
     /// `T` outside `1..=Nz`.
     TileSize(usize),

@@ -1,6 +1,22 @@
 //! The overlap pipeline drivers — Algorithm 1 of the paper, factored out of
 //! the two backends (real execution on `mpisim`, modeled execution on
 //! `simnet`) so both run the *same* schedule.
+//!
+//! Two families of entry points run that schedule:
+//!
+//! * [`run_new`] / [`run_th`] — the original infallible drivers; any fault
+//!   escalates to a panic.
+//! * [`try_run_new`] / [`try_run_th`] — resilient drivers that climb a
+//!   **degradation ladder** when a tile's all-to-all stalls: first boost the
+//!   `MPI_Test` polling frequencies, then shrink the window `W`, then fall
+//!   back to blocking (FFTW-style) exchanges, and only after the per-wait
+//!   strike budget is spent surface a typed [`Error`]. The climb is reported
+//!   in the returned [`Recovery`] and mirrored to the backend via
+//!   [`OverlapEnv::on_degrade`] so traces show the recovery.
+
+use crate::error::Error;
+use crate::trace::DegradeAction;
+use std::time::Duration;
 
 /// What a backend must provide for the tile pipeline to run over it.
 ///
@@ -18,15 +34,167 @@ pub trait OverlapEnv {
     /// Steps 1–2: FFTz and Transpose (performed once, not per tile).
     fn fftz_transpose(&mut self);
     /// Algorithm 2: FFTy and Pack on `tile`, polling `inflight` `Fy`+`Fp`
-    /// times.
-    fn ffty_pack(&mut self, tile: usize, inflight: &mut [(usize, Self::Req)]);
+    /// times. A poll may observe a fault on an in-flight exchange; the
+    /// error names the tile it hit.
+    fn ffty_pack(&mut self, tile: usize, inflight: &mut [(usize, Self::Req)]) -> Result<(), Error>;
     /// Posts the non-blocking all-to-all for `tile`.
     fn post_a2a(&mut self, tile: usize) -> Self::Req;
-    /// `MPI_Wait` on `tile`'s all-to-all.
-    fn wait(&mut self, tile: usize, req: Self::Req);
+    /// `MPI_Wait` on `tile`'s all-to-all. On a fault (stall past the
+    /// backend's watchdog timeout, exhausted retransmit budget) the request
+    /// is handed back with the error so the driver can retry after a
+    /// degradation step, or cancel it.
+    fn wait(&mut self, tile: usize, req: Self::Req) -> Result<(), (Self::Req, Error)>;
     /// Algorithm 3: Unpack and FFTx on `tile`, polling `inflight` `Fu`+`Fx`
     /// times.
-    fn unpack_fftx(&mut self, tile: usize, inflight: &mut [(usize, Self::Req)]);
+    fn unpack_fftx(
+        &mut self,
+        tile: usize,
+        inflight: &mut [(usize, Self::Req)],
+    ) -> Result<(), Error>;
+
+    /// Degradation hook: raise the `F*` polling frequencies (called at most
+    /// once per run, on the ladder's first rung). Default: no-op.
+    fn boost_polls(&mut self) {}
+    /// Degradation hook: the driver took `action` while waiting on `tile`.
+    /// Backends surface this in their trace stream. Default: no-op.
+    fn on_degrade(&mut self, _tile: usize, _action: DegradeAction) {}
+    /// Disposes a request that will never be waited (the driver's error
+    /// path). Backends reclaim whatever the exchange staged. Default: drop.
+    fn cancel(&mut self, _tile: usize, _req: Self::Req) {}
+}
+
+/// Stall-handling policy for the resilient drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resilience {
+    /// Watchdog timeout a backend's `wait` applies before reporting
+    /// [`Error::Stalled`]. `None` disables the watchdog: waits block
+    /// forever, as the legacy drivers did.
+    pub stall_timeout: Option<Duration>,
+    /// Multiplier applied to the `F*` polling frequencies by the ladder's
+    /// first rung.
+    pub poll_boost: u32,
+    /// Stalls tolerated per wait before the driver gives up on it. Each
+    /// strike grants the wait another `stall_timeout` of grace, so a wait
+    /// is bounded by `(max_strikes + 1) · stall_timeout`.
+    pub max_strikes: u32,
+}
+
+impl Default for Resilience {
+    fn default() -> Self {
+        Resilience {
+            stall_timeout: None,
+            poll_boost: 4,
+            max_strikes: 3,
+        }
+    }
+}
+
+impl Resilience {
+    /// A policy with the watchdog armed at `timeout` and default ladder
+    /// settings.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Resilience {
+            stall_timeout: Some(timeout),
+            ..Resilience::default()
+        }
+    }
+}
+
+/// What the resilient driver had to do to finish the run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Recovery {
+    /// Watchdog firings observed (some may have resolved without a ladder
+    /// climb once the ladder was already at its top rung).
+    pub stalls_detected: u32,
+    /// Ladder rungs climbed, in order: a prefix of
+    /// `[BoostPolls, ShrinkWindow, Fallback]`.
+    pub actions: Vec<DegradeAction>,
+    /// `true` once the run abandoned overlap and finished with blocking
+    /// exchanges.
+    pub fell_back: bool,
+}
+
+impl Recovery {
+    /// `true` when the run needed no degradation at all.
+    pub fn clean(&self) -> bool {
+        self.stalls_detected == 0 && self.actions.is_empty() && !self.fell_back
+    }
+}
+
+/// Ladder state shared by the resilient drivers.
+struct Ladder<'a> {
+    res: &'a Resilience,
+    recovery: Recovery,
+    /// Effective window, shrunk by the ladder's second rung.
+    w_eff: usize,
+    /// Rungs climbed so far (0..=3).
+    rung: usize,
+}
+
+impl<'a> Ladder<'a> {
+    fn new(res: &'a Resilience, w: usize) -> Self {
+        Ladder {
+            res,
+            recovery: Recovery::default(),
+            w_eff: w,
+            rung: 0,
+        }
+    }
+
+    /// Waits on `tile`, absorbing up to `max_strikes` stalls by climbing
+    /// the degradation ladder and retrying (each retry grants the backend's
+    /// watchdog another period). A non-stall fault, or a stall past the
+    /// strike budget, cancels the request and surfaces the error.
+    fn wait_recover<E: OverlapEnv>(
+        &mut self,
+        env: &mut E,
+        tile: usize,
+        mut req: E::Req,
+    ) -> Result<(), Error> {
+        let mut strikes = 0;
+        loop {
+            match env.wait(tile, req) {
+                Ok(()) => return Ok(()),
+                Err((r, Error::Stalled { .. })) if strikes < self.res.max_strikes => {
+                    strikes += 1;
+                    self.recovery.stalls_detected += 1;
+                    if self.rung < 3 {
+                        let action = [
+                            DegradeAction::BoostPolls,
+                            DegradeAction::ShrinkWindow,
+                            DegradeAction::Fallback,
+                        ][self.rung];
+                        self.rung += 1;
+                        match action {
+                            DegradeAction::BoostPolls => env.boost_polls(),
+                            DegradeAction::ShrinkWindow => self.w_eff = (self.w_eff / 2).max(1),
+                            DegradeAction::Fallback => self.recovery.fell_back = true,
+                        }
+                        env.on_degrade(tile, action);
+                        self.recovery.actions.push(action);
+                    }
+                    req = r;
+                }
+                Err((r, e)) => {
+                    env.cancel(tile, r);
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+/// Cancels everything still in flight (the drivers' error path) and returns
+/// the error.
+fn cancel_all<E: OverlapEnv>(
+    env: &mut E,
+    inflight: &mut Vec<(usize, E::Req)>,
+    err: Error,
+) -> Error {
+    for (tile, req) in inflight.drain(..) {
+        env.cancel(tile, req);
+    }
+    err
 }
 
 /// Runs the paper's full pipeline (Algorithm 1): all four compute steps
@@ -43,87 +211,188 @@ pub trait OverlapEnv {
 /// With `window() == 0` this degenerates to the paper's NEW-0: per tile,
 /// post immediately followed by wait (lines 6–7 "replaced with
 /// `MPI_Ialltoall` and `MPI_Wait` on tile i"), no polls.
+///
+/// # Panics
+/// On any pipeline fault; use [`try_run_new`] for the typed error path.
 pub fn run_new<E: OverlapEnv>(env: &mut E) {
+    try_run_new(env, &Resilience::default())
+        .unwrap_or_else(|e| panic!("overlap pipeline failed: {e}"));
+}
+
+/// [`run_new`] with stall recovery: on a detected stall the driver climbs
+/// the degradation ladder (boost polls → shrink window → blocking fallback)
+/// and keeps going; it returns what it had to do, or the fault that
+/// exhausted the ladder. All in-flight requests are cancelled on the error
+/// path — nothing leaks.
+pub fn try_run_new<E: OverlapEnv>(env: &mut E, res: &Resilience) -> Result<Recovery, Error> {
     env.fftz_transpose();
     let k = env.num_tiles();
     let w = env.window();
+    let mut ladder = Ladder::new(res, w);
+
     if w == 0 {
         for i in 0..k {
-            env.ffty_pack(i, &mut []);
+            env.ffty_pack(i, &mut [])?;
             let req = env.post_a2a(i);
-            env.wait(i, req);
-            env.unpack_fftx(i, &mut []);
+            ladder.wait_recover(env, i, req)?;
+            env.unpack_fftx(i, &mut [])?;
         }
-        return;
+        return Ok(ladder.recovery);
     }
+
     let mut inflight: Vec<(usize, E::Req)> = Vec::with_capacity(w);
-    for i in 0..k + w {
-        if i < k {
-            env.ffty_pack(i, &mut inflight);
+    match drive_new(env, k, &mut ladder, &mut inflight) {
+        Ok(()) => Ok(ladder.recovery),
+        Err(e) => Err(cancel_all(env, &mut inflight, e)),
+    }
+}
+
+/// The windowed NEW schedule, restructured around "how many waits does this
+/// iteration owe" so the window can shrink mid-run. With a constant window
+/// this emits exactly the legacy Algorithm-1 call sequence (pinned by the
+/// tests below).
+fn drive_new<E: OverlapEnv>(
+    env: &mut E,
+    k: usize,
+    ladder: &mut Ladder<'_>,
+    inflight: &mut Vec<(usize, E::Req)>,
+) -> Result<(), Error> {
+    for np in 0..k {
+        env.ffty_pack(np, inflight)?;
+        if ladder.recovery.fell_back && inflight.is_empty() {
+            // Fallback rung: blocking exchange per tile, no overlap.
+            let req = env.post_a2a(np);
+            ladder.wait_recover(env, np, req)?;
+            env.unpack_fftx(np, &mut [])?;
+            continue;
         }
-        if i >= w {
+        // How many in-flight exchanges must complete before tile np's post
+        // keeps the window within W. Zero through the fill phase; one per
+        // iteration in steady state; more right after a window shrink.
+        let need = (inflight.len() + 1).saturating_sub(ladder.w_eff.max(1));
+        if need == 0 {
+            let req = env.post_a2a(np);
+            inflight.push((np, req));
+            continue;
+        }
+        // A shrunk window can owe more than one wait; drain the extras
+        // first so the post below never raises concurrency past W.
+        for _ in 1..need {
             let (tile, req) = inflight.remove(0);
-            debug_assert_eq!(tile, i - w, "window must complete in order");
-            env.wait(tile, req);
+            ladder.wait_recover(env, tile, req)?;
+            env.unpack_fftx(tile, inflight)?;
         }
-        if i < k {
-            let req = env.post_a2a(i);
-            inflight.push((i, req));
-        }
-        if i >= w {
-            env.unpack_fftx(i - w, &mut inflight);
+        let (tile, req) = inflight.remove(0);
+        ladder.wait_recover(env, tile, req)?;
+        let req_np = env.post_a2a(np);
+        inflight.push((np, req_np));
+        env.unpack_fftx(tile, inflight)?;
+        if ladder.recovery.fell_back {
+            // The ladder topped out while this tile was in the window:
+            // drain everything and let the remaining tiles go blocking.
+            while !inflight.is_empty() {
+                let (tile, req) = inflight.remove(0);
+                ladder.wait_recover(env, tile, req)?;
+                env.unpack_fftx(tile, inflight)?;
+            }
         }
     }
-    debug_assert!(inflight.is_empty());
+    while !inflight.is_empty() {
+        let (tile, req) = inflight.remove(0);
+        ladder.wait_recover(env, tile, req)?;
+        env.unpack_fftx(tile, inflight)?;
+    }
+    Ok(())
 }
 
 /// Runs the TH comparator's schedule (Hoefler et al. [18]): only FFTy and
 /// Pack overlap with communication; Unpack and FFTx happen after the wait,
 /// with no progression polls — the reason TH's Wait bar dwarfs NEW's in
 /// Figure 8.
+///
+/// # Panics
+/// On any pipeline fault; use [`try_run_th`] for the typed error path.
 pub fn run_th<E: OverlapEnv>(env: &mut E) {
+    try_run_th(env, &Resilience::default())
+        .unwrap_or_else(|e| panic!("overlap pipeline failed: {e}"));
+}
+
+/// [`run_th`] with the same stall-recovery ladder as [`try_run_new`].
+pub fn try_run_th<E: OverlapEnv>(env: &mut E, res: &Resilience) -> Result<Recovery, Error> {
     env.fftz_transpose();
     let k = env.num_tiles();
     let w = env.window();
+    let mut ladder = Ladder::new(res, w);
+
     if w == 0 {
         for i in 0..k {
-            env.ffty_pack(i, &mut []);
+            env.ffty_pack(i, &mut [])?;
             let req = env.post_a2a(i);
-            env.wait(i, req);
-            env.unpack_fftx(i, &mut []);
+            ladder.wait_recover(env, i, req)?;
+            env.unpack_fftx(i, &mut [])?;
         }
-        return;
+        return Ok(ladder.recovery);
     }
+
     let mut inflight: Vec<(usize, E::Req)> = Vec::with_capacity(w);
-    for i in 0..k + w {
-        if i < k {
-            env.ffty_pack(i, &mut inflight);
-        }
-        if i >= w {
+    match drive_th(env, k, &mut ladder, &mut inflight) {
+        Ok(()) => Ok(ladder.recovery),
+        Err(e) => Err(cancel_all(env, &mut inflight, e)),
+    }
+}
+
+/// The TH schedule: owed waits drain (wait + no-poll unpack) *before* the
+/// iteration's post, matching the legacy loop's order.
+fn drive_th<E: OverlapEnv>(
+    env: &mut E,
+    k: usize,
+    ladder: &mut Ladder<'_>,
+    inflight: &mut Vec<(usize, E::Req)>,
+) -> Result<(), Error> {
+    for np in 0..k {
+        env.ffty_pack(np, inflight)?;
+        let need = if ladder.recovery.fell_back {
+            inflight.len()
+        } else {
+            (inflight.len() + 1).saturating_sub(ladder.w_eff.max(1))
+        };
+        for _ in 0..need {
             let (tile, req) = inflight.remove(0);
-            debug_assert_eq!(tile, i - w);
-            env.wait(tile, req);
-            // No polls during Unpack/FFTx: pass an empty in-flight view.
-            env.unpack_fftx(tile, &mut []);
+            ladder.wait_recover(env, tile, req)?;
+            env.unpack_fftx(tile, &mut [])?;
         }
-        if i < k {
-            let req = env.post_a2a(i);
-            inflight.push((i, req));
+        let req = env.post_a2a(np);
+        if ladder.recovery.fell_back {
+            ladder.wait_recover(env, np, req)?;
+            env.unpack_fftx(np, &mut [])?;
+        } else {
+            inflight.push((np, req));
         }
     }
-    debug_assert!(inflight.is_empty());
+    while !inflight.is_empty() {
+        let (tile, req) = inflight.remove(0);
+        ladder.wait_recover(env, tile, req)?;
+        env.unpack_fftx(tile, &mut [])?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// A scripted environment that records the call sequence.
+    /// A scripted environment that records the call sequence and can be
+    /// told to stall specific waits.
     struct Recorder {
         k: usize,
         w: usize,
         log: Vec<String>,
         next_req: usize,
+        /// Outcomes to inject: each wait attempt pops the front; `None`
+        /// (or an empty queue) means success.
+        wait_script: Vec<Option<Error>>,
+        cancelled: Vec<usize>,
+        boosts: u32,
     }
 
     impl Recorder {
@@ -133,6 +402,17 @@ mod tests {
                 w,
                 log: Vec::new(),
                 next_req: 0,
+                wait_script: Vec::new(),
+                cancelled: Vec::new(),
+                boosts: 0,
+            }
+        }
+
+        fn stalled(tile: usize) -> Error {
+            Error::Stalled {
+                tile,
+                round: 1,
+                peer: 0,
             }
         }
     }
@@ -148,19 +428,40 @@ mod tests {
         fn fftz_transpose(&mut self) {
             self.log.push("zT".into());
         }
-        fn ffty_pack(&mut self, tile: usize, inflight: &mut [(usize, usize)]) {
+        fn ffty_pack(&mut self, tile: usize, inflight: &mut [(usize, usize)]) -> Result<(), Error> {
             self.log.push(format!("yP{tile}(w{})", inflight.len()));
+            Ok(())
         }
         fn post_a2a(&mut self, tile: usize) -> usize {
             self.log.push(format!("A{tile}"));
             self.next_req += 1;
             self.next_req
         }
-        fn wait(&mut self, tile: usize, _req: usize) {
+        fn wait(&mut self, tile: usize, req: usize) -> Result<(), (usize, Error)> {
             self.log.push(format!("W{tile}"));
+            match self.wait_script.pop() {
+                Some(Some(e)) => Err((req, e)),
+                _ => Ok(()),
+            }
         }
-        fn unpack_fftx(&mut self, tile: usize, inflight: &mut [(usize, usize)]) {
+        fn unpack_fftx(
+            &mut self,
+            tile: usize,
+            inflight: &mut [(usize, usize)],
+        ) -> Result<(), Error> {
             self.log.push(format!("uX{tile}(w{})", inflight.len()));
+            Ok(())
+        }
+        fn boost_polls(&mut self) {
+            self.boosts += 1;
+            self.log.push("boost".into());
+        }
+        fn on_degrade(&mut self, tile: usize, action: DegradeAction) {
+            self.log.push(format!("D{tile}:{}", action.label()));
+        }
+        fn cancel(&mut self, tile: usize, _req: usize) {
+            self.cancelled.push(tile);
+            self.log.push(format!("C{tile}"));
         }
     }
 
@@ -243,6 +544,149 @@ mod tests {
                 .position(|e| e.starts_with(&format!("uX{t}(")))
                 .unwrap();
             assert!(wi < ui, "tile {t}: wait at {wi}, unpack at {ui}");
+        }
+    }
+
+    #[test]
+    fn th_matches_legacy_sequence() {
+        let mut env = Recorder::new(3, 1);
+        run_th(&mut env);
+        assert_eq!(
+            env.log,
+            vec![
+                "zT", "yP0(w0)", "A0", "yP1(w1)", "W0", "uX0(w0)", "A1", "yP2(w1)", "W1",
+                "uX1(w0)", "A2", "W2", "uX2(w0)"
+            ]
+        );
+    }
+
+    #[test]
+    fn clean_run_reports_clean_recovery() {
+        let mut env = Recorder::new(4, 2);
+        let rec = try_run_new(&mut env, &Resilience::default()).unwrap();
+        assert!(rec.clean());
+        assert_eq!(env.boosts, 0);
+        assert!(env.cancelled.is_empty());
+    }
+
+    #[test]
+    fn ladder_climbs_in_order_and_recovers() {
+        // k=6, W=2; the first three waits each stall once, then succeed on
+        // retry. The ladder must climb boost → shrink → fallback, every
+        // tile must still be waited and unpacked exactly once, and the run
+        // must report the climb.
+        let mut env = Recorder::new(6, 2);
+        // wait() pops from the back: build the script so attempts 1..3
+        // (whichever waits they land on) stall once each, interleaved with
+        // successes. Simplest deterministic shape: every first attempt of
+        // the first three waited tiles stalls.
+        // Script order is pop() (LIFO), so push in reverse attempt order:
+        // [stall, ok, stall, ok, stall] consumed as: W? stall, retry ok,
+        // next W stall, retry ok, next W stall, then default-ok forever.
+        env.wait_script = vec![
+            Some(Recorder::stalled(0)),
+            None,
+            Some(Recorder::stalled(0)),
+            None,
+            Some(Recorder::stalled(0)),
+        ];
+        let rec = try_run_new(&mut env, &Resilience::default()).unwrap();
+        assert_eq!(
+            rec.actions,
+            vec![
+                DegradeAction::BoostPolls,
+                DegradeAction::ShrinkWindow,
+                DegradeAction::Fallback
+            ]
+        );
+        assert_eq!(rec.stalls_detected, 3);
+        assert!(rec.fell_back);
+        assert_eq!(env.boosts, 1);
+        assert!(env.cancelled.is_empty());
+        for t in 0..6 {
+            let unpacks = env
+                .log
+                .iter()
+                .filter(|e| e.starts_with(&format!("uX{t}(")))
+                .count();
+            assert_eq!(unpacks, 1, "tile {t} unpacked once: {:?}", env.log);
+            let posts = env.log.iter().filter(|e| **e == format!("A{t}")).count();
+            assert_eq!(posts, 1, "tile {t} posted once");
+        }
+        // After the fallback rung, later tiles run post → wait → unpack
+        // with nothing else interleaved (blocking, no overlap).
+        let a5 = env.log.iter().position(|e| *e == "A5").unwrap();
+        assert_eq!(env.log[a5 + 1], "W5");
+        assert!(env.log[a5 + 2].starts_with("uX5("));
+    }
+
+    #[test]
+    fn exhausted_strikes_surface_the_error_and_cancel_inflight() {
+        let mut env = Recorder::new(4, 2);
+        // Every wait attempt stalls: the first waited tile (0) burns the
+        // 3-strike budget and errors on the 4th attempt.
+        env.wait_script = vec![Some(Recorder::stalled(0)); 16];
+        let err = try_run_new(&mut env, &Resilience::default()).unwrap_err();
+        assert!(matches!(err, Error::Stalled { .. }), "{err}");
+        // The failed tile's request and the other in-flight request were
+        // both cancelled — nothing leaks.
+        assert_eq!(env.cancelled, vec![0, 1]);
+    }
+
+    #[test]
+    fn non_stall_faults_do_not_climb_the_ladder() {
+        let mut env = Recorder::new(3, 2);
+        env.wait_script = vec![Some(Error::Dropped {
+            tile: 0,
+            round: 2,
+            peer: 1,
+        })];
+        let err = try_run_new(&mut env, &Resilience::default()).unwrap_err();
+        assert!(matches!(err, Error::Dropped { .. }));
+        assert_eq!(env.boosts, 0, "dropped data is not a stall: no ladder");
+        assert_eq!(env.cancelled, vec![0, 1]);
+    }
+
+    #[test]
+    fn shrink_window_reduces_concurrency_for_later_tiles() {
+        // k=8, W=4. Stall twice on the first wait: boost, then shrink to
+        // W=2. Afterwards the window reported to ffty_pack must never
+        // exceed 2 once the backlog drains.
+        let mut env = Recorder::new(8, 4);
+        env.wait_script = vec![Some(Recorder::stalled(0)), Some(Recorder::stalled(0))];
+        let rec = try_run_new(&mut env, &Resilience::default()).unwrap();
+        assert_eq!(
+            rec.actions,
+            vec![DegradeAction::BoostPolls, DegradeAction::ShrinkWindow]
+        );
+        assert!(!rec.fell_back);
+        // Once the backlog drains, the window seen by later packs is the
+        // shrunk W = 2, not the original 4.
+        assert!(env.log.contains(&"yP6(w2)".to_string()), "{:?}", env.log);
+        assert!(env.log.contains(&"yP7(w2)".to_string()), "{:?}", env.log);
+        for t in 0..8 {
+            let unpacks = env
+                .log
+                .iter()
+                .filter(|e| e.starts_with(&format!("uX{t}(")))
+                .count();
+            assert_eq!(unpacks, 1, "tile {t}: {:?}", env.log);
+        }
+    }
+
+    #[test]
+    fn th_ladder_recovers_too() {
+        let mut env = Recorder::new(5, 2);
+        env.wait_script = vec![Some(Recorder::stalled(0)), None, Some(Recorder::stalled(0))];
+        let rec = try_run_th(&mut env, &Resilience::default()).unwrap();
+        assert_eq!(rec.stalls_detected, 2);
+        for t in 0..5 {
+            let unpacks = env
+                .log
+                .iter()
+                .filter(|e| e.starts_with(&format!("uX{t}(")))
+                .count();
+            assert_eq!(unpacks, 1, "tile {t}: {:?}", env.log);
         }
     }
 }

@@ -10,15 +10,24 @@
 
 use crate::breakdown::{RunStats, StepTimes};
 use crate::decomp::Decomp;
+use crate::error::Error;
 use crate::params::{ProblemSpec, TuningParams};
-use crate::pipeline::{run_new, run_th, OverlapEnv};
-use crate::trace::{EventKind, NoopRecorder, Recorder, TraceEvent};
+use crate::pipeline::{try_run_new, try_run_th, OverlapEnv, Recovery, Resilience};
+use crate::trace::{DegradeAction, EventKind, NoopRecorder, Recorder, TraceEvent};
 use cfft::planner::{Plan1d, Planner, Rigor};
 use cfft::transpose::{permute3, xzy_fast, Dims3, XYZ_TO_ZXY};
 use cfft::{Complex64, Direction};
-use mpisim::{Comm, IAlltoall};
+use mpisim::{CollError, Comm, IAlltoall};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Pins a backend fault to the tile whose exchange it hit.
+fn coll_to_error(tile: usize, e: CollError) -> Error {
+    match e {
+        CollError::Stalled { round, peer } => Error::Stalled { tile, round, peer },
+        CollError::Dropped { round, peer } => Error::Dropped { tile, round, peer },
+    }
+}
 
 /// Which algorithm variant to execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +71,9 @@ pub struct RunOutput {
     pub layout: OutLayout,
     /// Timing statistics.
     pub stats: RunStats,
+    /// What the degradation ladder had to do (empty for a clean run, and
+    /// always empty when the watchdog is disabled).
+    pub recovery: Recovery,
 }
 
 /// Distributes polls evenly across a loop of `total_units` work units.
@@ -177,6 +189,12 @@ struct RealEnv<'a> {
     recv_pool: BufferPool,
     /// Receive data of the most recently waited tile, awaiting unpack.
     pending_recv: Option<Vec<Complex64>>,
+    /// Watchdog timeout for waits; `None` blocks forever (legacy).
+    stall_timeout: Option<Duration>,
+    /// `F*` multiplier applied by the ladder's boost-polls rung.
+    poll_boost: u32,
+    /// The boost is applied at most once per run.
+    boosted: bool,
     steps: StepTimes,
     tests: u64,
     started: Instant,
@@ -203,9 +221,13 @@ impl<'a> RealEnv<'a> {
             .collect()
     }
 
-    fn poll_inflight(&mut self, inflight: &mut [(usize, IAlltoall<Complex64>)], times: u64) {
+    fn poll_inflight(
+        &mut self,
+        inflight: &mut [(usize, IAlltoall<Complex64>)],
+        times: u64,
+    ) -> Result<(), Error> {
         if times == 0 || inflight.is_empty() {
-            return;
+            return Ok(());
         }
         if self.recorder.enabled() {
             // Traced path: time and record each poll individually so the
@@ -214,24 +236,33 @@ impl<'a> RealEnv<'a> {
             for _ in 0..times {
                 for (tile, req) in inflight.iter_mut() {
                     let t0 = Instant::now();
-                    let completed = req.test(self.comm);
+                    let result = req.try_test(self.comm);
                     let t1 = Instant::now();
                     self.tests += 1;
                     self.steps.test += (t1 - t0).as_secs_f64();
                     let tile = *tile;
+                    let completed = result.map_err(|e| coll_to_error(tile, e))?;
                     self.record_span(t0, t1, EventKind::Test { tile, completed });
                 }
             }
         } else {
             let t0 = Instant::now();
-            for _ in 0..times {
-                for (_, req) in inflight.iter_mut() {
-                    req.test(self.comm);
+            let mut failed = None;
+            'polls: for _ in 0..times {
+                for (tile, req) in inflight.iter_mut() {
                     self.tests += 1;
+                    if let Err(e) = req.try_test(self.comm) {
+                        failed = Some(coll_to_error(*tile, e));
+                        break 'polls;
+                    }
                 }
             }
             self.steps.test += t0.elapsed().as_secs_f64();
+            if let Some(e) = failed {
+                return Err(e);
+            }
         }
+        Ok(())
     }
 
     /// Records one traced span; no-op (and no timestamp math) when tracing
@@ -311,7 +342,7 @@ impl<'a> OverlapEnv for RealEnv<'a> {
         self.record_span(t0, t1, EventKind::Transpose);
     }
 
-    fn ffty_pack(&mut self, tile: usize, inflight: &mut [(usize, Self::Req)]) {
+    fn ffty_pack(&mut self, tile: usize, inflight: &mut [(usize, Self::Req)]) -> Result<(), Error> {
         let (z0, z1) = self.tile_range(tile);
         let tz = z1 - z0;
         let (p, ny) = (self.spec.p, self.spec.ny);
@@ -321,7 +352,7 @@ impl<'a> OverlapEnv for RealEnv<'a> {
             self.params.pz.min(tz.max(1)),
         );
         if nxl == 0 || tz == 0 {
-            return;
+            return Ok(());
         }
 
         // Sub-tile grid (Figure 4, left): Px × Ny × Pz blocks.
@@ -373,7 +404,7 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                     },
                 );
                 let due = sched_y.after_unit();
-                self.poll_inflight(inflight, due);
+                self.poll_inflight(inflight, due)?;
 
                 // Pack the sub-tile into per-destination blocks, each laid
                 // out (z_local, x_local, y_local).
@@ -405,9 +436,10 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                     },
                 );
                 let due = sched_p.after_unit();
-                self.poll_inflight(inflight, due);
+                self.poll_inflight(inflight, due)?;
             }
         }
+        Ok(())
     }
 
     fn post_a2a(&mut self, tile: usize) -> Self::Req {
@@ -429,27 +461,53 @@ impl<'a> OverlapEnv for RealEnv<'a> {
         req
     }
 
-    fn wait(&mut self, tile: usize, req: Self::Req) {
+    fn wait(&mut self, tile: usize, mut req: Self::Req) -> Result<(), (Self::Req, Error)> {
         let t0 = Instant::now();
-        let recv = req.wait(self.comm);
-        let t1 = Instant::now();
-        self.steps.wait += (t1 - t0).as_secs_f64();
-        self.record_span(t0, t1, EventKind::Wait { tile });
-        self.pending_recv = Some(recv);
+        match self.stall_timeout {
+            None => {
+                // Legacy blocking wait: spins (with parking) until complete,
+                // panics on an unrecoverable collective fault.
+                let recv = req.wait(self.comm);
+                let t1 = Instant::now();
+                self.steps.wait += (t1 - t0).as_secs_f64();
+                self.record_span(t0, t1, EventKind::Wait { tile });
+                self.pending_recv = Some(recv);
+                Ok(())
+            }
+            Some(timeout) => {
+                let result = req.wait_timeout(self.comm, timeout);
+                let t1 = Instant::now();
+                self.steps.wait += (t1 - t0).as_secs_f64();
+                self.record_span(t0, t1, EventKind::Wait { tile });
+                match result {
+                    Ok(()) => {
+                        self.pending_recv = Some(req.take_recv());
+                        Ok(())
+                    }
+                    // Hand the live request back: the driver may retry it
+                    // after a degradation step, or cancel it.
+                    Err(e) => Err((req, coll_to_error(tile, e))),
+                }
+            }
+        }
     }
 
-    fn unpack_fftx(&mut self, tile: usize, inflight: &mut [(usize, Self::Req)]) {
+    fn unpack_fftx(
+        &mut self,
+        tile: usize,
+        inflight: &mut [(usize, Self::Req)],
+    ) -> Result<(), Error> {
         let recv = self
             .pending_recv
             .take()
-            .expect("unpack without a waited tile");
+            .ok_or(Error::Internal("unpack without a waited tile"))?;
         let (z0, z1) = self.tile_range(tile);
         let tz = z1 - z0;
         let (p, nx) = (self.spec.p, self.spec.nx);
         let nyl = self.nyl;
         if nyl == 0 || tz == 0 {
             self.recv_pool.put(recv);
-            return;
+            return Ok(());
         }
         let (uy, uz) = (self.params.uy.min(nyl), self.params.uz.min(tz));
 
@@ -501,7 +559,7 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                     },
                 );
                 let due = sched_u.after_unit();
-                self.poll_inflight(inflight, due);
+                self.poll_inflight(inflight, due)?;
 
                 // FFTx on the unpacked x lines.
                 let t0 = Instant::now();
@@ -523,10 +581,34 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                     },
                 );
                 let due = sched_x.after_unit();
-                self.poll_inflight(inflight, due);
+                self.poll_inflight(inflight, due)?;
             }
         }
         self.recv_pool.put(recv);
+        Ok(())
+    }
+
+    fn boost_polls(&mut self) {
+        if self.boosted {
+            return;
+        }
+        self.boosted = true;
+        let b = self.poll_boost.max(1);
+        self.params.fy = self.params.fy.saturating_mul(b);
+        self.params.fp = self.params.fp.saturating_mul(b);
+        self.params.fu = self.params.fu.saturating_mul(b);
+        self.params.fx = self.params.fx.saturating_mul(b);
+    }
+
+    fn on_degrade(&mut self, tile: usize, action: DegradeAction) {
+        let now = Instant::now();
+        self.record_span(now, now, EventKind::Degrade { tile, action });
+    }
+
+    fn cancel(&mut self, _tile: usize, req: Self::Req) {
+        // Reclaim whatever the abandoned exchange staged in this rank's
+        // mailbox so nothing leaks past the error path.
+        req.cancel(self.comm);
     }
 }
 
@@ -560,6 +642,10 @@ pub fn fft3_dist(
 /// [`fft3_dist`] with per-tile event tracing: every phase span, poll and
 /// wait on this rank is appended to `recorder` (see [`crate::trace`]).
 /// Passing a [`NoopRecorder`] makes this identical to [`fft3_dist`].
+///
+/// # Panics
+/// On infeasible parameters or an unrecoverable pipeline fault; use
+/// [`try_fft3_dist_traced`] for the typed error path.
 #[allow(clippy::too_many_arguments)]
 pub fn fft3_dist_traced(
     comm: &Comm,
@@ -571,6 +657,67 @@ pub fn fft3_dist_traced(
     input: &[Complex64],
     recorder: &mut dyn Recorder,
 ) -> RunOutput {
+    try_fft3_dist_traced(
+        comm,
+        spec,
+        variant,
+        params,
+        dir,
+        rigor,
+        input,
+        &Resilience::default(),
+        recorder,
+    )
+    // Display keeps the legacy "infeasible parameters: …" wording that
+    // callers of the panicking API match on.
+    .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`fft3_dist`]: infeasible parameters come back as
+/// [`Error::InfeasibleParams`] instead of a panic, and with a watchdog
+/// armed (see [`Resilience::stall_timeout`]) a wedged exchange surfaces as
+/// [`Error::Stalled`] instead of spinning forever. Runs with the default
+/// [`Resilience`] (watchdog disabled).
+pub fn try_fft3_dist(
+    comm: &Comm,
+    spec: ProblemSpec,
+    variant: Variant,
+    params: TuningParams,
+    dir: Direction,
+    rigor: Rigor,
+    input: &[Complex64],
+) -> Result<RunOutput, Error> {
+    try_fft3_dist_traced(
+        comm,
+        spec,
+        variant,
+        params,
+        dir,
+        rigor,
+        input,
+        &Resilience::default(),
+        &mut NoopRecorder,
+    )
+}
+
+/// The full-control entry point: tracing plus an explicit [`Resilience`]
+/// policy. With `stall_timeout` set, stalled exchanges trip the watchdog
+/// and the pipeline climbs the degradation ladder (boost polls → shrink
+/// window → blocking fallback) before giving up; what it did is reported
+/// in [`RunOutput::recovery`]. On the error path every in-flight exchange
+/// is cancelled before returning — no staged messages leak.
+#[allow(clippy::too_many_arguments)]
+pub fn try_fft3_dist_traced(
+    comm: &Comm,
+    spec: ProblemSpec,
+    variant: Variant,
+    params: TuningParams,
+    dir: Direction,
+    rigor: Rigor,
+    input: &[Complex64],
+    resilience: &Resilience,
+    recorder: &mut dyn Recorder,
+) -> Result<RunOutput, Error> {
     assert_eq!(comm.size(), spec.p, "communicator size must match spec.p");
     let rank = comm.rank();
     let decomp = Decomp::new(spec.nx, spec.ny, spec.p);
@@ -593,7 +740,7 @@ pub fn fft3_dist_traced(
             } else {
                 params.validate(&spec)
             }
-            .unwrap_or_else(|e| panic!("infeasible parameters: {e}"));
+            .map_err(Error::from)?;
             let style = if spec.square_xy() {
                 TransposeStyle::Fast
             } else {
@@ -672,19 +819,22 @@ pub fn fft3_dist_traced(
         send_cap: params.t * nxl * spec.ny,
         recv_pool: BufferPool::new(params.w + 1, params.t * spec.nx * nyl),
         pending_recv: None,
+        stall_timeout: resilience.stall_timeout,
+        poll_boost: resilience.poll_boost,
+        boosted: false,
         steps: StepTimes::default(),
         tests: 0,
         started: Instant::now(),
         recorder,
     };
 
-    match variant {
-        Variant::Th => run_th(&mut env),
-        _ => run_new(&mut env),
-    }
+    let recovery = match variant {
+        Variant::Th => try_run_th(&mut env, resilience)?,
+        _ => try_run_new(&mut env, resilience)?,
+    };
 
     let elapsed = env.started.elapsed().as_secs_f64();
-    RunOutput {
+    Ok(RunOutput {
         data: std::mem::take(&mut env.out),
         layout,
         stats: RunStats {
@@ -692,7 +842,8 @@ pub fn fft3_dist_traced(
             elapsed,
             tests: env.tests,
         },
-    }
+        recovery,
+    })
 }
 
 /// Builds this rank's x-slab of the deterministic test field.
@@ -853,17 +1004,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "infeasible parameters")]
     fn w0_with_zero_subtile_is_rejected_not_a_divide_by_zero() {
         // Regression: with `w = 0` (NEW-0) the validator used to be skipped
         // entirely, so a zero Px reached `div_ceil` and crashed with
         // "attempt to divide by zero" instead of a parameter diagnostic.
+        // Now the fallible API reports it as a typed error.
         let spec = ProblemSpec::cube(8, 2);
         let mut params = TuningParams::seed(&spec).without_overlap();
         params.px = 0;
-        mpisim::run(spec.p, move |comm| {
+        let errs = mpisim::run(spec.p, move |comm| {
             let input = local_test_slab(&spec, comm.rank());
-            fft3_dist(
+            try_fft3_dist(
                 &comm,
                 spec,
                 Variant::New,
@@ -871,16 +1022,47 @@ mod tests {
                 Direction::Forward,
                 Rigor::Estimate,
                 &input,
-            );
+            )
+            .map(|_| ())
         });
+        for e in errs {
+            let err = e.unwrap_err();
+            assert!(matches!(err, Error::InfeasibleParams(_)), "{err}");
+        }
     }
 
     #[test]
-    #[should_panic(expected = "infeasible parameters")]
     fn w0_with_zero_tile_is_rejected_not_a_divide_by_zero() {
         let spec = ProblemSpec::cube(8, 2);
         let mut params = TuningParams::seed(&spec).without_overlap();
         params.t = 0;
+        let errs = mpisim::run(spec.p, move |comm| {
+            let input = local_test_slab(&spec, comm.rank());
+            try_fft3_dist(
+                &comm,
+                spec,
+                Variant::New,
+                params,
+                Direction::Forward,
+                Rigor::Estimate,
+                &input,
+            )
+            .map(|_| ())
+        });
+        for e in errs {
+            let err = e.unwrap_err();
+            assert!(matches!(err, Error::InfeasibleParams(_)), "{err}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible parameters")]
+    fn legacy_entry_point_still_panics_on_infeasible_parameters() {
+        // The panicking API keeps its historical message so existing
+        // callers that match on it are unaffected by the `try_` refactor.
+        let spec = ProblemSpec::cube(8, 2);
+        let mut params = TuningParams::seed(&spec);
+        params.w = 99;
         mpisim::run(spec.p, move |comm| {
             let input = local_test_slab(&spec, comm.rank());
             fft3_dist(

@@ -8,6 +8,7 @@
 
 use crate::breakdown::{RunStats, StepTimes};
 use crate::decomp::Decomp;
+use crate::error::Error;
 use crate::params::{ProblemSpec, ThParams, TuningParams};
 use crate::pipeline::{run_new, run_th, OverlapEnv};
 use crate::real_env::Variant;
@@ -132,7 +133,7 @@ impl OverlapEnv for SimEnv<'_, '_> {
         self.steps.transpose += transpose;
     }
 
-    fn ffty_pack(&mut self, tile: usize, inflight: &mut [(usize, OpId)]) {
+    fn ffty_pack(&mut self, tile: usize, inflight: &mut [(usize, OpId)]) -> Result<(), Error> {
         let tz = self.tile_len(tile);
         let m = self.sim.platform().machine.clone();
         let nxl = self.nxl();
@@ -158,6 +159,7 @@ impl OverlapEnv for SimEnv<'_, '_> {
         self.drain_polls(inflight);
         self.steps.pack += c;
         self.steps.test += t;
+        Ok(())
     }
 
     fn post_a2a(&mut self, tile: usize) -> OpId {
@@ -170,14 +172,18 @@ impl OverlapEnv for SimEnv<'_, '_> {
         op
     }
 
-    fn wait(&mut self, tile: usize, req: OpId) {
+    fn wait(&mut self, tile: usize, req: OpId) -> Result<(), (OpId, Error)> {
+        // The simulator charges fault costs (stragglers, degraded links)
+        // into the round model, so waits always complete — slower, never
+        // wedged. Stall semantics are the real backend's department.
         let t0 = self.sim.now();
         self.sim.wait(req);
         self.steps.wait += (self.sim.now() - t0).as_secs_f64();
         self.record(EventKind::Wait { tile }, t0.as_secs_f64());
+        Ok(())
     }
 
-    fn unpack_fftx(&mut self, tile: usize, inflight: &mut [(usize, OpId)]) {
+    fn unpack_fftx(&mut self, tile: usize, inflight: &mut [(usize, OpId)]) -> Result<(), Error> {
         let tz = self.tile_len(tile);
         let m = self.sim.platform().machine.clone();
         let nyl = self.nyl();
@@ -205,6 +211,7 @@ impl OverlapEnv for SimEnv<'_, '_> {
         self.drain_polls(inflight);
         self.steps.fftx += c;
         self.steps.test += t;
+        Ok(())
     }
 }
 
@@ -296,6 +303,42 @@ pub fn fft3_simulated(
     skip_fixed_steps: bool,
 ) -> SimReport {
     fft3_simulated_with(platform, spec, variant, params, skip_fixed_steps, None)
+}
+
+/// Fallible [`fft3_simulated`]: validates the tuning parameters up front
+/// (for [`Variant::New`], where they are taken literally) and reports an
+/// infeasible configuration as [`Error::InfeasibleParams`] instead of
+/// producing a garbage cost estimate. TH and FFTW rewrite the parameters
+/// themselves, so only the shared tile size is checked there.
+pub fn try_fft3_simulated(
+    platform: Platform,
+    spec: ProblemSpec,
+    variant: Variant,
+    params: TuningParams,
+    skip_fixed_steps: bool,
+) -> Result<SimReport, Error> {
+    match variant {
+        Variant::New => {
+            if params.w == 0 {
+                params.validate_without_window(&spec)
+            } else {
+                params.validate(&spec)
+            }
+            .map_err(Error::from)?;
+        }
+        Variant::Th | Variant::Fftw => {
+            if params.t == 0 || params.t > spec.nz.max(1) {
+                return Err(Error::from(crate::params::ParamError::TileSize(params.t)));
+            }
+        }
+    }
+    Ok(fft3_simulated(
+        platform,
+        spec,
+        variant,
+        params,
+        skip_fixed_steps,
+    ))
 }
 
 /// [`fft3_simulated`] with an explicit transpose-cost tier — the hook the

@@ -40,6 +40,33 @@ pub enum EventKind {
     Unpack { tile: usize, subtile: usize },
     /// 1-D FFTs along x for one sub-tile block of a received tile.
     Fftx { tile: usize, subtile: usize },
+    /// The resilient driver took a degradation step while waiting on
+    /// `tile` — the recovery becoming visible in the timeline.
+    Degrade { tile: usize, action: DegradeAction },
+}
+
+/// One rung of the degradation ladder the resilient pipeline climbs when a
+/// tile's all-to-all stalls (in this order; see `pipeline::try_run_new`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeAction {
+    /// Multiply the `F*` polling frequencies: progression was starving.
+    BoostPolls,
+    /// Halve the window `W`: fewer concurrent exchanges contending.
+    ShrinkWindow,
+    /// Abandon overlap: drain everything in flight and finish the remaining
+    /// tiles with blocking (FFTW-style) exchanges.
+    Fallback,
+}
+
+impl DegradeAction {
+    /// Short label used in JSON and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradeAction::BoostPolls => "boost-polls",
+            DegradeAction::ShrinkWindow => "shrink-window",
+            DegradeAction::Fallback => "fallback",
+        }
+    }
 }
 
 impl EventKind {
@@ -53,7 +80,8 @@ impl EventKind {
             | EventKind::Test { tile, .. }
             | EventKind::Wait { tile }
             | EventKind::Unpack { tile, .. }
-            | EventKind::Fftx { tile, .. } => Some(tile),
+            | EventKind::Fftx { tile, .. }
+            | EventKind::Degrade { tile, .. } => Some(tile),
         }
     }
 
@@ -69,6 +97,7 @@ impl EventKind {
             EventKind::Wait { .. } => "Wait",
             EventKind::Unpack { .. } => "Unpack",
             EventKind::Fftx { .. } => "FFTx",
+            EventKind::Degrade { .. } => "Degrade",
         }
     }
 
@@ -175,6 +204,9 @@ pub fn derive_step_times(events: &[TraceEvent]) -> StepTimes {
             EventKind::Wait { .. } => steps.wait += d,
             EventKind::Unpack { .. } => steps.unpack += d,
             EventKind::Fftx { .. } => steps.fftx += d,
+            // Degradation markers are instants, not time spent in a
+            // category; they do not contribute to the breakdown.
+            EventKind::Degrade { .. } => {}
         }
         if ev.kind.is_compute() {
             compute.push((ev.start, ev.end, ev.kind.label()));
@@ -351,15 +383,16 @@ fn json_f64(v: f64) -> String {
 }
 
 fn write_event_json(s: &mut String, ev: &TraceEvent) {
-    let (tile, subtile, bytes, completed) = match ev.kind {
-        EventKind::Fftz | EventKind::Transpose => (None, None, None, None),
+    let (tile, subtile, bytes, completed, action) = match ev.kind {
+        EventKind::Fftz | EventKind::Transpose => (None, None, None, None, None),
         EventKind::Ffty { tile, subtile }
         | EventKind::Pack { tile, subtile }
         | EventKind::Unpack { tile, subtile }
-        | EventKind::Fftx { tile, subtile } => (Some(tile), Some(subtile), None, None),
-        EventKind::PostA2a { tile, bytes } => (Some(tile), None, Some(bytes), None),
-        EventKind::Test { tile, completed } => (Some(tile), None, None, Some(completed)),
-        EventKind::Wait { tile } => (Some(tile), None, None, None),
+        | EventKind::Fftx { tile, subtile } => (Some(tile), Some(subtile), None, None, None),
+        EventKind::PostA2a { tile, bytes } => (Some(tile), None, Some(bytes), None, None),
+        EventKind::Test { tile, completed } => (Some(tile), None, None, Some(completed), None),
+        EventKind::Wait { tile } => (Some(tile), None, None, None, None),
+        EventKind::Degrade { tile, action } => (Some(tile), None, None, None, Some(action)),
     };
     write!(
         s,
@@ -380,6 +413,9 @@ fn write_event_json(s: &mut String, ev: &TraceEvent) {
     }
     if let Some(c) = completed {
         write!(s, ",\"completed\":{c}").unwrap();
+    }
+    if let Some(a) = action {
+        write!(s, ",\"action\":\"{}\"", a.label()).unwrap();
     }
     s.push('}');
 }
@@ -585,6 +621,28 @@ mod tests {
         let merged = merge_intervals(vec![(2.0, 3.0), (0.0, 1.5), (1.0, 2.5), (5.0, 5.0)]);
         assert_eq!(merged, vec![(0.0, 3.0)]);
         assert!((intersection_len(&merged, &[(2.5, 4.0)]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degrade_markers_carry_their_action_without_polluting_the_breakdown() {
+        let events = vec![
+            ev(0.0, 1.0, EventKind::Fftz),
+            ev(
+                1.0,
+                1.0,
+                EventKind::Degrade {
+                    tile: 2,
+                    action: DegradeAction::ShrinkWindow,
+                },
+            ),
+        ];
+        let s = derive_step_times(&events);
+        assert!((s.total() - 1.0).abs() < 1e-12, "markers add no time");
+        assert_eq!(events[1].kind.tile(), Some(2));
+        assert!(!events[1].kind.is_compute());
+        let json = trace_to_json(&[events]);
+        assert!(json.contains("\"kind\":\"Degrade\""));
+        assert!(json.contains("\"action\":\"shrink-window\""));
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! # faultplan — deterministic, seeded fault injection for the overlapped
+//! all-to-all
+//!
+//! The paper's design hinges on manual asynchronous progression: a rank that
+//! stops calling `MPI_Test` stalls every peer's rounds. To claim the NEW
+//! variant degrades gracefully under node imbalance and flaky interconnects,
+//! we must be able to *reproduce* those conditions on demand. A [`FaultPlan`]
+//! is a pure description of the conditions to inject, interpreted by both
+//! backends:
+//!
+//! * the **mpisim** runtime turns straggler/send delays into real `sleep`s
+//!   before non-blocking-collective sends, drops messages per the seeded
+//!   drop decision (retrying within the retransmit budget), and blackholes
+//!   a rank's late-round sends to force a hard stall;
+//! * the **simnet** simulator scales a straggler rank's compute time and
+//!   every rank's all-to-all round time, reproducing Figure-8-style
+//!   breakdowns under imbalance without touching real wall clocks.
+//!
+//! Every decision is a pure function of the plan's `seed` and the message
+//! coordinates `(collective, src, dest, round, attempt)`, so a faulted run
+//! is exactly repeatable — the property the chaos sweeps and CI fault
+//! matrix rely on.
+
+use std::time::Duration;
+
+/// A rank that runs slower than its peers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Straggler {
+    /// World rank of the slow process.
+    pub rank: usize,
+    /// Multiplier (≥ 1) applied to this rank's compute phases by the
+    /// simulated backend.
+    pub compute_factor: f64,
+    /// Real delay injected before each of this rank's non-blocking
+    /// collective sends by the mpisim backend.
+    pub send_delay: Duration,
+}
+
+impl Straggler {
+    /// A straggler of dimensionless `severity ≥ 0`: compute runs
+    /// `1 + severity` times slower (simnet) and every NBC send is preceded
+    /// by `severity · 2 ms` of delay (mpisim).
+    pub fn severity(rank: usize, severity: f64) -> Self {
+        assert!(severity >= 0.0, "severity must be non-negative");
+        Straggler {
+            rank,
+            compute_factor: 1.0 + severity,
+            send_delay: Duration::from_micros((severity * 2000.0) as u64),
+        }
+    }
+}
+
+/// Transient message loss on the non-blocking all-to-all rounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropSpec {
+    /// Per-attempt probability in `[0, 1)` that a round send is dropped.
+    pub probability: f64,
+    /// Retransmit attempts allowed after the first drop before the budget
+    /// is exhausted.
+    pub max_retransmits: u32,
+    /// What happens once the budget is exhausted: `true` surfaces a typed
+    /// `Dropped` error, `false` force-delivers (a transient fault that
+    /// healed).
+    pub fail_after_budget: bool,
+}
+
+/// A rank whose sends silently vanish after a given round — the hard-stall
+/// scenario: the rank *believes* it sent, so it never retries, and every
+/// peer's watchdog must fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blackhole {
+    /// World rank whose sends are swallowed.
+    pub rank: usize,
+    /// Rounds `> after_round` are blackholed; earlier rounds deliver.
+    pub after_round: usize,
+}
+
+/// A deterministic, seeded description of the faults to inject into one run.
+///
+/// The default plan ([`FaultPlan::none`]) injects nothing and is free to
+/// consult on hot paths ([`FaultPlan::is_active`] is a field read).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic decision.
+    pub seed: u64,
+    /// Slow ranks.
+    pub stragglers: Vec<Straggler>,
+    /// Delay before every rank's NBC sends (mpisim).
+    pub send_delay: Duration,
+    /// Delay charged when an NBC round message is consumed (mpisim).
+    pub recv_delay: Duration,
+    /// Transient message loss.
+    pub drop: Option<DropSpec>,
+    /// Hard-stall injection.
+    pub blackhole: Option<Blackhole>,
+    /// Multiplier (≥ 1) on all-to-all round time (simnet): a degraded
+    /// interconnect.
+    pub link_degradation: f64,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// An empty plan carrying `seed` for later probabilistic faults.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Adds a straggler of the given dimensionless severity (see
+    /// [`Straggler::severity`]).
+    pub fn with_straggler(mut self, rank: usize, severity: f64) -> Self {
+        self.stragglers.push(Straggler::severity(rank, severity));
+        self
+    }
+
+    /// Adds a fully specified straggler.
+    pub fn with_straggler_spec(mut self, s: Straggler) -> Self {
+        self.stragglers.push(s);
+        self
+    }
+
+    /// Sets the global per-send delay (mpisim).
+    pub fn with_send_delay(mut self, d: Duration) -> Self {
+        self.send_delay = d;
+        self
+    }
+
+    /// Sets the global per-receive delay (mpisim).
+    pub fn with_recv_delay(mut self, d: Duration) -> Self {
+        self.recv_delay = d;
+        self
+    }
+
+    /// Enables transient message drops.
+    pub fn with_drops(mut self, probability: f64, max_retransmits: u32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&probability),
+            "drop probability must be in [0, 1)"
+        );
+        self.drop = Some(DropSpec {
+            probability,
+            max_retransmits,
+            fail_after_budget: false,
+        });
+        self
+    }
+
+    /// Enables drops whose exhausted retransmit budget surfaces a typed
+    /// `Dropped` error instead of force-delivering.
+    pub fn with_fatal_drops(mut self, probability: f64, max_retransmits: u32) -> Self {
+        self = self.with_drops(probability, max_retransmits);
+        if let Some(d) = &mut self.drop {
+            d.fail_after_budget = true;
+        }
+        self
+    }
+
+    /// Blackholes `rank`'s sends for rounds `> after_round`.
+    pub fn with_blackhole(mut self, rank: usize, after_round: usize) -> Self {
+        self.blackhole = Some(Blackhole { rank, after_round });
+        self
+    }
+
+    /// Scales every all-to-all round by `factor ≥ 1` (simnet).
+    pub fn with_degraded_links(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "link degradation must be ≥ 1");
+        self.link_degradation = factor;
+        self
+    }
+
+    /// `true` when the plan injects anything at all — the hot-path gate.
+    pub fn is_active(&self) -> bool {
+        !self.stragglers.is_empty()
+            || !self.send_delay.is_zero()
+            || !self.recv_delay.is_zero()
+            || self.drop.is_some()
+            || self.blackhole.is_some()
+            || self.link_degradation > 1.0
+    }
+
+    /// Compute-time multiplier for `rank` (1.0 for non-stragglers).
+    pub fn compute_factor(&self, rank: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .find(|s| s.rank == rank)
+            .map(|s| s.compute_factor)
+            .unwrap_or(1.0)
+    }
+
+    /// Delay to inject before one of `rank`'s NBC sends: the global send
+    /// delay plus the rank's straggler delay.
+    pub fn send_delay_for(&self, rank: usize) -> Duration {
+        self.send_delay
+            + self
+                .stragglers
+                .iter()
+                .find(|s| s.rank == rank)
+                .map(|s| s.send_delay)
+                .unwrap_or(Duration::ZERO)
+    }
+
+    /// All-to-all round-time multiplier (≥ 1).
+    pub fn link_factor(&self) -> f64 {
+        self.link_degradation.max(1.0)
+    }
+
+    /// `true` when `rank`'s send for `round` is blackholed.
+    pub fn is_blackholed(&self, rank: usize, round: usize) -> bool {
+        matches!(self.blackhole, Some(b) if b.rank == rank && round > b.after_round)
+    }
+
+    /// Seeded drop decision for one send attempt. `salt` distinguishes
+    /// collectives (mpisim passes the collective sequence number), so the
+    /// same round of different tiles draws independently.
+    pub fn should_drop(
+        &self,
+        salt: u64,
+        src: usize,
+        dest: usize,
+        round: usize,
+        attempt: u32,
+    ) -> bool {
+        let Some(d) = self.drop else { return false };
+        let h = hash5(
+            self.seed,
+            salt,
+            ((src as u64) << 32) | dest as u64,
+            round as u64,
+            attempt as u64,
+        );
+        // Top 53 bits → uniform in [0, 1).
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < d.probability
+    }
+
+    /// Retransmit attempts allowed after the first drop (0 when drops are
+    /// disabled).
+    pub fn max_retransmits(&self) -> u32 {
+        self.drop.map(|d| d.max_retransmits).unwrap_or(0)
+    }
+
+    /// Whether an exhausted retransmit budget is fatal.
+    pub fn fail_after_budget(&self) -> bool {
+        self.drop.map(|d| d.fail_after_budget).unwrap_or(false)
+    }
+}
+
+/// SplitMix64 finalizer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hashes five words into one, order-sensitively.
+fn hash5(a: u64, b: u64, c: u64, d: u64, e: u64) -> u64 {
+    let mut h = mix(a);
+    for w in [b, c, d, e] {
+        h = mix(h ^ w.wrapping_mul(0xff51_afd7_ed55_8ccd));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inactive_and_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(!p.is_active());
+        assert_eq!(p.compute_factor(3), 1.0);
+        assert_eq!(p.send_delay_for(3), Duration::ZERO);
+        assert_eq!(p.link_factor(), 1.0);
+        assert!(!p.is_blackholed(0, 99));
+        assert!(!p.should_drop(0, 0, 1, 2, 0));
+        assert_eq!(p.max_retransmits(), 0);
+    }
+
+    #[test]
+    fn straggler_affects_only_its_rank() {
+        let p = FaultPlan::seeded(7).with_straggler(2, 1.5);
+        assert!(p.is_active());
+        assert!((p.compute_factor(2) - 2.5).abs() < 1e-12);
+        assert_eq!(p.compute_factor(0), 1.0);
+        assert_eq!(p.send_delay_for(2), Duration::from_millis(3));
+        assert_eq!(p.send_delay_for(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn drop_decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::seeded(1).with_drops(0.5, 3);
+        let b = FaultPlan::seeded(2).with_drops(0.5, 3);
+        let decisions = |p: &FaultPlan| -> Vec<bool> {
+            (0..64).map(|r| p.should_drop(9, 0, 1, r, 0)).collect()
+        };
+        assert_eq!(decisions(&a), decisions(&a), "same seed ⇒ same decisions");
+        assert_ne!(decisions(&a), decisions(&b), "different seed ⇒ different");
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let p = FaultPlan::seeded(42).with_drops(0.3, 3);
+        let n = 10_000;
+        let drops = (0..n)
+            .filter(|&i| p.should_drop(i as u64, i % 8, (i + 1) % 8, i % 16, 0))
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!((0.25..0.35).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn attempts_draw_independently() {
+        // A dropped attempt must not doom every retransmit: some coordinate
+        // with attempt 0 dropped must pass on a later attempt.
+        let p = FaultPlan::seeded(5).with_drops(0.5, 8);
+        let healed = (0..200).any(|r| {
+            p.should_drop(1, 0, 1, r, 0) && !(1..=8).all(|a| p.should_drop(1, 0, 1, r, a))
+        });
+        assert!(healed);
+    }
+
+    #[test]
+    fn blackhole_swallows_only_late_rounds_of_its_rank() {
+        let p = FaultPlan::none().with_blackhole(1, 2);
+        assert!(!p.is_blackholed(1, 2));
+        assert!(p.is_blackholed(1, 3));
+        assert!(!p.is_blackholed(0, 3));
+    }
+
+    #[test]
+    fn fatal_drops_flip_the_budget_policy() {
+        let transient = FaultPlan::seeded(3).with_drops(0.1, 2);
+        assert!(!transient.fail_after_budget());
+        let fatal = FaultPlan::seeded(3).with_fatal_drops(0.1, 2);
+        assert!(fatal.fail_after_budget());
+        assert_eq!(fatal.max_retransmits(), 2);
+    }
+
+    #[test]
+    fn degraded_links_scale_round_time() {
+        let p = FaultPlan::none().with_degraded_links(2.5);
+        assert!(p.is_active());
+        assert!((p.link_factor() - 2.5).abs() < 1e-12);
+    }
+}

@@ -90,6 +90,19 @@ impl Comm {
         &self.world.mailboxes[self.world_rank(self.rank)]
     }
 
+    /// The fault plan installed at [`crate::run_with_faults`] time (the
+    /// empty plan under [`crate::run`]).
+    pub(crate) fn faults(&self) -> &faultplan::FaultPlan {
+        &self.world.faults
+    }
+
+    /// Messages currently queued in this rank's mailbox — a leak check for
+    /// abandoned collectives (after a collective `cancel` on every rank, a
+    /// quiesced world reports 0 everywhere).
+    pub fn pending_messages(&self) -> usize {
+        self.my_mailbox().len()
+    }
+
     // ------------------------------------------------------------------
     // Point-to-point
     // ------------------------------------------------------------------

@@ -25,6 +25,19 @@
 //!
 //! A rank panic aborts the whole world (peers unwind with an "aborted"
 //! panic instead of deadlocking), mirroring `MPI_Abort`.
+//!
+//! ## Fault injection
+//!
+//! [`run_with_faults`] launches a world with a [`FaultPlan`]: seeded message
+//! drops with bounded retransmit, straggler/send delays, and blackholed
+//! ranks. The non-blocking all-to-all then exposes the typed error path —
+//! [`IAlltoall::try_test`] and [`IAlltoall::wait_timeout`] return a
+//! [`CollError`] (`Stalled` / `Dropped`) instead of spinning forever or
+//! panicking.
+
+// The error-path hygiene this runtime promises: non-test code must surface
+// typed errors (or panic with a diagnostic via expect), never `.unwrap()`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod coll;
 mod comm;
@@ -32,7 +45,8 @@ mod nbc;
 mod world;
 
 pub use comm::Comm;
-pub use nbc::IAlltoall;
+pub use faultplan::FaultPlan;
+pub use nbc::{CollError, IAlltoall};
 
 use std::panic::AssertUnwindSafe;
 use world::World;
@@ -47,7 +61,18 @@ where
     F: Fn(Comm) -> R + Send + Sync,
     R: Send,
 {
-    let world = World::new(size);
+    run_with_faults(size, FaultPlan::none(), f)
+}
+
+/// [`run`] with a [`FaultPlan`] injected into the world: non-blocking
+/// collective sends are delayed, dropped (with bounded retransmit) and
+/// blackholed per the plan's seeded decisions.
+pub fn run_with_faults<F, R>(size: usize, faults: FaultPlan, f: F) -> Vec<R>
+where
+    F: Fn(Comm) -> R + Send + Sync,
+    R: Send,
+{
+    let world = World::new(size, faults);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..size)
             .map(|rank| {

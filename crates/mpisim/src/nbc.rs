@@ -11,9 +11,58 @@
 //! asynchronous-progression behaviour (Hoefler & Lumsdaine's "to thread or
 //! not to thread") that the paper's `Fy/Fp/Fu/Fx` parameters exist to
 //! manage.
+//!
+//! ## Faults and the typed error path
+//!
+//! When the world carries a [`faultplan::FaultPlan`], every round send
+//! consults it: sends may be delayed (stragglers), dropped and retransmitted
+//! within a bounded budget, or blackholed outright. The fallible entry
+//! points — [`IAlltoall::try_test`] and [`IAlltoall::wait_timeout`] — then
+//! surface a [`CollError`] instead of spinning forever (`Stalled`, detected
+//! by a per-round progress watchdog) or panicking (`Dropped`, an exhausted
+//! retransmit budget). The legacy `test`/`wait` keep their infallible
+//! signatures and panic on a fault error, mirroring `MPI_Abort`.
 
 use crate::comm::{encode_tag, Comm, Kind};
 use crate::world::Msg;
+use std::time::{Duration, Instant};
+
+/// Why a non-blocking collective could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollError {
+    /// The round schedule made no progress for the watchdog timeout: the
+    /// rank was waiting on `peer`'s block for `round` (a peer that stopped
+    /// progressing, or whose messages are being swallowed).
+    Stalled {
+        /// First incomplete round of the schedule.
+        round: usize,
+        /// Communicator rank whose block the stalled round is missing.
+        peer: usize,
+    },
+    /// A round send exhausted its retransmit budget under a fault plan with
+    /// `fail_after_budget`.
+    Dropped {
+        /// The round whose send was lost.
+        round: usize,
+        /// Destination communicator rank of the lost block.
+        peer: usize,
+    },
+}
+
+impl std::fmt::Display for CollError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollError::Stalled { round, peer } => {
+                write!(f, "stalled in round {round} waiting on rank {peer}")
+            }
+            CollError::Dropped { round, peer } => {
+                write!(f, "round {round} send to rank {peer} exhausted retransmits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollError {}
 
 /// Block displacements implied by per-peer counts.
 fn displs(counts: &[usize]) -> Vec<usize> {
@@ -45,6 +94,11 @@ pub struct IAlltoall<T> {
     sent: usize,
     size: usize,
     rank: usize,
+    /// Send attempts of the current round, counted across fault-plan drops.
+    send_attempts: u32,
+    /// A fault error this request hit; sticky, re-reported on every
+    /// subsequent progression attempt.
+    failed: Option<CollError>,
     /// Number of `test` calls made on this request (diagnostics mirroring
     /// the paper's Test-time accounting).
     tests: u64,
@@ -104,11 +158,14 @@ impl Comm {
             sent: 0,
             size: p,
             rank: self.rank(),
+            send_attempts: 0,
+            failed: None,
             tests: 0,
         };
         // Round 0 is the local block: complete it at post time, like real
-        // NBC implementations do the self-copy eagerly.
-        req.progress(self);
+        // NBC implementations do the self-copy eagerly. A fault error this
+        // early is remembered and surfaced by the first test/wait.
+        let _ = req.progress(self);
         req
     }
 }
@@ -119,35 +176,94 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
         (self.seq << 10) | round as u64
     }
 
-    /// Advances as many rounds as currently possible. Returns `true` when
-    /// the collective has completed.
-    fn progress(&mut self, comm: &Comm) -> bool {
+    /// Posts round `r`'s send to `dest`, applying the world's fault plan.
+    /// Returns `Ok(false)` when this attempt was dropped (the block stays
+    /// staged; a later progression opportunity retries).
+    fn post_send(&mut self, comm: &Comm, r: usize, dest: usize) -> Result<bool, CollError> {
+        let plan = comm.faults();
+        if plan.is_active() {
+            let src_w = comm.world_rank(self.rank);
+            if plan.is_blackholed(src_w, r) {
+                // Swallow the block but report success: this rank believes
+                // it sent and never retries — the hard-stall scenario whose
+                // detection falls to the peers' watchdogs.
+                let _ = self.send_blocks[dest].take().expect("block sent twice");
+                return Ok(true);
+            }
+            if plan.should_drop(
+                self.seq,
+                src_w,
+                comm.world_rank(dest),
+                r,
+                self.send_attempts,
+            ) {
+                self.send_attempts += 1;
+                if self.send_attempts > plan.max_retransmits() {
+                    if plan.fail_after_budget() {
+                        return Err(CollError::Dropped {
+                            round: r,
+                            peer: dest,
+                        });
+                    }
+                    // Budget spent but the fault is transient: the network
+                    // healed — force delivery below.
+                } else {
+                    return Ok(false);
+                }
+            }
+            let delay = plan.send_delay_for(src_w);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
+        let block = self.send_blocks[dest].take().expect("block sent twice");
+        comm.world.mailboxes[comm.world_rank(dest)].push(Msg {
+            src: self.rank,
+            tag: encode_tag(comm.ctx, Kind::Nbc, self.round_tag(r)),
+            data: Box::new(block),
+        });
+        self.send_attempts = 0;
+        Ok(true)
+    }
+
+    /// Advances as many rounds as currently possible. Returns `Ok(true)`
+    /// when the collective has completed; fault errors are sticky.
+    fn progress(&mut self, comm: &Comm) -> Result<bool, CollError> {
+        if let Some(e) = self.failed {
+            return Err(e);
+        }
         let p = self.size;
         while self.round < p {
             let r = self.round;
             if self.sent == r {
                 let dest = (self.rank + r) % p;
-                let block = self.send_blocks[dest].take().expect("block sent twice");
                 if dest == self.rank {
-                    // Self block: copy directly.
+                    // Self block: copy directly, immune to faults.
+                    let block = self.send_blocks[dest].take().expect("block sent twice");
                     let off = self.recv_displs[self.rank];
                     self.recv[off..off + block.len()].clone_from_slice(&block);
                     self.sent = r + 1;
                     self.round = r + 1;
                     continue;
                 }
-                comm.world.mailboxes[comm.world_rank(dest)].push(Msg {
-                    src: self.rank,
-                    tag: encode_tag(comm.ctx, Kind::Nbc, self.round_tag(r)),
-                    data: Box::new(block),
-                });
-                self.sent = r + 1;
+                match self.post_send(comm, r, dest) {
+                    Ok(true) => self.sent = r + 1,
+                    Ok(false) => return Ok(false),
+                    Err(e) => {
+                        self.failed = Some(e);
+                        return Err(e);
+                    }
+                }
             }
             let src = (self.rank + p - r) % p;
             debug_assert_ne!(src, self.rank, "self round handled above");
             let tag = encode_tag(comm.ctx, Kind::Nbc, self.round_tag(r));
             match comm.my_mailbox().try_take(src, tag) {
                 Some(msg) => {
+                    let plan = comm.faults();
+                    if plan.is_active() && !plan.recv_delay.is_zero() {
+                        std::thread::sleep(plan.recv_delay);
+                    }
                     let block = *msg
                         .data
                         .downcast::<Vec<T>>()
@@ -163,14 +279,26 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
                     self.recv[off..off + block.len()].clone_from_slice(&block);
                     self.round = r + 1;
                 }
-                None => return false,
+                None => return Ok(false),
             }
         }
-        true
+        Ok(true)
     }
 
     /// One `MPI_Test`: makes progress and reports completion.
+    ///
+    /// # Panics
+    /// On a fault-plan error (exhausted retransmit budget); use
+    /// [`Self::try_test`] for the typed error path.
     pub fn test(&mut self, comm: &Comm) -> bool {
+        self.tests += 1;
+        self.progress(comm)
+            .unwrap_or_else(|e| panic!("all-to-all failed: {e}"))
+    }
+
+    /// Fallible `MPI_Test`: makes progress and reports completion, or the
+    /// typed fault error.
+    pub fn try_test(&mut self, comm: &Comm) -> Result<bool, CollError> {
         self.tests += 1;
         self.progress(comm)
     }
@@ -200,11 +328,48 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
 
     /// `MPI_Wait`: progresses (blocking between arrivals) until completion,
     /// then returns the receive buffer (per-source blocks in rank order).
+    ///
+    /// # Panics
+    /// On a fault-plan error; use [`Self::wait_timeout`] for the typed
+    /// error path.
     pub fn wait(mut self, comm: &Comm) -> Vec<T> {
-        while !self.progress(comm) {
+        loop {
+            match self.progress(comm) {
+                Ok(true) => return self.recv,
+                Ok(false) => comm.my_mailbox().park_for_arrival(),
+                Err(e) => panic!("all-to-all failed: {e}"),
+            }
+        }
+    }
+
+    /// `MPI_Wait` with a stall watchdog: progresses until completion, but if
+    /// the round schedule advances by nothing for `timeout`, returns
+    /// [`CollError::Stalled`] naming the first incomplete round and the peer
+    /// it is missing. On success the receive buffer is available via
+    /// [`Self::take_recv`]; on error the request stays alive for a retry (a
+    /// later `wait_timeout` grants a fresh watchdog period) or for
+    /// [`Self::cancel`].
+    ///
+    /// Detection latency is `timeout` plus one mailbox park slice (≤ 50 ms).
+    pub fn wait_timeout(&mut self, comm: &Comm, timeout: Duration) -> Result<(), CollError> {
+        let mut last_progress = Instant::now();
+        let mut last_round = self.round;
+        loop {
+            if self.progress(comm)? {
+                return Ok(());
+            }
+            if self.round > last_round {
+                last_round = self.round;
+                last_progress = Instant::now();
+            } else if last_progress.elapsed() >= timeout {
+                let peer = (self.rank + self.size - self.round) % self.size;
+                return Err(CollError::Stalled {
+                    round: self.round,
+                    peer,
+                });
+            }
             comm.my_mailbox().park_for_arrival();
         }
-        self.recv
     }
 
     /// Takes the receive buffer out of a completed request.
@@ -214,6 +379,22 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
     pub fn take_recv(self) -> Vec<T> {
         assert!(self.is_complete(), "take_recv on an incomplete all-to-all");
         self.recv
+    }
+
+    /// Cancels an incomplete collective, purging every round message of this
+    /// operation still queued in this rank's mailbox. Without this, dropping
+    /// an in-flight request leaks its staged blocks in peers' queues for the
+    /// lifetime of the world. Cancellation is collective: each rank reclaims
+    /// the messages addressed to *it*, so all members must cancel (or
+    /// complete) for the world to quiesce. Returns the number of messages
+    /// reclaimed here.
+    pub fn cancel(self, comm: &Comm) -> usize {
+        let mut purged = 0;
+        for r in 0..self.size {
+            let tag = encode_tag(comm.ctx, Kind::Nbc, self.round_tag(r));
+            purged += comm.my_mailbox().purge(|m| m.tag == tag);
+        }
+        purged
     }
 }
 
@@ -244,7 +425,9 @@ impl Comm {
 
 #[cfg(test)]
 mod tests {
-    use crate::run;
+    use super::CollError;
+    use crate::{run, run_with_faults, FaultPlan};
+    use std::time::Duration;
 
     #[test]
     fn ialltoall_permutes_blocks() {
@@ -422,6 +605,138 @@ mod tests {
                 let _ = comm
                     .ialltoallv(&send, &[3, 3], &[3, 3], vec![0u8; 6])
                     .wait(&comm);
+            }
+        });
+    }
+
+    #[test]
+    fn transient_drops_retransmit_to_completion() {
+        // A lossy but healing network: every collective still delivers the
+        // exact permuted blocks, via seeded drops and bounded retransmit.
+        let p = 4;
+        let plan = FaultPlan::seeded(11).with_drops(0.4, 8);
+        run_with_faults(p, plan, move |comm| {
+            let me = comm.rank();
+            let send: Vec<i64> = (0..p).map(|d| (me * 10 + d) as i64).collect();
+            let out = comm.ialltoall(&send, 1, vec![0i64; p]).wait(&comm);
+            for (s, &v) in out.iter().enumerate() {
+                assert_eq!(v, (s * 10 + me) as i64);
+            }
+        });
+    }
+
+    #[test]
+    fn exhausted_fatal_budget_surfaces_dropped() {
+        // Near-certain drops with a tiny budget and fail_after_budget: the
+        // typed error must name a Dropped round, and it must be sticky.
+        let p = 2;
+        let plan = FaultPlan::seeded(3).with_fatal_drops(0.999, 1);
+        let results = run_with_faults(p, plan, move |comm| {
+            let send = vec![comm.rank() as i32; p];
+            let mut req = comm.ialltoall(&send, 1, vec![0i32; p]);
+            // wait_timeout bounds the run even if one direction's seeded
+            // draws were to deliver: that rank would then stall (its peer's
+            // send was dropped) rather than hang.
+            let err = req
+                .wait_timeout(&comm, Duration::from_secs(2))
+                .expect_err("drops at p≈1 cannot complete");
+            // Sticky: the same error re-reports.
+            assert_eq!(req.try_test(&comm), Err(err));
+            req.cancel(&comm);
+            err
+        });
+        assert!(
+            results
+                .iter()
+                .all(|e| matches!(e, CollError::Dropped { .. })),
+            "{results:?}"
+        );
+    }
+
+    #[test]
+    fn blackholed_peer_trips_the_watchdog() {
+        // All of rank 1's non-self sends vanish while it believes they were
+        // delivered. Under manual progression the stall cascades around the
+        // ring — a rank stuck waiting on rank 1 withholds its own
+        // later-round sends, starving even rank 1 itself — so every rank's
+        // wait_timeout must surface Stalled within the watchdog period
+        // instead of hanging. The watchdog names the *immediate* missing
+        // peer, which for most ranks is an intermediate victim rather than
+        // the blackholed origin.
+        let p = 4;
+        let plan = FaultPlan::none().with_blackhole(1, 0);
+        let results = run_with_faults(p, plan, move |comm| {
+            let me = comm.rank();
+            let send: Vec<i32> = (0..p).map(|d| (me * 10 + d) as i32).collect();
+            let mut req = comm.ialltoall(&send, 1, vec![0i32; p]);
+            let out = req.wait_timeout(&comm, Duration::from_millis(150));
+            req.cancel(&comm);
+            out
+        });
+        for (rank, r) in results.iter().enumerate() {
+            assert!(
+                matches!(r, Err(CollError::Stalled { .. })),
+                "rank {rank}: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wait_timeout_succeeds_on_a_healthy_network() {
+        let p = 3;
+        run(p, move |comm| {
+            let me = comm.rank();
+            let send: Vec<i32> = (0..p).map(|d| (me + d) as i32).collect();
+            let mut req = comm.ialltoall(&send, 1, vec![0i32; p]);
+            req.wait_timeout(&comm, Duration::from_secs(5))
+                .expect("healthy network must complete");
+            let out = req.take_recv();
+            for (s, &v) in out.iter().enumerate() {
+                assert_eq!(v, (s + me) as i32);
+            }
+        });
+    }
+
+    #[test]
+    fn cancel_reclaims_staged_rounds() {
+        // Regression: dropping an incomplete collective used to leak its
+        // already-posted round sends in peers' mailboxes forever. After a
+        // collective cancel, every mailbox must be empty again.
+        let p = 4;
+        run(p, move |comm| {
+            let send: Vec<u64> = (0..p).map(|d| d as u64).collect();
+            // Post, progress a little, then abandon without completing.
+            let mut req = comm.ialltoall(&send, 1, vec![0u64; p]);
+            let _ = req.test(&comm);
+            // Every send of this collective happens inside the post or the
+            // test above, so after the barrier no new pushes occur and a
+            // single purge per rank reclaims everything.
+            comm.barrier();
+            req.cancel(&comm);
+            comm.barrier();
+            assert_eq!(
+                comm.pending_messages(),
+                0,
+                "rank {} leaked staged messages",
+                comm.rank()
+            );
+        });
+    }
+
+    #[test]
+    fn straggler_send_delay_slows_but_completes() {
+        let p = 3;
+        let plan = FaultPlan::none().with_straggler_spec(faultplan::Straggler {
+            rank: 0,
+            compute_factor: 1.0,
+            send_delay: Duration::from_millis(5),
+        });
+        run_with_faults(p, plan, move |comm| {
+            let me = comm.rank();
+            let send: Vec<i32> = (0..p).map(|d| (me * 10 + d) as i32).collect();
+            let out = comm.ialltoall(&send, 1, vec![0i32; p]).wait(&comm);
+            for (s, &v) in out.iter().enumerate() {
+                assert_eq!(v, (s * 10 + me) as i32);
             }
         });
     }

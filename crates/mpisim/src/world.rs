@@ -4,6 +4,7 @@
 //! per rank (tag/source-matched message queues), a generation-counted
 //! barrier, and the bookkeeping used by communicator `split`.
 
+use faultplan::FaultPlan;
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::HashMap;
@@ -98,9 +99,18 @@ impl Mailbox {
     }
 
     /// Number of queued messages (diagnostics).
-    #[cfg_attr(not(test), allow(dead_code))]
     pub fn len(&self) -> usize {
         self.queue.lock().len()
+    }
+
+    /// Removes every queued message matching `pred`; returns how many were
+    /// removed. Used by `IAlltoall::cancel` to reclaim staged rounds of an
+    /// abandoned collective.
+    pub fn purge<F: Fn(&Msg) -> bool>(&self, pred: F) -> usize {
+        let mut q = self.queue.lock();
+        let before = q.len();
+        q.retain(|m| !pred(m));
+        before - q.len()
     }
 }
 
@@ -184,17 +194,21 @@ pub(crate) struct World {
     pub size: usize,
     pub mailboxes: Vec<Mailbox>,
     pub split_table: SplitTable,
+    /// Faults to inject into this run's collectives (the empty plan for
+    /// worlds launched via [`crate::run`]).
+    pub faults: Arc<FaultPlan>,
     aborted: Arc<AtomicBool>,
 }
 
 impl World {
-    pub fn new(size: usize) -> Arc<Self> {
+    pub fn new(size: usize, faults: FaultPlan) -> Arc<Self> {
         assert!(size >= 1, "world size must be ≥ 1");
         let aborted = Arc::new(AtomicBool::new(false));
         Arc::new(World {
             size,
             mailboxes: (0..size).map(|_| Mailbox::new(aborted.clone())).collect(),
             split_table: SplitTable::new(),
+            faults: Arc::new(faults),
             aborted,
         })
     }

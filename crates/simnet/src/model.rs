@@ -14,6 +14,7 @@
 //! (see `crates/bench/src/bin/calibrate.rs`); shapes are emergent.
 
 use crate::time::SimTime;
+use faultplan::FaultPlan;
 
 /// Bytes per complex-double element.
 pub const ELEM_BYTES: u64 = 16;
@@ -222,6 +223,11 @@ pub struct Platform {
     /// (OS jitter, cache conflicts). Zero by default; the paper's
     /// best-of-25 methodology (§5.2.1) exists to cope with this term.
     pub jitter: f64,
+    /// Faults to inject: straggler ranks scale their compute phases by the
+    /// plan's per-rank factor, and degraded links scale every all-to-all
+    /// round. The simulator interprets only the plan's cost-model terms —
+    /// drops and blackholes are the real runtime's (mpisim's) department.
+    pub faults: FaultPlan,
 }
 
 impl Platform {
@@ -229,6 +235,27 @@ impl Platform {
     pub fn with_jitter(mut self, jitter: f64) -> Self {
         assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
         self.jitter = jitter;
+        self
+    }
+
+    /// Returns the platform with a full fault plan installed.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Returns the platform with one straggler rank of the given
+    /// dimensionless severity: its compute phases run `1 + severity` times
+    /// slower, starving its peers' manual progression.
+    pub fn with_straggler(mut self, rank: usize, severity: f64) -> Self {
+        self.faults = self.faults.with_straggler(rank, severity);
+        self
+    }
+
+    /// Returns the platform with every all-to-all round slowed by
+    /// `factor ≥ 1` — a degraded interconnect preset.
+    pub fn with_degraded_links(mut self, factor: f64) -> Self {
+        self.faults = self.faults.with_degraded_links(factor);
         self
     }
 }
@@ -258,6 +285,7 @@ pub fn umd_cluster() -> Platform {
             t_test: 0.9e-6,
         },
         jitter: 0.0,
+        faults: FaultPlan::none(),
         net: NetModel {
             alpha: 8.5e-6,
             link_bw: 156e6,
@@ -295,6 +323,7 @@ pub fn hopper() -> Platform {
             t_test: 0.6e-6,
         },
         jitter: 0.0,
+        faults: FaultPlan::none(),
         net: NetModel {
             alpha: 1.6e-6,
             link_bw: 1.63e9,
@@ -393,6 +422,20 @@ mod tests {
         assert_eq!(by_name("umd").unwrap().name, "UMD-Cluster");
         assert_eq!(by_name("Hopper").unwrap().name, "Hopper");
         assert!(by_name("bluegene").is_none());
+    }
+
+    #[test]
+    fn fault_builders_compose() {
+        let p = umd_cluster()
+            .with_straggler(3, 2.0)
+            .with_degraded_links(1.5);
+        assert!(p.faults.is_active());
+        assert!((p.faults.compute_factor(3) - 3.0).abs() < 1e-12);
+        assert_eq!(p.faults.compute_factor(0), 1.0);
+        assert!((p.faults.link_factor() - 1.5).abs() < 1e-12);
+        // Presets start fault-free.
+        assert!(!umd_cluster().faults.is_active());
+        assert!(!hopper().faults.is_active());
     }
 
     #[test]

@@ -97,6 +97,25 @@ impl SimRank {
         }
     }
 
+    /// Fault-plan multiplier on this rank's compute phases (1.0 for
+    /// non-stragglers).
+    #[inline]
+    fn compute_factor(&self) -> f64 {
+        self.platform.faults.compute_factor(self.rank)
+    }
+
+    /// Duration of one round of `op`'s schedule at the current window
+    /// occupancy, stretched by the fault plan's link degradation.
+    fn faulted_round_time(&self, group: usize, shape: A2aShape) -> SimTime {
+        let rt = self.platform.net.round_time(group, shape, self.active);
+        let lf = self.platform.faults.link_factor();
+        if lf > 1.0 {
+            SimTime::from_secs_f64(rt.as_secs_f64() * lf)
+        } else {
+            rt
+        }
+    }
+
     /// Next noise factor in `[1 − jitter, 1 + jitter]` (1.0 when noise is
     /// disabled). Deterministic per rank and draw index.
     fn noise_factor(&mut self) -> f64 {
@@ -150,9 +169,10 @@ impl SimRank {
     }
 
     /// Spends `secs` of pure computation (no progression opportunities).
-    /// Subject to the platform's execution noise.
+    /// Subject to the platform's execution noise and the fault plan's
+    /// straggler factor for this rank.
     pub fn compute(&mut self, secs: f64) {
-        let f = self.noise_factor();
+        let f = self.noise_factor() * self.compute_factor();
         self.clock += SimTime::from_secs_f64(secs * f);
     }
 
@@ -244,7 +264,7 @@ impl SimRank {
     /// Returns the `t_test` overhead charged, so callers can account
     /// compute and Test time separately (Figure 8's breakdown).
     pub fn compute_with_polls(&mut self, secs: f64, polls: u32, ops: &[OpId]) -> SimTime {
-        let total = SimTime::from_secs_f64(secs * self.noise_factor());
+        let total = SimTime::from_secs_f64(secs * self.noise_factor() * self.compute_factor());
         if polls == 0 || ops.is_empty() {
             self.clock += total;
             return SimTime::ZERO;
@@ -296,7 +316,7 @@ impl SimRank {
         }
         while rd < rounds {
             let o = &self.ops[&seq];
-            let rt = self.platform.net.round_time(o.group, o.shape, self.active);
+            let rt = self.faulted_round_time(o.group, o.shape);
             t += rt;
             rd += 1;
         }
@@ -406,7 +426,7 @@ impl SimRank {
         // Start the next round at this progression opportunity.
         let rt = {
             let o = &self.ops[&seq];
-            self.platform.net.round_time(o.group, o.shape, self.active)
+            self.faulted_round_time(o.group, o.shape)
         };
         let o = self.ops.get_mut(&seq).expect("op exists");
         o.rounds_done = rd;
@@ -605,6 +625,79 @@ mod tests {
         for _ in 0..5 {
             assert_eq!(go(), a);
         }
+    }
+
+    #[test]
+    fn straggler_slows_itself_and_starves_its_peers() {
+        // Small messages: compute dominates, so the straggler's 4x compute
+        // stretch shows through undiluted by round time.
+        let p = 4;
+        let bytes = 1 << 16;
+        let body = |sim: &mut SimRank| {
+            sim.compute(0.01);
+            let op = sim.post_alltoall(bytes);
+            sim.compute_with_polls(0.005, 50, &[op]);
+            sim.wait(op);
+            sim.now()
+        };
+        let healthy = run_sim(umd_cluster(), p, move |sim| body(sim));
+        let faulted = run_sim(umd_cluster().with_straggler(2, 3.0), p, move |sim| {
+            body(sim)
+        });
+        // The straggler's own compute stretches 4x (0.015s → 0.06s)...
+        assert!(
+            faulted[2] > healthy[2] + SimTime::from_secs_f64(0.03),
+            "straggler: {} vs healthy {}",
+            faulted[2],
+            healthy[2]
+        );
+        // ...and its peers finish later too: the collective cannot become
+        // ready before the slowest poster arrives.
+        for r in [0, 1, 3] {
+            assert!(
+                faulted[r] > healthy[r],
+                "rank {r}: {} !> {}",
+                faulted[r],
+                healthy[r]
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_links_stretch_the_exchange() {
+        let p = 4;
+        let bytes = 1 << 20;
+        let body = |sim: &mut SimRank| {
+            let op = sim.post_alltoall(bytes);
+            sim.wait(op)
+        };
+        let healthy = run_sim(umd_cluster(), p, move |sim| body(sim))[0];
+        let degraded = run_sim(umd_cluster().with_degraded_links(2.0), p, move |sim| {
+            body(sim)
+        })[0];
+        // Round time is α + bytes/bw, all scaled by 2: the wait-dominated
+        // exchange takes nearly twice as long.
+        let ratio = degraded.as_secs_f64() / healthy.as_secs_f64();
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn faulted_runs_stay_deterministic() {
+        let plat = || {
+            umd_cluster()
+                .with_straggler(1, 2.5)
+                .with_degraded_links(1.7)
+        };
+        let go = || {
+            run_sim(plat(), 4, |sim| {
+                let op = sim.post_alltoall(200_000);
+                sim.compute_with_polls(0.004, 13, &[op]);
+                sim.wait(op);
+                sim.now()
+            })
+        };
+        let a = go();
+        assert_eq!(go(), a);
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Deterministic fault-injection scenarios across both backends, driven by
+//! a seeded [`FaultPlan`] (override the seed with `FFT3D_FAULT_SEED`).
+//!
+//! These are the acceptance tests for the degradation ladder:
+//! * a straggler-induced stall is detected by the watchdog and recovered —
+//!   the spectrum still matches the serial reference;
+//! * transiently dropped round sends are retransmitted to completion;
+//! * a hard stall (blackholed rank) surfaces as [`Error::Stalled`] on every
+//!   rank within the watchdog budget instead of hanging, and the cancelled
+//!   collectives leak no staged messages;
+//! * infeasible parameters come back as typed errors from the `try_` entry
+//!   points on both backends;
+//! * the simulated backend's fault presets slow the modeled run monotonically.
+
+use cfft::planner::Rigor;
+use cfft::Direction;
+use fft3d::real_env::{compare_with_serial, local_test_slab};
+use fft3d::serial::{fft3_serial, full_test_array};
+use fft3d::sim_env::fft3_simulated;
+use fft3d::{
+    try_fft3_dist, try_fft3_dist_traced, try_fft3_simulated, Error, NoopRecorder, ProblemSpec,
+    Resilience, TuningParams, Variant,
+};
+use mpisim::FaultPlan;
+use simnet::model::umd_cluster;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Seed for every fault plan in this file; CI sweeps a small matrix of
+/// values to shake out draw-dependent assumptions.
+fn fault_seed() -> u64 {
+    std::env::var("FFT3D_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+fn serial_reference(spec: &ProblemSpec) -> Arc<Vec<cfft::Complex64>> {
+    let mut reference = full_test_array(spec.nx, spec.ny, spec.nz);
+    fft3_serial(
+        &mut reference,
+        spec.nx,
+        spec.ny,
+        spec.nz,
+        Direction::Forward,
+    );
+    Arc::new(reference)
+}
+
+#[test]
+fn straggler_stall_recovers_and_matches_serial() {
+    let spec = ProblemSpec::cube(12, 4);
+    let params = TuningParams::seed(&spec);
+    let reference = serial_reference(&spec);
+
+    // Rank 1 delays every round send by 60 ms — far past the 15 ms
+    // watchdog, so peers' waits must trip, climb the ladder, and recover.
+    let plan = FaultPlan::seeded(fault_seed()).with_straggler(1, 30.0);
+    let res = Resilience {
+        stall_timeout: Some(Duration::from_millis(15)),
+        poll_boost: 4,
+        max_strikes: 8,
+    };
+    let results = mpisim::run_with_faults(spec.p, plan, move |comm| {
+        let input = local_test_slab(&spec, comm.rank());
+        let out = try_fft3_dist_traced(
+            &comm,
+            spec,
+            Variant::New,
+            params,
+            Direction::Forward,
+            Rigor::Estimate,
+            &input,
+            &res,
+            &mut NoopRecorder,
+        )
+        .unwrap_or_else(|e| panic!("rank {} failed to recover: {e}", comm.rank()));
+        let err = compare_with_serial(&spec, comm.rank(), &out, &reference);
+        (err, out.recovery)
+    });
+
+    let tol = 1e-9 * spec.len() as f64;
+    let mut stalls = 0;
+    for (rank, (err, recovery)) in results.iter().enumerate() {
+        assert!(
+            *err < tol,
+            "rank {rank}: spectrum error {err} after recovery"
+        );
+        stalls += recovery.stalls_detected;
+    }
+    assert!(
+        stalls > 0,
+        "a 60 ms send delay against a 15 ms watchdog must trip at least once"
+    );
+}
+
+#[test]
+fn transient_drops_retransmit_and_match_serial() {
+    let spec = ProblemSpec::cube(12, 4);
+    let params = TuningParams::seed(&spec);
+    let reference = serial_reference(&spec);
+
+    // A quarter of round sends drop (bounded retransmit, transient): the
+    // collective must retransmit its way to an exact spectrum.
+    let plan = FaultPlan::seeded(fault_seed()).with_drops(0.25, 8);
+    let res = Resilience::with_timeout(Duration::from_millis(500));
+    let results = mpisim::run_with_faults(spec.p, plan, move |comm| {
+        let input = local_test_slab(&spec, comm.rank());
+        let out = try_fft3_dist_traced(
+            &comm,
+            spec,
+            Variant::New,
+            params,
+            Direction::Forward,
+            Rigor::Estimate,
+            &input,
+            &res,
+            &mut NoopRecorder,
+        )
+        .unwrap_or_else(|e| panic!("rank {} failed: {e}", comm.rank()));
+        compare_with_serial(&spec, comm.rank(), &out, &reference)
+    });
+
+    let tol = 1e-9 * spec.len() as f64;
+    for (rank, err) in results.iter().enumerate() {
+        assert!(*err < tol, "rank {rank}: spectrum error {err}");
+    }
+}
+
+#[test]
+fn blackholed_rank_surfaces_stalled_not_a_hang() {
+    let spec = ProblemSpec::cube(12, 4);
+    let params = TuningParams::seed(&spec);
+
+    // Rank 1's sends vanish from round 1 on. Under manual progression the
+    // starvation cascades — a rank stuck on its missing round withholds its
+    // own later-round sends — so EVERY rank must surface a typed error
+    // (Stalled at its immediate missing peer), bounded by the strike
+    // budget, with all in-flight collectives cancelled.
+    let plan = FaultPlan::seeded(fault_seed()).with_blackhole(1, 0);
+    let res = Resilience {
+        stall_timeout: Some(Duration::from_millis(100)),
+        poll_boost: 4,
+        max_strikes: 2,
+    };
+    let started = Instant::now();
+    let results = mpisim::run_with_faults(spec.p, plan, move |comm| {
+        let input = local_test_slab(&spec, comm.rank());
+        let err = try_fft3_dist_traced(
+            &comm,
+            spec,
+            Variant::New,
+            params,
+            Direction::Forward,
+            Rigor::Estimate,
+            &input,
+            &res,
+            &mut NoopRecorder,
+        )
+        .map(|_| ())
+        .expect_err("a blackholed peer cannot produce a complete spectrum");
+        // Once every rank has erred (and cancelled), the world must hold no
+        // staged round blocks — the drop-mid-flight leak regression.
+        comm.barrier();
+        (err, comm.pending_messages())
+    });
+    let elapsed = started.elapsed();
+
+    for (rank, (err, pending)) in results.iter().enumerate() {
+        assert!(
+            matches!(err, Error::Stalled { .. }),
+            "rank {rank}: expected Stalled, got {err}"
+        );
+        assert_eq!(*pending, 0, "rank {rank}: staged messages leaked");
+    }
+    // Watchdog bound: each wait burns at most (strikes + 1) watchdog
+    // periods plus park slack; well under this generous ceiling. A hang
+    // would blow straight past it.
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "stall detection took {elapsed:?}"
+    );
+}
+
+#[test]
+fn fatal_drops_surface_typed_errors_on_every_rank() {
+    let spec = ProblemSpec::cube(12, 4);
+    let params = TuningParams::seed(&spec);
+
+    // Heavy fatal drops: a rank whose own send dies past the retransmit
+    // budget reports Dropped; a rank starved by a dead peer reports
+    // Stalled. Nobody hangs, nobody panics.
+    let plan = FaultPlan::seeded(fault_seed()).with_fatal_drops(0.9, 1);
+    let res = Resilience {
+        stall_timeout: Some(Duration::from_millis(150)),
+        poll_boost: 4,
+        max_strikes: 2,
+    };
+    let results = mpisim::run_with_faults(spec.p, plan, move |comm| {
+        let input = local_test_slab(&spec, comm.rank());
+        try_fft3_dist_traced(
+            &comm,
+            spec,
+            Variant::New,
+            params,
+            Direction::Forward,
+            Rigor::Estimate,
+            &input,
+            &res,
+            &mut NoopRecorder,
+        )
+        .map(|_| ())
+        .expect_err("0.9 fatal drop probability cannot complete")
+    });
+
+    for (rank, err) in results.iter().enumerate() {
+        assert!(
+            matches!(err, Error::Dropped { .. } | Error::Stalled { .. }),
+            "rank {rank}: unexpected error {err}"
+        );
+    }
+    assert!(
+        results.iter().any(|e| matches!(e, Error::Dropped { .. })),
+        "at least one rank's own send must exhaust the retransmit budget: {results:?}"
+    );
+}
+
+#[test]
+fn infeasible_parameters_surface_typed_errors_on_both_backends() {
+    // Real backend.
+    let spec = ProblemSpec::cube(8, 2);
+    let mut params = TuningParams::seed(&spec).without_overlap();
+    params.px = 0;
+    let errs = mpisim::run(spec.p, move |comm| {
+        let input = local_test_slab(&spec, comm.rank());
+        try_fft3_dist(
+            &comm,
+            spec,
+            Variant::New,
+            params,
+            Direction::Forward,
+            Rigor::Estimate,
+            &input,
+        )
+        .map(|_| ())
+        .unwrap_err()
+    });
+    for err in errs {
+        assert!(matches!(err, Error::InfeasibleParams(_)), "{err}");
+    }
+
+    // Simulated backend.
+    let spec = ProblemSpec::cube(64, 8);
+    let mut params = TuningParams::seed(&spec);
+    params.w = spec.nz; // window larger than the tile count
+    let err = try_fft3_simulated(umd_cluster(), spec, Variant::New, params, false)
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, Error::InfeasibleParams(_)), "{err}");
+}
+
+#[test]
+fn simulated_fault_presets_slow_the_modeled_run() {
+    let spec = ProblemSpec::cube(128, 8);
+    let params = TuningParams::seed(&spec);
+    let clean = fft3_simulated(umd_cluster(), spec, Variant::New, params, false).time;
+
+    let mild = fft3_simulated(
+        umd_cluster().with_straggler(3, 1.0),
+        spec,
+        Variant::New,
+        params,
+        false,
+    )
+    .time;
+    let severe = fft3_simulated(
+        umd_cluster().with_straggler(3, 4.0),
+        spec,
+        Variant::New,
+        params,
+        false,
+    )
+    .time;
+    assert!(mild > clean, "straggler must cost time: {mild} vs {clean}");
+    assert!(
+        severe > mild,
+        "severity must be monotone: {severe} vs {mild}"
+    );
+
+    let degraded = fft3_simulated(
+        umd_cluster().with_degraded_links(2.0),
+        spec,
+        Variant::New,
+        params,
+        false,
+    )
+    .time;
+    assert!(
+        degraded > clean,
+        "halved link bandwidth must cost time: {degraded} vs {clean}"
+    );
+}
+
+#[test]
+fn faulted_runs_are_deterministic_for_a_fixed_seed() {
+    let spec = ProblemSpec::cube(12, 4);
+    let params = TuningParams::seed(&spec);
+    let reference = serial_reference(&spec);
+
+    // Two runs under the same seeded drop plan produce identical spectra —
+    // the retransmit path is a pure function of the plan, not of timing.
+    let run = |seed: u64| {
+        let reference = Arc::clone(&reference);
+        let plan = FaultPlan::seeded(seed).with_drops(0.3, 8);
+        mpisim::run_with_faults(spec.p, plan, move |comm| {
+            let input = local_test_slab(&spec, comm.rank());
+            let out = try_fft3_dist_traced(
+                &comm,
+                spec,
+                Variant::New,
+                params,
+                Direction::Forward,
+                Rigor::Estimate,
+                &input,
+                &Resilience::with_timeout(Duration::from_millis(500)),
+                &mut NoopRecorder,
+            )
+            .unwrap_or_else(|e| panic!("rank {} failed: {e}", comm.rank()));
+            let err = compare_with_serial(&spec, comm.rank(), &out, &reference);
+            (err, out.data)
+        })
+    };
+    let a = run(fault_seed());
+    let b = run(fault_seed());
+    let tol = 1e-9 * spec.len() as f64;
+    for (rank, ((ea, da), (eb, db))) in a.iter().zip(b.iter()).enumerate() {
+        assert!(*ea < tol && *eb < tol, "rank {rank}: {ea} / {eb}");
+        assert_eq!(da, db, "rank {rank}: spectra differ between identical runs");
+    }
+}
