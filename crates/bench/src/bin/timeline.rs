@@ -54,7 +54,11 @@ fn render_gantt(events: &[TraceEvent], total: f64) {
             Some(t) => format!("{} t{}", ev.kind.label(), t),
             None => ev.kind.label().to_string(),
         };
-        println!("{:<16} |{}|", label, String::from_utf8(row).unwrap());
+        println!(
+            "{:<16} |{}|",
+            label,
+            String::from_utf8(row).expect("glyph rows are ASCII")
+        );
     }
 }
 

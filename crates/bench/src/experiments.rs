@@ -189,8 +189,9 @@ pub fn run_fig9(umd: &[CellResult], hopper: &[CellResult]) -> Vec<Fig9Row> {
 /// Renders the Figure 9 rows.
 pub fn render_fig9(rows: &[Fig9Row]) -> String {
     let mut s = String::new();
-    writeln!(s, "| plat | p | N | NEW× | CROSS× | native/cross |").unwrap();
-    writeln!(s, "|---|---|---|---|---|---|").unwrap();
+    writeln!(s, "| plat | p | N | NEW× | CROSS× | native/cross |")
+        .expect("write to String cannot fail");
+    writeln!(s, "|---|---|---|---|---|---|").expect("write to String cannot fail");
     for r in rows {
         writeln!(
             s,
@@ -202,7 +203,7 @@ pub fn render_fig9(rows: &[Fig9Row]) -> String {
             r.fftw / r.cross,
             r.cross / r.native
         )
-        .unwrap();
+        .expect("write to String cannot fail");
     }
     s
 }
@@ -217,7 +218,7 @@ pub fn render_fig5(f: &Fig5Result) -> String {
         s,
         "200 random configurations (UMD model, p = 16, N = 256³, FFTz/Transpose excluded):"
     )
-    .unwrap();
+    .expect("write to String cannot fail");
     writeln!(
         s,
         "min {:.3}s, median {:.3}s, max {:.3}s — spread {spread:.2}× (paper: ≈3×, 0.16–0.48s)\n",
@@ -225,22 +226,23 @@ pub fn render_fig5(f: &Fig5Result) -> String {
         sorted[sorted.len() / 2],
         sorted[sorted.len() - 1]
     )
-    .unwrap();
+    .expect("write to String cannot fail");
     s.push_str(&report::render_cdf(&f.random_times, 12));
     writeln!(
         s,
         "\nNelder–Mead: best {:.3}s at percentile {:.1} of the random distribution, {} executions",
         f.nm_best, f.nm_percentile, f.nm_evals
     )
-    .unwrap();
+    .expect("write to String cannot fail");
     match f.nm_evals_to_p1 {
         Some(k) => writeln!(
             s,
             "NM reached the 1st percentile after {k} executed configurations \
              (paper: 35; random search would need ≈ 100 for 63 % confidence)"
         )
-        .unwrap(),
-        None => writeln!(s, "NM did not reach the random 1st percentile").unwrap(),
+        .expect("write to String cannot fail"),
+        None => writeln!(s, "NM did not reach the random 1st percentile")
+            .expect("write to String cannot fail"),
     }
     s
 }

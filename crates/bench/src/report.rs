@@ -29,8 +29,9 @@ pub fn render_table2(cells: &[CellResult]) -> String {
         s,
         "| plat | p | N | FFTW paper | FFTW sim | NEW paper | NEW sim | TH paper | TH sim | NEW× paper | NEW× sim | TH× paper | TH× sim |"
     )
-    .unwrap();
-    writeln!(s, "|---|---|---|---|---|---|---|---|---|---|---|---|---|").unwrap();
+    .expect("write to String cannot fail");
+    writeln!(s, "|---|---|---|---|---|---|---|---|---|---|---|---|---|")
+        .expect("write to String cannot fail");
     for c in cells {
         let (fp, np, tp) =
             paper_table2(c.platform, c.p, c.n).unwrap_or((f64::NAN, f64::NAN, f64::NAN));
@@ -51,7 +52,7 @@ pub fn render_table2(cells: &[CellResult]) -> String {
             fp / tp,
             c.speedup_th(),
         )
-        .unwrap();
+        .expect("write to String cannot fail");
     }
     s
 }
@@ -63,12 +64,12 @@ pub fn render_table3(cells: &[CellResult]) -> String {
         s,
         "| plat | p | N | src | T | W | Px | Pz | Uy | Uz | Fy | Fp | Fu | Fx |"
     )
-    .unwrap();
+    .expect("write to String cannot fail");
     writeln!(
         s,
         "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|"
     )
-    .unwrap();
+    .expect("write to String cannot fail");
     for c in cells {
         if let Some(&(_, _, _, v)) = paper::TABLE3
             .iter()
@@ -79,7 +80,7 @@ pub fn render_table3(cells: &[CellResult]) -> String {
                 "| {} | {} | {}³ | paper | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
                 c.platform, c.p, c.n, v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7], v[8], v[9]
             )
-            .unwrap();
+            .expect("write to String cannot fail");
         }
         let q = &c.new_params;
         writeln!(
@@ -87,7 +88,7 @@ pub fn render_table3(cells: &[CellResult]) -> String {
             "| {} | {} | {}³ | sim | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             c.platform, c.p, c.n, q.t, q.w, q.px, q.pz, q.uy, q.uz, q.fy, q.fp, q.fu, q.fx
         )
-        .unwrap();
+        .expect("write to String cannot fail");
     }
     s
 }
@@ -99,8 +100,9 @@ pub fn render_table4(cells: &[CellResult]) -> String {
         s,
         "| plat | p | N | FFTW paper | FFTW sim | NEW paper | NEW sim | TH paper | TH sim | NEW evals | TH evals |"
     )
-    .unwrap();
-    writeln!(s, "|---|---|---|---|---|---|---|---|---|---|---|").unwrap();
+    .expect("write to String cannot fail");
+    writeln!(s, "|---|---|---|---|---|---|---|---|---|---|---|")
+        .expect("write to String cannot fail");
     for c in cells {
         let (fp, np, tp) =
             paper_table4(c.platform, c.p, c.n).unwrap_or((f64::NAN, f64::NAN, f64::NAN));
@@ -119,7 +121,7 @@ pub fn render_table4(cells: &[CellResult]) -> String {
             c.new_evals,
             c.th_evals
         )
-        .unwrap();
+        .expect("write to String cannot fail");
     }
     s
 }
@@ -134,9 +136,9 @@ pub fn render_fig8_panel(
     th0: &StepTimes,
 ) -> String {
     let mut s = String::new();
-    writeln!(s, "### {title}").unwrap();
-    writeln!(s, "| step | NEW | NEW-0 | TH | TH-0 |").unwrap();
-    writeln!(s, "|---|---|---|---|---|").unwrap();
+    writeln!(s, "### {title}").expect("write to String cannot fail");
+    writeln!(s, "| step | NEW | NEW-0 | TH | TH-0 |").expect("write to String cannot fail");
+    writeln!(s, "|---|---|---|---|---|").expect("write to String cannot fail");
     let (en, e0, et, et0) = (new.entries(), new0.entries(), th.entries(), th0.entries());
     for i in 0..en.len() {
         writeln!(
@@ -144,7 +146,7 @@ pub fn render_fig8_panel(
             "| {} | {:.3} | {:.3} | {:.3} | {:.3} |",
             en[i].0, en[i].1, e0[i].1, et[i].1, et0[i].1
         )
-        .unwrap();
+        .expect("write to String cannot fail");
     }
     writeln!(
         s,
@@ -154,7 +156,7 @@ pub fn render_fig8_panel(
         th.total(),
         th0.total()
     )
-    .unwrap();
+    .expect("write to String cannot fail");
     s
 }
 
@@ -166,8 +168,8 @@ pub fn render_overlap(rank: usize, s: &fft3d::OverlapSummary) -> String {
         out,
         "| rank | in-flight (s) | covered (s) | coverage | wait stall (s) | tests | tests/tile |"
     )
-    .unwrap();
-    writeln!(out, "|---|---|---|---|---|---|---|").unwrap();
+    .expect("write to String cannot fail");
+    writeln!(out, "|---|---|---|---|---|---|---|").expect("write to String cannot fail");
     writeln!(
         out,
         "| {} | {:.4} | {:.4} | {:.1} % | {:.4} | {} | {:.1} |",
@@ -179,7 +181,7 @@ pub fn render_overlap(rank: usize, s: &fft3d::OverlapSummary) -> String {
         s.tests,
         s.tests_per_tile
     )
-    .unwrap();
+    .expect("write to String cannot fail");
     out
 }
 
@@ -189,12 +191,12 @@ pub fn render_cdf(values: &[f64], bins: usize) -> String {
     sorted.sort_by(f64::total_cmp);
     let (lo, hi) = (sorted[0], sorted[sorted.len() - 1]);
     let mut s = String::new();
-    writeln!(s, "| time (s) | cumulative fraction |").unwrap();
-    writeln!(s, "|---|---|").unwrap();
+    writeln!(s, "| time (s) | cumulative fraction |").expect("write to String cannot fail");
+    writeln!(s, "|---|---|").expect("write to String cannot fail");
     for b in 0..=bins {
         let x = lo + (hi - lo) * b as f64 / bins as f64;
         let frac = sorted.iter().filter(|&&v| v <= x).count() as f64 / sorted.len() as f64;
-        writeln!(s, "| {x:.3} | {frac:.3} |").unwrap();
+        writeln!(s, "| {x:.3} | {frac:.3} |").expect("write to String cannot fail");
     }
     s
 }

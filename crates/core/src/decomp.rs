@@ -55,7 +55,10 @@ impl AxisSplit {
 
     /// The rank owning plane `i`.
     pub fn owner(&self, i: usize) -> usize {
-        debug_assert!(i < self.offsets.last().unwrap() + self.counts.last().unwrap());
+        debug_assert!(
+            i < self.offsets.last().copied().unwrap_or(0)
+                + self.counts.last().copied().unwrap_or(0)
+        );
         // Counts are non-increasing, so a linear scan from the estimated
         // position is exact; p is small enough that binary search wins
         // nothing.

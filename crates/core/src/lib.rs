@@ -38,6 +38,9 @@
 
 // `x % n == 0` keeps the stated MSRV (1.85); `is_multiple_of` needs 1.87.
 #![allow(clippy::manual_is_multiple_of)]
+// Error-path hygiene (same policy as mpisim): non-test code surfaces typed
+// errors or panics with a diagnostic `expect`, never a bare `.unwrap()`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod breakdown;
 pub mod decomp;
 pub mod error;

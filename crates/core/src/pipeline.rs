@@ -55,12 +55,24 @@ pub trait OverlapEnv {
     /// Degradation hook: raise the `F*` polling frequencies (called at most
     /// once per run, on the ladder's first rung). Default: no-op.
     fn boost_polls(&mut self) {}
+    /// Degradation hook: grow the watchdog period before the next retry. A
+    /// stall that survives a rung climb is usually contention (a straggler,
+    /// a congested window), not a dead peer, so each strike grants the next
+    /// attempt more room; a truly wedged exchange still surfaces within the
+    /// (geometrically bounded) strike budget. Default: no-op.
+    fn escalate_watchdog(&mut self) {}
     /// Degradation hook: the driver took `action` while waiting on `tile`.
     /// Backends surface this in their trace stream. Default: no-op.
     fn on_degrade(&mut self, _tile: usize, _action: DegradeAction) {}
     /// Disposes a request that will never be waited (the driver's error
     /// path). Backends reclaim whatever the exchange staged. Default: drop.
     fn cancel(&mut self, _tile: usize, _req: Self::Req) {}
+    /// Cooperative scheduling point, called by the drivers once per tile
+    /// iteration. Backends with a runtime scheduler (mpisim's checked mode)
+    /// hook this to release deferred message deliveries at deterministic
+    /// points in the pipeline's program order; others leave the no-op
+    /// default.
+    fn sched_point(&mut self) {}
 }
 
 /// Stall-handling policy for the resilient drivers.
@@ -74,8 +86,9 @@ pub struct Resilience {
     /// first rung.
     pub poll_boost: u32,
     /// Stalls tolerated per wait before the driver gives up on it. Each
-    /// strike grants the wait another `stall_timeout` of grace, so a wait
-    /// is bounded by `(max_strikes + 1) · stall_timeout`.
+    /// strike grants the wait another watchdog period, doubled per strike
+    /// (see [`OverlapEnv::escalate_watchdog`]), so a wait is bounded by
+    /// `(2^(max_strikes + 1) − 1) · stall_timeout`.
     pub max_strikes: u32,
 }
 
@@ -158,6 +171,7 @@ impl<'a> Ladder<'a> {
                 Err((r, Error::Stalled { .. })) if strikes < self.res.max_strikes => {
                     strikes += 1;
                     self.recovery.stalls_detected += 1;
+                    env.escalate_watchdog();
                     if self.rung < 3 {
                         let action = [
                             DegradeAction::BoostPolls,
@@ -232,6 +246,7 @@ pub fn try_run_new<E: OverlapEnv>(env: &mut E, res: &Resilience) -> Result<Recov
 
     if w == 0 {
         for i in 0..k {
+            env.sched_point();
             env.ffty_pack(i, &mut [])?;
             let req = env.post_a2a(i);
             ladder.wait_recover(env, i, req)?;
@@ -258,6 +273,7 @@ fn drive_new<E: OverlapEnv>(
     inflight: &mut Vec<(usize, E::Req)>,
 ) -> Result<(), Error> {
     for np in 0..k {
+        env.sched_point();
         env.ffty_pack(np, inflight)?;
         if ladder.recovery.fell_back && inflight.is_empty() {
             // Fallback rung: blocking exchange per tile, no overlap.
@@ -326,6 +342,7 @@ pub fn try_run_th<E: OverlapEnv>(env: &mut E, res: &Resilience) -> Result<Recove
 
     if w == 0 {
         for i in 0..k {
+            env.sched_point();
             env.ffty_pack(i, &mut [])?;
             let req = env.post_a2a(i);
             ladder.wait_recover(env, i, req)?;
@@ -350,6 +367,7 @@ fn drive_th<E: OverlapEnv>(
     inflight: &mut Vec<(usize, E::Req)>,
 ) -> Result<(), Error> {
     for np in 0..k {
+        env.sched_point();
         env.ffty_pack(np, inflight)?;
         let need = if ladder.recovery.fell_back {
             inflight.len()

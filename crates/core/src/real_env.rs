@@ -588,6 +588,17 @@ impl<'a> OverlapEnv for RealEnv<'a> {
         Ok(())
     }
 
+    fn escalate_watchdog(&mut self) {
+        // Doubling per strike keeps a dead peer's detection time
+        // geometrically bounded while giving a straggler-induced stall
+        // enough grace to drain (the strike budget alone is too tight once
+        // the mailbox parks back off from microseconds instead of a fixed
+        // 50 ms slice).
+        if let Some(t) = self.stall_timeout.as_mut() {
+            *t = t.saturating_mul(2).min(Duration::from_secs(5));
+        }
+    }
+
     fn boost_polls(&mut self) {
         if self.boosted {
             return;
@@ -609,6 +620,12 @@ impl<'a> OverlapEnv for RealEnv<'a> {
         // Reclaim whatever the abandoned exchange staged in this rank's
         // mailbox so nothing leaks past the error path.
         req.cancel(self.comm);
+    }
+
+    fn sched_point(&mut self) {
+        // Give mpisim's virtual scheduler (checked runs) a deterministic
+        // release point once per tile; free outside checked runs.
+        self.comm.progress_hint();
     }
 }
 

@@ -401,21 +401,21 @@ fn write_event_json(s: &mut String, ev: &TraceEvent) {
         json_f64(ev.start),
         json_f64(ev.end)
     )
-    .unwrap();
+    .expect("write to String cannot fail");
     if let Some(t) = tile {
-        write!(s, ",\"tile\":{t}").unwrap();
+        write!(s, ",\"tile\":{t}").expect("write to String cannot fail");
     }
     if let Some(st) = subtile {
-        write!(s, ",\"subtile\":{st}").unwrap();
+        write!(s, ",\"subtile\":{st}").expect("write to String cannot fail");
     }
     if let Some(b) = bytes {
-        write!(s, ",\"bytes\":{b}").unwrap();
+        write!(s, ",\"bytes\":{b}").expect("write to String cannot fail");
     }
     if let Some(c) = completed {
-        write!(s, ",\"completed\":{c}").unwrap();
+        write!(s, ",\"completed\":{c}").expect("write to String cannot fail");
     }
     if let Some(a) = action {
-        write!(s, ",\"action\":\"{}\"", a.label()).unwrap();
+        write!(s, ",\"action\":\"{}\"", a.label()).expect("write to String cannot fail");
     }
     s.push('}');
 }
@@ -429,7 +429,7 @@ pub fn trace_to_json(per_rank: &[Vec<TraceEvent>]) -> String {
         if rank > 0 {
             s.push(',');
         }
-        write!(s, "{{\"rank\":{rank},\"summary\":").unwrap();
+        write!(s, "{{\"rank\":{rank},\"summary\":").expect("write to String cannot fail");
         s.push_str(&overlap_summary(events).to_json());
         s.push_str(",\"events\":[");
         for (i, ev) in events.iter().enumerate() {

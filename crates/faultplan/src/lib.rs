@@ -21,6 +21,10 @@
 //! is exactly repeatable — the property the chaos sweeps and CI fault
 //! matrix rely on.
 
+// Error-path hygiene shared with the runtime crates: typed errors or
+// diagnostic `expect`s, never a bare `.unwrap()` outside tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use std::time::Duration;
 
 /// A rank that runs slower than its peers.
@@ -251,16 +255,22 @@ impl FaultPlan {
     }
 }
 
-/// SplitMix64 finalizer.
-fn mix(mut z: u64) -> u64 {
+/// SplitMix64 finalizer — the workspace's shared seeded-decision primitive.
+///
+/// Public so every deterministic subsystem (fault injection here, the
+/// `mpisim` virtual scheduler, `mpicheck`'s schedule exploration) draws from
+/// the *same* mixing function: a schedule descriptor plus a seed fully
+/// determines every decision, with no hidden RNG state anywhere.
+pub fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
 }
 
-/// Hashes five words into one, order-sensitively.
-fn hash5(a: u64, b: u64, c: u64, d: u64, e: u64) -> u64 {
+/// Hashes five words into one, order-sensitively (see [`mix`] for why this
+/// is public).
+pub fn hash5(a: u64, b: u64, c: u64, d: u64, e: u64) -> u64 {
     let mut h = mix(a);
     for w in [b, c, d, e] {
         h = mix(h ^ w.wrapping_mul(0xff51_afd7_ed55_8ccd));

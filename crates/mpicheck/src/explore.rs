@@ -1,0 +1,326 @@
+//! Deterministic schedule exploration.
+//!
+//! Replays a closure over the mpisim runtime under many delivery
+//! interleavings. Two schedule families:
+//!
+//! * **Random**: [`SchedConfig::random`] seeds — each delivery defers with
+//!   probability `defer_prob`, decided by a hash of
+//!   `(seed, src, dst, tag, nth-on-edge)`. Broad, cheap coverage.
+//! * **Systematic** (DPOR-lite): [`SchedConfig::systematic`] — delivery
+//!   decisions hash into `bits` classes; sweeping the deferral mask over
+//!   `0..2^bits` enumerates every bounded combination of per-class delays,
+//!   including patterns random sampling is unlikely to hit (e.g. "defer
+//!   every round-3 message but nothing else").
+//!
+//! Determinism claim, stated precisely: the *perturbation pattern* — which
+//! deliveries are deferred, and for how many receiver yield points — is a
+//! pure function of the schedule descriptor, independent of thread timing.
+//! The OS still interleaves threads underneath, so a descriptor denotes a
+//! family of closely-related executions rather than a single one; in
+//! practice a race surfaced by a descriptor re-surfaces under it, which is
+//! what exploration needs.
+
+use mpisim::{
+    run_with_config, Backoff, CheckConfig, Comm, Finding, RunConfig, SchedConfig, Severity,
+};
+use std::ops::Range;
+use std::panic::AssertUnwindSafe;
+use std::time::Instant;
+
+/// What to explore and how hard.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// World size for every schedule.
+    pub ranks: usize,
+    /// Random-mode seeds to run.
+    pub random_seeds: Range<u64>,
+    /// Systematic-mode decision classes; all `2^bits` masks are swept.
+    /// 0 disables the systematic pass.
+    pub systematic_bits: u32,
+    /// Deferral probability of the random schedules.
+    pub defer_prob: f64,
+    /// Maximum hold (receiver yield-point visits) per deferred delivery.
+    pub max_hold: u32,
+}
+
+impl ExploreConfig {
+    /// The acceptance-gate configuration: 4 ranks, 136 random seeds plus a
+    /// full 6-bit systematic sweep (64 masks) — 200 schedules.
+    pub fn quick() -> Self {
+        ExploreConfig {
+            ranks: 4,
+            random_seeds: 0..136,
+            systematic_bits: 6,
+            defer_prob: 0.35,
+            max_hold: 3,
+        }
+    }
+
+    /// Number of schedules this configuration runs.
+    pub fn schedules(&self) -> u64 {
+        let random = self
+            .random_seeds
+            .end
+            .saturating_sub(self.random_seeds.start);
+        let systematic = if self.systematic_bits == 0 {
+            0
+        } else {
+            1u64 << self.systematic_bits
+        };
+        random + systematic
+    }
+
+    /// Every schedule of the plan, in run order (random seeds first).
+    pub fn plan(&self) -> Vec<SchedConfig> {
+        let mut out: Vec<SchedConfig> = self
+            .random_seeds
+            .clone()
+            .map(|seed| {
+                let mut s = SchedConfig::random(seed);
+                s.defer_prob = self.defer_prob;
+                s.max_hold = self.max_hold;
+                s
+            })
+            .collect();
+        if self.systematic_bits > 0 {
+            for mask in 0..(1u64 << self.systematic_bits) {
+                let mut s = SchedConfig::systematic(mask, self.systematic_bits);
+                s.max_hold = self.max_hold;
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+/// One schedule that did not come back clean.
+#[derive(Debug)]
+pub struct ScheduleFailure {
+    /// Reproducible descriptor (`random(seed=…)` / `systematic(mask=…)`).
+    pub schedule: String,
+    /// Error-severity findings of the run.
+    pub findings: Vec<Finding>,
+    /// Panic message, when the run panicked rather than reporting.
+    pub panic: Option<String>,
+    /// Worst numerical deviation reported by the workload, if it measures
+    /// one.
+    pub max_err: Option<f64>,
+}
+
+/// Aggregate result of an exploration sweep.
+#[derive(Debug)]
+pub struct ExploreReport {
+    /// Schedules executed.
+    pub schedules_run: u64,
+    /// Schedules that panicked, reported an error-severity finding, or
+    /// exceeded the workload's numerical tolerance.
+    pub failures: Vec<ScheduleFailure>,
+    /// Info-severity findings observed across clean schedules (surfaced,
+    /// not fatal — e.g. MC004 wildcard nondeterminism).
+    pub info_findings: usize,
+    /// Wall-clock of the sweep in seconds.
+    pub wall: f64,
+}
+
+impl ExploreReport {
+    /// `true` when every schedule came back clean.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    e.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| e.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+        .unwrap_or_else(|| "opaque panic payload".to_owned())
+}
+
+/// Runs `workload` once per schedule in `cfg`'s plan, under mpisim's
+/// checked mode, and collects every non-clean schedule. The workload
+/// returns an optional per-rank "numerical error" which is compared against
+/// `tolerance` (pass `f64::INFINITY` for correctness-by-panic workloads).
+/// `progress` is called after every schedule with `(done, total)`.
+pub fn explore<W>(
+    cfg: &ExploreConfig,
+    tolerance: f64,
+    workload: W,
+    mut progress: impl FnMut(u64, u64),
+) -> ExploreReport
+where
+    W: Fn(Comm) -> Option<f64> + Send + Sync,
+{
+    let started = Instant::now();
+    let plan = cfg.plan();
+    let total = plan.len() as u64;
+    let mut failures = Vec::new();
+    let mut info_findings = 0usize;
+    for (i, sched) in plan.into_iter().enumerate() {
+        let descriptor = sched.describe();
+        let run_cfg = RunConfig {
+            faults: faultplan::FaultPlan::none(),
+            backoff: Backoff::checked(),
+            check: Some(CheckConfig::with_sched(sched)),
+        };
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_with_config(cfg.ranks, run_cfg, &workload)
+        }));
+        match outcome {
+            Ok(out) => {
+                let errors: Vec<Finding> = out.report.errors().cloned().collect();
+                info_findings += out
+                    .report
+                    .findings
+                    .iter()
+                    .filter(|f| f.severity == Severity::Info)
+                    .count();
+                let max_err = out.results.as_ref().and_then(|rs| {
+                    rs.iter()
+                        .flatten()
+                        .cloned()
+                        .fold(None, |a: Option<f64>, b| Some(a.map_or(b, |a| a.max(b))))
+                });
+                let numerically_bad = max_err.is_some_and(|e| e > tolerance);
+                let hung = out.results.is_none();
+                if !errors.is_empty() || numerically_bad || hung {
+                    failures.push(ScheduleFailure {
+                        schedule: descriptor,
+                        findings: errors,
+                        panic: None,
+                        max_err,
+                    });
+                }
+            }
+            Err(e) => {
+                failures.push(ScheduleFailure {
+                    schedule: descriptor,
+                    findings: Vec::new(),
+                    panic: Some(panic_message(e)),
+                    max_err: None,
+                });
+            }
+        }
+        progress(i as u64 + 1, total);
+    }
+    ExploreReport {
+        schedules_run: total,
+        failures,
+        info_findings,
+        wall: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// The acceptance workload: the paper's full overlapped pipeline (NEW
+/// variant) on a small grid, every rank validating its output slab against
+/// the serial reference transform. This is the workload `cargo xtask check`
+/// sweeps ≥ 200 schedules over.
+pub fn explore_pipeline(
+    cfg: &ExploreConfig,
+    grid: usize,
+    progress: impl FnMut(u64, u64),
+) -> ExploreReport {
+    use cfft::planner::Rigor;
+    use cfft::Direction;
+    use fft3d::real_env::{compare_with_serial, local_test_slab, try_fft3_dist, Variant};
+    use fft3d::serial::{fft3_serial, full_test_array};
+    use fft3d::{ProblemSpec, TuningParams};
+    use std::sync::Arc;
+
+    let spec = ProblemSpec::cube(grid, cfg.ranks);
+    let params = TuningParams::seed(&spec);
+    let mut reference = full_test_array(spec.nx, spec.ny, spec.nz);
+    fft3_serial(
+        &mut reference,
+        spec.nx,
+        spec.ny,
+        spec.nz,
+        Direction::Forward,
+    );
+    let reference = Arc::new(reference);
+    let tolerance = 1e-9 * (spec.len() as f64).max(1.0);
+
+    explore(
+        cfg,
+        tolerance,
+        move |comm| {
+            let input = local_test_slab(&spec, comm.rank());
+            let out = try_fft3_dist(
+                &comm,
+                spec,
+                Variant::New,
+                params,
+                Direction::Forward,
+                Rigor::Estimate,
+                &input,
+            )
+            .unwrap_or_else(|e| panic!("pipeline fault under exploration: {e}"));
+            Some(compare_with_serial(&spec, comm.rank(), &out, &reference))
+        },
+        progress,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_counts_random_plus_systematic() {
+        let cfg = ExploreConfig::quick();
+        assert_eq!(cfg.schedules(), 200);
+        assert_eq!(cfg.plan().len(), 200);
+        let no_sys = ExploreConfig {
+            systematic_bits: 0,
+            ..ExploreConfig::quick()
+        };
+        assert_eq!(no_sys.schedules(), 136);
+    }
+
+    #[test]
+    fn explore_smoke_allreduce_is_clean() {
+        let cfg = ExploreConfig {
+            ranks: 3,
+            random_seeds: 0..6,
+            systematic_bits: 2,
+            defer_prob: 0.4,
+            max_hold: 3,
+        };
+        let report = explore(
+            &cfg,
+            1e-12,
+            |comm| {
+                let sum = comm.allreduce_sum(&[comm.rank() as f64]);
+                Some((sum[0] - 3.0).abs())
+            },
+            |_, _| {},
+        );
+        assert_eq!(report.schedules_run, 10);
+        assert!(report.is_clean(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn explore_catches_an_unmatched_post() {
+        let cfg = ExploreConfig {
+            ranks: 2,
+            random_seeds: 0..1,
+            systematic_bits: 0,
+            defer_prob: 0.0,
+            max_hold: 1,
+        };
+        let report = explore(
+            &cfg,
+            f64::INFINITY,
+            |comm| {
+                if comm.rank() == 0 {
+                    comm.send(&[1u8], 1, 9); // deliberately never received
+                }
+                comm.barrier();
+                None
+            },
+            |_, _| {},
+        );
+        assert_eq!(report.failures.len(), 1);
+        let f = &report.failures[0];
+        assert!(f.findings.iter().any(|f| f.id.code() == "MC001"), "{f:?}");
+    }
+}

@@ -1,0 +1,321 @@
+//! Source-level lint pass (`SL001`–`SL003`).
+//!
+//! A small, dependency-free walk of the workspace's first-party source
+//! (`crates/*/src` plus the root package's `src/`; `vendor/`, `target/`,
+//! `tests/`, `benches/` and `examples/` are out of scope) enforcing project
+//! invariants that clippy does not cover:
+//!
+//! * **SL001** — no bare `.unwrap()` outside test code. Non-test code must
+//!   surface typed errors or panic with a diagnostic `expect`.
+//! * **SL002** — no `thread::sleep` with a hardcoded duration literal in
+//!   library code. Pauses must come from configuration (a [`FaultPlan`],
+//!   the world's `Backoff`) so checked runs and tests can tighten them.
+//! * **SL003** — a file that posts non-blocking exchanges (`.post_a2a(` /
+//!   `.ialltoall`) must also contain a `wait` and a `cancel` path, so no
+//!   call site can leak an in-flight request on success *or* error.
+//!
+//! Test code is exempt: everything at or below the file's first
+//! `#[cfg(test)]` line (the repo convention keeps test modules at the end
+//! of each file). A deliberate exception is suppressed in place with
+//! `// mpicheck:allow(SL00x)` on the offending line or the line above.
+//!
+//! [`FaultPlan`]: faultplan::FaultPlan
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Source lint identifiers (DESIGN.md §12 catalogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SrcLintId {
+    /// `SL001` — bare `.unwrap()` in non-test code.
+    BareUnwrap,
+    /// `SL002` — `thread::sleep` with a hardcoded duration literal.
+    HardcodedSleep,
+    /// `SL003` — non-blocking post without a wait/cancel path in the file.
+    PostWithoutWait,
+}
+
+impl SrcLintId {
+    /// Stable code, e.g. `"SL001"`.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SrcLintId::BareUnwrap => "SL001",
+            SrcLintId::HardcodedSleep => "SL002",
+            SrcLintId::PostWithoutWait => "SL003",
+        }
+    }
+}
+
+/// One source-lint finding.
+#[derive(Debug, Clone)]
+pub struct SrcFinding {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which lint fired.
+    pub id: SrcLintId,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for SrcFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.id.code(),
+            self.message
+        )
+    }
+}
+
+/// Directories under a crate's `src/` never walked (and top-level dirs
+/// skipped entirely).
+const SKIP_DIRS: &[&str] = &["vendor", "target", "tests", "benches", "examples", ".git"];
+
+/// Collects the `.rs` files in scope: `<root>/src` and every
+/// `<root>/crates/*/src`, recursively, excluding [`SKIP_DIRS`].
+fn source_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut roots = vec![root.join("src")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            roots.push(e.path().join("src"));
+        }
+    }
+    for r in roots {
+        walk(&r, &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            let name = e.file_name();
+            let skip = name
+                .to_str()
+                .map(|n| SKIP_DIRS.contains(&n))
+                .unwrap_or(true);
+            if !skip {
+                walk(&p, out);
+            }
+        } else if p.extension().and_then(|x| x.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// `true` when the line (or the previous line) carries a
+/// `mpicheck:allow(<code>)` suppression.
+fn allowed(lines: &[&str], idx: usize, code: &str) -> bool {
+    let marker = format!("mpicheck:allow({code})");
+    lines[idx].contains(&marker) || (idx > 0 && lines[idx - 1].contains(&marker))
+}
+
+/// `true` when the line is (or starts) comment-only.
+fn is_comment(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//") || t.starts_with("/*") || t.starts_with('*')
+}
+
+/// Does `window` (this line + next) contain a `Duration::from_*` call with
+/// a *literal* argument?
+fn has_literal_duration(window: &str) -> bool {
+    let mut rest = window;
+    while let Some(pos) = rest.find("Duration::from_") {
+        let tail = &rest[pos..];
+        if let Some(open) = tail.find('(') {
+            let arg = tail[open + 1..].trim_start();
+            if arg.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                return true;
+            }
+        }
+        rest = &rest[pos + 1..];
+    }
+    false
+}
+
+/// Lints one file's contents; `rel` is the workspace-relative display path.
+fn lint_file(rel: &str, contents: &str) -> Vec<SrcFinding> {
+    let lines: Vec<&str> = contents.lines().collect();
+    // Everything at or below the first #[cfg(test)] is test code.
+    let test_boundary = lines
+        .iter()
+        .position(|l| l.trim() == "#[cfg(test)]")
+        .unwrap_or(lines.len());
+    let mut findings = Vec::new();
+    let mut first_post: Option<usize> = None;
+
+    for (idx, line) in lines.iter().enumerate().take(test_boundary) {
+        if is_comment(line) {
+            continue;
+        }
+        // SL001 — bare unwrap. `.unwrap_or*`/`.unwrap_err` do not contain
+        // the exact token `.unwrap()`.
+        // The pattern literal below is the lint itself. mpicheck:allow(SL001)
+        if line.contains(".unwrap()") && !allowed(&lines, idx, "SL001") {
+            findings.push(SrcFinding {
+                file: rel.to_owned(),
+                line: idx + 1,
+                id: SrcLintId::BareUnwrap,
+                message: "bare `unwrap()` call in non-test code; use a typed error or a \
+                          diagnostic `expect(..)`"
+                    .to_owned(),
+            });
+        }
+        // SL002 — hardcoded sleep. The duration literal may sit on the
+        // next line after rustfmt wraps the call.
+        if line.contains("thread::sleep") && !allowed(&lines, idx, "SL002") {
+            let mut window = (*line).to_owned();
+            if let Some(next) = lines.get(idx + 1) {
+                window.push_str(next);
+            }
+            if has_literal_duration(&window) {
+                findings.push(SrcFinding {
+                    file: rel.to_owned(),
+                    line: idx + 1,
+                    id: SrcLintId::HardcodedSleep,
+                    message: "thread::sleep with a hardcoded duration literal in library \
+                              code; take the pause from configuration (Backoff/FaultPlan)"
+                        .to_owned(),
+                });
+            }
+        }
+        // SL003 — collect post call sites; verified after the scan.
+        let posts = line.contains(".post_a2a(")
+            || line.contains(".ialltoall(")
+            || line.contains(".ialltoallv(");
+        if posts && first_post.is_none() {
+            first_post = Some(idx);
+        }
+    }
+
+    if let Some(idx) = first_post {
+        let has_wait = contents.contains("wait");
+        let has_cancel = contents.contains("cancel");
+        if (!has_wait || !has_cancel) && !allowed(&lines, idx, "SL003") {
+            let missing = match (has_wait, has_cancel) {
+                (false, false) => "wait or cancel path",
+                (false, true) => "wait path",
+                _ => "cancel path",
+            };
+            findings.push(SrcFinding {
+                file: rel.to_owned(),
+                line: idx + 1,
+                id: SrcLintId::PostWithoutWait,
+                message: format!(
+                    "posts a non-blocking exchange but the file has no {missing}; \
+                     in-flight requests must be waited or cancelled on every path"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Runs the source lints over the workspace rooted at `root`; returns every
+/// finding, ordered by file then line.
+pub fn lint_workspace(root: &Path) -> Vec<SrcFinding> {
+    let mut findings = Vec::new();
+    for path in source_files(root) {
+        let Ok(contents) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .into_owned();
+        findings.extend(lint_file(&rel, &contents));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_unwrap_is_flagged_but_not_unwrap_or() {
+        let src = "fn f() {\n  let x = g().unwrap();\n  let y = g().unwrap_or(0);\n}\n";
+        let f = lint_file("x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].id.code(), "SL001");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn test_module_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n  fn g() { h().unwrap(); }\n}\n";
+        assert!(lint_file("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let src = "// mpicheck:allow(SL001)\nlet x = g().unwrap();\n";
+        assert!(lint_file("x.rs", src).is_empty());
+        let inline = "let x = g().unwrap(); // mpicheck:allow(SL001)\n";
+        assert!(lint_file("x.rs", inline).is_empty());
+    }
+
+    #[test]
+    fn hardcoded_sleep_is_flagged_variable_sleep_is_not() {
+        let bad = "std::thread::sleep(Duration::from_millis(50));\n";
+        let f = lint_file("x.rs", bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].id.code(), "SL002");
+        let wrapped = "std::thread::sleep(\n  Duration::from_millis(50));\n";
+        assert_eq!(lint_file("x.rs", wrapped).len(), 1);
+        let good = "std::thread::sleep(plan.recv_delay);\n";
+        assert!(lint_file("x.rs", good).is_empty());
+        let configured = "std::thread::sleep(delay);\n";
+        assert!(lint_file("x.rs", configured).is_empty());
+    }
+
+    #[test]
+    fn post_without_wait_or_cancel_is_flagged() {
+        let bad = "fn f(env: &mut E) { let r = env.post_a2a(0); drop(r); }\n";
+        let f = lint_file("x.rs", bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].id.code(), "SL003");
+        let good =
+            "fn f(env: &mut E) {\n  let r = env.post_a2a(0);\n  env.wait(0, r); // or cancel\n}\n";
+        assert!(lint_file("x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn comment_lines_are_skipped() {
+        let src = "// this mentions .unwrap() in prose\nfn f() {}\n";
+        assert!(lint_file("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn workspace_is_currently_clean() {
+        // The repo's own source must pass its own lints — this is the
+        // regression gate that keeps future hardcoded sleeps/unwraps out.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("crates/mpicheck has a workspace root two levels up");
+        let findings = lint_workspace(root);
+        assert!(
+            findings.is_empty(),
+            "source lints found:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -5,23 +5,20 @@
 //! tree algorithms are indistinguishable in cost next to the transforms.
 
 use crate::comm::{encode_tag, Comm, Kind};
-use crate::world::Msg;
 
 impl Comm {
     /// Internal send in the collective tag space: `(seq, round)` identifies
     /// the message uniquely within this communicator.
     fn coll_send<T: Clone + Send + 'static>(&self, buf: &[T], dest: usize, seq: u64, round: u64) {
-        self.world.mailboxes[self.world_rank(dest)].push(Msg {
-            src: self.rank(),
-            tag: encode_tag(self.ctx, Kind::Coll, (seq << 8) | round),
-            data: Box::new(buf.to_vec()),
-        });
+        self.deliver(
+            dest,
+            encode_tag(self.ctx, Kind::Coll, (seq << 8) | round),
+            Box::new(buf.to_vec()),
+        );
     }
 
     fn coll_recv<T: Clone + Send + 'static>(&self, src: usize, seq: u64, round: u64) -> Vec<T> {
-        let msg = self
-            .my_mailbox()
-            .take(src, encode_tag(self.ctx, Kind::Coll, (seq << 8) | round));
+        let msg = self.blocking_take(src, encode_tag(self.ctx, Kind::Coll, (seq << 8) | round));
         *msg.data
             .downcast::<Vec<T>>()
             .unwrap_or_else(|_| panic!("collective type mismatch from rank {src}"))

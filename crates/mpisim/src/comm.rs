@@ -1,8 +1,11 @@
 //! Communicators and point-to-point messaging.
 
+use crate::check::{clocks_concurrent, Finding, LintId, Severity, WaitInfo};
 use crate::world::{Msg, World};
+use std::any::Any;
 use std::cell::Cell;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Message kinds multiplexed onto the mailbox tag space.
 #[derive(Clone, Copy)]
@@ -21,7 +24,8 @@ pub(crate) fn encode_tag(ctx: u64, kind: Kind, payload: u64) -> u64 {
 fn mix_ctx(parent: u64, seq: u64, color: i64) -> u64 {
     // SplitMix64-style mixing, truncated to the 20 bits the tag layout
     // reserves for context ids. Collisions across live communicators are
-    // astronomically unlikely at the scales the runtime supports.
+    // astronomically unlikely at the scales the runtime supports (and a
+    // checked run reports any actual collision as lint MC003).
     let mut z = parent
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add(seq)
@@ -103,6 +107,144 @@ impl Comm {
         self.my_mailbox().len()
     }
 
+    /// A cooperative scheduling point: gives the virtual scheduler (checked
+    /// runs) a chance to release deliveries it held back for this rank.
+    /// Free outside checked runs. The overlapped pipeline calls this once
+    /// per tile so deferred deliveries release in the receiver's program
+    /// order, which is what makes explored schedules reproducible.
+    pub fn progress_hint(&self) {
+        self.my_mailbox().service_held();
+    }
+
+    // ------------------------------------------------------------------
+    // Delivery and blocking-receive machinery (shared by p2p, collectives
+    // and the non-blocking collectives in `nbc`)
+    // ------------------------------------------------------------------
+
+    /// Sends `data` to communicator rank `dest` under a fully-encoded
+    /// mailbox tag, through the world's delivery choke point (vector-clock
+    /// stamping + virtual scheduler under checked runs).
+    pub(crate) fn deliver(&self, dest: usize, tag: u64, data: Box<dyn Any + Send>) {
+        self.world.deliver(
+            self.world_rank(self.rank),
+            self.world_rank(dest),
+            Msg::new(self.rank, tag, data),
+        );
+    }
+
+    /// Runs the deadlock probe; returns only if no deadlock was confirmed
+    /// (otherwise panics, after the probe has aborted the world).
+    pub(crate) fn probe_deadlock_or_panic(&self) {
+        let Some(check) = &self.world.check else {
+            return;
+        };
+        let me = self.world_rank(self.rank);
+        let world = &self.world;
+        let reported = check.probe_deadlock(
+            me,
+            Duration::from_millis(5),
+            &|| world.force_release_all(),
+            &|r, info| world.mailboxes[r].has_match(info.src_key, info.tag),
+            &|| world.abort(),
+        );
+        if reported {
+            panic!("mpisim: deadlock detected at rank {me} (lint MC005; see check report)");
+        }
+    }
+
+    /// Blocking matched receive from communicator rank `src_key` under a
+    /// raw mailbox `tag`, with exponential-backoff parking, abort checking,
+    /// and (checked runs) wait-for-graph registration plus the deadlock
+    /// probe once the wait exceeds the configured threshold.
+    pub(crate) fn blocking_take(&self, src_key: usize, tag: u64) -> Msg {
+        let me = self.world_rank(self.rank);
+        let mb = self.my_mailbox();
+        // Fast path: already queued.
+        if let Some(msg) = mb.try_take(src_key, tag) {
+            self.world.on_recv(me, Some(self.world_rank(src_key)), &msg);
+            return msg;
+        }
+        let bo = self.world.backoff;
+        let mut slice = bo.first();
+        let mut waited = Duration::ZERO;
+        let probe_after = self.world.check.as_ref().map(|c| c.config().deadlock_after);
+        if let Some(check) = &self.world.check {
+            check.set_blocked(
+                me,
+                WaitInfo {
+                    peer_world: Some(self.world_rank(src_key)),
+                    src_key,
+                    tag,
+                },
+            );
+        }
+        let msg = loop {
+            if let Some(m) = mb.take_or_wait(src_key, tag, slice) {
+                break m;
+            }
+            mb.check_abort();
+            waited += slice;
+            if let Some(after) = probe_after {
+                if waited >= after {
+                    self.probe_deadlock_or_panic();
+                    waited = Duration::ZERO; // re-arm; cycle was transient
+                }
+            }
+            slice = bo.next(slice);
+        };
+        if let Some(check) = &self.world.check {
+            check.clear_blocked(me);
+        }
+        self.world.on_recv(me, Some(self.world_rank(src_key)), &msg);
+        msg
+    }
+
+    /// Blocking wildcard receive (any source) under a raw mailbox `tag`.
+    /// Wildcard waits register no wait-for edge (they cannot deadlock on a
+    /// single peer); on a match under a checked run, any *other* queued
+    /// candidate whose send is happens-before-concurrent with the matched
+    /// one is reported as lint MC004 (schedule-dependent match).
+    pub(crate) fn blocking_take_any(&self, tag: u64) -> Msg {
+        let me = self.world_rank(self.rank);
+        let mb = self.my_mailbox();
+        let bo = self.world.backoff;
+        let mut slice = bo.first();
+        let msg = loop {
+            if let Some(m) = mb.take_any_or_wait(tag, slice) {
+                break m;
+            }
+            mb.check_abort();
+            slice = bo.next(slice);
+        };
+        if let Some(check) = &self.world.check {
+            if let Some(mc) = &msg.clock {
+                for (osrc, oclock) in mb.matching_clocks(tag) {
+                    let concurrent = osrc != msg.src
+                        && oclock
+                            .as_deref()
+                            .is_some_and(|oc| clocks_concurrent(mc, oc));
+                    if concurrent {
+                        check.add_finding(Finding {
+                            id: LintId::WildcardRace,
+                            severity: Severity::Info,
+                            rank: Some(me),
+                            cycle: Vec::new(),
+                            message: format!(
+                                "wildcard receive at rank {me} (tag {tag:#x}) matched src {} \
+                                 while a concurrent candidate from src {osrc} was queued — \
+                                 the match is schedule-dependent",
+                                msg.src
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        self.world.on_recv(me, None, &msg);
+        msg
+    }
+
     // ------------------------------------------------------------------
     // Point-to-point
     // ------------------------------------------------------------------
@@ -111,11 +253,11 @@ impl Comm {
     pub fn send<T: Clone + Send + 'static>(&self, buf: &[T], dest: usize, tag: u32) {
         assert!(dest < self.size(), "send destination {dest} out of range");
         let data: Vec<T> = buf.to_vec();
-        self.world.mailboxes[self.world_rank(dest)].push(Msg {
-            src: self.rank,
-            tag: encode_tag(self.ctx, Kind::P2p, tag as u64),
-            data: Box::new(data),
-        });
+        self.deliver(
+            dest,
+            encode_tag(self.ctx, Kind::P2p, tag as u64),
+            Box::new(data),
+        );
     }
 
     /// Blocking receive into `buf`; the matched message length must equal
@@ -135,9 +277,7 @@ impl Comm {
     /// Blocking receive returning the payload vector.
     pub fn recv_vec<T: Clone + Send + 'static>(&self, src: usize, tag: u32) -> Vec<T> {
         assert!(src < self.size(), "recv source {src} out of range");
-        let msg = self
-            .my_mailbox()
-            .take(src, encode_tag(self.ctx, Kind::P2p, tag as u64));
+        let msg = self.blocking_take(src, encode_tag(self.ctx, Kind::P2p, tag as u64));
         *msg.data
             .downcast::<Vec<T>>()
             .unwrap_or_else(|_| panic!("recv type mismatch from rank {src} tag {tag}"))
@@ -145,9 +285,7 @@ impl Comm {
 
     /// Blocking receive from any source; returns `(src, payload)`.
     pub fn recv_any<T: Clone + Send + 'static>(&self, tag: u32) -> (usize, Vec<T>) {
-        let msg = self
-            .my_mailbox()
-            .take_any(encode_tag(self.ctx, Kind::P2p, tag as u64));
+        let msg = self.blocking_take_any(encode_tag(self.ctx, Kind::P2p, tag as u64));
         let data = *msg
             .data
             .downcast::<Vec<T>>()
@@ -185,6 +323,9 @@ impl Comm {
             return None;
         }
         let ctx = mix_ctx(self.ctx, seq.wrapping_add(1), color);
+        if let Some(check) = &self.world.check {
+            check.register_ctx(ctx, (self.ctx, seq, color), self.world_rank(self.rank));
+        }
         Some(Comm {
             world: self.world.clone(),
             ctx,

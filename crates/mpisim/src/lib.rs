@@ -34,22 +34,62 @@
 //! [`IAlltoall::try_test`] and [`IAlltoall::wait_timeout`] return a
 //! [`CollError`] (`Stalled` / `Dropped`) instead of spinning forever or
 //! panicking.
+//!
+//! ## Verification (mpicheck)
+//!
+//! [`run_with_config`] launches a *checked* world: vector clocks on every
+//! message, runtime MPI-usage lints (`MC001`–`MC004`), a wait-for-graph
+//! deadlock detector that names the cycle of ranks (`MC005`), and an
+//! optional seeded virtual scheduler ([`SchedConfig`]) that perturbs
+//! delivery order deterministically so racy interleavings reproduce from
+//! their seed. The `mpicheck` crate drives this over many schedules; see
+//! DESIGN.md §12.
 
 // The error-path hygiene this runtime promises: non-test code must surface
 // typed errors (or panic with a diagnostic via expect), never `.unwrap()`.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod check;
 mod coll;
 mod comm;
 mod nbc;
 mod world;
 
+pub use check::{
+    Backoff, CheckConfig, CheckOutcome, CheckReport, EvKind, EventRec, Finding, LintId,
+    SchedConfig, SchedMode, Severity,
+};
 pub use comm::Comm;
 pub use faultplan::FaultPlan;
 pub use nbc::{CollError, IAlltoall};
 
+use check::CheckState;
 use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
 use world::World;
+
+/// Everything configurable about a world launch.
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Faults to inject (the empty plan by default).
+    pub faults: FaultPlan,
+    /// Park-slice policy for blocking waits (defaults to the legacy 50 ms
+    /// cap with exponential ramp-up from 500 µs).
+    pub backoff: Backoff,
+    /// Verification instrumentation; `None` runs unchecked.
+    pub check: Option<CheckConfig>,
+}
+
+impl RunConfig {
+    /// A checked run under `cfg` with tight park slices.
+    pub fn checked(cfg: CheckConfig) -> Self {
+        RunConfig {
+            faults: FaultPlan::none(),
+            backoff: Backoff::checked(),
+            check: Some(cfg),
+        }
+    }
+}
 
 /// Launches `size` ranks, each running `f` with its own [`Comm`] handle for
 /// the world communicator, and returns their results in rank order.
@@ -72,7 +112,46 @@ where
     F: Fn(Comm) -> R + Send + Sync,
     R: Send,
 {
-    let world = World::new(size, faults);
+    let outcome = run_with_config(
+        size,
+        RunConfig {
+            faults,
+            ..RunConfig::default()
+        },
+        f,
+    );
+    outcome
+        .results
+        .expect("unchecked runs either return results or propagate the panic")
+}
+
+/// The fully-configurable launcher: [`run`] semantics plus fault injection,
+/// backoff policy, and the verification layer.
+///
+/// Behaviour differences from [`run`]:
+/// * Returns a [`CheckOutcome`]: per-rank results plus the verification
+///   [`CheckReport`] (empty when `cfg.check` is `None`).
+/// * When the deadlock detector fires (lint `MC005`), the world is aborted
+///   and the resulting rank panics are **swallowed**: `results` is `None`
+///   and the report carries the finding with the named cycle, instead of
+///   the process unwinding with an opaque panic.
+/// * Any other rank panic propagates, as with [`run`].
+pub fn run_with_config<F, R>(size: usize, cfg: RunConfig, f: F) -> CheckOutcome<R>
+where
+    F: Fn(Comm) -> R + Send + Sync,
+    R: Send,
+{
+    let schedule = match &cfg.check {
+        Some(c) => c
+            .sched
+            .map(|s| s.describe())
+            .unwrap_or_else(|| "native".to_owned()),
+        None => String::new(),
+    };
+    let check_arc = cfg.check.map(|c| Arc::new(CheckState::new(size, c)));
+    let world = World::new(size, cfg.faults, cfg.backoff, check_arc.clone());
+    let mut results = Vec::with_capacity(size);
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..size)
             .map(|rank| {
@@ -90,13 +169,19 @@ where
                 })
             })
             .collect();
-        let mut results = Vec::with_capacity(size);
-        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
-        for h in handles {
-            match h
-                .join()
-                .expect("rank thread cannot itself panic outside catch_unwind")
-            {
+        for (rank, h) in handles.into_iter().enumerate() {
+            let joined = h.join().unwrap_or_else(|_| {
+                // The rank thread died *outside* catch_unwind (an unwind in
+                // the spawn scaffolding, or a panic-in-panic in a payload's
+                // Drop). Abort the world so peers unwind, and surface a
+                // diagnostic naming the rank instead of a bare expect.
+                world.abort();
+                Err(Box::new(format!(
+                    "mpisim: rank {rank} thread terminated outside catch_unwind — \
+                     aborting world (peer results are unreliable)"
+                )) as Box<dyn std::any::Any + Send>)
+            });
+            match joined {
                 Ok(v) => results.push(v),
                 Err(e) => {
                     // Prefer the original panic over secondary "aborted"
@@ -118,11 +203,63 @@ where
                 }
             }
         }
+    });
+
+    let Some(check) = check_arc else {
         if let Some(p) = first_panic {
             std::panic::resume_unwind(p);
         }
-        results
-    })
+        return CheckOutcome {
+            results: Some(results),
+            report: CheckReport::default(),
+        };
+    };
+
+    // Teardown lint MC001: messages still sitting in a mailbox after every
+    // rank returned cleanly were posted but never received. Skipped after
+    // an abort, where leftovers are expected collateral.
+    let unmatched = if world.is_aborted() {
+        None
+    } else {
+        world.force_release_all();
+        let mut findings = Vec::new();
+        for (dst, mb) in world.mailboxes.iter().enumerate() {
+            for (src, tag) in mb.leftover_pairs() {
+                let (ctx, kind, payload) = check::decode_tag(tag);
+                findings.push(Finding {
+                    id: LintId::UnmatchedSend,
+                    severity: Severity::Error,
+                    rank: Some(dst),
+                    cycle: Vec::new(),
+                    message: format!(
+                        "message to rank {dst} from comm-rank {src} was posted but never \
+                         received (ctx {ctx:#x}, {kind} payload {payload:#x})"
+                    ),
+                });
+            }
+        }
+        Some(findings)
+    };
+
+    drop(world);
+    let report = match Arc::try_unwrap(check) {
+        Ok(state) => state.into_report(schedule, unmatched),
+        Err(_) => panic!("mpisim: check state still shared after world teardown"),
+    };
+
+    if report.deadlock().is_some() {
+        // The detector aborted the world; the rank panics are the expected
+        // mechanism, not the diagnosis — the finding is.
+        return CheckOutcome {
+            results: None,
+            report,
+        };
+    }
+    if let Some(p) = first_panic {
+        std::panic::resume_unwind(p);
+    }
+    let results = (results.len() == size).then_some(results);
+    CheckOutcome { results, report }
 }
 
 #[cfg(test)]
@@ -163,5 +300,63 @@ mod tests {
     #[should_panic(expected = "world size must be ≥ 1")]
     fn zero_ranks_rejected() {
         run(0, |_comm| ());
+    }
+
+    #[test]
+    fn checked_run_reports_clean_on_clean_code() {
+        let outcome = run_with_config(4, RunConfig::checked(CheckConfig::default()), |comm| {
+            let sum = comm.allreduce_sum(&[comm.rank() as f64]);
+            sum[0] as usize
+        });
+        assert_eq!(outcome.results, Some(vec![6; 4]));
+        assert!(outcome.report.is_clean(), "{:?}", outcome.report.findings);
+        assert!(outcome.report.delivered > 0);
+        assert!(!outcome.report.events.is_empty());
+    }
+
+    #[test]
+    fn checked_run_under_scheduler_still_correct() {
+        for seed in 0..8 {
+            let outcome = run_with_config(
+                4,
+                RunConfig::checked(CheckConfig::with_sched(SchedConfig::random(seed))),
+                |comm| {
+                    let send: Vec<i64> = (0..comm.size())
+                        .map(|d| (comm.rank() * 10 + d) as i64)
+                        .collect();
+                    comm.ialltoall(&send, 1, vec![0i64; comm.size()])
+                        .wait(&comm)
+                },
+            );
+            let results = outcome.results.expect("no deadlock");
+            for (me, out) in results.iter().enumerate() {
+                for (s, &v) in out.iter().enumerate() {
+                    assert_eq!(v, (s * 10 + me) as i64, "seed {seed}");
+                }
+            }
+            assert!(
+                outcome.report.is_clean(),
+                "seed {seed}: {:?}",
+                outcome.report.findings
+            );
+        }
+    }
+
+    #[test]
+    fn unmatched_send_is_reported_as_mc001() {
+        let outcome = run_with_config(2, RunConfig::checked(CheckConfig::default()), |comm| {
+            if comm.rank() == 0 {
+                comm.send(&[1u8], 1, 77); // never received
+            }
+            comm.barrier();
+        });
+        let f = outcome
+            .report
+            .findings
+            .iter()
+            .find(|f| f.id == LintId::UnmatchedSend)
+            .expect("MC001 expected");
+        assert_eq!(f.rank, Some(1));
+        assert!(!outcome.report.is_clean());
     }
 }

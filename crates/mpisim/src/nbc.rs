@@ -23,8 +23,9 @@
 //! retransmit budget). The legacy `test`/`wait` keep their infallible
 //! signatures and panic on a fault error, mirroring `MPI_Abort`.
 
+use crate::check::{CheckState, Finding, LintId, Severity, WaitInfo};
 use crate::comm::{encode_tag, Comm, Kind};
-use crate::world::Msg;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Why a non-blocking collective could not complete.
@@ -102,6 +103,37 @@ pub struct IAlltoall<T> {
     /// Number of `test` calls made on this request (diagnostics mirroring
     /// the paper's Test-time accounting).
     tests: u64,
+    /// Set by [`IAlltoall::cancel`]; suppresses the request-leak lint.
+    cancelled: bool,
+    /// World rank of the owner (diagnostics in the leak lint).
+    world_rank: usize,
+    /// Verification state of a checked run (`None` otherwise).
+    check: Option<Arc<CheckState>>,
+}
+
+impl<T> Drop for IAlltoall<T> {
+    fn drop(&mut self) {
+        // MC002: an incomplete request dropped without `wait` or `cancel`
+        // leaks its staged rounds in peers' mailboxes. Only *observed* in
+        // checked runs; the lint is recorded, never panicked, so drops
+        // during unwinding stay safe.
+        if self.cancelled || self.round == self.size {
+            return;
+        }
+        if let Some(check) = &self.check {
+            check.add_finding(Finding {
+                id: LintId::RequestLeak,
+                severity: Severity::Error,
+                rank: Some(self.world_rank),
+                cycle: Vec::new(),
+                message: format!(
+                    "rank {} dropped IAlltoall seq {} at round {}/{} without wait or cancel \
+                     — staged round messages leak in peers' mailboxes",
+                    self.world_rank, self.seq, self.round, self.size
+                ),
+            });
+        }
+    }
 }
 
 impl Comm {
@@ -161,6 +193,9 @@ impl Comm {
             send_attempts: 0,
             failed: None,
             tests: 0,
+            cancelled: false,
+            world_rank: self.world_rank(self.rank()),
+            check: self.world.check.clone(),
         };
         // Round 0 is the local block: complete it at post time, like real
         // NBC implementations do the self-copy eagerly. A fault error this
@@ -217,11 +252,11 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
             }
         }
         let block = self.send_blocks[dest].take().expect("block sent twice");
-        comm.world.mailboxes[comm.world_rank(dest)].push(Msg {
-            src: self.rank,
-            tag: encode_tag(comm.ctx, Kind::Nbc, self.round_tag(r)),
-            data: Box::new(block),
-        });
+        comm.deliver(
+            dest,
+            encode_tag(comm.ctx, Kind::Nbc, self.round_tag(r)),
+            Box::new(block),
+        );
         self.send_attempts = 0;
         Ok(true)
     }
@@ -260,6 +295,11 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
             let tag = encode_tag(comm.ctx, Kind::Nbc, self.round_tag(r));
             match comm.my_mailbox().try_take(src, tag) {
                 Some(msg) => {
+                    comm.world.on_recv(
+                        comm.world_rank(self.rank),
+                        Some(comm.world_rank(src)),
+                        &msg,
+                    );
                     let plan = comm.faults();
                     if plan.is_active() && !plan.recv_delay.is_zero() {
                         std::thread::sleep(plan.recv_delay);
@@ -326,17 +366,59 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
         self.size
     }
 
-    /// `MPI_Wait`: progresses (blocking between arrivals) until completion,
-    /// then returns the receive buffer (per-source blocks in rank order).
+    /// Registers the wait-for edge of the first incomplete round (checked
+    /// runs): this rank is blocked on the peer whose block round `round`
+    /// is missing.
+    fn mark_blocked(&self, comm: &Comm) {
+        if let Some(check) = &self.check {
+            let src = (self.rank + self.size - self.round) % self.size;
+            check.set_blocked(
+                self.world_rank,
+                WaitInfo {
+                    peer_world: Some(comm.world_rank(src)),
+                    src_key: src,
+                    tag: encode_tag(comm.ctx, Kind::Nbc, self.round_tag(self.round)),
+                },
+            );
+        }
+    }
+
+    fn clear_blocked(&self) {
+        if let Some(check) = &self.check {
+            check.clear_blocked(self.world_rank);
+        }
+    }
+
+    /// `MPI_Wait`: progresses (blocking between arrivals, with exponential
+    /// backoff up to the world's configured cap) until completion, then
+    /// returns the receive buffer (per-source blocks in rank order).
     ///
     /// # Panics
     /// On a fault-plan error; use [`Self::wait_timeout`] for the typed
     /// error path.
     pub fn wait(mut self, comm: &Comm) -> Vec<T> {
+        let bo = comm.world.backoff;
+        let probe_after = self.check.as_ref().map(|c| c.config().deadlock_after);
+        let mut slice = bo.first();
+        let mut waited = Duration::ZERO;
         loop {
             match self.progress(comm) {
-                Ok(true) => return self.recv,
-                Ok(false) => comm.my_mailbox().park_for_arrival(),
+                Ok(true) => {
+                    self.clear_blocked();
+                    return std::mem::take(&mut self.recv);
+                }
+                Ok(false) => {
+                    self.mark_blocked(comm);
+                    comm.my_mailbox().wait_arrival(slice);
+                    waited += slice;
+                    if let Some(after) = probe_after {
+                        if waited >= after {
+                            comm.probe_deadlock_or_panic();
+                            waited = Duration::ZERO;
+                        }
+                    }
+                    slice = bo.next(slice);
+                }
                 Err(e) => panic!("all-to-all failed: {e}"),
             }
         }
@@ -350,25 +432,33 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
     /// later `wait_timeout` grants a fresh watchdog period) or for
     /// [`Self::cancel`].
     ///
-    /// Detection latency is `timeout` plus one mailbox park slice (≤ 50 ms).
+    /// Detection latency is `timeout` plus one mailbox park slice (bounded
+    /// by the world's backoff cap, 50 ms by default).
     pub fn wait_timeout(&mut self, comm: &Comm, timeout: Duration) -> Result<(), CollError> {
+        let bo = comm.world.backoff;
+        let mut slice = bo.first();
         let mut last_progress = Instant::now();
         let mut last_round = self.round;
         loop {
             if self.progress(comm)? {
+                self.clear_blocked();
                 return Ok(());
             }
             if self.round > last_round {
                 last_round = self.round;
                 last_progress = Instant::now();
+                slice = bo.first();
             } else if last_progress.elapsed() >= timeout {
+                self.clear_blocked();
                 let peer = (self.rank + self.size - self.round) % self.size;
                 return Err(CollError::Stalled {
                     round: self.round,
                     peer,
                 });
             }
-            comm.my_mailbox().park_for_arrival();
+            self.mark_blocked(comm);
+            comm.my_mailbox().wait_arrival(slice);
+            slice = bo.next(slice);
         }
     }
 
@@ -376,9 +466,9 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
     ///
     /// # Panics
     /// If the collective has not completed.
-    pub fn take_recv(self) -> Vec<T> {
+    pub fn take_recv(mut self) -> Vec<T> {
         assert!(self.is_complete(), "take_recv on an incomplete all-to-all");
-        self.recv
+        std::mem::take(&mut self.recv)
     }
 
     /// Cancels an incomplete collective, purging every round message of this
@@ -388,7 +478,8 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
     /// the messages addressed to *it*, so all members must cancel (or
     /// complete) for the world to quiesce. Returns the number of messages
     /// reclaimed here.
-    pub fn cancel(self, comm: &Comm) -> usize {
+    pub fn cancel(mut self, comm: &Comm) -> usize {
+        self.cancelled = true;
         let mut purged = 0;
         for r in 0..self.size {
             let tag = encode_tag(comm.ctx, Kind::Nbc, self.round_tag(r));

@@ -3,24 +3,54 @@
 //! One [`World`] is created per [`crate::run`] invocation. It owns a mailbox
 //! per rank (tag/source-matched message queues), a generation-counted
 //! barrier, and the bookkeeping used by communicator `split`.
+//!
+//! All deliveries route through [`World::deliver`], the single choke point
+//! where the optional verification layer ([`crate::check`]) stamps vector
+//! clocks and the virtual scheduler may *hold* a message back for a bounded
+//! number of receiver yield points. Held messages live in the destination
+//! mailbox's side queue and are released by [`Mailbox::service_held`], which
+//! every receive path calls — so a deferral delays a delivery but can never
+//! lose it.
 
+use crate::check::{Backoff, CheckState, EvKind};
 use faultplan::FaultPlan;
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A message in flight: the payload is a type-erased `Vec<T>`.
+///
+/// `src` is the *communicator* rank of the sender (what the receiver
+/// matches on); the sender's world rank is only known at the delivery call
+/// site, which is why clock stamping lives in [`World::deliver`].
 pub(crate) struct Msg {
     pub src: usize,
     pub tag: u64,
     pub data: Box<dyn Any + Send>,
+    /// Sender's vector-clock snapshot (checked runs only).
+    pub clock: Option<Box<[u64]>>,
+}
+
+impl Msg {
+    pub fn new(src: usize, tag: u64, data: Box<dyn Any + Send>) -> Self {
+        Msg {
+            src,
+            tag,
+            data,
+            clock: None,
+        }
+    }
 }
 
 /// Per-rank mailbox with blocking matched receive.
 pub(crate) struct Mailbox {
     queue: Mutex<Vec<Msg>>,
+    /// Deliveries the virtual scheduler is holding back, with the number of
+    /// service visits left before forced release.
+    held: Mutex<Vec<(Msg, u32)>>,
     arrived: Condvar,
     /// Set when any rank panics; blocking receives then panic instead of
     /// hanging the joiner (the runtime's `MPI_Abort` analogue).
@@ -31,12 +61,13 @@ impl Mailbox {
     fn new(aborted: Arc<AtomicBool>) -> Self {
         Mailbox {
             queue: Mutex::new(Vec::new()),
+            held: Mutex::new(Vec::new()),
             arrived: Condvar::new(),
             aborted,
         }
     }
 
-    fn check_abort(&self) {
+    pub fn check_abort(&self) {
         if self.aborted.load(Ordering::Acquire) {
             panic!("mpisim: aborted because a peer rank panicked");
         }
@@ -49,68 +80,148 @@ impl Mailbox {
         self.arrived.notify_all();
     }
 
+    /// Parks `msg` in the held queue for `visits` service visits.
+    pub fn hold(&self, msg: Msg, visits: u32) {
+        self.held.lock().push((msg, visits.max(1)));
+    }
+
+    /// One scheduler tick: decrements every held delivery's countdown and
+    /// releases the expired ones into the live queue. Called at every
+    /// receiver yield point, so a held message is delivered after a bounded
+    /// number of the receiver's own scheduling decisions — deterministic in
+    /// the receiver's program order, not in wall-clock time.
+    pub fn service_held(&self) {
+        let mut held = self.held.lock();
+        if held.is_empty() {
+            return;
+        }
+        let mut released = false;
+        let mut i = 0;
+        while i < held.len() {
+            held[i].1 -= 1;
+            if held[i].1 == 0 {
+                let (msg, _) = held.swap_remove(i);
+                self.queue.lock().push(msg);
+                released = true;
+            } else {
+                i += 1;
+            }
+        }
+        drop(held);
+        if released {
+            self.arrived.notify_all();
+        }
+    }
+
+    /// Releases every held delivery immediately (deadlock probe, teardown).
+    pub fn force_release(&self) {
+        let mut held = self.held.lock();
+        if held.is_empty() {
+            return;
+        }
+        let mut q = self.queue.lock();
+        for (msg, _) in held.drain(..) {
+            q.push(msg);
+        }
+        drop(q);
+        self.arrived.notify_all();
+    }
+
+    /// `true` when a queued (not held) message matches `(src, tag)`.
+    pub fn has_match(&self, src: usize, tag: u64) -> bool {
+        self.queue
+            .lock()
+            .iter()
+            .any(|m| m.src == src && m.tag == tag)
+    }
+
     /// Removes and returns the first message matching `(src, tag)`, or
     /// `None` when none is queued. FIFO per (src, tag) pair, as MPI
     /// ordering semantics require.
     pub fn try_take(&self, src: usize, tag: u64) -> Option<Msg> {
+        self.service_held();
         let mut q = self.queue.lock();
         let pos = q.iter().position(|m| m.src == src && m.tag == tag)?;
         Some(q.remove(pos))
     }
 
-    /// Blocking matched receive.
-    pub fn take(&self, src: usize, tag: u64) -> Msg {
+    /// One bounded blocking step of a matched receive: checks, waits up to
+    /// `dur` for an arrival, re-checks — all under one queue lock, so a push
+    /// between check and wait cannot be missed. Returns `None` on timeout
+    /// (the caller loops, giving the scheduler and abort flag a yield
+    /// point).
+    pub fn take_or_wait(&self, src: usize, tag: u64, dur: Duration) -> Option<Msg> {
+        self.service_held();
         let mut q = self.queue.lock();
-        loop {
-            if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
-                return q.remove(pos);
-            }
-            self.arrived
-                .wait_for(&mut q, std::time::Duration::from_millis(50));
-            self.check_abort();
+        if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
+            return Some(q.remove(pos));
         }
+        self.arrived.wait_for(&mut q, dur);
+        q.iter()
+            .position(|m| m.src == src && m.tag == tag)
+            .map(|pos| q.remove(pos))
     }
 
-    /// Blocking receive from any source with the given tag. Returns the
-    /// earliest queued match.
-    pub fn take_any(&self, tag: u64) -> Msg {
+    /// [`Mailbox::take_or_wait`] matching on tag alone (wildcard source).
+    pub fn take_any_or_wait(&self, tag: u64, dur: Duration) -> Option<Msg> {
+        self.service_held();
         let mut q = self.queue.lock();
-        loop {
-            if let Some(pos) = q.iter().position(|m| m.tag == tag) {
-                return q.remove(pos);
-            }
-            self.arrived
-                .wait_for(&mut q, std::time::Duration::from_millis(50));
-            self.check_abort();
+        if let Some(pos) = q.iter().position(|m| m.tag == tag) {
+            return Some(q.remove(pos));
         }
+        self.arrived.wait_for(&mut q, dur);
+        q.iter().position(|m| m.tag == tag).map(|pos| q.remove(pos))
     }
 
-    /// Parks the caller until any new message arrives (used by `wait` on
-    /// non-blocking collectives to avoid spinning).
-    pub fn park_for_arrival(&self) {
+    /// Waits up to `dur` for any arrival notification (used by `wait` on
+    /// non-blocking collectives to avoid spinning). The caller re-checks
+    /// its own completion condition and loops.
+    pub fn wait_arrival(&self, dur: Duration) {
+        self.service_held();
         {
             let mut q = self.queue.lock();
-            // Re-check under the lock happens at the caller; a single wakeup
-            // is enough because the caller loops.
-            self.arrived
-                .wait_for(&mut q, std::time::Duration::from_millis(50));
+            self.arrived.wait_for(&mut q, dur);
         }
         self.check_abort();
     }
 
-    /// Number of queued messages (diagnostics).
+    /// Number of queued + held messages (diagnostics).
     pub fn len(&self) -> usize {
-        self.queue.lock().len()
+        self.queue.lock().len() + self.held.lock().len()
     }
 
-    /// Removes every queued message matching `pred`; returns how many were
-    /// removed. Used by `IAlltoall::cancel` to reclaim staged rounds of an
-    /// abandoned collective.
+    /// Removes every queued *or held* message matching `pred`; returns how
+    /// many were removed. Used by `IAlltoall::cancel` to reclaim staged
+    /// rounds of an abandoned collective.
     pub fn purge<F: Fn(&Msg) -> bool>(&self, pred: F) -> usize {
         let mut q = self.queue.lock();
         let before = q.len();
         q.retain(|m| !pred(m));
-        before - q.len()
+        let mut removed = before - q.len();
+        drop(q);
+        let mut held = self.held.lock();
+        let before = held.len();
+        held.retain(|(m, _)| !pred(m));
+        removed += before - held.len();
+        removed
+    }
+
+    /// `(src, clock)` of every queued message matching `tag` — the
+    /// wildcard-race lint inspects these after a wildcard match.
+    pub fn matching_clocks(&self, tag: u64) -> Vec<(usize, Option<Box<[u64]>>)> {
+        self.queue
+            .lock()
+            .iter()
+            .filter(|m| m.tag == tag)
+            .map(|m| (m.src, m.clock.clone()))
+            .collect()
+    }
+
+    /// Snapshot of `(src, tag)` pairs still queued or held (teardown lint).
+    pub fn leftover_pairs(&self) -> Vec<(usize, u64)> {
+        let mut out: Vec<(usize, u64)> = self.queue.lock().iter().map(|m| (m.src, m.tag)).collect();
+        out.extend(self.held.lock().iter().map(|(m, _)| (m.src, m.tag)));
+        out
     }
 }
 
@@ -197,11 +308,20 @@ pub(crate) struct World {
     /// Faults to inject into this run's collectives (the empty plan for
     /// worlds launched via [`crate::run`]).
     pub faults: Arc<FaultPlan>,
+    /// Park-slice policy for every blocking wait in this world.
+    pub backoff: Backoff,
+    /// Verification instrumentation; `None` outside checked runs.
+    pub check: Option<Arc<CheckState>>,
     aborted: Arc<AtomicBool>,
 }
 
 impl World {
-    pub fn new(size: usize, faults: FaultPlan) -> Arc<Self> {
+    pub fn new(
+        size: usize,
+        faults: FaultPlan,
+        backoff: Backoff,
+        check: Option<Arc<CheckState>>,
+    ) -> Arc<Self> {
         assert!(size >= 1, "world size must be ≥ 1");
         let aborted = Arc::new(AtomicBool::new(false));
         Arc::new(World {
@@ -209,8 +329,63 @@ impl World {
             mailboxes: (0..size).map(|_| Mailbox::new(aborted.clone())).collect(),
             split_table: SplitTable::new(),
             faults: Arc::new(faults),
+            backoff,
+            check,
             aborted,
         })
+    }
+
+    /// Delivers `msg` from world rank `src_world` into `dst_world`'s
+    /// mailbox — the single send-side choke point. Under a checked run this
+    /// stamps the sender's vector clock onto the message, logs the send
+    /// event, and asks the virtual scheduler whether to hold the delivery
+    /// back for a bounded number of receiver yield points.
+    pub fn deliver(&self, src_world: usize, dst_world: usize, mut msg: Msg) {
+        let mb = &self.mailboxes[dst_world];
+        if let Some(check) = &self.check {
+            let clock = check.stamp_send(src_world);
+            check.record_event(src_world, EvKind::Send, dst_world, msg.tag, clock.clone());
+            msg.clock = Some(clock.into_boxed_slice());
+            if let Some(visits) = check.sched_decision(src_world, dst_world, msg.tag) {
+                check.count_deferred();
+                mb.hold(msg, visits);
+                return;
+            }
+            check.count_delivered();
+        }
+        mb.push(msg);
+    }
+
+    /// Receive-side bookkeeping for a matched message: joins its clock into
+    /// the receiver's and logs the receive event. `src_world` is the
+    /// sender's world rank when the caller knows it (falls back to the
+    /// communicator-rank key on `msg.src` for the event's peer field).
+    pub fn on_recv(&self, dst_world: usize, src_world: Option<usize>, msg: &Msg) {
+        if let Some(check) = &self.check {
+            let joined = match &msg.clock {
+                Some(c) => check.join_recv(dst_world, c),
+                None => check.join_recv(dst_world, &[]),
+            };
+            check.record_event(
+                dst_world,
+                EvKind::Recv,
+                src_world.unwrap_or(msg.src),
+                msg.tag,
+                joined,
+            );
+        }
+    }
+
+    /// Releases every scheduler-held delivery in the world (deadlock probe
+    /// and teardown).
+    pub fn force_release_all(&self) {
+        for mb in &self.mailboxes {
+            mb.force_release();
+        }
+    }
+
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
     }
 
     /// Marks the world aborted and wakes every blocked receiver so rank
@@ -228,49 +403,53 @@ mod tests {
     use super::*;
     use std::thread;
 
+    fn msg(src: usize, tag: u64, val: i32) -> Msg {
+        Msg::new(src, tag, Box::new(vec![val]))
+    }
+
+    /// Blocking matched receive for tests (the runtime's loops live in
+    /// `Comm`; tests exercise the mailbox primitive directly).
+    fn take(mb: &Mailbox, src: usize, tag: u64) -> Msg {
+        loop {
+            if let Some(m) = mb.take_or_wait(src, tag, Duration::from_millis(50)) {
+                return m;
+            }
+            mb.check_abort();
+        }
+    }
+
     #[test]
     fn mailbox_matches_src_and_tag() {
         let mb = Mailbox::new(Arc::new(AtomicBool::new(false)));
-        mb.push(Msg {
-            src: 1,
-            tag: 7,
-            data: Box::new(vec![1i32]),
-        });
-        mb.push(Msg {
-            src: 2,
-            tag: 7,
-            data: Box::new(vec![2i32]),
-        });
-        mb.push(Msg {
-            src: 1,
-            tag: 9,
-            data: Box::new(vec![3i32]),
-        });
+        mb.push(msg(1, 7, 1));
+        mb.push(msg(2, 7, 2));
+        mb.push(msg(1, 9, 3));
         assert!(mb.try_take(3, 7).is_none());
-        let m = mb.try_take(2, 7).unwrap();
+        let m = mb.try_take(2, 7).expect("queued");
         assert_eq!(m.src, 2);
-        let m = mb.take(1, 9);
-        assert_eq!(*m.data.downcast::<Vec<i32>>().unwrap(), vec![3]);
+        let m = take(&mb, 1, 9);
+        assert_eq!(
+            *m.data.downcast::<Vec<i32>>().expect("i32 payload"),
+            vec![3]
+        );
         assert_eq!(mb.len(), 1);
     }
 
     #[test]
     fn mailbox_is_fifo_per_pair() {
         let mb = Mailbox::new(Arc::new(AtomicBool::new(false)));
-        mb.push(Msg {
-            src: 0,
-            tag: 1,
-            data: Box::new(vec![10i32]),
-        });
-        mb.push(Msg {
-            src: 0,
-            tag: 1,
-            data: Box::new(vec![20i32]),
-        });
-        let a = mb.take(0, 1);
-        let b = mb.take(0, 1);
-        assert_eq!(*a.data.downcast::<Vec<i32>>().unwrap(), vec![10]);
-        assert_eq!(*b.data.downcast::<Vec<i32>>().unwrap(), vec![20]);
+        mb.push(msg(0, 1, 10));
+        mb.push(msg(0, 1, 20));
+        let a = take(&mb, 0, 1);
+        let b = take(&mb, 0, 1);
+        assert_eq!(
+            *a.data.downcast::<Vec<i32>>().expect("i32 payload"),
+            vec![10]
+        );
+        assert_eq!(
+            *b.data.downcast::<Vec<i32>>().expect("i32 payload"),
+            vec![20]
+        );
     }
 
     #[test]
@@ -278,16 +457,64 @@ mod tests {
         let mb = Arc::new(Mailbox::new(Arc::new(AtomicBool::new(false))));
         let mb2 = mb.clone();
         let h = thread::spawn(move || {
-            let m = mb2.take(5, 42);
-            *m.data.downcast::<Vec<u8>>().unwrap()
+            let m = take(&mb2, 5, 42);
+            *m.data.downcast::<Vec<i32>>().expect("i32 payload")
         });
-        thread::sleep(std::time::Duration::from_millis(20));
-        mb.push(Msg {
-            src: 5,
-            tag: 42,
-            data: Box::new(vec![9u8]),
-        });
-        assert_eq!(h.join().unwrap(), vec![9]);
+        thread::sleep(Duration::from_millis(20));
+        mb.push(msg(5, 42, 9));
+        assert_eq!(h.join().expect("no panic"), vec![9]);
+    }
+
+    #[test]
+    fn held_messages_release_after_service_visits() {
+        let mb = Mailbox::new(Arc::new(AtomicBool::new(false)));
+        mb.hold(msg(0, 7, 1), 3);
+        assert_eq!(mb.len(), 1, "held messages count as in flight");
+        assert!(mb.try_take(0, 7).is_none(), "visit 1: still held");
+        assert!(mb.try_take(0, 7).is_none(), "visit 2: still held");
+        // Visit 3 releases it into the queue at the top of try_take.
+        assert!(mb.try_take(0, 7).is_some());
+        assert_eq!(mb.len(), 0);
+    }
+
+    #[test]
+    fn force_release_flushes_held_immediately() {
+        let mb = Mailbox::new(Arc::new(AtomicBool::new(false)));
+        mb.hold(msg(0, 7, 1), 1000);
+        mb.hold(msg(1, 7, 2), 1000);
+        assert!(!mb.has_match(0, 7), "held ⇒ not yet matchable");
+        mb.force_release();
+        assert!(mb.has_match(0, 7));
+        assert!(mb.has_match(1, 7));
+    }
+
+    #[test]
+    fn purge_reaches_held_messages() {
+        let mb = Mailbox::new(Arc::new(AtomicBool::new(false)));
+        mb.push(msg(0, 7, 1));
+        mb.hold(msg(0, 7, 2), 1000);
+        mb.hold(msg(0, 8, 3), 1000);
+        assert_eq!(mb.purge(|m| m.tag == 7), 2);
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn deliver_stamps_clock_and_take_joins_it() {
+        use crate::check::CheckConfig;
+        let check = Arc::new(CheckState::new(2, CheckConfig::default()));
+        let world = World::new(
+            2,
+            FaultPlan::none(),
+            Backoff::default(),
+            Some(check.clone()),
+        );
+        world.deliver(0, 1, msg(0, 5, 1));
+        let m = world.mailboxes[1].try_take(0, 5).expect("delivered");
+        assert_eq!(m.clock.as_deref(), Some(&[1u64, 0][..]));
+        world.on_recv(1, Some(0), &m);
+        // Receiver's next send must dominate the sender's stamp.
+        let next = check.stamp_send(1);
+        assert_eq!(next, vec![1, 2]);
     }
 
     #[test]
@@ -300,7 +527,10 @@ mod tests {
             let (color, key) = (*color, *key);
             handles.push(thread::spawn(move || t.split(0, 4, color, key, rank)));
         }
-        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let results: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect();
         // Ranks 0,1 share color 0; rank 1 has the lower key so becomes rank 0.
         assert_eq!(results[0], (1, vec![1, 0]));
         assert_eq!(results[1], (0, vec![1, 0]));

@@ -1,0 +1,139 @@
+//! `cargo xtask` — workspace automation driver.
+//!
+//! Subcommands:
+//!
+//! * `lint` — run the mpicheck source lints (`SL001`–`SL003`) over the
+//!   workspace's non-test library code. Exit 1 on any finding.
+//! * `explore [--seed-base N] [--ranks N] [--grid N] [--schedules N]` —
+//!   sweep the overlapped pipeline (NEW variant) over seeded random plus
+//!   systematic delivery schedules under mpisim's checked mode. Exit 1 on
+//!   any schedule with a race/deadlock/lint finding, a panic, or a
+//!   numerical deviation. `--seed-base` offsets the random seed range so CI
+//!   can cover disjoint seed matrices.
+//! * `check` — `lint` then `explore` with the acceptance-gate defaults
+//!   (≥ 200 schedules, 4 ranks, grid 8).
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use mpicheck::{lint_workspace, ExploreConfig, ExploreReport};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo xtask <command>\n\
+         \n\
+         commands:\n\
+         \x20 lint                      run source lints (SL001–SL003)\n\
+         \x20 explore [--seed-base N]   sweep pipeline delivery schedules\n\
+         \x20         [--ranks N] [--grid N] [--schedules N]\n\
+         \x20 check                     lint + explore (acceptance gate)"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn run_lint(root: &Path) -> bool {
+    let findings = lint_workspace(root);
+    if findings.is_empty() {
+        println!("lint: clean ({} source lints enforced)", 3);
+        return true;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!("lint: {} finding(s)", findings.len());
+    false
+}
+
+fn run_explore(args: &[String]) -> bool {
+    let seed_base = parse_flag(args, "--seed-base").unwrap_or(0);
+    let ranks = parse_flag(args, "--ranks").unwrap_or(4) as usize;
+    let grid = parse_flag(args, "--grid").unwrap_or(8) as usize;
+    let mut cfg = ExploreConfig::quick();
+    cfg.ranks = ranks;
+    if let Some(n) = parse_flag(args, "--schedules") {
+        // Keep the systematic sweep; resize the random range to hit the
+        // requested total (minimum: the systematic mask count).
+        let sys = cfg.schedules() - (cfg.random_seeds.end - cfg.random_seeds.start);
+        cfg.random_seeds = 0..n.saturating_sub(sys);
+    }
+    cfg.random_seeds = (cfg.random_seeds.start + seed_base)..(cfg.random_seeds.end + seed_base);
+
+    println!(
+        "explore: {} schedules of the NEW pipeline, grid {grid}^3, {ranks} ranks \
+         (random seeds {:?} + {}-bit systematic sweep)",
+        cfg.schedules(),
+        cfg.random_seeds,
+        cfg.systematic_bits
+    );
+    let report = mpicheck::explore_pipeline(&cfg, grid, |done, total| {
+        if done % 25 == 0 || done == total {
+            print!("\r  {done}/{total} schedules");
+            let _ = std::io::stdout().flush();
+        }
+    });
+    println!();
+    summarize(&report)
+}
+
+fn summarize(report: &ExploreReport) -> bool {
+    println!(
+        "explore: {} schedules in {:.1}s — {} failure(s), {} info finding(s)",
+        report.schedules_run,
+        report.wall,
+        report.failures.len(),
+        report.info_findings
+    );
+    for fail in &report.failures {
+        println!("  FAILED schedule {}", fail.schedule);
+        for f in &fail.findings {
+            println!("    {f}");
+        }
+        if let Some(p) = &fail.panic {
+            println!("    panic: {p}");
+        }
+        if let Some(e) = fail.max_err {
+            println!("    max numerical error: {e:.3e}");
+        }
+    }
+    report.is_clean()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
+    let ok = match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&root),
+        Some("explore") => run_explore(&args[1..]),
+        Some("check") => {
+            let lint_ok = run_lint(&root);
+            let explore_ok = run_explore(&args[1..]);
+            if lint_ok && explore_ok {
+                println!("check: all gates passed");
+            }
+            lint_ok && explore_ok
+        }
+        _ => return usage(),
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
