@@ -10,6 +10,44 @@
 use crate::complex::Complex64;
 use crate::planner::Plan1d;
 
+/// Does any pair of distinct lines in `layout` (length `n`) touch a common
+/// element, or any single line revisit an offset?
+///
+/// Line `l`, element `j` lives at `l·dist + j·stride`, so lines `l` and
+/// `l + k` collide iff `k·dist = m·stride` for some `0 ≤ m ≤ n−1` — which is
+/// what the loop below searches for. Interleavings are *allowed* as long as
+/// they miss each other: the columns of a row-major matrix
+/// (`stride = cols`, `dist = 1`, `howmany = cols`) are a legal batch because
+/// `k·1` is never a multiple of `cols` for `k < cols`.
+pub fn lines_alias(layout: BatchLayout, n: usize) -> bool {
+    if n == 0 || layout.howmany == 0 {
+        return false;
+    }
+    if layout.stride == 0 && n > 1 {
+        // A single line writes the same offset n times.
+        return true;
+    }
+    if layout.dist == 0 && layout.howmany > 1 {
+        return true;
+    }
+    if layout.stride == 0 {
+        // n == 1 and dist > 0: singleton lines at distinct offsets.
+        return false;
+    }
+    for k in 1..layout.howmany {
+        let d = k * layout.dist;
+        if d > (n - 1) * layout.stride {
+            // dist > 0 here (dist == 0 returned above), so separations only
+            // grow with k: no farther pair can collide either.
+            break;
+        }
+        if d % layout.stride == 0 {
+            return true;
+        }
+    }
+    false
+}
+
 /// Geometry of a batch of equal-length lines inside a flat buffer.
 ///
 /// Line `l`, element `j` lives at offset `l·dist + j·stride`.
@@ -62,8 +100,8 @@ impl BatchScratch {
 /// Executes `plan` over every line of `layout` inside `data`, in place.
 ///
 /// # Panics
-/// If `data` is too short for the layout, or lines overlap (overlap is only
-/// diagnosed cheaply: zero `dist` with multiple lines).
+/// If `data` is too short for the layout, or any two lines overlap (or a
+/// line self-overlaps) per [`lines_alias`].
 pub fn execute_batch(
     plan: &Plan1d,
     data: &mut [Complex64],
@@ -78,8 +116,8 @@ pub fn execute_batch(
         data.len()
     );
     assert!(
-        layout.howmany <= 1 || layout.dist != 0,
-        "batch lines would alias (dist = 0)"
+        !lines_alias(layout, n),
+        "batch lines would alias: {layout:?} with n = {n}"
     );
     if layout.stride == 1 {
         for l in 0..layout.howmany {
@@ -98,6 +136,229 @@ pub fn execute_batch(
             }
         }
     }
+}
+
+/// Splits sorted, pairwise-disjoint rows of `data` into at most `threads`
+/// contiguous groups of non-overlapping `&mut` slices and runs `per_chunk`
+/// on each group concurrently.
+///
+/// `start_of` extracts a row's first offset from its descriptor; row `r`
+/// occupies `data[start_of(r)..start_of(r) + n]`. Safety rests entirely on
+/// the sorted/disjoint precondition (asserted below): group boundaries then
+/// carve `data` into disjoint regions via `split_at_mut`, with no `unsafe`.
+fn run_row_chunks<M: Sync>(
+    data: &mut [Complex64],
+    n: usize,
+    rows: &[M],
+    threads: usize,
+    start_of: impl Fn(&M) -> usize + Sync + Copy,
+    per_chunk: impl Fn(&mut [Complex64], &[M], usize) + Sync,
+) {
+    if rows.is_empty() || n == 0 {
+        return;
+    }
+    for w in rows.windows(2) {
+        let (a, b) = (start_of(&w[0]), start_of(&w[1]));
+        assert!(
+            a + n <= b,
+            "rows must be sorted and non-overlapping: [{a}, {}) vs [{b}, ..)",
+            a + n
+        );
+    }
+    let last = start_of(&rows[rows.len() - 1]);
+    assert!(
+        last + n <= data.len(),
+        "row [{last}, {}) exceeds buffer of {}",
+        last + n,
+        data.len()
+    );
+    if threads <= 1 || rows.len() <= 1 {
+        per_chunk(data, rows, 0);
+        return;
+    }
+    let nchunks = threads.min(rows.len());
+    let per = rows.len().div_ceil(nchunks);
+    let mut rest: &mut [Complex64] = data;
+    let mut consumed = 0usize;
+    let mut tasks: Vec<(&mut [Complex64], &[M], usize)> = Vec::with_capacity(nchunks);
+    for chunk in rows.chunks(per) {
+        let lo = start_of(&chunk[0]);
+        let hi = start_of(&chunk[chunk.len() - 1]) + n;
+        let tail = std::mem::take(&mut rest);
+        let (_, tail) = tail.split_at_mut(lo - consumed);
+        let (mine, tail) = tail.split_at_mut(hi - lo);
+        rest = tail;
+        consumed = hi;
+        tasks.push((mine, chunk, lo));
+    }
+    let per_chunk = &per_chunk;
+    rayon::scope(|s| {
+        for (slice, chunk, lo) in tasks {
+            s.spawn(move |_| per_chunk(slice, chunk, lo));
+        }
+    });
+}
+
+/// Executes `plan` over the rows `data[s..s + plan.len()]` for each `s` in
+/// `starts`, spreading contiguous groups of rows over up to `threads`
+/// workers. Each worker owns a freshly created [`BatchScratch`] — scratch is
+/// never shared — so the per-row arithmetic is identical to the sequential
+/// path and the output is bit-identical for every thread count.
+///
+/// # Panics
+/// If `starts` is not sorted ascending with gaps of at least `plan.len()`,
+/// or any row exceeds `data`.
+pub fn execute_lines_threaded(
+    plan: &Plan1d,
+    data: &mut [Complex64],
+    starts: &[usize],
+    threads: usize,
+) {
+    let n = plan.len();
+    run_row_chunks(
+        data,
+        n,
+        starts,
+        threads,
+        |&s| s,
+        |slice, chunk, lo| {
+            let mut scratch = BatchScratch::for_plan(plan);
+            for &s in chunk {
+                let r = s - lo;
+                plan.execute(&mut slice[r..r + n], &mut scratch.plan_scratch);
+            }
+        },
+    );
+}
+
+/// Runs `f` over sorted, pairwise-disjoint rows of `data` — row `i` is
+/// `data[rows[i].0..rows[i].0 + n]`, and `f` also receives the row's
+/// metadata `rows[i].1` — spreading contiguous groups of rows over up to
+/// `threads` workers. This is the parallel backbone of the pipeline's
+/// Unpack step: metadata carries the `(z, y)` coordinates a row needs to
+/// locate its source elements in a shared receive buffer.
+///
+/// # Panics
+/// If rows are not sorted ascending with gaps of at least `n`, or any row
+/// exceeds `data`.
+pub fn for_each_row_threaded<M: Sync>(
+    data: &mut [Complex64],
+    n: usize,
+    rows: &[(usize, M)],
+    threads: usize,
+    f: impl Fn(&mut [Complex64], &M) + Sync,
+) {
+    run_row_chunks(
+        data,
+        n,
+        rows,
+        threads,
+        |row| row.0,
+        |slice, chunk, lo| {
+            for (s, meta) in chunk {
+                let r = s - lo;
+                f(&mut slice[r..r + n], meta);
+            }
+        },
+    );
+}
+
+/// Splits `data` at `bounds` into the parts `data[bounds[i]..bounds[i + 1]]`
+/// and runs `f(i, part)` for each, spreading contiguous groups of parts over
+/// up to `threads` workers. This is the parallel backbone of the pipeline's
+/// Pack step: `bounds` are the per-destination-rank displacements into the
+/// send buffer, so each worker owns whole destination blocks.
+///
+/// # Panics
+/// If `bounds` is not sorted ascending or exceeds `data`.
+pub fn for_each_part_threaded(
+    data: &mut [Complex64],
+    bounds: &[usize],
+    threads: usize,
+    f: impl Fn(usize, &mut [Complex64]) + Sync,
+) {
+    let nparts = bounds.len().saturating_sub(1);
+    if nparts == 0 {
+        return;
+    }
+    for w in bounds.windows(2) {
+        assert!(w[0] <= w[1], "bounds must be sorted: {} > {}", w[0], w[1]);
+    }
+    assert!(
+        bounds[nparts] <= data.len(),
+        "bounds exceed buffer: {} > {}",
+        bounds[nparts],
+        data.len()
+    );
+    if threads <= 1 || nparts == 1 {
+        for i in 0..nparts {
+            f(i, &mut data[bounds[i]..bounds[i + 1]]);
+        }
+        return;
+    }
+    let nchunks = threads.min(nparts);
+    let per = nparts.div_ceil(nchunks);
+    let mut rest: &mut [Complex64] = data;
+    let mut consumed = 0usize;
+    let mut tasks: Vec<(&mut [Complex64], usize, usize)> = Vec::with_capacity(nchunks);
+    let mut i = 0;
+    while i < nparts {
+        let count = per.min(nparts - i);
+        let (lo, hi) = (bounds[i], bounds[i + count]);
+        let tail = std::mem::take(&mut rest);
+        let (_, tail) = tail.split_at_mut(lo - consumed);
+        let (mine, tail) = tail.split_at_mut(hi - lo);
+        rest = tail;
+        consumed = hi;
+        tasks.push((mine, i, count));
+        i += count;
+    }
+    let f = &f;
+    let bounds_ref = bounds;
+    rayon::scope(|s| {
+        for (slice, first, count) in tasks {
+            s.spawn(move |_| {
+                let base = bounds_ref[first];
+                for p in first..first + count {
+                    let (plo, phi) = (bounds_ref[p] - base, bounds_ref[p + 1] - base);
+                    f(p, &mut slice[plo..phi]);
+                }
+            });
+        }
+    });
+}
+
+/// [`execute_batch`] spread over up to `threads` workers.
+///
+/// Only unit-stride layouts run in parallel: after the alias check,
+/// `stride == 1` guarantees `dist ≥ n`, so lines are disjoint ascending
+/// slices that [`execute_lines_threaded`] can hand to separate workers.
+/// Strided (gather/scatter) layouts and `threads ≤ 1` fall back to the
+/// sequential path with a local scratch.
+pub fn execute_batch_threaded(
+    plan: &Plan1d,
+    data: &mut [Complex64],
+    layout: BatchLayout,
+    threads: usize,
+) {
+    let n = plan.len();
+    assert!(
+        data.len() >= layout.required_len(n),
+        "batch layout exceeds buffer: need {}, have {}",
+        layout.required_len(n),
+        data.len()
+    );
+    assert!(
+        !lines_alias(layout, n),
+        "batch lines would alias: {layout:?} with n = {n}"
+    );
+    if threads <= 1 || layout.howmany <= 1 || layout.stride != 1 {
+        let mut scratch = BatchScratch::for_plan(plan);
+        execute_batch(plan, data, layout, &mut scratch);
+        return;
+    }
+    let starts: Vec<usize> = (0..layout.howmany).map(|l| l * layout.dist).collect();
+    execute_lines_threaded(plan, data, &starts, threads);
 }
 
 #[cfg(test)]
@@ -201,6 +462,186 @@ mod tests {
             },
             &mut scratch,
         );
+    }
+
+    #[test]
+    fn alias_formula_catches_interleaved_overlap() {
+        // stride 2, dist 2: line 1 starts on line 0's second element.
+        let l = BatchLayout {
+            howmany: 2,
+            stride: 2,
+            dist: 2,
+        };
+        assert!(lines_alias(l, 4));
+        // stride 2, dist 3: lines 0 and 2 share offset 6 once n ≥ 4.
+        let l = BatchLayout {
+            howmany: 3,
+            stride: 2,
+            dist: 3,
+        };
+        assert!(lines_alias(l, 4));
+        // …but with only two lines the offsets are odd-vs-even: legal.
+        let l = BatchLayout {
+            howmany: 2,
+            stride: 2,
+            dist: 3,
+        };
+        assert!(!lines_alias(l, 4));
+        // Matrix columns (stride = cols, dist = 1) never alias.
+        let l = BatchLayout {
+            howmany: 8,
+            stride: 8,
+            dist: 1,
+        };
+        assert!(!lines_alias(l, 6));
+        // Zero stride revisits one offset within a single line.
+        let l = BatchLayout {
+            howmany: 1,
+            stride: 0,
+            dist: 1,
+        };
+        assert!(lines_alias(l, 2));
+        assert!(!lines_alias(l, 1));
+        // Contiguous lines are always fine.
+        assert!(!lines_alias(BatchLayout::contiguous(16, 50), 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "alias")]
+    fn interleaved_overlapping_batch_is_rejected() {
+        let mut planner = Planner::new(Rigor::Estimate);
+        let plan = planner.plan(4, Direction::Forward);
+        // required_len = 2·4 + 3·2 + 1 = 15; lines 0 and 1 share offset 4.
+        let mut data = signal(15);
+        let mut scratch = BatchScratch::for_plan(&plan);
+        execute_batch(
+            &plan,
+            &mut data,
+            BatchLayout {
+                howmany: 3,
+                stride: 2,
+                dist: 4,
+            },
+            &mut scratch,
+        );
+    }
+
+    #[test]
+    fn threaded_batch_is_bit_identical_to_sequential() {
+        let n = 48;
+        let howmany = 13;
+        let mut planner = Planner::new(Rigor::Estimate);
+        let plan = planner.plan(n, Direction::Forward);
+        let layout = BatchLayout::contiguous(n, howmany);
+        let mut seq = signal(n * howmany);
+        let mut par = seq.clone();
+        let mut scratch = BatchScratch::for_plan(&plan);
+        execute_batch(&plan, &mut seq, layout, &mut scratch);
+        for threads in [1, 2, 3, 8] {
+            par.copy_from_slice(&signal(n * howmany));
+            execute_batch_threaded(&plan, &mut par, layout, threads);
+            // Bit-identical, not merely close: same plan, same per-line input.
+            assert!(
+                seq.iter()
+                    .zip(&par)
+                    .all(|(a, b)| a.re.to_bits() == b.re.to_bits()
+                        && a.im.to_bits() == b.im.to_bits()),
+                "threads={threads} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_strided_batch_falls_back_and_matches() {
+        let (rows, cols) = (6usize, 8usize);
+        let mut planner = Planner::new(Rigor::Estimate);
+        let plan = planner.plan(rows, Direction::Forward);
+        let layout = BatchLayout {
+            howmany: cols,
+            stride: cols,
+            dist: 1,
+        };
+        let mut seq = signal(rows * cols);
+        let mut par = seq.clone();
+        let mut scratch = BatchScratch::for_plan(&plan);
+        execute_batch(&plan, &mut seq, layout, &mut scratch);
+        execute_batch_threaded(&plan, &mut par, layout, 4);
+        assert!(seq
+            .iter()
+            .zip(&par)
+            .all(|(a, b)| a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits()));
+    }
+
+    #[test]
+    fn execute_lines_threaded_handles_gaps() {
+        // Rows with a hole between them: untouched elements must survive.
+        let n = 16;
+        let mut planner = Planner::new(Rigor::Estimate);
+        let plan = planner.plan(n, Direction::Forward);
+        let mut data = signal(3 * n);
+        let orig = data.clone();
+        let starts = [0, 2 * n];
+        execute_lines_threaded(&plan, &mut data, &starts, 4);
+        for (j, (got, was)) in data[n..2 * n].iter().zip(&orig[n..2 * n]).enumerate() {
+            assert_eq!(
+                got.re.to_bits(),
+                was.re.to_bits(),
+                "gap element {j} touched"
+            );
+            assert_eq!(
+                got.im.to_bits(),
+                was.im.to_bits(),
+                "gap element {j} touched"
+            );
+        }
+        let want = dft(&orig[0..n], Direction::Forward);
+        assert!(max_abs_diff(&data[0..n], &want) < 1e-9 * n as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and non-overlapping")]
+    fn execute_lines_threaded_rejects_overlapping_rows() {
+        let mut planner = Planner::new(Rigor::Estimate);
+        let plan = planner.plan(8, Direction::Forward);
+        let mut data = signal(16);
+        execute_lines_threaded(&plan, &mut data, &[0, 4], 2);
+    }
+
+    #[test]
+    fn for_each_part_threaded_matches_sequential() {
+        let mut seq: Vec<Complex64> = signal(40);
+        let mut par = seq.clone();
+        let bounds = [0usize, 7, 7, 19, 40];
+        let bump = |i: usize, part: &mut [Complex64]| {
+            for (j, v) in part.iter_mut().enumerate() {
+                *v = Complex64::new(v.re + i as f64, v.im + j as f64);
+            }
+        };
+        for i in 0..bounds.len() - 1 {
+            bump(i, &mut seq[bounds[i]..bounds[i + 1]]);
+        }
+        for_each_part_threaded(&mut par, &bounds, 3, bump);
+        assert!(seq
+            .iter()
+            .zip(&par)
+            .all(|(a, b)| a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits()));
+    }
+
+    #[test]
+    fn for_each_row_threaded_passes_metadata() {
+        let n = 4;
+        let mut data = vec![Complex64::ZERO; 3 * n];
+        let rows = [(0usize, 10.0f64), (n, 20.0), (2 * n, 30.0)];
+        for_each_row_threaded(&mut data, n, &rows, 2, |row, &tag| {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = Complex64::new(tag, j as f64);
+            }
+        });
+        for (s, tag) in rows {
+            for j in 0..n {
+                assert_eq!(data[s + j], Complex64::new(tag, j as f64));
+            }
+        }
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //!
 //! * [`planner::Planner`] with [`planner::Rigor`] mirrors FFTW's
 //!   `ESTIMATE`/`MEASURE`/`PATIENT` planning (§4.1 of the paper).
+//! * [`cache::PlanCache`] shares plans process-wide (FFTW's wisdom): the
+//!   transform entry points draw from [`cache::PlanCache::global`] so
+//!   repeated geometries never replan.
 //! * Kernels: naive [`dft`], in-place [`radix2`], Stockham [`mixed`] radix,
 //!   and [`bluestein`] for arbitrary lengths.
 //! * [`batch`] runs a plan over many strided lines (FFTW's advanced
@@ -32,6 +35,7 @@
 #![allow(clippy::len_without_is_empty)]
 pub mod batch;
 pub mod bluestein;
+pub mod cache;
 pub mod complex;
 pub mod dft;
 pub mod factor;
@@ -43,6 +47,7 @@ pub mod real;
 pub mod transpose;
 pub mod twiddle;
 
+pub use cache::{CacheStats, PlanCache};
 pub use complex::Complex64;
 pub use planner::{Plan1d, Planner, Rigor};
 

@@ -1,5 +1,5 @@
-//! The ten tunable parameters (Table 1 of the paper) and their feasibility
-//! rules.
+//! The tunable parameters (Table 1 of the paper, plus an intra-rank thread
+//! count `Th`) and their feasibility rules.
 
 /// Size and process count of one distributed 3-D FFT problem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,7 +42,9 @@ impl ProblemSpec {
     }
 }
 
-/// The ten tunable parameters of the overlapped 3-D FFT (Table 1).
+/// The tunable parameters of the overlapped 3-D FFT: the paper's ten
+/// (Table 1) plus `Th`, the intra-rank worker-thread count for the batched
+/// kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TuningParams {
     /// `T` — elements on z per communication tile.
@@ -65,6 +67,10 @@ pub struct TuningParams {
     pub fu: u32,
     /// `Fx` — `MPI_Test` calls during FFTx per tile.
     pub fx: u32,
+    /// `Th` — worker threads for the intra-rank batched kernels (FFT
+    /// batches, transposes, Pack/Unpack sub-tiles). `1` keeps every kernel
+    /// on the rank's own thread.
+    pub threads: usize,
 }
 
 /// Why a parameter configuration is infeasible for a given problem.
@@ -83,6 +89,11 @@ pub enum ParamError {
     UnpackY(usize),
     /// `Uz` outside `1..=T`.
     UnpackZ(usize),
+    /// `Th` below 1 (a pipeline with no compute threads cannot progress).
+    Threads(usize),
+    /// A problem axis has zero extent; planning a transform for it is
+    /// meaningless. Carries the axis name.
+    ZeroExtent(&'static str),
 }
 
 impl std::fmt::Display for ParamError {
@@ -94,6 +105,8 @@ impl std::fmt::Display for ParamError {
             ParamError::PackZ(v) => write!(f, "Pz = {v} exceeds T"),
             ParamError::UnpackY(v) => write!(f, "Uy = {v} out of range"),
             ParamError::UnpackZ(v) => write!(f, "Uz = {v} exceeds T"),
+            ParamError::Threads(v) => write!(f, "Th = {v} out of range"),
+            ParamError::ZeroExtent(axis) => write!(f, "axis {axis} has zero extent"),
         }
     }
 }
@@ -135,6 +148,9 @@ impl TuningParams {
         if self.uz < 1 || self.uz > self.t {
             return Err(ParamError::UnpackZ(self.uz));
         }
+        if self.threads < 1 {
+            return Err(ParamError::Threads(self.threads));
+        }
         Ok(())
     }
 
@@ -172,6 +188,7 @@ impl TuningParams {
             fp: f,
             fu: f,
             fx: f,
+            threads: 1,
         }
     }
 
@@ -300,6 +317,17 @@ mod tests {
             p.validate_without_window(&s),
             Err(ParamError::TileSize(0))
         ));
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let s = spec();
+        let mut p = TuningParams::seed(&s);
+        assert_eq!(p.threads, 1);
+        p.threads = 0;
+        assert_eq!(p.validate(&s), Err(ParamError::Threads(0)));
+        p.threads = 4;
+        assert_eq!(p.validate(&s), Ok(()));
     }
 
     #[test]

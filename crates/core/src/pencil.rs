@@ -21,9 +21,10 @@
 //! ```
 
 use crate::decomp::AxisSplit;
-use crate::params::ProblemSpec;
-use cfft::planner::{Planner, Rigor};
-use cfft::{Complex64, Direction};
+use crate::error::Error;
+use crate::params::{ParamError, ProblemSpec};
+use cfft::planner::Rigor;
+use cfft::{Complex64, Direction, PlanCache};
 use mpisim::Comm;
 use simnet::model::ELEM_BYTES;
 use simnet::{run_sim, Platform};
@@ -81,6 +82,9 @@ pub struct PencilOutput {
 ///
 /// `input` is this rank's `(X_r, Y_c, Z_all)` block in local `x-y-z`
 /// layout. Collective over `comm`; `grid.len()` must equal `comm.size()`.
+///
+/// # Panics
+/// On a zero-extent axis; use [`try_fft3_pencil`] for the typed error path.
 pub fn fft3_pencil(
     comm: &Comm,
     spec: ProblemSpec,
@@ -88,8 +92,28 @@ pub fn fft3_pencil(
     dir: Direction,
     input: &[Complex64],
 ) -> PencilOutput {
+    // Display keeps the "infeasible parameters: …" wording the panicking
+    // entry points share.
+    try_fft3_pencil(comm, spec, grid, dir, input).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`fft3_pencil`]: a zero-extent axis comes back as
+/// [`Error::InfeasibleParams`] instead of silently planning a size-1
+/// stand-in transform for an empty problem.
+pub fn try_fft3_pencil(
+    comm: &Comm,
+    spec: ProblemSpec,
+    grid: PencilGrid,
+    dir: Direction,
+    input: &[Complex64],
+) -> Result<PencilOutput, Error> {
     assert_eq!(grid.len(), comm.size(), "grid must match communicator");
     assert_eq!(grid.len(), spec.p, "grid must match spec.p");
+    for (axis, n) in [("nx", spec.nx), ("ny", spec.ny), ("nz", spec.nz)] {
+        if n == 0 {
+            return Err(Error::from(ParamError::ZeroExtent(axis)));
+        }
+    }
     let (row, col) = grid.coords(comm.rank());
 
     let xs = AxisSplit::new(spec.nx, grid.pr); // X_r
@@ -115,10 +139,11 @@ pub fn fft3_pencil(
         .split((grid.pr + col) as i64, row as i64)
         .expect("non-negative color");
 
-    let mut planner = Planner::new(Rigor::Estimate);
-    let plan_z = planner.plan(spec.nz.max(1), dir);
-    let plan_y = planner.plan(spec.ny.max(1), dir);
-    let plan_x = planner.plan(spec.nx.max(1), dir);
+    // Shared plans: repeated pencil transforms of one geometry never replan.
+    let cache = PlanCache::global();
+    let plan_z = cache.plan(spec.nz, dir, Rigor::Estimate);
+    let plan_y = cache.plan(spec.ny, dir, Rigor::Estimate);
+    let plan_x = cache.plan(spec.nx, dir, Rigor::Estimate);
     let mut scratch = vec![
         Complex64::ZERO;
         plan_z
@@ -221,11 +246,11 @@ pub fn fft3_pencil(
         plan_x.execute(&mut cbuf[s..s + spec.nx], &mut scratch);
     }
 
-    PencilOutput {
+    Ok(PencilOutput {
         data: cbuf,
         ny2l,
         nzl,
-    }
+    })
 }
 
 /// Simulated cost of the (blocking) pencil transform: three FFT sweeps,

@@ -11,12 +11,16 @@
 use crate::breakdown::{RunStats, StepTimes};
 use crate::decomp::Decomp;
 use crate::error::Error;
-use crate::params::{ProblemSpec, TuningParams};
+use crate::params::{ParamError, ProblemSpec, TuningParams};
 use crate::pipeline::{try_run_new, try_run_th, OverlapEnv, Recovery, Resilience};
 use crate::trace::{DegradeAction, EventKind, NoopRecorder, Recorder, TraceEvent};
-use cfft::planner::{Plan1d, Planner, Rigor};
-use cfft::transpose::{permute3, xzy_fast, Dims3, XYZ_TO_ZXY};
-use cfft::{Complex64, Direction};
+use cfft::batch::{
+    execute_batch_threaded, execute_lines_threaded, for_each_part_threaded, for_each_row_threaded,
+    BatchLayout,
+};
+use cfft::planner::{Plan1d, Rigor};
+use cfft::transpose::{permute3_threaded, xzy_fast_threaded, Dims3, XYZ_TO_ZXY};
+use cfft::{Complex64, Direction, PlanCache};
 use mpisim::{CollError, Comm, IAlltoall};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -74,6 +78,10 @@ pub struct RunOutput {
     /// What the degradation ladder had to do (empty for a clean run, and
     /// always empty when the watchdog is disabled).
     pub recovery: Recovery,
+    /// Planning time this call actually incurred. Exactly zero when every
+    /// plan came from the process-wide [`PlanCache`] — i.e. for any repeat
+    /// of a geometry this process has transformed before.
+    pub planning: Duration,
 }
 
 /// Distributes polls evenly across a loop of `total_units` work units.
@@ -309,23 +317,36 @@ impl<'a> OverlapEnv for RealEnv<'a> {
 
     fn fftz_transpose(&mut self) {
         let (nx_l, ny, nz) = (self.nxl, self.spec.ny, self.spec.nz);
+        let threads = self.params.threads;
         // FFTz: z lines are contiguous in the x-y-z input.
         let t0 = Instant::now();
-        for line in 0..nx_l * ny {
-            let s = line * nz;
-            self.plan_z
-                .execute(&mut self.input[s..s + nz], &mut self.plan_scratch);
+        if threads > 1 {
+            execute_batch_threaded(
+                &self.plan_z,
+                &mut self.input,
+                BatchLayout::contiguous(nz, nx_l * ny),
+                threads,
+            );
+        } else {
+            for line in 0..nx_l * ny {
+                let s = line * nz;
+                self.plan_z
+                    .execute(&mut self.input[s..s + nz], &mut self.plan_scratch);
+            }
         }
         let t1 = Instant::now();
         self.steps.fftz += (t1 - t0).as_secs_f64();
         self.record_span(t0, t1, EventKind::Fftz);
 
-        // Transpose into the tile-friendly layout.
+        // Transpose into the tile-friendly layout. The `_threaded` kernels
+        // fall back to the sequential blocked code at `threads = 1`.
         let t0 = Instant::now();
         let sd = Dims3::new(nx_l, ny, nz);
         match self.transpose_style {
-            TransposeStyle::Fast => xzy_fast(&self.input, &mut self.zxy, sd),
-            TransposeStyle::Generic => permute3(&self.input, &mut self.zxy, sd, XYZ_TO_ZXY),
+            TransposeStyle::Fast => xzy_fast_threaded(&self.input, &mut self.zxy, sd, threads),
+            TransposeStyle::Generic => {
+                permute3_threaded(&self.input, &mut self.zxy, sd, XYZ_TO_ZXY, threads)
+            }
             TransposeStyle::Naive => {
                 // Deliberately unblocked: models a straightforward loop nest.
                 for x in 0..nx_l {
@@ -386,11 +407,29 @@ impl<'a> OverlapEnv for RealEnv<'a> {
 
                 // FFTy on every y line of the sub-tile.
                 let t0 = Instant::now();
-                for z in zs..ze {
-                    for xl in xs..xe {
-                        let s = self.zxy_idx(z, xl, 0);
-                        self.plan_y
-                            .execute(&mut self.zxy[s..s + ny], &mut self.plan_scratch);
+                if self.params.threads > 1 {
+                    let mut starts: Vec<usize> = Vec::with_capacity((ze - zs) * (xe - xs));
+                    for z in zs..ze {
+                        for xl in xs..xe {
+                            starts.push(self.zxy_idx(z, xl, 0));
+                        }
+                    }
+                    // Rows are disjoint whichever layout `zxy_idx` uses, but
+                    // only sorted for one of them — sort for the splitter.
+                    starts.sort_unstable();
+                    execute_lines_threaded(
+                        &self.plan_y,
+                        &mut self.zxy,
+                        &starts,
+                        self.params.threads,
+                    );
+                } else {
+                    for z in zs..ze {
+                        for xl in xs..xe {
+                            let s = self.zxy_idx(z, xl, 0);
+                            self.plan_y
+                                .execute(&mut self.zxy[s..s + ny], &mut self.plan_scratch);
+                        }
                     }
                 }
                 let t1 = Instant::now();
@@ -409,19 +448,52 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                 // Pack the sub-tile into per-destination blocks, each laid
                 // out (z_local, x_local, y_local).
                 let t0 = Instant::now();
-                for z in zs..ze {
-                    let zl = z - z0;
-                    for xl in xs..xe {
-                        let row = self.zxy_idx(z, xl, 0);
-                        let in_block_row = zl * nxl + xl;
-                        for (q, &q_displ) in send_displs.iter().enumerate() {
-                            let nyl_q = self.decomp.y.count(q);
-                            let yoff = self.decomp.y.offset(q);
-                            let dst = q_displ + in_block_row * nyl_q;
-                            let src = row + yoff;
-                            // Contiguous y-run copy.
-                            self.send[dst..dst + nyl_q]
-                                .copy_from_slice(&self.zxy[src..src + nyl_q]);
+                if self.params.threads > 1 {
+                    // Parallel over destination ranks: each worker owns whole
+                    // per-destination send blocks (disjoint `&mut`) and reads
+                    // the shared transposed slab.
+                    let mut bounds = send_displs.clone();
+                    bounds.push(total_send);
+                    let zxy = &self.zxy;
+                    let decomp = &self.decomp;
+                    let style = self.transpose_style;
+                    let (snz, sny, snxl) = (self.spec.nz, ny, nxl);
+                    let zxy_row = move |z: usize, xl: usize| match style {
+                        TransposeStyle::Fast => (xl * snz + z) * sny,
+                        _ => (z * snxl + xl) * sny,
+                    };
+                    for_each_part_threaded(
+                        &mut self.send[..total_send],
+                        &bounds,
+                        self.params.threads,
+                        |q, part| {
+                            let nyl_q = decomp.y.count(q);
+                            let yoff = decomp.y.offset(q);
+                            for z in zs..ze {
+                                let zl = z - z0;
+                                for xl in xs..xe {
+                                    let src = zxy_row(z, xl) + yoff;
+                                    let dst = (zl * nxl + xl) * nyl_q;
+                                    part[dst..dst + nyl_q].copy_from_slice(&zxy[src..src + nyl_q]);
+                                }
+                            }
+                        },
+                    );
+                } else {
+                    for z in zs..ze {
+                        let zl = z - z0;
+                        for xl in xs..xe {
+                            let row = self.zxy_idx(z, xl, 0);
+                            let in_block_row = zl * nxl + xl;
+                            for (q, &q_displ) in send_displs.iter().enumerate() {
+                                let nyl_q = self.decomp.y.count(q);
+                                let yoff = self.decomp.y.offset(q);
+                                let dst = q_displ + in_block_row * nyl_q;
+                                let src = row + yoff;
+                                // Contiguous y-run copy.
+                                self.send[dst..dst + nyl_q]
+                                    .copy_from_slice(&self.zxy[src..src + nyl_q]);
+                            }
                         }
                     }
                 }
@@ -531,19 +603,56 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                 let ys = yb * uy;
                 let ye = (ys + uy).min(nyl);
 
+                // Output rows of this sub-tile, sorted by offset — shared by
+                // the parallel Unpack and FFTx paths below. Rows are disjoint
+                // length-nx slices whichever `out_idx` layout is active.
+                let rows: Vec<(usize, (usize, usize))> = if self.params.threads > 1 {
+                    let mut rows: Vec<(usize, (usize, usize))> = (zs..ze)
+                        .flat_map(|z| (ys..ye).map(move |yl| (z, yl)))
+                        .map(|(z, yl)| (self.out_idx(z, yl, 0), (z, yl)))
+                        .collect();
+                    rows.sort_unstable_by_key(|r| r.0);
+                    rows
+                } else {
+                    Vec::new()
+                };
+
                 // Unpack: source block from rank s is (z_local, x_in_s,
                 // y_local); destination rows are x-contiguous.
                 let t0 = Instant::now();
-                for z in zs..ze {
-                    let zl = z - z0;
-                    for yl in ys..ye {
-                        let out_row = self.out_idx(z, yl, 0);
-                        for (s, &s_displ) in recv_displs.iter().enumerate() {
-                            let nxl_s = self.decomp.x.count(s);
-                            let xoff = self.decomp.x.offset(s);
-                            let base = s_displ + (zl * nxl_s) * nyl + yl;
-                            for xl in 0..nxl_s {
-                                self.out[out_row + xoff + xl] = recv[base + xl * nyl];
+                if self.params.threads > 1 {
+                    let decomp = &self.decomp;
+                    let recv_ref = &recv;
+                    let displs = &recv_displs;
+                    for_each_row_threaded(
+                        &mut self.out,
+                        nx,
+                        &rows,
+                        self.params.threads,
+                        |row, &(z, yl)| {
+                            let zl = z - z0;
+                            for (s, &s_displ) in displs.iter().enumerate() {
+                                let nxl_s = decomp.x.count(s);
+                                let xoff = decomp.x.offset(s);
+                                let base = s_displ + (zl * nxl_s) * nyl + yl;
+                                for xl in 0..nxl_s {
+                                    row[xoff + xl] = recv_ref[base + xl * nyl];
+                                }
+                            }
+                        },
+                    );
+                } else {
+                    for z in zs..ze {
+                        let zl = z - z0;
+                        for yl in ys..ye {
+                            let out_row = self.out_idx(z, yl, 0);
+                            for (s, &s_displ) in recv_displs.iter().enumerate() {
+                                let nxl_s = self.decomp.x.count(s);
+                                let xoff = self.decomp.x.offset(s);
+                                let base = s_displ + (zl * nxl_s) * nyl + yl;
+                                for xl in 0..nxl_s {
+                                    self.out[out_row + xoff + xl] = recv[base + xl * nyl];
+                                }
                             }
                         }
                     }
@@ -563,11 +672,21 @@ impl<'a> OverlapEnv for RealEnv<'a> {
 
                 // FFTx on the unpacked x lines.
                 let t0 = Instant::now();
-                for z in zs..ze {
-                    for yl in ys..ye {
-                        let s = self.out_idx(z, yl, 0);
-                        self.plan_x
-                            .execute(&mut self.out[s..s + nx], &mut self.plan_scratch);
+                if self.params.threads > 1 {
+                    let starts: Vec<usize> = rows.iter().map(|r| r.0).collect();
+                    execute_lines_threaded(
+                        &self.plan_x,
+                        &mut self.out,
+                        &starts,
+                        self.params.threads,
+                    );
+                } else {
+                    for z in zs..ze {
+                        for yl in ys..ye {
+                            let s = self.out_idx(z, yl, 0);
+                            self.plan_x
+                                .execute(&mut self.out[s..s + nx], &mut self.plan_scratch);
+                        }
                     }
                 }
                 let t1 = Instant::now();
@@ -626,6 +745,10 @@ impl<'a> OverlapEnv for RealEnv<'a> {
         // Give mpisim's virtual scheduler (checked runs) a deterministic
         // release point once per tile; free outside checked runs.
         self.comm.progress_hint();
+    }
+
+    fn threads(&self) -> usize {
+        self.params.threads
     }
 }
 
@@ -736,6 +859,14 @@ pub fn try_fft3_dist_traced(
     recorder: &mut dyn Recorder,
 ) -> Result<RunOutput, Error> {
     assert_eq!(comm.size(), spec.p, "communicator size must match spec.p");
+    // A zero-extent axis has no transform; planning a size-1 stand-in (as
+    // this path once did via `.max(1)`) would silently "succeed" on an
+    // empty problem. Reject it for every variant before touching plans.
+    for (axis, n) in [("nx", spec.nx), ("ny", spec.ny), ("nz", spec.nz)] {
+        if n == 0 {
+            return Err(Error::from(ParamError::ZeroExtent(axis)));
+        }
+    }
     let rank = comm.rank();
     let decomp = Decomp::new(spec.nx, spec.ny, spec.p);
     let nxl = decomp.x.count(rank);
@@ -781,6 +912,7 @@ pub fn try_fft3_dist_traced(
                 fp: params.fp,
                 fu: 0,
                 fx: 0,
+                threads: params.threads.max(1),
             };
             (p, TransposeStyle::Naive)
         }
@@ -797,15 +929,20 @@ pub fn try_fft3_dist_traced(
                 fp: 0,
                 fu: 0,
                 fx: 0,
+                threads: params.threads.max(1),
             };
             (p, TransposeStyle::Generic)
         }
     };
 
-    let mut planner = Planner::new(rigor);
-    let plan_z = planner.plan(spec.nz.max(1), dir);
-    let plan_y = planner.plan(spec.ny.max(1), dir);
-    let plan_x = planner.plan(spec.nx.max(1), dir);
+    // Draw plans from the process-wide cache: any geometry this process has
+    // transformed before (at this rigor) costs zero planning here, and when
+    // all `p` rank threads arrive at once only one of them measures.
+    let cache = PlanCache::global();
+    let (plan_z, spent_z) = cache.plan_timed(spec.nz, dir, rigor);
+    let (plan_y, spent_y) = cache.plan_timed(spec.ny, dir, rigor);
+    let (plan_x, spent_x) = cache.plan_timed(spec.nx, dir, rigor);
+    let planning = spent_z + spent_y + spent_x;
     let scratch_len = plan_z
         .scratch_len()
         .max(plan_y.scratch_len())
@@ -860,6 +997,7 @@ pub fn try_fft3_dist_traced(
             tests: env.tests,
         },
         recovery,
+        planning,
     })
 }
 
@@ -957,6 +1095,7 @@ mod tests {
             fp: 1,
             fu: 1,
             fx: 2,
+            threads: 1,
         };
         check_variant(spec, Variant::New, params, Direction::Forward);
     }
@@ -981,6 +1120,7 @@ mod tests {
             fp: 1,
             fu: 1,
             fx: 1,
+            threads: 1,
         };
         check_variant(spec, Variant::New, params, Direction::Forward);
     }

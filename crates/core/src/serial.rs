@@ -6,9 +6,9 @@
 
 use crate::params::ProblemSpec;
 use cfft::batch::{execute_batch, BatchLayout, BatchScratch};
-use cfft::planner::{Planner, Rigor};
+use cfft::planner::Rigor;
 use cfft::transpose::{permute3, permuted_dims, Dims3, XYZ_TO_ZXY};
-use cfft::{Complex64, Direction};
+use cfft::{Complex64, Direction, PlanCache};
 
 /// Computes the full 3-D FFT of `data` (layout `x-y-z`, z contiguous, size
 /// `nx·ny·nz`) in place.
@@ -17,10 +17,12 @@ pub fn fft3_serial(data: &mut [Complex64], nx: usize, ny: usize, nz: usize, dir:
     if data.is_empty() {
         return;
     }
-    let mut planner = Planner::new(Rigor::Estimate);
+    // Plans come from the process-wide cache: repeated reference transforms
+    // of the same geometry (every test does this) never replan.
+    let cache = PlanCache::global();
 
     // z lines are contiguous: one batched sweep.
-    let plan_z = planner.plan(nz, dir);
+    let plan_z = cache.plan(nz, dir, Rigor::Estimate);
     let mut scratch = BatchScratch::for_plan(&plan_z);
     execute_batch(
         &plan_z,
@@ -36,7 +38,7 @@ pub fn fft3_serial(data: &mut [Complex64], nx: usize, ny: usize, nz: usize, dir:
     let d0 = Dims3::new(nx, ny, nz);
     permute3(data, &mut tmp, d0, XYZ_TO_ZXY);
     let d1 = permuted_dims(d0, XYZ_TO_ZXY); // (nz, nx, ny)
-    let plan_y = planner.plan(ny, dir);
+    let plan_y = cache.plan(ny, dir, Rigor::Estimate);
     let mut scratch = BatchScratch::for_plan(&plan_y);
     execute_batch(
         &plan_y,
@@ -47,7 +49,7 @@ pub fn fft3_serial(data: &mut [Complex64], nx: usize, ny: usize, nz: usize, dir:
 
     permute3(&tmp, data, d1, XYZ_TO_ZXY);
     let d2 = permuted_dims(d1, XYZ_TO_ZXY); // (ny, nz, nx)
-    let plan_x = planner.plan(nx, dir);
+    let plan_x = cache.plan(nx, dir, Rigor::Estimate);
     let mut scratch = BatchScratch::for_plan(&plan_x);
     execute_batch(
         &plan_x,

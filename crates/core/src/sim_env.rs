@@ -91,6 +91,15 @@ impl SimEnv<'_, '_> {
         tz * self.nxl() as u64 * (self.spec.ny / self.spec.p.max(1)) as u64 * ELEM_BYTES
     }
 
+    /// Modeled duration of an intra-rank batched kernel spread over `Th`
+    /// workers: perfect scaling. Deliberately optimistic — the real kernels
+    /// are memory-bound, so this is the model's upper bound on what the
+    /// `threads` knob can buy; the real backend reports what it actually
+    /// bought.
+    fn kernel_time(&self, secs: f64) -> f64 {
+        secs / self.params.threads.max(1) as f64
+    }
+
     /// Runs one modeled compute phase with polls, splitting the elapsed
     /// virtual time between the phase's category and Test.
     fn phase(&mut self, secs: f64, polls: u32, inflight: &[(usize, OpId)]) -> (f64, f64) {
@@ -120,9 +129,9 @@ impl OverlapEnv for SimEnv<'_, '_> {
         }
         let lines = (self.nxl() * self.spec.ny) as u64;
         let m = &self.sim.platform().machine;
-        let fftz = m.fft_batch(self.spec.nz, lines);
+        let fftz = self.kernel_time(m.fft_batch(self.spec.nz, lines));
         let bytes = self.nxl() as u64 * self.spec.ny as u64 * self.spec.nz as u64 * ELEM_BYTES;
-        let transpose = m.transpose(bytes, self.transpose_cost);
+        let transpose = self.kernel_time(m.transpose(bytes, self.transpose_cost));
         let t0 = self.sim.now().as_secs_f64();
         self.sim.compute(fftz);
         self.record(EventKind::Fftz, t0);
@@ -137,7 +146,7 @@ impl OverlapEnv for SimEnv<'_, '_> {
         let tz = self.tile_len(tile);
         let m = self.sim.platform().machine.clone();
         let nxl = self.nxl();
-        let ffty = m.fft_batch(self.spec.ny, (nxl * tz) as u64);
+        let ffty = self.kernel_time(m.fft_batch(self.spec.ny, (nxl * tz) as u64));
         let t0 = self.sim.now().as_secs_f64();
         let (c, t) = self.phase(ffty, self.params.fy, inflight);
         self.record(EventKind::Ffty { tile, subtile: 0 }, t0);
@@ -152,7 +161,7 @@ impl OverlapEnv for SimEnv<'_, '_> {
         // The innermost contiguous run of Pack is the per-destination y
         // share.
         let run_bytes = (self.spec.ny / self.spec.p.max(1)).max(1) as u64 * ELEM_BYTES;
-        let pack = m.pack(tile_bytes, subtile_bytes, run_bytes);
+        let pack = self.kernel_time(m.pack(tile_bytes, subtile_bytes, run_bytes));
         let t0 = self.sim.now().as_secs_f64();
         let (c, t) = self.phase(pack, self.params.fp, inflight);
         self.record(EventKind::Pack { tile, subtile: 0 }, t0);
@@ -196,7 +205,7 @@ impl OverlapEnv for SimEnv<'_, '_> {
         // the effective contiguous run is one element per read burst but a
         // whole x-slab per source in the write stream; model the read side.
         let run_bytes = (self.spec.nx / self.spec.p.max(1)).max(1) as u64 * ELEM_BYTES;
-        let unpack = m.pack(tile_bytes, subtile_bytes, run_bytes);
+        let unpack = self.kernel_time(m.pack(tile_bytes, subtile_bytes, run_bytes));
         let t0 = self.sim.now().as_secs_f64();
         let (c, t) = self.phase(unpack, self.params.fu, inflight);
         self.record(EventKind::Unpack { tile, subtile: 0 }, t0);
@@ -204,7 +213,7 @@ impl OverlapEnv for SimEnv<'_, '_> {
         self.steps.unpack += c;
         self.steps.test += t;
 
-        let fftx = m.fft_batch(self.spec.nx, (nyl * tz) as u64);
+        let fftx = self.kernel_time(m.fft_batch(self.spec.nx, (nyl * tz) as u64));
         let t0 = self.sim.now().as_secs_f64();
         let (c, t) = self.phase(fftx, self.params.fx, inflight);
         self.record(EventKind::Fftx { tile, subtile: 0 }, t0);
@@ -212,6 +221,10 @@ impl OverlapEnv for SimEnv<'_, '_> {
         self.steps.fftx += c;
         self.steps.test += t;
         Ok(())
+    }
+
+    fn threads(&self) -> usize {
+        self.params.threads
     }
 }
 
@@ -256,6 +269,7 @@ fn resolve(
                 fp: params.fp,
                 fu: 0,
                 fx: 0,
+                threads: params.threads.max(1),
             };
             (p, TransposeCost::Naive)
         }
@@ -276,6 +290,7 @@ fn resolve(
                 fp: 0,
                 fu: 0,
                 fx: 0,
+                threads: params.threads.max(1),
             };
             // Figure 8 shows NEW-0's Transpose equal to NEW's, and the
             // paper treats FFTW ≈ NEW-0; FFTW's rearrangement is equally
@@ -317,6 +332,11 @@ pub fn try_fft3_simulated(
     params: TuningParams,
     skip_fixed_steps: bool,
 ) -> Result<SimReport, Error> {
+    for (axis, n) in [("nx", spec.nx), ("ny", spec.ny), ("nz", spec.nz)] {
+        if n == 0 {
+            return Err(Error::from(crate::params::ParamError::ZeroExtent(axis)));
+        }
+    }
     match variant {
         Variant::New => {
             if params.w == 0 {
@@ -455,6 +475,7 @@ pub fn th_simulated(
         fp: th.f - th.f / 2,
         fu: 0,
         fx: 0,
+        threads: 1,
     };
     fft3_simulated(platform, spec, Variant::Th, params, skip_fixed_steps)
 }

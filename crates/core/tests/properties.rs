@@ -35,9 +35,9 @@ fn params_for(spec: ProblemSpec) -> impl Strategy<Value = TuningParams> {
         0u32..6,
         0u32..6,
         0u32..6,
-        0u32..6,
+        (0u32..6, 1usize..=3), // (fx, threads) — exercise parallel kernels too
     )
-        .prop_map(move |(t, w, px, pz, uy, uz, fy, fp, fu, fx)| {
+        .prop_map(move |(t, w, px, pz, uy, uz, fy, fp, fu, (fx, threads))| {
             let tiles = spec.nz.div_ceil(t);
             TuningParams {
                 t,
@@ -50,6 +50,7 @@ fn params_for(spec: ProblemSpec) -> impl Strategy<Value = TuningParams> {
                 fp,
                 fu,
                 fx,
+                threads,
             }
         })
 }

@@ -227,7 +227,11 @@ pub fn explore_pipeline(
     use std::sync::Arc;
 
     let spec = ProblemSpec::cube(grid, cfg.ranks);
-    let params = TuningParams::seed(&spec);
+    // Two worker threads per rank so the schedule sweep also exercises the
+    // intra-rank parallel kernels (their joins must stay race-free under
+    // every interleaving, not just the default sequential path).
+    let mut params = TuningParams::seed(&spec);
+    params.threads = 2;
     let mut reference = full_test_array(spec.nx, spec.ny, spec.nz);
     fft3_serial(
         &mut reference,

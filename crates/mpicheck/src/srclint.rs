@@ -1,4 +1,4 @@
-//! Source-level lint pass (`SL001`–`SL003`).
+//! Source-level lint pass (`SL001`–`SL004`).
 //!
 //! A small, dependency-free walk of the workspace's first-party source
 //! (`crates/*/src` plus the root package's `src/`; `vendor/`, `target/`,
@@ -13,6 +13,10 @@
 //! * **SL003** — a file that posts non-blocking exchanges (`.post_a2a(` /
 //!   `.ialltoall`) must also contain a `wait` and a `cancel` path, so no
 //!   call site can leak an in-flight request on success *or* error.
+//! * **SL004** — no direct `Planner::new` outside `crates/cfft/src`. Every
+//!   consumer must draw plans from the process-wide `PlanCache` (via
+//!   `PlanCache::global()`), so identical transforms never replan; a
+//!   per-call planner was exactly the hot-path bug this rule pins down.
 //!
 //! Test code is exempt: everything at or below the file's first
 //! `#[cfg(test)]` line (the repo convention keeps test modules at the end
@@ -34,6 +38,8 @@ pub enum SrcLintId {
     HardcodedSleep,
     /// `SL003` — non-blocking post without a wait/cancel path in the file.
     PostWithoutWait,
+    /// `SL004` — direct `Planner::new` outside the `cfft` crate.
+    PlannerOutsideCache,
 }
 
 impl SrcLintId {
@@ -43,6 +49,7 @@ impl SrcLintId {
             SrcLintId::BareUnwrap => "SL001",
             SrcLintId::HardcodedSleep => "SL002",
             SrcLintId::PostWithoutWait => "SL003",
+            SrcLintId::PlannerOutsideCache => "SL004",
         }
     }
 }
@@ -191,6 +198,23 @@ fn lint_file(rel: &str, contents: &str) -> Vec<SrcFinding> {
                 });
             }
         }
+        // SL004 — direct planner construction outside cfft. The cache
+        // itself (and cfft's own internals/doctests) legitimately build
+        // planners; everyone else must go through `PlanCache::global()`.
+        // The pattern literal below is the lint itself. mpicheck:allow(SL004)
+        if line.contains("Planner::new(")
+            && !rel.starts_with("crates/cfft/src")
+            && !allowed(&lines, idx, "SL004")
+        {
+            findings.push(SrcFinding {
+                file: rel.to_owned(),
+                line: idx + 1,
+                id: SrcLintId::PlannerOutsideCache,
+                message: "direct `Planner::new` outside cfft; draw plans from the shared \
+                          `PlanCache::global()` so repeat transforms never replan"
+                    .to_owned(),
+            });
+        }
         // SL003 — collect post call sites; verified after the scan.
         let posts = line.contains(".post_a2a(")
             || line.contains(".ialltoall(")
@@ -291,6 +315,18 @@ mod tests {
         let good =
             "fn f(env: &mut E) {\n  let r = env.post_a2a(0);\n  env.wait(0, r); // or cancel\n}\n";
         assert!(lint_file("x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn planner_new_outside_cfft_is_flagged_but_cfft_is_exempt() {
+        // mpicheck:allow(SL004) — pattern literal for the test fixture.
+        let src = "fn f() { let p = Planner::new(Rigor::Estimate); }\n";
+        let f = lint_file("crates/core/src/real_env.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].id.code(), "SL004");
+        assert!(lint_file("crates/cfft/src/cache.rs", src).is_empty());
+        let cached = "fn f() { let p = PlanCache::global().plan(8, dir, rigor); }\n";
+        assert!(lint_file("crates/core/src/real_env.rs", cached).is_empty());
     }
 
     #[test]

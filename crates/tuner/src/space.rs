@@ -111,8 +111,8 @@ impl Space {
     }
 }
 
-/// Builds the ten-dimensional NEW space for `spec` (Table 1, reduced per
-/// §4.4).
+/// Builds the eleven-dimensional NEW space for `spec` (Table 1, reduced
+/// per §4.4, plus the `Th` intra-rank thread count).
 pub fn new_space(spec: &ProblemSpec) -> Space {
     let nxl = spec.nx.div_ceil(spec.p).max(1);
     let nyl = spec.ny.div_ceil(spec.p).max(1);
@@ -135,13 +135,17 @@ pub fn new_space(spec: &ProblemSpec) -> Space {
             DimSpec::log_scale("Fp", 1, f_max),
             DimSpec::log_scale("Fu", 1, f_max),
             DimSpec::log_scale("Fx", 1, f_max),
+            // Machine-independent candidate set: the simulator models
+            // perfect kernel scaling, so going beyond 8 workers only
+            // inflates the space without changing the overlap trade-offs.
+            DimSpec::log_scale("Th", 1, 8),
         ],
     }
 }
 
-/// Decodes a ten-value vector from [`new_space`] into [`TuningParams`].
+/// Decodes an eleven-value vector from [`new_space`] into [`TuningParams`].
 pub fn decode_new(values: &[usize]) -> TuningParams {
-    assert_eq!(values.len(), 10);
+    assert_eq!(values.len(), 11);
     TuningParams {
         t: values[0],
         w: values[1],
@@ -153,6 +157,7 @@ pub fn decode_new(values: &[usize]) -> TuningParams {
         fp: values[7] as u32,
         fu: values[8] as u32,
         fx: values[9] as u32,
+        threads: values[10],
     }
 }
 
@@ -169,6 +174,7 @@ pub fn encode_new(p: &TuningParams) -> Vec<usize> {
         p.fp as usize,
         p.fu as usize,
         p.fx as usize,
+        p.threads,
     ]
 }
 
@@ -230,10 +236,10 @@ mod tests {
     }
 
     #[test]
-    fn new_space_has_ten_dims_and_large_size() {
+    fn new_space_has_eleven_dims_and_large_size() {
         let spec = ProblemSpec::cube(256, 16);
         let s = new_space(&spec);
-        assert_eq!(s.ndims(), 10);
+        assert_eq!(s.ndims(), 11);
         // The reduced space is large but tractable; the raw space (the
         // paper's "conservative" 10^10) is what reduction avoids.
         assert!(s.size() > 100_000, "size = {}", s.size());

@@ -2,7 +2,7 @@
 //!
 //! Subcommands:
 //!
-//! * `lint` — run the mpicheck source lints (`SL001`–`SL003`) over the
+//! * `lint` — run the mpicheck source lints (`SL001`–`SL004`) over the
 //!   workspace's non-test library code. Exit 1 on any finding.
 //! * `explore [--seed-base N] [--ranks N] [--grid N] [--schedules N]` —
 //!   sweep the overlapped pipeline (NEW variant) over seeded random plus
@@ -33,7 +33,7 @@ fn usage() -> ExitCode {
         "usage: cargo xtask <command>\n\
          \n\
          commands:\n\
-         \x20 lint                      run source lints (SL001–SL003)\n\
+         \x20 lint                      run source lints (SL001–SL004)\n\
          \x20 explore [--seed-base N]   sweep pipeline delivery schedules\n\
          \x20         [--ranks N] [--grid N] [--schedules N]\n\
          \x20 check                     lint + explore (acceptance gate)"
@@ -51,7 +51,7 @@ fn parse_flag(args: &[String], name: &str) -> Option<u64> {
 fn run_lint(root: &Path) -> bool {
     let findings = lint_workspace(root);
     if findings.is_empty() {
-        println!("lint: clean ({} source lints enforced)", 3);
+        println!("lint: clean ({} source lints enforced)", 4);
         return true;
     }
     for f in &findings {

@@ -84,6 +84,7 @@ fn subtile_shapes_sweep() {
             fp: 2,
             fu: 2,
             fx: 3,
+            threads: 1,
         };
         check(spec, Variant::New, params, Direction::Forward);
     }
@@ -104,6 +105,7 @@ fn rectangular_boxes() {
             fp: 2,
             fu: 2,
             fx: 2,
+            threads: 1,
         };
         check(spec, Variant::New, params, Direction::Forward);
     }
@@ -130,6 +132,7 @@ fn non_divisible_process_counts() {
             fp: 1,
             fu: 1,
             fx: 1,
+            threads: 1,
         };
         check(spec, Variant::New, params, Direction::Forward);
     }
@@ -155,6 +158,7 @@ fn more_ranks_than_planes() {
         fp: 1,
         fu: 1,
         fx: 1,
+        threads: 1,
     };
     check(spec, Variant::New, params, Direction::Forward);
 }
@@ -249,6 +253,7 @@ fn awkward_prime_extents() {
         fp: 2,
         fu: 2,
         fx: 2,
+        threads: 1,
     };
     check(spec, Variant::New, params, Direction::Forward);
 }

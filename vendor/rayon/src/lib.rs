@@ -1,11 +1,43 @@
 //! Vendored stand-in for the subset of `rayon` this workspace uses:
-//! `slice.par_iter().map(f).collect::<Vec<_>>()`.
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` and the structured
+//! [`scope`]/[`Scope::spawn`] fork-join API.
 //!
-//! Work is distributed over `available_parallelism` scoped threads pulling
-//! indices from a shared atomic counter; results keep input order.
+//! `par_iter` work is distributed over `available_parallelism` scoped
+//! threads pulling indices from a shared atomic counter; results keep input
+//! order. [`scope`] maps directly onto `std::thread::scope`, so every spawn
+//! is joined before `scope` returns (the property the cfft batch kernels
+//! rely on for their disjoint `&mut` row slices).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Structured fork-join: runs `f` with a [`Scope`] on which closures may be
+/// spawned; returns only after every spawned closure has finished.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Handle passed to the [`scope`] closure; borrows live for `'env`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `f` on its own scoped thread (real rayon uses a pool; the
+    /// shim's callers spawn at most one task per core, so a thread per
+    /// spawn costs the same order as a pool handoff).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
 
 pub mod prelude {
     pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
@@ -79,13 +111,17 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
                         break;
                     }
                     let r = f(&items[i]);
-                    *slots[i].lock().unwrap() = Some(r);
+                    *slots[i].lock().expect("slot mutex poisoned") = Some(r);
                 });
             }
         });
         slots
             .into_iter()
-            .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+            .map(|m| {
+                m.into_inner()
+                    .expect("slot mutex poisoned")
+                    .expect("worker filled every slot")
+            })
             .collect()
     }
 }
@@ -106,5 +142,23 @@ mod tests {
         let xs: Vec<u8> = vec![];
         let ys: Vec<u8> = xs.par_iter().map(|&x| x).collect();
         assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn scope_joins_all_spawns() {
+        let mut parts = vec![0u32; 4];
+        let mut iter = parts.chunks_mut(1);
+        crate::scope(|s| {
+            for (i, chunk) in iter.by_ref().enumerate() {
+                s.spawn(move |_| chunk[0] = i as u32 + 1);
+            }
+        });
+        assert_eq!(parts, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scope_returns_value() {
+        let r = crate::scope(|_| 7usize);
+        assert_eq!(r, 7);
     }
 }
