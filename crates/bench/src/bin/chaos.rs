@@ -12,6 +12,13 @@
 //! (boost-polls / shrink-window / fallback), and whether the run abandoned
 //! overlap entirely.
 //!
+//! Part 3 is the rank-kill axis: a victim rank dies at the first, middle,
+//! and last tile boundary, and the survivors recover elastically
+//! (revoke/shrink/agree, re-decompose over `p − 1`, re-fetch the lost slab
+//! from a replica — DESIGN.md §14); each row reports attempts consumed,
+//! the agreed dead set, the shrink, and the recovered spectrum's error
+//! against the serial oracle.
+//!
 //! ```sh
 //! cargo run -p fft-bench --release --bin chaos [-- seed]
 //! ```
@@ -35,6 +42,7 @@ fn main() {
 
     simulated_sweep();
     real_ladder_demo(seed);
+    rank_kill_demo(seed);
 }
 
 /// Straggler severity × window sweep on the calibrated cost model.
@@ -132,6 +140,77 @@ fn real_ladder_demo(seed: u64) {
                     );
                 }
                 Err(e) => println!("  rank {rank}: FAILED — {e}"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Rank-kill axis: a death at each tile position, survivors recovering
+/// elastically through the ULFM-style driver.
+fn rank_kill_demo(seed: u64) {
+    use fft3d::real_env::compare_with_serial;
+    use fft3d::serial::{fft3_serial, full_test_array};
+    use fft3d::{run_recoverable, RecoverConfig, ReplicaSource};
+    use std::sync::Arc;
+
+    let spec = ProblemSpec::cube(12, 4);
+    let params = TuningParams::seed(&spec);
+    let tiles = params.tiles(&spec);
+    println!("rank-kill recovery demo — p = 4, N = 12³, victim rank 1, seed {seed}");
+    println!("(replica slab source; the crash position sweeps the tile axis)\n");
+
+    let input = Arc::new(full_test_array(spec.nx, spec.ny, spec.nz));
+    let mut reference = (*input).clone();
+    fft3_serial(
+        &mut reference,
+        spec.nx,
+        spec.ny,
+        spec.nz,
+        Direction::Forward,
+    );
+    let reference = Arc::new(reference);
+
+    let positions = [
+        ("first", 0usize),
+        ("middle", tiles / 2),
+        ("last", tiles.saturating_sub(1)),
+    ];
+    for (label, at_tile) in positions {
+        let plan = FaultPlan::seeded(seed).with_rank_crash(1, at_tile);
+        let source = ReplicaSource::new(Arc::clone(&input));
+        let reference = Arc::clone(&reference);
+        let results = mpisim::run_crashable(spec.p, plan, move |comm| {
+            let started = std::time::Instant::now();
+            let out = run_recoverable(
+                &comm,
+                spec,
+                Variant::New,
+                params,
+                Direction::Forward,
+                Rigor::Estimate,
+                &source,
+                &RecoverConfig::default(),
+                &mut NoopRecorder,
+            );
+            let summary = out.map(|o| {
+                let err = compare_with_serial(&o.spec, o.rank, &o.output, &reference);
+                (o.attempts, o.lost, o.spec.p, err)
+            });
+            (started.elapsed(), summary)
+        });
+
+        println!("crash at {label} tile boundary (tile {at_tile}/{tiles}):");
+        for (rank, slot) in results.iter().enumerate() {
+            match slot {
+                None => println!("  rank {rank}:    DEAD (injected)"),
+                Some((elapsed, Ok((attempts, lost, p2, err)))) => println!(
+                    "  rank {rank}: {:>7.1} ms  attempts {attempts}  agreed dead {lost:?}  \
+                     p {}→{p2}  err vs serial {err:.2e}",
+                    elapsed.as_secs_f64() * 1e3,
+                    spec.p,
+                ),
+                Some((_, Err(e))) => println!("  rank {rank}: FAILED — {e}"),
             }
         }
         println!();

@@ -30,6 +30,8 @@ fn gantt_char(kind: &EventKind) -> u8 {
         EventKind::Wait { .. } => b'W',
         EventKind::Test { .. } => b't',
         EventKind::Degrade { .. } => b'D',
+        EventKind::RankLost { .. } => b'!',
+        EventKind::Shrink { .. } => b'S',
     }
 }
 

@@ -35,6 +35,29 @@ pub enum Error {
         /// Destination rank of the lost block.
         peer: usize,
     },
+    /// A peer process died (ULFM `MPI_ERR_PROC_FAILED` analogue): one of
+    /// the tile's operations targeted a rank the runtime knows to be dead.
+    /// Recoverable via [`crate::recover::run_recoverable`].
+    RankFailed {
+        /// Communication tile whose exchange observed the death.
+        tile: usize,
+        /// World rank of the failed process.
+        rank: usize,
+    },
+    /// The communicator was revoked by a peer (ULFM `MPI_ERR_REVOKED`
+    /// analogue): another rank hit a failure first and poisoned in-flight
+    /// operations so everyone reaches the recovery path together.
+    Revoked {
+        /// Communication tile whose exchange was poisoned.
+        tile: usize,
+    },
+    /// Recovery was attempted but cannot proceed — e.g. a failed rank's
+    /// input slab has no surviving source; carries the reason. Agreed on by
+    /// all survivors, so every living rank returns this same value.
+    Unrecoverable(&'static str),
+    /// The post-recovery self-verification (Parseval energy check) did not
+    /// hold within tolerance: the recomputed result is not trusted.
+    VerificationFailed,
     /// An invariant the pipeline relies on was violated (a bug, not an
     /// environmental fault); carries a static description.
     Internal(&'static str),
@@ -55,6 +78,16 @@ impl std::fmt::Display for Error {
                 f,
                 "tile {tile} lost its round {round} send to rank {peer} past the retransmit budget"
             ),
+            Error::RankFailed { tile, rank } => {
+                write!(f, "tile {tile} observed the death of rank {rank}")
+            }
+            Error::Revoked { tile } => {
+                write!(f, "tile {tile} interrupted: communicator revoked by a peer")
+            }
+            Error::Unrecoverable(why) => write!(f, "unrecoverable failure: {why}"),
+            Error::VerificationFailed => {
+                write!(f, "post-recovery verification failed: energy mismatch")
+            }
             Error::Internal(msg) => write!(f, "internal pipeline error: {msg}"),
         }
     }
@@ -94,5 +127,18 @@ mod tests {
         }
         .to_string();
         assert!(d.contains("tile 1") && d.contains("round 4") && d.contains("rank 0"));
+    }
+
+    #[test]
+    fn failure_errors_name_tile_and_rank() {
+        let e = Error::RankFailed { tile: 2, rank: 3 };
+        let s = e.to_string();
+        assert!(s.contains("tile 2") && s.contains("rank 3"), "{s}");
+        let r = Error::Revoked { tile: 5 }.to_string();
+        assert!(r.contains("tile 5") && r.contains("revoked"), "{r}");
+        assert!(Error::Unrecoverable("no input source")
+            .to_string()
+            .contains("no input source"));
+        assert!(Error::VerificationFailed.to_string().contains("energy"));
     }
 }

@@ -49,6 +49,7 @@ pub mod params;
 pub mod pencil;
 pub mod pipeline;
 pub mod real_env;
+pub mod recover;
 pub mod serial;
 pub mod sim_env;
 pub mod trace;
@@ -59,6 +60,10 @@ pub use params::{ProblemSpec, ThParams, TuningParams};
 pub use pipeline::{Recovery, Resilience};
 pub use real_env::{
     fft3_dist, fft3_dist_traced, try_fft3_dist, try_fft3_dist_traced, OutLayout, RunOutput, Variant,
+};
+pub use recover::{
+    run_recoverable, ComputeSource, NoSource, RecoverConfig, RecoverOutcome, ReplicaSource,
+    SlabSource,
 };
 pub use sim_env::{
     fft3_simulated, fft3_simulated_traced, th_simulated, try_fft3_simulated, SimReport,

@@ -30,6 +30,8 @@ fn coll_to_error(tile: usize, e: CollError) -> Error {
     match e {
         CollError::Stalled { round, peer } => Error::Stalled { tile, round, peer },
         CollError::Dropped { round, peer } => Error::Dropped { tile, round, peer },
+        CollError::RankFailed(rank) => Error::RankFailed { tile, rank },
+        CollError::Revoked => Error::Revoked { tile },
     }
 }
 
@@ -515,6 +517,11 @@ impl<'a> OverlapEnv for RealEnv<'a> {
     }
 
     fn post_a2a(&mut self, tile: usize) -> Self::Req {
+        // Fault-plan crash injection: a rank seeded to die "at tile `k`"
+        // dies here, on the boundary between pack and exchange — its peers
+        // may already hold this tile's pre-crash sends (and must still be
+        // able to complete tiles that need nothing more from us).
+        self.comm.crash_point(tile);
         let (z0, z1) = self.tile_range(tile);
         let tz = z1 - z0;
         let send_counts = self.send_counts(tz);

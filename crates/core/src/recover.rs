@@ -1,0 +1,414 @@
+//! Elastic rank-failure recovery for the distributed transform (ULFM
+//! style; DESIGN.md §14).
+//!
+//! The fallible entry points ([`crate::try_fft3_dist_traced`]) turn a peer
+//! death into a typed [`Error::RankFailed`] — but a single rank returning
+//! an error does not make a *recovery*: the survivors must learn about the
+//! failure together, rebuild a smaller world, and recompute. That protocol
+//! lives here, layered strictly on top of the pipeline:
+//!
+//! 1. **Attempt** the transform on the current communicator.
+//! 2. **Agree** (fault-aware consensus, [`mpisim::Comm::agree`]) on whether
+//!    *any* rank erred — ranks that finished cleanly still participate, so
+//!    an asymmetric outcome (one rank stuck on the dead peer, the rest
+//!    done) converges on one decision.
+//! 3. On failure: **revoke** the communicator (poisoning stragglers'
+//!    in-flight operations), **shrink** to the dense survivor
+//!    communicator, re-run the slab decomposition over the surviving `p′`
+//!    ranks, re-fetch input from the caller's [`SlabSource`], and retry.
+//! 4. A survivor whose input slab cannot be produced is agreed on the same
+//!    way, and *every* survivor returns [`Error::Unrecoverable`] — a
+//!    missing source is a symmetric, typed outcome, never a hang.
+//!
+//! An optional Parseval self-check ([`RecoverConfig::verify_energy`])
+//! guards against silently accepting a wrong recomputation: for the
+//! unnormalised kernels, `Σ|X|² = N·Σ|x|²` must hold across the surviving
+//! world, or everyone returns [`Error::VerificationFailed`].
+
+use crate::decomp::Decomp;
+use crate::error::Error;
+use crate::params::{ProblemSpec, TuningParams};
+use crate::pipeline::Resilience;
+use crate::real_env::{try_fft3_dist_traced, RunOutput, Variant};
+use crate::trace::{EventKind, Recorder, TraceEvent};
+use cfft::planner::Rigor;
+use cfft::{Complex64, Direction};
+use mpisim::Comm;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Where a rank's input slab comes from when the decomposition changes.
+///
+/// After a shrink the surviving ranks own *different* x-slabs than before
+/// (the slab decomposition is re-run over `p′` ranks), so recovery cannot
+/// proceed from the slabs already in memory — the caller must be able to
+/// (re)produce the input for an arbitrary `(spec, rank)`. Returning `None`
+/// marks the slab unrecoverable; the driver agrees on that across the
+/// survivors and everyone gets [`Error::Unrecoverable`].
+pub trait SlabSource: Sync {
+    /// This rank's x-slab for `spec` (whose `p` is the *current* world
+    /// size), in x-y-z layout: `count_x(rank)·ny·nz` elements.
+    fn slab(&self, spec: &ProblemSpec, rank: usize) -> Option<Vec<Complex64>>;
+}
+
+/// A full in-memory replica of the global input array (x-y-z layout,
+/// `nx·ny·nz` elements): any slab of any decomposition can be cut from it.
+/// The cheap-but-memory-hungry end of the source spectrum.
+pub struct ReplicaSource {
+    full: Arc<Vec<Complex64>>,
+}
+
+impl ReplicaSource {
+    /// Wraps a shared replica; `full.len()` must be `nx·ny·nz` for every
+    /// spec this source is asked about (checked at slab time).
+    pub fn new(full: Arc<Vec<Complex64>>) -> Self {
+        ReplicaSource { full }
+    }
+}
+
+impl SlabSource for ReplicaSource {
+    fn slab(&self, spec: &ProblemSpec, rank: usize) -> Option<Vec<Complex64>> {
+        if self.full.len() != spec.nx * spec.ny * spec.nz {
+            return None;
+        }
+        let decomp = Decomp::new(spec.nx, spec.ny, spec.p);
+        let (nxl, xoff) = (decomp.x.count(rank), decomp.x.offset(rank));
+        let mut v = Vec::with_capacity(nxl * spec.ny * spec.nz);
+        for xl in 0..nxl {
+            let x = xoff + xl;
+            for y in 0..spec.ny {
+                let row = (x * spec.ny + y) * spec.nz;
+                v.extend_from_slice(&self.full[row..row + spec.nz]);
+            }
+        }
+        Some(v)
+    }
+}
+
+/// Recomputes input elements from a caller-supplied generator
+/// `f(x, y, z)` — the zero-replication end of the source spectrum, for
+/// inputs that are (re)derivable (test fields, analytic initial
+/// conditions, checkpointed closures).
+pub struct ComputeSource<F: Fn(usize, usize, usize) -> Complex64 + Sync> {
+    f: F,
+}
+
+impl<F: Fn(usize, usize, usize) -> Complex64 + Sync> ComputeSource<F> {
+    /// Wraps the element generator.
+    pub fn new(f: F) -> Self {
+        ComputeSource { f }
+    }
+}
+
+impl<F: Fn(usize, usize, usize) -> Complex64 + Sync> SlabSource for ComputeSource<F> {
+    fn slab(&self, spec: &ProblemSpec, rank: usize) -> Option<Vec<Complex64>> {
+        let decomp = Decomp::new(spec.nx, spec.ny, spec.p);
+        let (nxl, xoff) = (decomp.x.count(rank), decomp.x.offset(rank));
+        let mut v = Vec::with_capacity(nxl * spec.ny * spec.nz);
+        for xl in 0..nxl {
+            for y in 0..spec.ny {
+                for z in 0..spec.nz {
+                    v.push((self.f)(xoff + xl, y, z));
+                }
+            }
+        }
+        Some(v)
+    }
+}
+
+/// A source that can never produce a slab — models lost, unreplicated
+/// input. Recovery over this source deterministically returns
+/// [`Error::Unrecoverable`] on every survivor.
+pub struct NoSource;
+
+impl SlabSource for NoSource {
+    fn slab(&self, _spec: &ProblemSpec, _rank: usize) -> Option<Vec<Complex64>> {
+        None
+    }
+}
+
+/// Policy knobs of the recovery driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoverConfig {
+    /// Resilience policy for each attempt. The driver *forces* a stall
+    /// watchdog (default 200 ms) when none is set: without one, a wait on
+    /// a dead peer blocks forever and the failure is never typed.
+    pub resilience: Resilience,
+    /// Upper bound on transform attempts (first try + retries).
+    pub max_attempts: u32,
+    /// Relative tolerance for the post-recovery Parseval energy check;
+    /// `None` skips verification. The check is collective over the
+    /// surviving communicator and fails everyone together.
+    pub verify_energy: Option<f64>,
+}
+
+impl Default for RecoverConfig {
+    fn default() -> Self {
+        RecoverConfig {
+            resilience: Resilience::default(),
+            max_attempts: 3,
+            verify_energy: Some(1e-6),
+        }
+    }
+}
+
+/// What a successful (possibly recovered) run produced.
+pub struct RecoverOutcome {
+    /// This rank's output slab under the *final* decomposition.
+    pub output: RunOutput,
+    /// The spec the final attempt ran with (`spec.p` = surviving ranks).
+    pub spec: ProblemSpec,
+    /// This rank's dense rank in the final communicator.
+    pub rank: usize,
+    /// The shrunk communicator, when recovery re-built one (`None` means
+    /// the original communicator completed the run and remains valid).
+    pub comm: Option<Comm>,
+    /// Transform attempts consumed (1 for a clean run).
+    pub attempts: u32,
+    /// World ranks lost across all recoveries, ascending.
+    pub lost: Vec<usize>,
+}
+
+/// Flag bits the per-attempt consensus agrees on.
+const FLAG_FAILURE: u64 = 1; // a failure-class error: recoverable by shrink
+const FLAG_FATAL: u64 = 2; // a non-failure error: retrying cannot help
+const FLAG_NO_SOURCE: u64 = 4; // a survivor's input slab has no source
+
+fn classify(e: &Error) -> u64 {
+    match e {
+        Error::RankFailed { .. }
+        | Error::Revoked { .. }
+        | Error::Stalled { .. }
+        | Error::Dropped { .. } => FLAG_FAILURE,
+        _ => FLAG_FATAL,
+    }
+}
+
+/// Runs the distributed transform with elastic rank-failure recovery.
+///
+/// Collective over `comm`: every member must call it with consistent
+/// arguments and an equivalent `source`. On a peer death mid-transform the
+/// survivors converge (agree → revoke → shrink → re-decompose → re-fetch →
+/// retry) and each returns its slab of the recomputed result under the
+/// shrunk world; the caller learns the new geometry from the outcome. All
+/// error returns are symmetric across survivors except the per-rank typed
+/// error of a fatal (non-failure) attempt.
+#[allow(clippy::too_many_arguments)]
+pub fn run_recoverable(
+    comm: &Comm,
+    spec: ProblemSpec,
+    variant: Variant,
+    params: TuningParams,
+    dir: Direction,
+    rigor: Rigor,
+    source: &dyn SlabSource,
+    cfg: &RecoverConfig,
+    recorder: &mut dyn Recorder,
+) -> Result<RecoverOutcome, Error> {
+    let mut resilience = cfg.resilience;
+    if resilience.stall_timeout.is_none() {
+        resilience.stall_timeout = Some(Duration::from_millis(200));
+    }
+    let started = Instant::now();
+    let mut owned: Option<Comm> = None;
+    let mut spec_cur = spec;
+    let mut params_cur = params;
+    let mut lost: Vec<usize> = Vec::new();
+    let mut last_err: Option<Error> = None;
+
+    for attempt in 1..=cfg.max_attempts.max(1) {
+        let cur = owned.as_ref().unwrap_or(comm);
+        spec_cur.p = cur.size();
+
+        // Fetch this attempt's input and agree on availability before
+        // spending any compute: one unrecoverable slab fails everyone with
+        // the same typed error.
+        let slab = source.slab(&spec_cur, cur.rank());
+        let miss_flag = if slab.is_some() { 0 } else { FLAG_NO_SOURCE };
+        let (flags, _) = cur.agree(miss_flag);
+        if flags & FLAG_NO_SOURCE != 0 {
+            return Err(Error::Unrecoverable(
+                "a survivor's input slab has no surviving source",
+            ));
+        }
+        let slab = slab.ok_or(Error::Internal("agreed-present slab missing"))?;
+
+        let result = try_fft3_dist_traced(
+            cur,
+            spec_cur,
+            variant,
+            params_cur,
+            dir,
+            rigor,
+            &slab,
+            &resilience,
+            recorder,
+        );
+
+        // Per-attempt consensus: ranks that finished cleanly must still
+        // join recovery when any peer erred (the dead rank's neighbours
+        // can be stuck while distant ranks completed every tile).
+        let my_flag = result.as_ref().err().map_or(0, classify);
+        let (flags, agreed_failed) = cur.agree(my_flag);
+
+        if flags == 0 {
+            let output = result?;
+            if let Some(tol) = cfg.verify_energy {
+                verify_parseval(cur, &spec_cur, &slab, &output, tol)?;
+            }
+            return Ok(RecoverOutcome {
+                output,
+                spec: spec_cur,
+                rank: cur.rank(),
+                comm: owned,
+                attempts: attempt,
+                lost,
+            });
+        }
+        if flags & FLAG_FATAL != 0 {
+            // Retrying cannot fix a parameter or invariant error. Each rank
+            // reports its own typed error; clean ranks learn a peer's.
+            return Err(result.err().unwrap_or(Error::Unrecoverable(
+                "a peer hit a non-recoverable error during the transform",
+            )));
+        }
+        last_err = result.err();
+
+        // Failure-class error somewhere: rebuild the world. Revoke first so
+        // any straggler still progressing an old exchange is poisoned out
+        // of it instead of waiting on a peer that has moved on.
+        cur.revoke();
+        if recorder.enabled() {
+            let t = started.elapsed().as_secs_f64();
+            for &r in &agreed_failed {
+                recorder.record(TraceEvent {
+                    start: t,
+                    end: t,
+                    kind: EventKind::RankLost { rank: r },
+                });
+            }
+        }
+        let from = cur.size();
+        let shrunk = cur.shrink();
+        let to = shrunk.size();
+        if recorder.enabled() {
+            let t = started.elapsed().as_secs_f64();
+            recorder.record(TraceEvent {
+                start: t,
+                end: t,
+                kind: EventKind::Shrink { from, to },
+            });
+        }
+        for r in agreed_failed {
+            if !lost.contains(&r) {
+                lost.push(r);
+            }
+        }
+        lost.sort_unstable();
+        if to != from {
+            // The decomposition changes: re-seed the schedule parameters
+            // for the surviving world (thread budget is preserved). The
+            // caller's hand-tuned schedule was tuned for the old `p`.
+            let mut p2 = spec_cur;
+            p2.p = to;
+            let threads = params_cur.threads;
+            params_cur = TuningParams::seed(&p2);
+            params_cur.threads = threads;
+        }
+        owned = Some(shrunk);
+    }
+    Err(last_err.unwrap_or(Error::Unrecoverable("recovery attempts exhausted")))
+}
+
+/// Parseval self-check over the surviving world: for the unnormalised
+/// kernels `Σ|X|² = N·Σ|x|²` (both directions), within `tol` relative.
+fn verify_parseval(
+    comm: &Comm,
+    spec: &ProblemSpec,
+    input: &[Complex64],
+    output: &RunOutput,
+    tol: f64,
+) -> Result<(), Error> {
+    let e_in: f64 = input.iter().map(|c| c.norm_sqr()).sum();
+    let e_out: f64 = output.data.iter().map(|c| c.norm_sqr()).sum();
+    let sums = comm.allreduce_sum(&[e_in, e_out]);
+    let n = (spec.nx * spec.ny * spec.nz) as f64;
+    let expect = n * sums[0];
+    if (sums[1] - expect).abs() > tol * expect.max(f64::MIN_POSITIVE) {
+        return Err(Error::VerificationFailed);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::test_field;
+
+    #[test]
+    fn replica_source_cuts_the_same_slab_as_the_direct_builder() {
+        let spec = ProblemSpec {
+            nx: 6,
+            ny: 5,
+            nz: 4,
+            p: 3,
+        };
+        let full = Arc::new(crate::serial::full_test_array(spec.nx, spec.ny, spec.nz));
+        let src = ReplicaSource::new(full);
+        for rank in 0..spec.p {
+            let direct = crate::real_env::local_test_slab(&spec, rank);
+            assert_eq!(src.slab(&spec, rank).as_deref(), Some(&direct[..]));
+        }
+        // Wrong-size replica refuses rather than mis-slicing.
+        let short = ReplicaSource::new(Arc::new(vec![Complex64::ZERO; 7]));
+        assert!(short.slab(&spec, 0).is_none());
+    }
+
+    #[test]
+    fn compute_source_matches_replica_source_on_every_decomposition() {
+        let base = ProblemSpec {
+            nx: 8,
+            ny: 6,
+            nz: 3,
+            p: 4,
+        };
+        let full = Arc::new(crate::serial::full_test_array(base.nx, base.ny, base.nz));
+        let replica = ReplicaSource::new(full);
+        let compute = ComputeSource::new(test_field);
+        for p in 1..=4 {
+            let spec = ProblemSpec { p, ..base };
+            for rank in 0..p {
+                assert_eq!(
+                    compute.slab(&spec, rank),
+                    replica.slab(&spec, rank),
+                    "p={p} rank={rank}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_source_never_produces() {
+        let spec = ProblemSpec::cube(4, 2);
+        assert!(NoSource.slab(&spec, 0).is_none());
+    }
+
+    #[test]
+    fn error_classification_separates_failure_from_fatal() {
+        assert_eq!(
+            classify(&Error::RankFailed { tile: 0, rank: 1 }),
+            FLAG_FAILURE
+        );
+        assert_eq!(classify(&Error::Revoked { tile: 0 }), FLAG_FAILURE);
+        assert_eq!(
+            classify(&Error::Stalled {
+                tile: 0,
+                round: 0,
+                peer: 0
+            }),
+            FLAG_FAILURE
+        );
+        assert_eq!(classify(&Error::Internal("bug")), FLAG_FATAL);
+        assert_eq!(classify(&Error::VerificationFailed), FLAG_FATAL);
+    }
+}

@@ -43,6 +43,12 @@ pub enum EventKind {
     /// The resilient driver took a degradation step while waiting on
     /// `tile` — the recovery becoming visible in the timeline.
     Degrade { tile: usize, action: DegradeAction },
+    /// The recovery driver observed the death of world rank `rank`
+    /// (zero-width marker; see `crate::recover`).
+    RankLost { rank: usize },
+    /// The recovery driver shrank the communicator from `from` survivors to
+    /// `to` before re-decomposing (zero-width marker).
+    Shrink { from: usize, to: usize },
 }
 
 /// One rung of the degradation ladder the resilient pipeline climbs when a
@@ -73,7 +79,10 @@ impl EventKind {
     /// The tile this event belongs to, if any.
     pub fn tile(&self) -> Option<usize> {
         match *self {
-            EventKind::Fftz | EventKind::Transpose => None,
+            EventKind::Fftz
+            | EventKind::Transpose
+            | EventKind::RankLost { .. }
+            | EventKind::Shrink { .. } => None,
             EventKind::Ffty { tile, .. }
             | EventKind::Pack { tile, .. }
             | EventKind::PostA2a { tile, .. }
@@ -98,6 +107,8 @@ impl EventKind {
             EventKind::Unpack { .. } => "Unpack",
             EventKind::Fftx { .. } => "FFTx",
             EventKind::Degrade { .. } => "Degrade",
+            EventKind::RankLost { .. } => "RankLost",
+            EventKind::Shrink { .. } => "Shrink",
         }
     }
 
@@ -204,9 +215,9 @@ pub fn derive_step_times(events: &[TraceEvent]) -> StepTimes {
             EventKind::Wait { .. } => steps.wait += d,
             EventKind::Unpack { .. } => steps.unpack += d,
             EventKind::Fftx { .. } => steps.fftx += d,
-            // Degradation markers are instants, not time spent in a
+            // Recovery markers are instants, not time spent in a
             // category; they do not contribute to the breakdown.
-            EventKind::Degrade { .. } => {}
+            EventKind::Degrade { .. } | EventKind::RankLost { .. } | EventKind::Shrink { .. } => {}
         }
         if ev.kind.is_compute() {
             compute.push((ev.start, ev.end, ev.kind.label()));
@@ -383,16 +394,52 @@ fn json_f64(v: f64) -> String {
 }
 
 fn write_event_json(s: &mut String, ev: &TraceEvent) {
-    let (tile, subtile, bytes, completed, action) = match ev.kind {
-        EventKind::Fftz | EventKind::Transpose => (None, None, None, None, None),
-        EventKind::Ffty { tile, subtile }
-        | EventKind::Pack { tile, subtile }
-        | EventKind::Unpack { tile, subtile }
-        | EventKind::Fftx { tile, subtile } => (Some(tile), Some(subtile), None, None, None),
-        EventKind::PostA2a { tile, bytes } => (Some(tile), None, Some(bytes), None, None),
-        EventKind::Test { tile, completed } => (Some(tile), None, None, Some(completed), None),
-        EventKind::Wait { tile } => (Some(tile), None, None, None, None),
-        EventKind::Degrade { tile, action } => (Some(tile), None, None, None, Some(action)),
+    let mut tile = None;
+    let mut subtile = None;
+    let mut bytes = None;
+    let mut completed = None;
+    let mut action = None;
+    let mut rank = None;
+    let mut shrink = None;
+    match ev.kind {
+        EventKind::Fftz | EventKind::Transpose => {}
+        EventKind::Ffty {
+            tile: t,
+            subtile: st,
+        }
+        | EventKind::Pack {
+            tile: t,
+            subtile: st,
+        }
+        | EventKind::Unpack {
+            tile: t,
+            subtile: st,
+        }
+        | EventKind::Fftx {
+            tile: t,
+            subtile: st,
+        } => {
+            tile = Some(t);
+            subtile = Some(st);
+        }
+        EventKind::PostA2a { tile: t, bytes: b } => {
+            tile = Some(t);
+            bytes = Some(b);
+        }
+        EventKind::Test {
+            tile: t,
+            completed: c,
+        } => {
+            tile = Some(t);
+            completed = Some(c);
+        }
+        EventKind::Wait { tile: t } => tile = Some(t),
+        EventKind::Degrade { tile: t, action: a } => {
+            tile = Some(t);
+            action = Some(a);
+        }
+        EventKind::RankLost { rank: r } => rank = Some(r),
+        EventKind::Shrink { from, to } => shrink = Some((from, to)),
     };
     write!(
         s,
@@ -416,6 +463,12 @@ fn write_event_json(s: &mut String, ev: &TraceEvent) {
     }
     if let Some(a) = action {
         write!(s, ",\"action\":\"{}\"", a.label()).expect("write to String cannot fail");
+    }
+    if let Some(r) = rank {
+        write!(s, ",\"rank\":{r}").expect("write to String cannot fail");
+    }
+    if let Some((from, to)) = shrink {
+        write!(s, ",\"from\":{from},\"to\":{to}").expect("write to String cannot fail");
     }
     s.push('}');
 }
@@ -643,6 +696,24 @@ mod tests {
         let json = trace_to_json(&[events]);
         assert!(json.contains("\"kind\":\"Degrade\""));
         assert!(json.contains("\"action\":\"shrink-window\""));
+    }
+
+    #[test]
+    fn recovery_markers_serialise_and_stay_out_of_the_breakdown() {
+        let events = vec![
+            ev(0.0, 1.0, EventKind::Fftz),
+            ev(1.0, 1.0, EventKind::RankLost { rank: 3 }),
+            ev(1.0, 1.0, EventKind::Shrink { from: 4, to: 3 }),
+        ];
+        let s = derive_step_times(&events);
+        assert!((s.total() - 1.0).abs() < 1e-12, "markers add no time");
+        assert_eq!(events[1].kind.tile(), None);
+        assert!(!events[1].kind.is_compute() && !events[2].kind.is_compute());
+        let json = trace_to_json(&[events]);
+        assert!(json.contains("\"kind\":\"RankLost\"") && json.contains("\"rank\":3"));
+        assert!(json.contains("\"kind\":\"Shrink\""));
+        assert!(json.contains("\"from\":4,\"to\":3"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

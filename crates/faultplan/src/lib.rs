@@ -79,6 +79,20 @@ pub struct Blackhole {
     pub after_round: usize,
 }
 
+/// A rank that dies outright — the process-loss scenario. The rank's thread
+/// unwinds at a tile (phase) boundary; survivors must detect the loss,
+/// shrink, and recover rather than hang (ULFM-style, DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `rank` exits just before starting communication tile `at_tile`.
+    RankCrash {
+        /// World rank that dies.
+        rank: usize,
+        /// Tile boundary at which it dies (0 = before the first exchange).
+        at_tile: usize,
+    },
+}
+
 /// A deterministic, seeded description of the faults to inject into one run.
 ///
 /// The default plan ([`FaultPlan::none`]) injects nothing and is free to
@@ -100,6 +114,8 @@ pub struct FaultPlan {
     /// Multiplier (≥ 1) on all-to-all round time (simnet): a degraded
     /// interconnect.
     pub link_degradation: f64,
+    /// Process-loss injection (at most one per run).
+    pub crash: Option<FaultKind>,
 }
 
 impl FaultPlan {
@@ -178,6 +194,12 @@ impl FaultPlan {
         self
     }
 
+    /// Kills `rank` at the boundary of communication tile `at_tile`.
+    pub fn with_rank_crash(mut self, rank: usize, at_tile: usize) -> Self {
+        self.crash = Some(FaultKind::RankCrash { rank, at_tile });
+        self
+    }
+
     /// `true` when the plan injects anything at all — the hot-path gate.
     pub fn is_active(&self) -> bool {
         !self.stragglers.is_empty()
@@ -186,6 +208,20 @@ impl FaultPlan {
             || self.drop.is_some()
             || self.blackhole.is_some()
             || self.link_degradation > 1.0
+            || self.crash.is_some()
+    }
+
+    /// `true` when the plan schedules a rank death.
+    pub fn has_crash(&self) -> bool {
+        self.crash.is_some()
+    }
+
+    /// The tile boundary at which `rank` is scheduled to die, if any.
+    pub fn crash_at(&self, rank: usize) -> Option<usize> {
+        match self.crash {
+            Some(FaultKind::RankCrash { rank: r, at_tile }) if r == rank => Some(at_tile),
+            _ => None,
+        }
     }
 
     /// Compute-time multiplier for `rank` (1.0 for non-stragglers).
@@ -352,6 +388,15 @@ mod tests {
         let fatal = FaultPlan::seeded(3).with_fatal_drops(0.1, 2);
         assert!(fatal.fail_after_budget());
         assert_eq!(fatal.max_retransmits(), 2);
+    }
+
+    #[test]
+    fn rank_crash_targets_only_its_rank() {
+        let p = FaultPlan::seeded(11).with_rank_crash(2, 3);
+        assert!(p.is_active());
+        assert_eq!(p.crash_at(2), Some(3));
+        assert_eq!(p.crash_at(0), None);
+        assert_eq!(FaultPlan::none().crash_at(2), None);
     }
 
     #[test]

@@ -145,25 +145,51 @@ pub fn explore<W>(
     cfg: &ExploreConfig,
     tolerance: f64,
     workload: W,
+    progress: impl FnMut(u64, u64),
+) -> ExploreReport
+where
+    W: Fn(Comm) -> Option<f64> + Send + Sync,
+{
+    let plan: Vec<(SchedConfig, faultplan::FaultPlan, String)> = cfg
+        .plan()
+        .into_iter()
+        .map(|s| {
+            let d = s.describe();
+            (s, faultplan::FaultPlan::none(), d)
+        })
+        .collect();
+    explore_impl(cfg.ranks, plan, tolerance, workload, progress)
+}
+
+/// The engine behind [`explore`] and [`explore_crash_recovery`]: one run
+/// per `(schedule, fault plan)` entry, each validated the same way.
+/// `expect_crashes` is the set of world ranks the plan is expected to kill;
+/// a mismatch (e.g. a crash fault that never fired) fails the schedule.
+fn explore_impl<W>(
+    ranks: usize,
+    plan: Vec<(SchedConfig, faultplan::FaultPlan, String)>,
+    tolerance: f64,
+    workload: W,
     mut progress: impl FnMut(u64, u64),
 ) -> ExploreReport
 where
     W: Fn(Comm) -> Option<f64> + Send + Sync,
 {
     let started = Instant::now();
-    let plan = cfg.plan();
     let total = plan.len() as u64;
     let mut failures = Vec::new();
     let mut info_findings = 0usize;
-    for (i, sched) in plan.into_iter().enumerate() {
-        let descriptor = sched.describe();
+    for (i, (sched, faults, descriptor)) in plan.into_iter().enumerate() {
+        let expect_crashes: Vec<usize> = (0..ranks)
+            .filter_map(|r| faults.crash_at(r).map(|_| r))
+            .collect();
         let run_cfg = RunConfig {
-            faults: faultplan::FaultPlan::none(),
+            faults,
             backoff: Backoff::checked(),
             check: Some(CheckConfig::with_sched(sched)),
         };
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            run_with_config(cfg.ranks, run_cfg, &workload)
+            run_with_config(ranks, run_cfg, &workload)
         }));
         match outcome {
             Ok(out) => {
@@ -182,11 +208,18 @@ where
                 });
                 let numerically_bad = max_err.is_some_and(|e| e > tolerance);
                 let hung = out.results.is_none();
-                if !errors.is_empty() || numerically_bad || hung {
+                let wrong_deaths = (out.crashed != expect_crashes).then(|| {
+                    format!(
+                        "injected-crash mismatch: expected dead ranks {expect_crashes:?}, \
+                         observed {:?}",
+                        out.crashed
+                    )
+                });
+                if !errors.is_empty() || numerically_bad || hung || wrong_deaths.is_some() {
                     failures.push(ScheduleFailure {
                         schedule: descriptor,
                         findings: errors,
-                        panic: None,
+                        panic: wrong_deaths,
                         max_err,
                     });
                 }
@@ -264,6 +297,94 @@ pub fn explore_pipeline(
     )
 }
 
+/// The recovery acceptance sweep: for every schedule in `cfg`'s plan, kill
+/// `victim` at the first, middle, and last tile boundary (three fault plans
+/// per schedule) and require the survivors to recover elastically — agree
+/// on exactly `{victim}` dead, shrink to `ranks − 1`, re-decompose, and
+/// produce a spectrum that is serial-exact on every surviving slab. A
+/// survivor that hangs, mis-names the dead rank, or returns a wrong
+/// spectrum fails the schedule; so does a crash fault that never fired.
+pub fn explore_crash_recovery(
+    cfg: &ExploreConfig,
+    grid: usize,
+    victim: usize,
+    progress: impl FnMut(u64, u64),
+) -> ExploreReport {
+    use cfft::planner::Rigor;
+    use cfft::Direction;
+    use fft3d::real_env::{compare_with_serial, Variant};
+    use fft3d::serial::{fft3_serial, full_test_array};
+    use fft3d::trace::NoopRecorder;
+    use fft3d::{run_recoverable, ProblemSpec, RecoverConfig, ReplicaSource, TuningParams};
+    use std::sync::Arc;
+
+    assert!(victim < cfg.ranks, "victim must be a world rank");
+    let spec = ProblemSpec::cube(grid, cfg.ranks);
+    let params = TuningParams::seed(&spec);
+    let tiles = params.tiles(&spec);
+    let mut crash_tiles = vec![0, tiles / 2, tiles.saturating_sub(1)];
+    crash_tiles.dedup();
+
+    // The survivors re-fetch the victim's lost input from a full replica;
+    // the serial transform of that same replica is the oracle.
+    let input = Arc::new(full_test_array(spec.nx, spec.ny, spec.nz));
+    let source = ReplicaSource::new(Arc::clone(&input));
+    let mut reference = (*input).clone();
+    fft3_serial(
+        &mut reference,
+        spec.nx,
+        spec.ny,
+        spec.nz,
+        Direction::Forward,
+    );
+    let reference = Arc::new(reference);
+    let tolerance = 1e-9 * (spec.len() as f64).max(1.0);
+
+    let mut plan = Vec::new();
+    for (i, sched) in cfg.plan().into_iter().enumerate() {
+        for &at_tile in &crash_tiles {
+            let descriptor = format!("{}+crash(rank={victim},tile={at_tile})", sched.describe());
+            let faults =
+                faultplan::FaultPlan::seeded(0x5eed + i as u64).with_rank_crash(victim, at_tile);
+            plan.push((sched, faults, descriptor));
+        }
+    }
+
+    explore_impl(
+        cfg.ranks,
+        plan,
+        tolerance,
+        move |comm| {
+            let mut recorder = NoopRecorder;
+            let outcome = run_recoverable(
+                &comm,
+                spec,
+                Variant::New,
+                params,
+                Direction::Forward,
+                Rigor::Estimate,
+                &source,
+                &RecoverConfig::default(),
+                &mut recorder,
+            )
+            .unwrap_or_else(|e| panic!("recovery failed under exploration: {e}"));
+            assert_eq!(
+                outcome.lost,
+                vec![victim],
+                "agreed failure set names the victim"
+            );
+            assert_eq!(outcome.spec.p, spec.p - 1, "world shrank by exactly one");
+            Some(compare_with_serial(
+                &outcome.spec,
+                outcome.rank,
+                &outcome.output,
+                &reference,
+            ))
+        },
+        progress,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +420,21 @@ mod tests {
             |_, _| {},
         );
         assert_eq!(report.schedules_run, 10);
+        assert!(report.is_clean(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn crash_recovery_sweep_is_clean_on_a_small_plan() {
+        let cfg = ExploreConfig {
+            ranks: 4,
+            random_seeds: 0..2,
+            systematic_bits: 0,
+            defer_prob: 0.3,
+            max_hold: 2,
+        };
+        let report = explore_crash_recovery(&cfg, 8, 1, |_, _| {});
+        // 2 schedules × crash at {first, middle, last} tile.
+        assert_eq!(report.schedules_run, 6);
         assert!(report.is_clean(), "{:?}", report.failures);
     }
 

@@ -12,7 +12,12 @@
 //!    vector clocks, wait-for-graph deadlock detection naming the cycle of
 //!    ranks, and the runtime lint catalogue `MC001`–`MC005`.
 //! 3. **Source lints** ([`srclint`]): a static walk of the workspace's
-//!    non-test library code enforcing project invariants `SL001`–`SL003`.
+//!    non-test library code enforcing project invariants `SL001`–`SL005`.
+//!
+//! The exploration pass also sweeps *faulty* worlds: [`explore_crash_recovery`]
+//! kills one rank per run (at the first, middle, and last tile boundary,
+//! across every schedule) and requires the survivors' ULFM-style
+//! revoke/shrink/agree recovery to come back serial-exact.
 //!
 //! Driven by `cargo xtask check` (see README); CI runs the exploration
 //! suite over a seed matrix.
@@ -22,7 +27,10 @@
 pub mod explore;
 pub mod srclint;
 
-pub use explore::{explore, explore_pipeline, ExploreConfig, ExploreReport, ScheduleFailure};
+pub use explore::{
+    explore, explore_crash_recovery, explore_pipeline, ExploreConfig, ExploreReport,
+    ScheduleFailure,
+};
 pub use mpisim::{
     Backoff, CheckConfig, CheckOutcome, CheckReport, Finding, LintId, SchedConfig, SchedMode,
     Severity,

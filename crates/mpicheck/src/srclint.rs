@@ -1,4 +1,4 @@
-//! Source-level lint pass (`SL001`–`SL004`).
+//! Source-level lint pass (`SL001`–`SL005`).
 //!
 //! A small, dependency-free walk of the workspace's first-party source
 //! (`crates/*/src` plus the root package's `src/`; `vendor/`, `target/`,
@@ -17,6 +17,10 @@
 //!   consumer must draw plans from the process-wide `PlanCache` (via
 //!   `PlanCache::global()`), so identical transforms never replan; a
 //!   per-call planner was exactly the hot-path bug this rule pins down.
+//! * **SL005** — no `.expect(` in recovery-path modules (any source file
+//!   whose path contains `recover`). Recovery code runs *after* something
+//!   has already gone wrong; a panic there converts a survivable rank
+//!   failure into a process death. It must return typed errors only.
 //!
 //! Test code is exempt: everything at or below the file's first
 //! `#[cfg(test)]` line (the repo convention keeps test modules at the end
@@ -40,6 +44,8 @@ pub enum SrcLintId {
     PostWithoutWait,
     /// `SL004` — direct `Planner::new` outside the `cfft` crate.
     PlannerOutsideCache,
+    /// `SL005` — `.expect(` in a recovery-path module.
+    ExpectInRecovery,
 }
 
 impl SrcLintId {
@@ -50,6 +56,7 @@ impl SrcLintId {
             SrcLintId::HardcodedSleep => "SL002",
             SrcLintId::PostWithoutWait => "SL003",
             SrcLintId::PlannerOutsideCache => "SL004",
+            SrcLintId::ExpectInRecovery => "SL005",
         }
     }
 }
@@ -215,6 +222,21 @@ fn lint_file(rel: &str, contents: &str) -> Vec<SrcFinding> {
                     .to_owned(),
             });
         }
+        // SL005 — recovery modules must degrade, never die: `.expect(`
+        // in a file whose path names recovery turns a survivable rank
+        // failure into a process panic. (SL001 already bans `.unwrap()`
+        // everywhere; this tightens recovery paths to typed errors only.)
+        // The pattern literal below is the lint itself. mpicheck:allow(SL005)
+        if line.contains(".expect(") && rel.contains("recover") && !allowed(&lines, idx, "SL005") {
+            findings.push(SrcFinding {
+                file: rel.to_owned(),
+                line: idx + 1,
+                id: SrcLintId::ExpectInRecovery,
+                message: "`.expect(` in a recovery-path module; recovery code must \
+                          return typed errors — a panic here kills a survivor"
+                    .to_owned(),
+            });
+        }
         // SL003 — collect post call sites; verified after the scan.
         let posts = line.contains(".post_a2a(")
             || line.contains(".ialltoall(")
@@ -327,6 +349,18 @@ mod tests {
         assert!(lint_file("crates/cfft/src/cache.rs", src).is_empty());
         let cached = "fn f() { let p = PlanCache::global().plan(8, dir, rigor); }\n";
         assert!(lint_file("crates/core/src/real_env.rs", cached).is_empty());
+    }
+
+    #[test]
+    fn expect_in_recovery_module_is_flagged_elsewhere_is_not() {
+        // mpicheck:allow(SL005) — pattern literal for the test fixture.
+        let src = "fn f() { let x = g().expect(\"slab present\"); }\n";
+        let f = lint_file("crates/core/src/recover.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].id.code(), "SL005");
+        assert!(lint_file("crates/core/src/real_env.rs", src).is_empty());
+        let typed = "fn f() -> Result<X, E> { g().ok_or(E::Gone) }\n";
+        assert!(lint_file("crates/core/src/recover.rs", typed).is_empty());
     }
 
     #[test]

@@ -57,6 +57,11 @@ pub struct Backoff {
     pub max: Duration,
     /// Growth factor between consecutive slices (≥ 1).
     pub multiplier: u32,
+    /// Seed for the deterministic park jitter (see [`Backoff::park`]).
+    /// Folded from the run's fault seed by `run_with_config`, so two runs
+    /// with the same `(fault seed, schedule descriptor)` park identically —
+    /// no ambient entropy enters the wait loops.
+    pub jitter_seed: u64,
 }
 
 impl Default for Backoff {
@@ -65,6 +70,7 @@ impl Default for Backoff {
             initial: Duration::from_micros(500),
             max: Duration::from_millis(50),
             multiplier: 2,
+            jitter_seed: 0,
         }
     }
 }
@@ -77,7 +83,14 @@ impl Backoff {
             initial: Duration::from_micros(100),
             max: Duration::from_millis(2),
             multiplier: 2,
+            jitter_seed: 0,
         }
+    }
+
+    /// The same policy with the jitter seed set (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
     }
 
     /// The first slice (never zero, so `wait_for` cannot busy-spin).
@@ -88,6 +101,28 @@ impl Backoff {
     /// The slice following `cur`.
     pub fn next(&self, cur: Duration) -> Duration {
         (cur * self.multiplier.max(1)).min(self.max.max(self.initial))
+    }
+
+    /// `cur` with deterministic jitter applied: a pure function of
+    /// `(jitter_seed, cur, salt)` scaling the slice into `[75%, 125%]`.
+    ///
+    /// Wait loops that would otherwise park in lockstep (every survivor of a
+    /// rank failure re-polling on the same exponential ladder) pass a
+    /// per-caller `salt` (e.g. the waiting rank) to de-synchronise without
+    /// reaching for ambient entropy — replays under a recorded schedule
+    /// descriptor stay bit-identical. The envelope bounds are unchanged:
+    /// the result is clamped to `[1µs, max]`.
+    pub fn park(&self, cur: Duration, salt: u64) -> Duration {
+        let h = hash5(
+            self.jitter_seed,
+            cur.as_nanos() as u64,
+            salt,
+            0xbac_0ff,
+            0x9a17_7e12,
+        );
+        // 75% + (h % 50%+1) percent of the slice.
+        let pct = 75 + (h % 51) as u32;
+        (cur * pct / 100).clamp(Duration::from_micros(1), self.max.max(self.initial))
     }
 }
 
@@ -381,8 +416,14 @@ impl CheckReport {
 #[derive(Debug)]
 pub struct CheckOutcome<R> {
     /// Per-rank results in rank order; `None` when the run was terminated
-    /// by the checker (e.g. a detected deadlock aborted the world).
+    /// by the checker (e.g. a detected deadlock aborted the world). For
+    /// runs with an injected [`faultplan::FaultKind::RankCrash`], holds the
+    /// *survivors'* results in survivor rank order — crashed ranks (listed
+    /// in [`CheckOutcome::crashed`]) contribute nothing.
     pub results: Option<Vec<R>>,
+    /// World ranks that died by injected crash, ascending. Empty for
+    /// ordinary runs; a bug panic still propagates instead of landing here.
+    pub crashed: Vec<usize>,
     /// The verification report (empty for unchecked runs).
     pub report: CheckReport,
 }
@@ -680,6 +721,27 @@ mod tests {
         assert!(nxt >= cur * 2 || nxt == b.max);
         cur = Duration::from_millis(49);
         assert_eq!(b.next(cur), b.max);
+    }
+
+    #[test]
+    fn park_jitter_is_deterministic_bounded_and_seed_sensitive() {
+        let b = Backoff::default().with_seed(42);
+        let cur = Duration::from_millis(10);
+        // Pure: same (seed, cur, salt) ⇒ same slice, across calls.
+        assert_eq!(b.park(cur, 3), b.park(cur, 3));
+        // Bounded: every draw stays inside the 75%–125% envelope and the cap.
+        for salt in 0..64 {
+            let p = b.park(cur, salt);
+            assert!(p >= cur * 75 / 100 && p <= cur * 125 / 100, "{p:?}");
+            assert!(p <= b.max);
+        }
+        // Sensitive: some salt (and some seed) must actually move the slice.
+        assert!((0..64).any(|s| b.park(cur, s) != b.park(cur, s + 64)));
+        let b2 = Backoff::default().with_seed(43);
+        assert!((0..64).any(|s| b.park(cur, s) != b2.park(cur, s)));
+        // The cap still binds: a near-max slice cannot jitter past `max`.
+        let p = b.park(b.max, 0);
+        assert!(p <= b.max && p >= b.max * 75 / 100);
     }
 
     #[test]

@@ -48,6 +48,13 @@ pub struct Comm {
     members: Arc<Vec<usize>>,
     coll_seq: Cell<u64>,
     split_seq: Cell<u64>,
+    /// Sequence counter for [`Comm::agree`] rendezvous (separate from
+    /// `coll_seq`: ranks abandon a faulted pipeline at *different* points,
+    /// so their `coll_seq` counters disagree by the time recovery starts —
+    /// agree must match on a counter that only recovery advances).
+    agree_seq: Cell<u64>,
+    /// Sequence counter for [`Comm::shrink`] context derivation.
+    shrink_seq: Cell<u64>,
 }
 
 impl Comm {
@@ -60,6 +67,8 @@ impl Comm {
             members,
             coll_seq: Cell::new(0),
             split_seq: Cell::new(0),
+            agree_seq: Cell::new(0),
+            shrink_seq: Cell::new(0),
         }
     }
 
@@ -183,6 +192,22 @@ impl Comm {
                 break m;
             }
             mb.check_abort();
+            if self.world.is_failed(self.world_rank(src_key)) {
+                // The sender died. Flush any scheduler-held delivery it made
+                // before dying; if the message still isn't there, it never
+                // will be — abort (the MPI_Abort analogue for the infallible
+                // blocking API) rather than hang. Fault-aware code paths use
+                // the typed CollError::RankFailed route instead.
+                mb.force_release();
+                if let Some(m) = mb.try_take(src_key, tag) {
+                    break m;
+                }
+                panic!(
+                    "mpisim: blocking receive from failed world rank {} — \
+                     use fault-aware operations on a communicator with dead members",
+                    self.world_rank(src_key)
+                );
+            }
             waited += slice;
             if let Some(after) = probe_after {
                 if waited >= after {
@@ -333,7 +358,193 @@ impl Comm {
             members: Arc::new(members_world),
             coll_seq: Cell::new(0),
             split_seq: Cell::new(0),
+            agree_seq: Cell::new(0),
+            shrink_seq: Cell::new(0),
         })
+    }
+
+    // ------------------------------------------------------------------
+    // ULFM-style failure handling (revoke / shrink / agree)
+    // ------------------------------------------------------------------
+
+    /// World rank of the first member of this communicator known to have
+    /// died, or `None` while everyone is (believed) alive. This is the
+    /// failure detector consulted at every stuck point; it is purely local
+    /// (a flag read), so detection adds no traffic.
+    pub fn first_failed_member(&self) -> Option<usize> {
+        self.members
+            .iter()
+            .copied()
+            .find(|&w| self.world.is_failed(w))
+    }
+
+    /// World ranks of this communicator's members known dead, ascending.
+    pub fn failed_members(&self) -> Vec<usize> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|&w| self.world.is_failed(w))
+            .collect()
+    }
+
+    /// `true` once the world has aborted (a peer panicked). Cancellation
+    /// paths consult this to avoid racing teardown.
+    pub fn world_aborted(&self) -> bool {
+        self.world.is_aborted()
+    }
+
+    /// Revokes this communicator (ULFM `MPI_Comm_revoke`): every in-flight
+    /// and future non-blocking operation on this context — on **every**
+    /// member — surfaces [`crate::CollError::Revoked`] instead of making
+    /// progress. Used by a rank that has detected a failure to interrupt
+    /// peers still blocked in collectives that can never complete. Revoking
+    /// an already-revoked communicator is a no-op.
+    pub fn revoke(&self) {
+        self.world.revoke_ctx(self.ctx);
+    }
+
+    /// `true` once this communicator has been revoked by any member.
+    pub fn is_revoked(&self) -> bool {
+        self.world.is_revoked(self.ctx)
+    }
+
+    /// A crash fault's trigger point: if the world's fault plan schedules
+    /// this rank's death at tile boundary `tile`, the rank records itself
+    /// failed (so survivors' failure detectors observe the death) and
+    /// unwinds its thread with a payload the runtime recognises as an
+    /// *injected* crash — survivors keep running and the world is not
+    /// aborted. Free when no crash fault targets this rank.
+    pub fn crash_point(&self, tile: usize) {
+        let me = self.world_rank(self.rank);
+        if self.faults().crash_at(me) == Some(tile) {
+            self.world.mark_failed(me);
+            std::panic::panic_any(crate::world::RankCrashed(me));
+        }
+    }
+
+    /// Fault-aware consensus (ULFM `MPI_Comm_agree`): every *living* member
+    /// contributes `local_flag`; returns the bitwise OR of all contributions
+    /// together with the agreed set of dead members (world ranks). Members
+    /// that die before contributing are excluded from the OR and included in
+    /// the failure set; a member whose contribution was already in flight
+    /// when it died is still counted. Never hangs on a dead peer.
+    ///
+    /// Every living member must call `agree` the same number of times (it is
+    /// a collective); the rendezvous is sequenced independently of ordinary
+    /// collectives, so ranks may reach it having abandoned different amounts
+    /// of pipeline work.
+    pub fn agree(&self, local_flag: u64) -> (u64, Vec<usize>) {
+        let aseq = self.agree_seq.get();
+        self.agree_seq.set(aseq + 1);
+        // Distinct payload region (bit 39) keeps agree traffic out of the
+        // ordinary collectives' `(seq << 8) | round` tag space.
+        let tag = encode_tag(self.ctx, Kind::Coll, (1 << 39) | (aseq << 4));
+        let me = self.world_rank(self.rank);
+        let words = self.world.size.div_ceil(64);
+
+        let mut payload = vec![0u64; 1 + words];
+        payload[0] = local_flag;
+        for r in self.world.failed_set() {
+            payload[1 + r / 64] |= 1 << (r % 64);
+        }
+        for dest in 0..self.size() {
+            if dest == self.rank || self.world.is_failed(self.world_rank(dest)) {
+                continue;
+            }
+            self.deliver(dest, tag, Box::new(payload.clone()));
+        }
+
+        let mut flags = local_flag;
+        let mut bitmap: Vec<u64> = payload[1..].to_vec();
+        let mb = self.my_mailbox();
+        let bo = self.world.backoff;
+        for src in 0..self.size() {
+            if src == self.rank {
+                continue;
+            }
+            let src_w = self.world_rank(src);
+            let mut slice = bo.first();
+            let mut park = 0u64;
+            loop {
+                if let Some(msg) = mb.try_take(src, tag) {
+                    self.world.on_recv(me, Some(src_w), &msg);
+                    let v = *msg
+                        .data
+                        .downcast::<Vec<u64>>()
+                        .unwrap_or_else(|_| panic!("agree payload type mismatch from {src_w}"));
+                    flags |= v[0];
+                    for (w, &word) in bitmap.iter_mut().zip(&v[1..]) {
+                        *w |= word;
+                    }
+                    break;
+                }
+                if self.world.is_failed(src_w) {
+                    // Scheduler-held contributions from the dead peer must
+                    // not be lost: flush holds, re-check once, then give up.
+                    mb.force_release();
+                    if mb.has_match(src, tag) {
+                        continue;
+                    }
+                    bitmap[src_w / 64] |= 1 << (src_w % 64);
+                    break;
+                }
+                mb.wait_arrival(bo.park(slice, park));
+                slice = bo.next(slice);
+                park += 1;
+            }
+        }
+        for r in self.world.failed_set() {
+            bitmap[r / 64] |= 1 << (r % 64);
+        }
+        let failed = (0..self.world.size)
+            .filter(|r| bitmap[r / 64] & (1 << (r % 64)) != 0)
+            .collect();
+        (flags, failed)
+    }
+
+    /// Builds a dense communicator of the survivors (ULFM
+    /// `MPI_Comm_shrink`): internally agrees on the failure set, then every
+    /// survivor deterministically derives the same membership (dead members
+    /// removed, world-rank order preserved) and a fresh context. There is no
+    /// extra rendezvous beyond the agreement — membership is a pure function
+    /// of the agreed set, and mailboxes buffer any early traffic on the new
+    /// context — so shrink cannot hang on the very failure it handles.
+    pub fn shrink(&self) -> Comm {
+        let (_flags, failed) = self.agree(0);
+        let members_world: Vec<usize> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|w| !failed.contains(w))
+            .collect();
+        let me = self.world_rank(self.rank);
+        let new_rank = members_world
+            .iter()
+            .position(|&w| w == me)
+            .expect("shrink called by a rank in the agreed failure set");
+        let sseq = self.shrink_seq.get();
+        self.shrink_seq.set(sseq + 1);
+        // The context must be identical on every survivor: derive it from
+        // the parent ctx, the shrink count, and the agreed failure set.
+        let fail_hash = failed
+            .iter()
+            .fold(0x5u64, |h, &r| faultplan::mix(h ^ r as u64));
+        let color = (fail_hash & 0x7fff_ffff) as i64;
+        let seq = 0x5_1125u64.wrapping_add(sseq);
+        let ctx = mix_ctx(self.ctx, seq, color);
+        if let Some(check) = &self.world.check {
+            check.register_ctx(ctx, (self.ctx, seq, color), me);
+        }
+        Comm {
+            world: self.world.clone(),
+            ctx,
+            rank: new_rank,
+            members: Arc::new(members_world),
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+            agree_seq: Cell::new(0),
+            shrink_seq: Cell::new(0),
+        }
     }
 }
 
@@ -419,6 +630,75 @@ mod tests {
             assert_eq!(d.size(), comm.size());
             assert_ne!(d.ctx, comm.ctx);
         });
+    }
+
+    #[test]
+    fn agree_ors_flags_across_living_members() {
+        run(4, |comm| {
+            let (flags, failed) = comm.agree(1u64 << comm.rank());
+            assert_eq!(flags, 0b1111, "every member's flag must be OR'd in");
+            assert!(failed.is_empty());
+            // Agree is repeatable: a second round re-synchronises cleanly.
+            let (flags, _) = comm.agree(u64::from(comm.rank() == 0));
+            assert_eq!(flags, 1);
+        });
+    }
+
+    #[test]
+    fn agree_excludes_a_dead_member_and_reports_it() {
+        let results = run(4, |comm| {
+            if comm.rank() == 3 {
+                comm.world.mark_failed(3);
+                return None;
+            }
+            let (flags, failed) = comm.agree(1u64 << comm.rank());
+            Some((flags, failed))
+        });
+        for (rank, r) in results.iter().enumerate() {
+            if rank == 3 {
+                assert!(r.is_none());
+                continue;
+            }
+            let (flags, failed) = r.as_ref().expect("survivors agree");
+            assert_eq!(
+                *flags, 0b0111,
+                "rank {rank}: dead member must not contribute"
+            );
+            assert_eq!(*failed, vec![3], "rank {rank}: failure set");
+        }
+    }
+
+    #[test]
+    fn shrink_renumbers_survivors_densely_and_communicates() {
+        let results = run(4, |comm| {
+            if comm.rank() == 1 {
+                comm.world.mark_failed(1);
+                return None;
+            }
+            let sub = comm.shrink();
+            // The shrunk communicator must be fully usable: run a real
+            // exchange over it.
+            let send: Vec<u64> = (0..sub.size())
+                .map(|d| (sub.rank() * 10 + d) as u64)
+                .collect();
+            let out = sub.ialltoall(&send, 1, vec![0u64; sub.size()]).wait(&sub);
+            Some((sub.rank(), sub.size(), out))
+        });
+        // World ranks 0, 2, 3 survive and become sub ranks 0, 1, 2.
+        let expect_rank = [Some(0), None, Some(1), Some(2)];
+        for (wrank, r) in results.iter().enumerate() {
+            match (r, expect_rank[wrank]) {
+                (None, None) => {}
+                (Some((sr, size, out)), Some(want)) => {
+                    assert_eq!(*sr, want, "world rank {wrank}: dense renumbering");
+                    assert_eq!(*size, 3);
+                    for (s, &v) in out.iter().enumerate() {
+                        assert_eq!(v, (s * 10 + want) as u64);
+                    }
+                }
+                other => panic!("world rank {wrank}: unexpected {other:?}"),
+            }
+        }
     }
 
     #[test]

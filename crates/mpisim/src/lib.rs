@@ -35,6 +35,18 @@
 //! [`CollError`] (`Stalled` / `Dropped`) instead of spinning forever or
 //! panicking.
 //!
+//! ## Rank death (ULFM-style recovery)
+//!
+//! A plan with a `RankCrash` fault kills one rank's thread at a tile
+//! boundary ([`Comm::crash_point`]); launch such plans with
+//! [`run_crashable`], which returns `None` for the dead rank and the
+//! survivors' results in rank position. Survivors observe the death as
+//! [`CollError::RankFailed`] at their next stuck point and recover with the
+//! ULFM-flavoured primitives: [`Comm::revoke`] (poison in-flight operations
+//! world-wide), [`Comm::agree`] (fault-aware consensus on an error flag and
+//! the failure set), and [`Comm::shrink`] (dense survivor communicator).
+//! See DESIGN.md §14.
+//!
 //! ## Verification (mpicheck)
 //!
 //! [`run_with_config`] launches a *checked* world: vector clocks on every
@@ -60,7 +72,7 @@ pub use check::{
     SchedConfig, SchedMode, Severity,
 };
 pub use comm::Comm;
-pub use faultplan::FaultPlan;
+pub use faultplan::{FaultKind, FaultPlan};
 pub use nbc::{CollError, IAlltoall};
 
 use check::CheckState;
@@ -112,6 +124,11 @@ where
     F: Fn(Comm) -> R + Send + Sync,
     R: Send,
 {
+    assert!(
+        faults.crash.is_none(),
+        "run_with_faults expects every rank to return a result; \
+         use run_crashable for plans with a RankCrash fault"
+    );
     let outcome = run_with_config(
         size,
         RunConfig {
@@ -125,6 +142,39 @@ where
         .expect("unchecked runs either return results or propagate the panic")
 }
 
+/// [`run_with_faults`] for plans that may kill a rank outright: returns one
+/// `Option<R>` per world rank, `None` for ranks that died to an injected
+/// `RankCrash` fault (survivor results keep their rank positions).
+///
+/// A genuine (non-injected) rank panic still aborts the world and
+/// propagates, as with [`run`].
+pub fn run_crashable<F, R>(size: usize, faults: FaultPlan, f: F) -> Vec<Option<R>>
+where
+    F: Fn(Comm) -> R + Send + Sync,
+    R: Send,
+{
+    let outcome = run_with_config(
+        size,
+        RunConfig {
+            faults,
+            ..RunConfig::default()
+        },
+        f,
+    );
+    let crashed = outcome.crashed.clone();
+    let survivors = outcome
+        .results
+        .expect("crash runs either return survivor results or propagate the panic");
+    let mut out: Vec<Option<R>> = (0..size).map(|_| None).collect();
+    let mut it = survivors.into_iter();
+    for (rank, slot) in out.iter_mut().enumerate() {
+        if !crashed.contains(&rank) {
+            *slot = Some(it.next().expect("one result per surviving rank"));
+        }
+    }
+    out
+}
+
 /// The fully-configurable launcher: [`run`] semantics plus fault injection,
 /// backoff policy, and the verification layer.
 ///
@@ -135,6 +185,11 @@ where
 ///   and the resulting rank panics are **swallowed**: `results` is `None`
 ///   and the report carries the finding with the named cycle, instead of
 ///   the process unwinding with an opaque panic.
+/// * An injected `RankCrash` fault kills its rank's thread *without*
+///   aborting the world: survivors keep running, the dead rank is listed in
+///   [`CheckOutcome::crashed`], and `results` holds the survivors' values in
+///   rank order (the teardown leftover scan is skipped — orphaned traffic is
+///   expected collateral of a death).
 /// * Any other rank panic propagates, as with [`run`].
 pub fn run_with_config<F, R>(size: usize, cfg: RunConfig, f: F) -> CheckOutcome<R>
 where
@@ -149,8 +204,37 @@ where
         None => String::new(),
     };
     let check_arc = cfg.check.map(|c| Arc::new(CheckState::new(size, c)));
-    let world = World::new(size, cfg.faults, cfg.backoff, check_arc.clone());
+    // Deterministic park jitter: unless the caller pinned a jitter seed,
+    // fold the fault seed in so one `(fault seed, schedule)` pair fully
+    // determines every wait-loop park slice — no ambient entropy.
+    let backoff = if cfg.backoff.jitter_seed == 0 {
+        cfg.backoff.with_seed(cfg.faults.seed)
+    } else {
+        cfg.backoff
+    };
+    // An injected death unwinds via `panic_any(RankCrashed)`; it is the
+    // simulated failure mechanism, not a bug, so keep the default panic
+    // hook from spraying a backtrace per kill (crash sweeps inject
+    // hundreds). The filter keys on the payload type — real panics still
+    // print through the previous hook. Process-global, installed once.
+    if cfg.faults.has_crash() {
+        static QUIET_CRASHES: std::sync::Once = std::sync::Once::new();
+        QUIET_CRASHES.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info
+                    .payload()
+                    .downcast_ref::<world::RankCrashed>()
+                    .is_none()
+                {
+                    prev(info);
+                }
+            }));
+        });
+    }
+    let world = World::new(size, cfg.faults, backoff, check_arc.clone());
     let mut results = Vec::with_capacity(size);
+    let mut crashed: Vec<usize> = Vec::new();
     let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..size)
@@ -162,7 +246,13 @@ where
                     match std::panic::catch_unwind(AssertUnwindSafe(|| f(comm))) {
                         Ok(v) => Ok(v),
                         Err(e) => {
-                            world.abort();
+                            // An *injected* crash (RankCrash fault) is a
+                            // simulated process death, not a bug: the dead
+                            // rank already marked itself failed, and the
+                            // survivors must keep running — do NOT abort.
+                            if e.downcast_ref::<world::RankCrashed>().is_none() {
+                                world.abort();
+                            }
                             Err(e)
                         }
                     }
@@ -184,6 +274,11 @@ where
             match joined {
                 Ok(v) => results.push(v),
                 Err(e) => {
+                    if let Some(c) = e.downcast_ref::<world::RankCrashed>() {
+                        debug_assert_eq!(c.0, rank, "crash payload names the dying rank");
+                        crashed.push(rank);
+                        continue;
+                    }
                     // Prefer the original panic over secondary "aborted"
                     // panics from peers that were woken by the abort flag.
                     let secondary = |p: &Box<dyn std::any::Any + Send>| {
@@ -205,20 +300,23 @@ where
         }
     });
 
+    let complete = first_panic.is_none() && results.len() + crashed.len() == size;
     let Some(check) = check_arc else {
         if let Some(p) = first_panic {
             std::panic::resume_unwind(p);
         }
         return CheckOutcome {
-            results: Some(results),
+            results: complete.then_some(results),
+            crashed,
             report: CheckReport::default(),
         };
     };
 
     // Teardown lint MC001: messages still sitting in a mailbox after every
     // rank returned cleanly were posted but never received. Skipped after
-    // an abort, where leftovers are expected collateral.
-    let unmatched = if world.is_aborted() {
+    // an abort — and after a rank death, where in-flight traffic to and
+    // from the dead process is expected collateral of the failure.
+    let unmatched = if world.is_aborted() || !world.failed_set().is_empty() {
         None
     } else {
         world.force_release_all();
@@ -241,25 +339,39 @@ where
         Some(findings)
     };
 
+    let failed = world.failed_set();
     drop(world);
-    let report = match Arc::try_unwrap(check) {
+    let mut report = match Arc::try_unwrap(check) {
         Ok(state) => state.into_report(schedule, unmatched),
         Err(_) => panic!("mpisim: check state still shared after world teardown"),
     };
+    // MC002 exemption for the dead: an injected crash unwinds through the
+    // rank's in-flight requests, so their drops are collateral of the
+    // failure, not a leak bug — survivors purge the staged rounds when
+    // they write the rank off. Leaks on *surviving* ranks still report.
+    if !failed.is_empty() {
+        report.findings.retain(|f| {
+            !(f.id == LintId::RequestLeak && f.rank.is_some_and(|r| failed.contains(&r)))
+        });
+    }
 
     if report.deadlock().is_some() {
         // The detector aborted the world; the rank panics are the expected
         // mechanism, not the diagnosis — the finding is.
         return CheckOutcome {
             results: None,
+            crashed,
             report,
         };
     }
     if let Some(p) = first_panic {
         std::panic::resume_unwind(p);
     }
-    let results = (results.len() == size).then_some(results);
-    CheckOutcome { results, report }
+    CheckOutcome {
+        results: complete.then_some(results),
+        crashed,
+        report,
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +452,74 @@ mod tests {
                 outcome.report.findings
             );
         }
+    }
+
+    #[test]
+    fn crashed_rank_leaves_survivors_running() {
+        // Rank 1 dies at tile boundary 0; survivors detect the death via
+        // agree and return their results — no abort, no hang.
+        let plan = FaultPlan::seeded(5).with_rank_crash(1, 0);
+        let out = run_crashable(4, plan, |comm| {
+            if comm.rank() == 1 {
+                comm.crash_point(0); // dies here
+            }
+            let (_flags, failed) = comm.agree(0);
+            failed
+        });
+        assert!(out[1].is_none(), "crashed rank must not produce a result");
+        for (rank, r) in out.iter().enumerate() {
+            if rank == 1 {
+                continue;
+            }
+            assert_eq!(
+                r.as_deref(),
+                Some(&[1usize][..]),
+                "rank {rank}: survivors must agree on the failure set"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_point_is_free_for_untargeted_ranks() {
+        let plan = FaultPlan::seeded(5).with_rank_crash(2, 7);
+        let out = run_crashable(2, plan, |comm| {
+            // Plan targets world rank 2, which doesn't exist here; nothing
+            // fires and the run completes normally.
+            comm.crash_point(7);
+            comm.rank()
+        });
+        assert_eq!(out, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "use run_crashable")]
+    fn run_with_faults_rejects_crash_plans() {
+        let plan = FaultPlan::seeded(1).with_rank_crash(0, 0);
+        let _ = run_with_faults(2, plan, |comm| comm.rank());
+    }
+
+    #[test]
+    fn checked_run_records_the_crash_without_findings() {
+        let plan = FaultPlan::seeded(9).with_rank_crash(0, 0);
+        let outcome = run_with_config(
+            3,
+            RunConfig {
+                faults: plan,
+                backoff: Backoff::checked(),
+                check: Some(CheckConfig::default()),
+            },
+            |comm| {
+                if comm.rank() == 0 {
+                    comm.crash_point(0);
+                }
+                let (_f, failed) = comm.agree(0);
+                failed
+            },
+        );
+        assert_eq!(outcome.crashed, vec![0]);
+        let results = outcome.results.expect("survivors complete");
+        assert_eq!(results, vec![vec![0], vec![0]]);
+        assert!(outcome.report.is_clean(), "{:?}", outcome.report.findings);
     }
 
     #[test]

@@ -48,6 +48,13 @@ pub enum CollError {
         /// Destination communicator rank of the lost block.
         peer: usize,
     },
+    /// A member of the communicator died (ULFM `MPI_ERR_PROC_FAILED`): the
+    /// collective cannot complete and the operation surfaces the failure
+    /// instead of hanging. Names the **world rank** of the dead process.
+    RankFailed(usize),
+    /// The communicator was revoked by a peer ([`Comm::revoke`], ULFM
+    /// `MPI_ERR_REVOKED`): every in-flight operation on it is poisoned.
+    Revoked,
 }
 
 impl std::fmt::Display for CollError {
@@ -59,6 +66,10 @@ impl std::fmt::Display for CollError {
             CollError::Dropped { round, peer } => {
                 write!(f, "round {round} send to rank {peer} exhausted retransmits")
             }
+            CollError::RankFailed(rank) => {
+                write!(f, "world rank {rank} failed (process death)")
+            }
+            CollError::Revoked => write!(f, "communicator revoked by a peer"),
         }
     }
 }
@@ -261,11 +272,36 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
         Ok(true)
     }
 
+    /// Records a sticky fault error and returns it.
+    fn fail(&mut self, e: CollError) -> Result<bool, CollError> {
+        self.failed = Some(e);
+        Err(e)
+    }
+
+    /// Called where progression would report "no progress possible right
+    /// now": before parking, consult the failure detector. A dead member
+    /// means the remaining rounds can never arrive, so the stuck state is
+    /// surfaced as a typed [`CollError::RankFailed`] instead of a wait that
+    /// either hangs (no watchdog) or mis-reports `Stalled` (with one).
+    fn stuck(&mut self, comm: &Comm) -> Result<bool, CollError> {
+        if let Some(dead) = comm.first_failed_member() {
+            return self.fail(CollError::RankFailed(dead));
+        }
+        Ok(false)
+    }
+
     /// Advances as many rounds as currently possible. Returns `Ok(true)`
     /// when the collective has completed; fault errors are sticky.
     fn progress(&mut self, comm: &Comm) -> Result<bool, CollError> {
         if let Some(e) = self.failed {
             return Err(e);
+        }
+        // A revoked communicator poisons every in-flight operation on it,
+        // even ones that could still complete from queued messages — the
+        // ULFM contract that lets one rank's failure detection interrupt
+        // its peers' blocking waits promptly.
+        if comm.is_revoked() {
+            return self.fail(CollError::Revoked);
         }
         let p = self.size;
         while self.round < p {
@@ -283,7 +319,7 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
                 }
                 match self.post_send(comm, r, dest) {
                     Ok(true) => self.sent = r + 1,
-                    Ok(false) => return Ok(false),
+                    Ok(false) => return self.stuck(comm),
                     Err(e) => {
                         self.failed = Some(e);
                         return Err(e);
@@ -319,7 +355,7 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
                     self.recv[off..off + block.len()].clone_from_slice(&block);
                     self.round = r + 1;
                 }
-                None => return Ok(false),
+                None => return self.stuck(comm),
             }
         }
         Ok(true)
@@ -478,8 +514,18 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
     /// the messages addressed to *it*, so all members must cancel (or
     /// complete) for the world to quiesce. Returns the number of messages
     /// reclaimed here.
+    ///
+    /// Safe after a world abort: once the abort flag is up, peers may be
+    /// unwinding and tearing their mailboxes down concurrently, so cancel
+    /// marks the request cancelled (disarming the leak lint) and skips the
+    /// purge instead of racing teardown — the world is dead, nothing can
+    /// observe the leftover messages. Idempotent in effect: already-complete
+    /// or already-error requests cancel cleanly too.
     pub fn cancel(mut self, comm: &Comm) -> usize {
         self.cancelled = true;
+        if comm.world_aborted() {
+            return 0;
+        }
         let mut purged = 0;
         for r in 0..self.size {
             let tag = encode_tag(comm.ctx, Kind::Nbc, self.round_tag(r));
@@ -812,6 +858,90 @@ mod tests {
                 comm.rank()
             );
         });
+    }
+
+    #[test]
+    fn dead_member_surfaces_rank_failed_naming_the_rank() {
+        // Rank 2 "dies" (marks itself failed and returns without
+        // participating). Every survivor's wait must surface RankFailed
+        // naming world rank 2 — never Stalled, never a hang.
+        let p = 4;
+        let results = run(p, move |comm| {
+            if comm.rank() == 2 {
+                comm.world.mark_failed(2);
+                return None;
+            }
+            let send: Vec<i32> = (0..p).map(|d| d as i32).collect();
+            let mut req = comm.ialltoall(&send, 1, vec![0i32; p]);
+            let err = req
+                .wait_timeout(&comm, Duration::from_secs(5))
+                .expect_err("a dead member cannot complete an alltoall");
+            // Sticky on re-poll, and cancel still reclaims staged rounds.
+            assert_eq!(req.try_test(&comm), Err(err));
+            req.cancel(&comm);
+            Some(err)
+        });
+        for (rank, r) in results.iter().enumerate() {
+            if rank == 2 {
+                assert!(r.is_none());
+            } else {
+                assert_eq!(
+                    *r,
+                    Some(CollError::RankFailed(2)),
+                    "rank {rank}: wrong failure report"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn revoked_comm_poisons_in_flight_collectives() {
+        let p = 3;
+        let results = run(p, move |comm| {
+            let send: Vec<i32> = (0..p).map(|d| d as i32).collect();
+            let mut req = comm.ialltoall(&send, 1, vec![0i32; p]);
+            if comm.rank() == 0 {
+                comm.revoke();
+            } else {
+                // Hold polling until the poison is visible so the test is
+                // deterministic (a fast schedule could otherwise complete
+                // the exchange before the revoke lands).
+                while !comm.is_revoked() {
+                    std::thread::yield_now();
+                }
+            }
+            // Every rank (including the revoker) sees the poison instead of
+            // progressing; revoke wakes parked receivers, so this is bounded.
+            let err = req
+                .wait_timeout(&comm, Duration::from_secs(5))
+                .expect_err("revoked comm must not complete");
+            req.cancel(&comm);
+            err
+        });
+        for (rank, e) in results.iter().enumerate() {
+            assert_eq!(*e, CollError::Revoked, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn cancel_after_world_abort_is_safe_and_skips_the_purge() {
+        // Regression (teardown race): cancelling an in-flight collective
+        // after the world aborted used to purge mailboxes that peers might
+        // be tearing down. Cancel must now be a no-op purge that still
+        // disarms the leak lint, on every rank, without panicking.
+        let p = 2;
+        let results = run(p, move |comm| {
+            let send: Vec<i32> = (0..p).map(|d| d as i32).collect();
+            let req = comm.ialltoall(&send, 1, vec![0i32; p]);
+            if comm.rank() == 0 {
+                comm.world.abort();
+            }
+            while !comm.world.is_aborted() {
+                std::thread::yield_now();
+            }
+            req.cancel(&comm)
+        });
+        assert_eq!(results, vec![0, 0], "post-abort cancel must not purge");
     }
 
     #[test]

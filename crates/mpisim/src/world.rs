@@ -16,10 +16,17 @@ use crate::check::{Backoff, CheckState, EvKind};
 use faultplan::FaultPlan;
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Panic payload a rank thread unwinds with when a `RankCrash` fault fires.
+///
+/// `run_with_config` downcasts for this type to tell an *injected* process
+/// death (survivors keep running; the world is **not** aborted) apart from a
+/// genuine bug panic (world aborts, panic propagates to the joiner).
+pub(crate) struct RankCrashed(pub usize);
 
 /// A message in flight: the payload is a type-erased `Vec<T>`.
 ///
@@ -313,6 +320,12 @@ pub(crate) struct World {
     /// Verification instrumentation; `None` outside checked runs.
     pub check: Option<Arc<CheckState>>,
     aborted: Arc<AtomicBool>,
+    /// Per-rank "this process died" flags (ULFM failure detector state).
+    /// Set by the crashing rank itself before its thread unwinds, so by the
+    /// time any survivor can observe missing traffic the flag is visible.
+    failed: Vec<AtomicBool>,
+    /// Communicator contexts poisoned by [`crate::Comm::revoke`].
+    revoked: Mutex<HashSet<u64>>,
 }
 
 impl World {
@@ -332,6 +345,8 @@ impl World {
             backoff,
             check,
             aborted,
+            failed: (0..size).map(|_| AtomicBool::new(false)).collect(),
+            revoked: Mutex::new(HashSet::new()),
         })
     }
 
@@ -395,6 +410,47 @@ impl World {
         for mb in &self.mailboxes {
             mb.arrived.notify_all();
         }
+    }
+
+    /// Records that world rank `rank` has died and wakes every blocked
+    /// receiver so its peers re-check their completion conditions (and the
+    /// failure detector) instead of waiting on traffic that will never come.
+    pub fn mark_failed(&self, rank: usize) {
+        self.failed[rank].store(true, Ordering::Release);
+        if let Some(check) = &self.check {
+            // A dead rank is not blocked on anyone: drop it from the
+            // wait-for graph so the deadlock probe never names a cycle
+            // through a process that no longer exists.
+            check.clear_blocked(rank);
+        }
+        for mb in &self.mailboxes {
+            mb.arrived.notify_all();
+        }
+    }
+
+    /// `true` when world rank `rank` has died.
+    pub fn is_failed(&self, rank: usize) -> bool {
+        self.failed[rank].load(Ordering::Acquire)
+    }
+
+    /// World ranks currently known dead, ascending.
+    pub fn failed_set(&self) -> Vec<usize> {
+        (0..self.size).filter(|&r| self.is_failed(r)).collect()
+    }
+
+    /// Poisons communicator context `ctx`: subsequent (and in-flight)
+    /// operations on it surface `CollError::Revoked` instead of making
+    /// progress. Wakes all receivers so blocked waits observe the poison.
+    pub fn revoke_ctx(&self, ctx: u64) {
+        self.revoked.lock().insert(ctx);
+        for mb in &self.mailboxes {
+            mb.arrived.notify_all();
+        }
+    }
+
+    /// `true` when `ctx` has been revoked.
+    pub fn is_revoked(&self, ctx: u64) -> bool {
+        self.revoked.lock().contains(&ctx)
     }
 }
 
@@ -515,6 +571,36 @@ mod tests {
         // Receiver's next send must dominate the sender's stamp.
         let next = check.stamp_send(1);
         assert_eq!(next, vec![1, 2]);
+    }
+
+    #[test]
+    fn failed_flags_and_revoked_ctx_round_trip() {
+        let world = World::new(4, FaultPlan::none(), Backoff::default(), None);
+        assert!(world.failed_set().is_empty());
+        world.mark_failed(2);
+        assert!(world.is_failed(2));
+        assert!(!world.is_failed(0));
+        assert_eq!(world.failed_set(), vec![2]);
+        assert!(!world.is_revoked(7));
+        world.revoke_ctx(7);
+        assert!(world.is_revoked(7));
+        assert!(!world.is_revoked(8));
+    }
+
+    #[test]
+    fn mark_failed_wakes_blocked_receivers() {
+        let world = World::new(2, FaultPlan::none(), Backoff::default(), None);
+        let w = world.clone();
+        let h = thread::spawn(move || {
+            // A receiver parked on an arrival that will never come must be
+            // woken by the failure notification, then observe the flag.
+            while !w.is_failed(1) {
+                w.mailboxes[0].wait_arrival(Duration::from_secs(5));
+            }
+        });
+        thread::sleep(Duration::from_millis(20));
+        world.mark_failed(1);
+        h.join().expect("receiver observed the failure");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Subcommands:
 //!
-//! * `lint` — run the mpicheck source lints (`SL001`–`SL004`) over the
+//! * `lint` — run the mpicheck source lints (`SL001`–`SL005`) over the
 //!   workspace's non-test library code. Exit 1 on any finding.
 //! * `explore [--seed-base N] [--ranks N] [--grid N] [--schedules N]` —
 //!   sweep the overlapped pipeline (NEW variant) over seeded random plus
@@ -10,8 +10,14 @@
 //!   any schedule with a race/deadlock/lint finding, a panic, or a
 //!   numerical deviation. `--seed-base` offsets the random seed range so CI
 //!   can cover disjoint seed matrices.
-//! * `check` — `lint` then `explore` with the acceptance-gate defaults
-//!   (≥ 200 schedules, 4 ranks, grid 8).
+//! * `recover [--seed-base N] [--ranks N] [--grid N] [--schedules N]
+//!   [--victim N]` — the rank-death sweep: every schedule runs three times,
+//!   killing `--victim` at the first, middle, and last tile boundary; the
+//!   survivors must agree on the dead rank, shrink, re-decompose, and come
+//!   back serial-exact. Exit 1 on any hang, wrong failure set, or
+//!   numerical deviation.
+//! * `check` — `lint`, then `explore` with the acceptance-gate defaults
+//!   (≥ 200 schedules, 4 ranks, grid 8), then a compact `recover` sweep.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
@@ -33,10 +39,13 @@ fn usage() -> ExitCode {
         "usage: cargo xtask <command>\n\
          \n\
          commands:\n\
-         \x20 lint                      run source lints (SL001–SL004)\n\
+         \x20 lint                      run source lints (SL001–SL005)\n\
          \x20 explore [--seed-base N]   sweep pipeline delivery schedules\n\
          \x20         [--ranks N] [--grid N] [--schedules N]\n\
-         \x20 check                     lint + explore (acceptance gate)"
+         \x20 recover [--seed-base N]   rank-death recovery sweep (crash at\n\
+         \x20         [--ranks N] [--grid N] [--schedules N] [--victim N]\n\
+         \x20                           first/middle/last tile per schedule)\n\
+         \x20 check                     lint + explore + recover (acceptance gate)"
     );
     ExitCode::FAILURE
 }
@@ -51,7 +60,7 @@ fn parse_flag(args: &[String], name: &str) -> Option<u64> {
 fn run_lint(root: &Path) -> bool {
     let findings = lint_workspace(root);
     if findings.is_empty() {
-        println!("lint: clean ({} source lints enforced)", 4);
+        println!("lint: clean ({} source lints enforced)", 5);
         return true;
     }
     for f in &findings {
@@ -61,40 +70,66 @@ fn run_lint(root: &Path) -> bool {
     false
 }
 
-fn run_explore(args: &[String]) -> bool {
+/// Builds the sweep configuration shared by `explore` and `recover` from
+/// the command-line flags: `--schedules` resizes the random seed range
+/// (keeping the systematic mask sweep), `--seed-base` then offsets it.
+fn sweep_config(args: &[String]) -> (ExploreConfig, usize) {
     let seed_base = parse_flag(args, "--seed-base").unwrap_or(0);
     let ranks = parse_flag(args, "--ranks").unwrap_or(4) as usize;
     let grid = parse_flag(args, "--grid").unwrap_or(8) as usize;
     let mut cfg = ExploreConfig::quick();
     cfg.ranks = ranks;
     if let Some(n) = parse_flag(args, "--schedules") {
-        // Keep the systematic sweep; resize the random range to hit the
-        // requested total (minimum: the systematic mask count).
         let sys = cfg.schedules() - (cfg.random_seeds.end - cfg.random_seeds.start);
         cfg.random_seeds = 0..n.saturating_sub(sys);
     }
     cfg.random_seeds = (cfg.random_seeds.start + seed_base)..(cfg.random_seeds.end + seed_base);
+    (cfg, grid)
+}
 
+// `% 25 == 0` keeps the stated MSRV (1.85); `is_multiple_of` needs 1.87.
+#[allow(clippy::manual_is_multiple_of)]
+fn progress_bar(done: u64, total: u64) {
+    if done % 25 == 0 || done == total {
+        print!("\r  {done}/{total} schedules");
+        let _ = std::io::stdout().flush();
+    }
+}
+
+fn run_explore(args: &[String]) -> bool {
+    let (cfg, grid) = sweep_config(args);
     println!(
-        "explore: {} schedules of the NEW pipeline, grid {grid}^3, {ranks} ranks \
+        "explore: {} schedules of the NEW pipeline, grid {grid}^3, {} ranks \
          (random seeds {:?} + {}-bit systematic sweep)",
         cfg.schedules(),
+        cfg.ranks,
         cfg.random_seeds,
         cfg.systematic_bits
     );
-    let report = mpicheck::explore_pipeline(&cfg, grid, |done, total| {
-        if done % 25 == 0 || done == total {
-            print!("\r  {done}/{total} schedules");
-            let _ = std::io::stdout().flush();
-        }
-    });
+    let report = mpicheck::explore_pipeline(&cfg, grid, progress_bar);
     println!();
-    summarize(&report)
+    summarize("explore", &report)
 }
 
-fn summarize(report: &ExploreReport) -> bool {
+fn run_recover(args: &[String]) -> bool {
+    let (cfg, grid) = sweep_config(args);
+    let victim = parse_flag(args, "--victim").unwrap_or(1) as usize;
     println!(
-        "explore: {} schedules in {:.1}s — {} failure(s), {} info finding(s)",
+        "recover: {} schedules × crash of rank {victim} at first/middle/last tile, \
+         grid {grid}^3, {} ranks (random seeds {:?} + {}-bit systematic sweep)",
+        cfg.schedules(),
+        cfg.ranks,
+        cfg.random_seeds,
+        cfg.systematic_bits
+    );
+    let report = mpicheck::explore_crash_recovery(&cfg, grid, victim, progress_bar);
+    println!();
+    summarize("recover", &report)
+}
+
+fn summarize(pass: &str, report: &ExploreReport) -> bool {
+    println!(
+        "{pass}: {} schedules in {:.1}s — {} failure(s), {} info finding(s)",
         report.schedules_run,
         report.wall,
         report.failures.len(),
@@ -121,13 +156,22 @@ fn main() -> ExitCode {
     let ok = match args.first().map(String::as_str) {
         Some("lint") => run_lint(&root),
         Some("explore") => run_explore(&args[1..]),
+        Some("recover") => run_recover(&args[1..]),
         Some("check") => {
             let lint_ok = run_lint(&root);
             let explore_ok = run_explore(&args[1..]);
-            if lint_ok && explore_ok {
+            // The recovery gate is three runs per schedule; a quarter of the
+            // explore plan keeps `check` under a few minutes while still
+            // crossing every crash position with both schedule families.
+            let mut recover_args = args[1..].to_vec();
+            if parse_flag(&recover_args, "--schedules").is_none() {
+                recover_args.extend(["--schedules".to_owned(), "80".to_owned()]);
+            }
+            let recover_ok = run_recover(&recover_args);
+            if lint_ok && explore_ok && recover_ok {
                 println!("check: all gates passed");
             }
-            lint_ok && explore_ok
+            lint_ok && explore_ok && recover_ok
         }
         _ => return usage(),
     };

@@ -13,13 +13,14 @@
 //! * the simulated backend's fault presets slow the modeled run monotonically.
 
 use cfft::planner::Rigor;
-use cfft::Direction;
+use cfft::{Complex64, Direction};
 use fft3d::real_env::{compare_with_serial, local_test_slab};
 use fft3d::serial::{fft3_serial, full_test_array};
 use fft3d::sim_env::fft3_simulated;
 use fft3d::{
-    try_fft3_dist, try_fft3_dist_traced, try_fft3_simulated, Error, NoopRecorder, ProblemSpec,
-    Resilience, TuningParams, Variant,
+    run_recoverable, try_fft3_dist, try_fft3_dist_traced, try_fft3_simulated, Error, EventKind,
+    MemRecorder, NoopRecorder, ProblemSpec, RecoverConfig, ReplicaSource, Resilience, SlabSource,
+    TuningParams, Variant,
 };
 use mpisim::FaultPlan;
 use simnet::model::umd_cluster;
@@ -299,6 +300,212 @@ fn simulated_fault_presets_slow_the_modeled_run() {
         degraded > clean,
         "halved link bandwidth must cost time: {degraded} vs {clean}"
     );
+}
+
+#[test]
+fn crash_surfaces_rank_failed_naming_the_dead_rank() {
+    let spec = ProblemSpec::cube(12, 4);
+    let params = TuningParams::seed(&spec);
+
+    // World rank 2 dies at the first tile boundary. Every survivor's
+    // exchange needs the dead rank's blocks, so each must surface
+    // RankFailed naming rank 2 — not Stalled, not a hang.
+    let plan = FaultPlan::seeded(fault_seed()).with_rank_crash(2, 0);
+    let res = Resilience::with_timeout(Duration::from_millis(100));
+    let out = mpisim::run_crashable(spec.p, plan, move |comm| {
+        let input = local_test_slab(&spec, comm.rank());
+        try_fft3_dist_traced(
+            &comm,
+            spec,
+            Variant::New,
+            params,
+            Direction::Forward,
+            Rigor::Estimate,
+            &input,
+            &res,
+            &mut NoopRecorder,
+        )
+        .map(|_| ())
+        .expect_err("a dead peer cannot produce a complete spectrum")
+    });
+
+    assert!(out[2].is_none(), "the dead rank must not return");
+    for (rank, err) in out.iter().enumerate() {
+        if rank == 2 {
+            continue;
+        }
+        match err.expect("survivors return a typed error") {
+            Error::RankFailed { rank: dead, .. } => {
+                assert_eq!(dead, 2, "rank {rank} must name the dead rank")
+            }
+            other => panic!("rank {rank}: expected RankFailed, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn cancel_is_safe_after_a_rank_failure() {
+    // Regression for the post-abort/post-failure cancel race: cancelling a
+    // collective whose member died mid-exchange must purge this rank's
+    // staged rounds safely (and skip the purge entirely once the world is
+    // aborted) instead of racing mailbox teardown. Sticky error semantics:
+    // re-testing the failed request keeps returning the same typed error.
+    let plan = FaultPlan::seeded(fault_seed()).with_rank_crash(0, 0);
+    let out = mpisim::run_crashable(3, plan, move |comm| {
+        if comm.rank() == 0 {
+            comm.crash_point(0);
+        }
+        let send: Vec<i64> = vec![comm.rank() as i64; comm.size()];
+        let mut req = comm.ialltoall(&send, 1, vec![0i64; comm.size()]);
+        let err = req
+            .wait_timeout(&comm, Duration::from_secs(5))
+            .expect_err("a collective over a dead member cannot complete");
+        assert!(
+            matches!(err, mpisim::CollError::RankFailed(0)),
+            "expected RankFailed(0), got {err}"
+        );
+        // The failure is sticky: polling again is safe and repeats it.
+        let again = req.try_test(&comm).expect_err("failure must be sticky");
+        assert_eq!(err, again);
+        req.cancel(&comm);
+        true
+    });
+    assert!(out[0].is_none());
+    assert_eq!(out[1], Some(true));
+    assert_eq!(out[2], Some(true));
+}
+
+#[test]
+fn rank_crash_recovers_elastically_and_matches_serial() {
+    let spec = ProblemSpec::cube(12, 4);
+    let params = TuningParams::seed(&spec);
+    let tiles = params.tiles(&spec);
+    let reference = serial_reference(&spec);
+    let full = Arc::new(full_test_array(spec.nx, spec.ny, spec.nz));
+
+    // Crash at the first, middle and last tile boundary: wherever the
+    // death lands, the survivors must agree, shrink to p−1, re-decompose,
+    // recompute from the replica source, and match the serial reference.
+    for at_tile in [0, tiles / 2, tiles.saturating_sub(1)] {
+        let run = || {
+            let reference = Arc::clone(&reference);
+            let full = Arc::clone(&full);
+            let plan = FaultPlan::seeded(fault_seed()).with_rank_crash(1, at_tile);
+            mpisim::run_crashable(spec.p, plan, move |comm| {
+                let source = ReplicaSource::new(Arc::clone(&full));
+                let mut rec = MemRecorder::default();
+                let outcome = run_recoverable(
+                    &comm,
+                    spec,
+                    Variant::New,
+                    params,
+                    Direction::Forward,
+                    Rigor::Estimate,
+                    &source,
+                    &RecoverConfig::default(),
+                    &mut rec,
+                )
+                .unwrap_or_else(|e| panic!("world rank {} failed to recover: {e}", comm.rank()));
+                assert_eq!(outcome.lost, vec![1], "tile {at_tile}: wrong failure set");
+                assert!(outcome.attempts >= 2, "tile {at_tile}: recovery must retry");
+                assert_eq!(
+                    outcome.spec.p,
+                    spec.p - 1,
+                    "tile {at_tile}: world must shrink"
+                );
+                assert!(
+                    rec.events
+                        .iter()
+                        .any(|ev| matches!(ev.kind, EventKind::Shrink { from: 4, to: 3 })),
+                    "tile {at_tile}: trace must record the shrink"
+                );
+                assert!(
+                    rec.events
+                        .iter()
+                        .any(|ev| matches!(ev.kind, EventKind::RankLost { rank: 1 })),
+                    "tile {at_tile}: trace must record the lost rank"
+                );
+                let err =
+                    compare_with_serial(&outcome.spec, outcome.rank, &outcome.output, &reference);
+                (err, outcome.output.data)
+            })
+        };
+        let a = run();
+        assert!(a[1].is_none(), "tile {at_tile}: dead rank must not return");
+        let tol = 1e-9 * spec.len() as f64;
+        for (rank, r) in a.iter().enumerate() {
+            if let Some((err, _)) = r {
+                assert!(
+                    *err < tol,
+                    "tile {at_tile} rank {rank}: spectrum error {err}"
+                );
+            }
+        }
+        // Replay determinism: the same (fault seed, schedule) reproduces
+        // the recovery bit-for-bit on every survivor.
+        let b = run();
+        for (rank, (ra, rb)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(
+                ra.as_ref().map(|(_, d)| d),
+                rb.as_ref().map(|(_, d)| d),
+                "tile {at_tile} rank {rank}: recovered spectra differ between identical runs"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_with_no_recoverable_input_returns_unrecoverable() {
+    // A source that only knows the original decomposition: once the world
+    // shrinks, every slab request comes back empty — modelling input that
+    // lived only in the dead rank's memory. All survivors must converge on
+    // the typed Unrecoverable error; nobody hangs, nobody panics.
+    struct OriginalOnly {
+        full: Arc<Vec<Complex64>>,
+        p0: usize,
+    }
+    impl SlabSource for OriginalOnly {
+        fn slab(&self, spec: &ProblemSpec, rank: usize) -> Option<Vec<Complex64>> {
+            if spec.p != self.p0 {
+                return None;
+            }
+            ReplicaSource::new(Arc::clone(&self.full)).slab(spec, rank)
+        }
+    }
+
+    let spec = ProblemSpec::cube(12, 4);
+    let params = TuningParams::seed(&spec);
+    let full = Arc::new(full_test_array(spec.nx, spec.ny, spec.nz));
+    let plan = FaultPlan::seeded(fault_seed()).with_rank_crash(3, 1);
+    let out = mpisim::run_crashable(spec.p, plan, move |comm| {
+        let source = OriginalOnly {
+            full: Arc::clone(&full),
+            p0: spec.p,
+        };
+        run_recoverable(
+            &comm,
+            spec,
+            Variant::New,
+            params,
+            Direction::Forward,
+            Rigor::Estimate,
+            &source,
+            &RecoverConfig::default(),
+            &mut NoopRecorder,
+        )
+        .map(|_| ())
+        .expect_err("recovery without an input source must fail")
+    });
+    assert!(out[3].is_none());
+    for (rank, err) in out.iter().enumerate() {
+        if rank == 3 {
+            continue;
+        }
+        assert!(
+            matches!(err, Some(Error::Unrecoverable(_))),
+            "rank {rank}: expected Unrecoverable, got {err:?}"
+        );
+    }
 }
 
 #[test]
