@@ -211,6 +211,82 @@ fn main() {
         bits(&pack_s) == bits(&pack_p),
     );
 
+    // --- Persistent all-to-all session, real backend: first execution
+    // (lazy per-tile plan init) vs steady state (start/wait on registered
+    // schedules, zero setups). Reported per world: the slowest rank's first
+    // execution against the slowest rank's best steady-state execution.
+    {
+        use fft3d::real_env::local_test_slab;
+        use fft3d::{FftSession, ProblemSpec, TuningParams, Variant};
+
+        let spec = ProblemSpec::cube(4 * cfg.nxl, 4);
+        let params = TuningParams::seed(&spec);
+        let steady_reps = cfg.reps.max(3);
+        let per_rank = mpisim::run(spec.p, move |comm| {
+            let input = local_test_slab(&spec, comm.rank());
+            let mut session =
+                FftSession::new(&comm, spec, Variant::New, params, dir, Rigor::Estimate);
+            let mut times = Vec::new();
+            let mut setups = Vec::new();
+            for _ in 0..=steady_reps {
+                let t0 = Instant::now();
+                let run = session.execute(&input).expect("clean bench run");
+                times.push(t0.elapsed().as_nanos());
+                setups.push(run.exchange_setups);
+            }
+            session.free();
+            (times, setups)
+        });
+        let first_ns = per_rank.iter().map(|(t, _)| t[0]).max().unwrap_or(0);
+        let steady_ns = per_rank
+            .iter()
+            .map(|(t, _)| t[1..].iter().copied().min().unwrap_or(u128::MAX))
+            .max()
+            .unwrap_or(0);
+        let first_setups: u64 = per_rank.iter().map(|(_, s)| s[0]).sum();
+        let steady_setups: u64 = per_rank.iter().flat_map(|(_, s)| &s[1..]).sum();
+        writeln!(
+            out,
+            "  \"persistent_session\": {{ \"grid\": {}, \"ranks\": {}, \
+             \"first_ns\": {first_ns}, \"steady_ns\": {steady_ns}, \
+             \"speedup\": {:.3}, \"first_setups\": {first_setups}, \
+             \"steady_setups\": {steady_setups} }},",
+            spec.nx,
+            spec.p,
+            first_ns as f64 / steady_ns.max(1) as f64
+        )
+        .expect("write to String cannot fail");
+        assert_eq!(steady_setups, 0, "steady state must do zero setups");
+    }
+
+    // --- Persistent session, simulated backend: the same setup-once story
+    // in deterministic modeled time on the calibrated UMD-Cluster network.
+    {
+        use fft3d::{fft3_simulated_repeated, ProblemSpec, TuningParams, Variant};
+        use simnet::model::umd_cluster;
+
+        let spec = ProblemSpec::cube(if cfg.n <= 64 { 64 } else { 256 }, 16);
+        let params = TuningParams::seed(&spec);
+        let reps = fft3_simulated_repeated(umd_cluster(), spec, Variant::New, params, false, 4);
+        let first = &reps[0];
+        let steady = reps[1..]
+            .iter()
+            .min_by(|a, b| a.time.total_cmp(&b.time))
+            .expect("4 repetitions give a steady state");
+        writeln!(
+            out,
+            "  \"persistent_sim\": {{ \"grid\": {}, \"ranks\": {}, \
+             \"first_time_s\": {:.6}, \"steady_time_s\": {:.6}, \
+             \"first_setup_charges\": {}, \"steady_setup_charges\": {} }},",
+            spec.nx, spec.p, first.time, steady.time, first.setup_charges, steady.setup_charges
+        )
+        .expect("write to String cannot fail");
+        assert_eq!(
+            steady.setup_charges, 0,
+            "simulated steady state is free of setup"
+        );
+    }
+
     let stats = warm.stats();
     writeln!(
         out,

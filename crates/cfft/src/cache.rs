@@ -212,6 +212,46 @@ mod tests {
     }
 
     #[test]
+    fn a_hit_refreshes_recency_so_the_untouched_entry_is_evicted() {
+        // Pins the LRU bookkeeping precisely: a *hit* must bump
+        // `last_used`, otherwise insertion order alone would decide the
+        // victim and the hot entry would be thrown away.
+        let cache = PlanCache::with_capacity(2);
+        cache.plan(8, Direction::Forward, Rigor::Estimate); // clock 1
+        cache.plan(16, Direction::Forward, Rigor::Estimate); // clock 2
+        cache.plan(8, Direction::Forward, Rigor::Estimate); // hit, clock 3
+        cache.plan(32, Direction::Forward, Rigor::Estimate); // evicts 16
+        let misses_before = cache.stats().misses;
+        cache.plan(8, Direction::Forward, Rigor::Estimate);
+        assert_eq!(cache.stats().misses, misses_before, "8 must have survived");
+        cache.plan(16, Direction::Forward, Rigor::Estimate);
+        assert_eq!(
+            cache.stats().misses,
+            misses_before + 1,
+            "16 (untouched since insert) must have been the victim"
+        );
+    }
+
+    #[test]
+    fn insert_at_capacity_never_evicts_the_inserted_key() {
+        // The eviction scan runs before the insert, so the fresh key is not
+        // yet in the map and can never be chosen as its own victim — even
+        // at capacity 1, where it is the only resident entry afterwards.
+        let cache = PlanCache::with_capacity(1);
+        cache.plan(8, Direction::Forward, Rigor::Estimate);
+        cache.plan(16, Direction::Forward, Rigor::Estimate);
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (1, 1));
+        let hits_before = s.hits;
+        cache.plan(16, Direction::Forward, Rigor::Estimate);
+        assert_eq!(
+            cache.stats().hits,
+            hits_before + 1,
+            "the entry inserted at capacity must itself be resident"
+        );
+    }
+
+    #[test]
     fn global_is_shared_across_call_sites() {
         let a = PlanCache::global().plan(40, Direction::Forward, Rigor::Estimate);
         let b = PlanCache::global().plan(40, Direction::Forward, Rigor::Estimate);

@@ -22,7 +22,9 @@ pub enum Error {
         tile: usize,
         /// First incomplete round of that exchange's schedule.
         round: usize,
-        /// Communicator rank whose block the round is missing.
+        /// **World rank** whose block the round is missing — the same
+        /// numbering [`Error::RankFailed`] uses, so the two stay comparable
+        /// after a `shrink()` renumbers communicator ranks.
         peer: usize,
     },
     /// A tile's all-to-all lost a round send past the fault plan's

@@ -53,22 +53,26 @@ pub mod recover;
 pub mod serial;
 pub mod sim_env;
 pub mod trace;
+pub mod xplan;
 
 pub use breakdown::{RunStats, StepTimes};
 pub use error::Error;
 pub use params::{ProblemSpec, ThParams, TuningParams};
 pub use pipeline::{Recovery, Resilience};
 pub use real_env::{
-    fft3_dist, fft3_dist_traced, try_fft3_dist, try_fft3_dist_traced, OutLayout, RunOutput, Variant,
+    fft3_dist, fft3_dist_traced, try_fft3_dist, try_fft3_dist_traced, FftSession, OutLayout,
+    RunOutput, Variant,
 };
 pub use recover::{
     run_recoverable, ComputeSource, NoSource, RecoverConfig, RecoverOutcome, ReplicaSource,
     SlabSource,
 };
 pub use sim_env::{
-    fft3_simulated, fft3_simulated_traced, th_simulated, try_fft3_simulated, SimReport,
+    fft3_simulated, fft3_simulated_repeated, fft3_simulated_traced, th_simulated,
+    try_fft3_simulated, SimReport,
 };
 pub use trace::{
     derive_step_times, overlap_summary, trace_to_json, DegradeAction, EventKind, MemRecorder,
     NoopRecorder, OverlapSummary, Recorder, TraceEvent,
 };
+pub use xplan::{ExchangeGeometry, GeomCacheStats, TileExchange, TransformPlanCache};

@@ -14,7 +14,7 @@ use crate::pipeline::{run_new, run_th, OverlapEnv};
 use crate::real_env::Variant;
 use crate::trace::{EventKind, TraceEvent};
 use simnet::model::{TransposeCost, ELEM_BYTES};
-use simnet::{run_sim, OpId, Platform, SimRank};
+use simnet::{run_sim, OpId, PlanId, Platform, SimRank};
 
 /// One rank's view of the simulated pipeline.
 struct SimEnv<'a, 'b> {
@@ -26,6 +26,11 @@ struct SimEnv<'a, 'b> {
     /// Skip FFTz and Transpose — the §4.4 tuning-speed technique ("the AH
     /// client does not execute FFTz and Transpose during auto-tuning").
     skip_fixed_steps: bool,
+    /// Persistent per-tile all-to-all plans shared across repeated
+    /// executions: inited lazily at a tile's first post (paying
+    /// `post_overhead` once), started with zero setup thereafter. `None`
+    /// posts ad-hoc collectives (the one-shot path).
+    plans: Option<&'b mut Vec<Option<PlanId>>>,
     steps: StepTimes,
     /// Event log for the timeline view, virtual-time stamped; `None`
     /// disables collection (and the rank's poll log stays off).
@@ -174,7 +179,16 @@ impl OverlapEnv for SimEnv<'_, '_> {
     fn post_a2a(&mut self, tile: usize) -> OpId {
         let per_peer = self.bytes_per_peer(tile);
         let t0 = self.sim.now();
-        let op = self.sim.post_alltoall(per_peer);
+        let op = match self.plans.as_mut() {
+            Some(plans) => {
+                if plans[tile].is_none() {
+                    plans[tile] = Some(self.sim.alltoall_init(per_peer));
+                }
+                let plan = plans[tile].expect("just initialised");
+                self.sim.start(plan)
+            }
+            None => self.sim.post_alltoall(per_peer),
+        };
         self.steps.ialltoall += (self.sim.now() - t0).as_secs_f64();
         let bytes = per_peer * self.spec.p.saturating_sub(1) as u64;
         self.record(EventKind::PostA2a { tile, bytes }, t0.as_secs_f64());
@@ -238,6 +252,11 @@ pub struct SimReport {
     pub steps: StepTimes,
     /// Per-rank statistics.
     pub per_rank: Vec<RunStats>,
+    /// Collective setup charges (`post_overhead`) rank 0 paid during this
+    /// run. Ad-hoc posts pay one per tile; through the persistent path
+    /// ([`fft3_simulated_repeated`]) only the first execution pays, and
+    /// every later execution reports zero.
+    pub setup_charges: u64,
 }
 
 /// Effective parameters and transpose tier per variant (mirrors
@@ -414,6 +433,7 @@ fn simulate(
         let decomp = Decomp::new(spec.nx, spec.ny, spec.p);
         let start = sim.now();
         let tests0 = sim.test_calls();
+        let setups0 = sim.setup_charges();
         if trace {
             sim.enable_poll_log();
         }
@@ -424,6 +444,7 @@ fn simulate(
             decomp: &decomp,
             transpose_cost: tcost,
             skip_fixed_steps,
+            plans: None,
             steps: StepTimes::default(),
             events: if trace { Some(Vec::new()) } else { None },
         };
@@ -439,20 +460,99 @@ fn simulate(
                 elapsed: (sim.now() - start).as_secs_f64(),
                 tests: sim.test_calls() - tests0,
             },
+            sim.setup_charges() - setups0,
             events,
         )
     });
     let _ = decomp;
-    let (per_rank, events): (Vec<RunStats>, Vec<Vec<TraceEvent>>) = results.into_iter().unzip();
+    let mut per_rank = Vec::with_capacity(results.len());
+    let mut events = Vec::with_capacity(results.len());
+    let mut setup_charges = 0;
+    for (i, (stats, setups, ev)) in results.into_iter().enumerate() {
+        if i == 0 {
+            setup_charges = setups;
+        }
+        per_rank.push(stats);
+        events.push(ev);
+    }
     let time = per_rank.iter().map(|r| r.elapsed).fold(0.0, f64::max);
     (
         SimReport {
             time,
             steps: per_rank[0].steps,
             per_rank,
+            setup_charges,
         },
         events,
     )
+}
+
+/// Simulates `reps` back-to-back executions of the same transform over
+/// **persistent** per-tile all-to-all plans (the setup-once / execute-many
+/// path), returning one report per execution.
+///
+/// The first execution initialises each tile's plan as it is first posted,
+/// paying the post overhead exactly as an ad-hoc run would; every later
+/// execution starts the registered plans with zero setup cost —
+/// [`SimReport::setup_charges`] is `k = ⌈Nz/T⌉` for execution 0 and `0`
+/// from execution 1 on.
+pub fn fft3_simulated_repeated(
+    platform: Platform,
+    spec: ProblemSpec,
+    variant: Variant,
+    params: TuningParams,
+    skip_fixed_steps: bool,
+    reps: usize,
+) -> Vec<SimReport> {
+    let (eff, tcost) = resolve(&spec, variant, params);
+    let k = eff.tiles(&spec);
+    let results = run_sim(platform, spec.p, move |sim| {
+        let decomp = Decomp::new(spec.nx, spec.ny, spec.p);
+        let mut plans: Vec<Option<PlanId>> = vec![None; k];
+        let mut iterations = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let start = sim.now();
+            let tests0 = sim.test_calls();
+            let setups0 = sim.setup_charges();
+            let mut env = SimEnv {
+                sim,
+                spec,
+                params: eff,
+                decomp: &decomp,
+                transpose_cost: tcost,
+                skip_fixed_steps,
+                plans: Some(&mut plans),
+                steps: StepTimes::default(),
+                events: None,
+            };
+            match variant {
+                Variant::Th => run_th(&mut env),
+                _ => run_new(&mut env),
+            }
+            let steps = env.steps;
+            iterations.push((
+                RunStats {
+                    steps,
+                    elapsed: (sim.now() - start).as_secs_f64(),
+                    tests: sim.test_calls() - tests0,
+                },
+                sim.setup_charges() - setups0,
+            ));
+        }
+        iterations
+    });
+    (0..reps)
+        .map(|it| {
+            let per_rank: Vec<RunStats> = results.iter().map(|r| r[it].0.clone()).collect();
+            let time = per_rank.iter().map(|r| r.elapsed).fold(0.0, f64::max);
+            SimReport {
+                time,
+                steps: per_rank[0].steps,
+                per_rank,
+                setup_charges: results[0][it].1,
+            }
+        })
+        .collect()
 }
 
 /// Simulates the TH comparator from its three-parameter space.
@@ -563,6 +663,42 @@ mod tests {
         assert!(skipped.time < full.time);
         let fixed = full.steps.fftz + full.steps.transpose;
         assert!((full.time - skipped.time - fixed).abs() < 0.25 * fixed + 5e-3);
+    }
+
+    #[test]
+    fn repeated_transforms_pay_setup_once() {
+        let spec = ProblemSpec::cube(128, 8);
+        let seed = TuningParams::seed(&spec);
+        let k = seed.tiles(&spec) as u64;
+        let reps = fft3_simulated_repeated(umd_cluster(), spec, Variant::New, seed, false, 4);
+        assert_eq!(reps.len(), 4);
+        assert_eq!(reps[0].setup_charges, k, "first execution pays per tile");
+        for (i, r) in reps.iter().enumerate().skip(1) {
+            assert_eq!(r.setup_charges, 0, "execution {i} must do zero setup");
+        }
+        // Steady-state executions are no slower than the first (they skip
+        // the per-tile post overhead; everything else is identical).
+        for r in &reps[1..] {
+            assert!(r.time <= reps[0].time + 1e-12);
+        }
+        // And the one-shot path keeps paying k on every call.
+        let one = fft3_simulated(umd_cluster(), spec, Variant::New, seed, false);
+        assert_eq!(one.setup_charges, k);
+    }
+
+    #[test]
+    fn repeated_transforms_are_deterministic_and_stable() {
+        let spec = ProblemSpec::cube(64, 4);
+        let seed = TuningParams::seed(&spec);
+        let a = fft3_simulated_repeated(hopper(), spec, Variant::New, seed, true, 3);
+        let b = fft3_simulated_repeated(hopper(), spec, Variant::New, seed, true, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.time, y.time);
+            assert_eq!(x.steps, y.steps);
+        }
+        // Executions 2 and 3 run the identical zero-setup schedule, so the
+        // virtual-time model gives them identical durations.
+        assert_eq!(a[1].time, a[2].time);
     }
 
     #[test]

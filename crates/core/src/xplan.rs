@@ -1,0 +1,308 @@
+//! Process-wide transform-plan cache: the exchange-geometry companion to
+//! [`cfft::PlanCache`].
+//!
+//! A distributed transform needs two kinds of "plans": the 1-D FFT kernels
+//! (cached process-wide by [`cfft::PlanCache`]) and the per-tile all-to-all
+//! schedule geometry — per-destination send counts, per-source receive
+//! counts, and their displacements, one set per communication tile. Today's
+//! entry points recompute the latter on every call (four `Vec` allocations
+//! per tile per run). This cache hoists that to process scope, keyed by
+//! `(p, rank, nx, ny, nz, t)`: any repeat of a geometry this process has
+//! transformed before does **zero schedule setup**, completing the
+//! zero-planning story the plan cache started.
+//!
+//! The cached data is *passive* — pure integer geometry derived from the
+//! problem shape and block decomposition, independent of any live
+//! communicator or world. That is what makes a process-wide cache safe:
+//! unlike a persistent collective (which pins runtime state and must be
+//! freed before its world tears down), geometry can outlive any number of
+//! worlds and be shared freely across rank threads via `Arc`.
+
+use crate::decomp::Decomp;
+use crate::params::ProblemSpec;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Bound on resident geometries; far above a realistic working set but keeps
+/// a pathological caller (e.g. a tuner sweeping thousands of tile sizes)
+/// from growing the map without limit.
+const DEFAULT_CAPACITY: usize = 1024;
+
+/// One tile's exchange geometry: everything `ialltoallv` (or a persistent
+/// plan's init) needs besides the data itself.
+#[derive(Debug)]
+pub struct TileExchange {
+    /// Elements this rank sends to each destination rank.
+    pub send_counts: Arc<[usize]>,
+    /// Exclusive prefix sums of `send_counts`.
+    pub send_displs: Arc<[usize]>,
+    /// Elements this rank receives from each source rank.
+    pub recv_counts: Arc<[usize]>,
+    /// Exclusive prefix sums of `recv_counts`.
+    pub recv_displs: Arc<[usize]>,
+    /// Total elements staged on the send side.
+    pub total_send: usize,
+    /// Total elements arriving on the receive side.
+    pub total_recv: usize,
+}
+
+/// The full per-rank schedule geometry of one `(spec, t)` transform: one
+/// [`TileExchange`] per communication tile (the last tile may be shorter).
+#[derive(Debug)]
+pub struct ExchangeGeometry {
+    /// Per-tile exchange shapes, indexed by tile number.
+    pub tiles: Vec<Arc<TileExchange>>,
+}
+
+fn displs(counts: &[usize]) -> Vec<usize> {
+    let mut d = vec![0usize; counts.len()];
+    for i in 1..counts.len() {
+        d[i] = d[i - 1] + counts[i - 1];
+    }
+    d
+}
+
+fn build(spec: &ProblemSpec, rank: usize, t: usize) -> ExchangeGeometry {
+    let decomp = Decomp::new(spec.nx, spec.ny, spec.p);
+    let nxl = decomp.x.count(rank);
+    let nyl = decomp.y.count(rank);
+    let k = spec.nz.div_ceil(t.max(1));
+    let tiles = (0..k)
+        .map(|tile| {
+            let z0 = tile * t;
+            let tz = (z0 + t).min(spec.nz) - z0;
+            let send_counts: Vec<usize> =
+                (0..spec.p).map(|q| tz * nxl * decomp.y.count(q)).collect();
+            let recv_counts: Vec<usize> =
+                (0..spec.p).map(|s| tz * decomp.x.count(s) * nyl).collect();
+            Arc::new(TileExchange {
+                send_displs: displs(&send_counts).into(),
+                recv_displs: displs(&recv_counts).into(),
+                total_send: send_counts.iter().sum(),
+                total_recv: recv_counts.iter().sum(),
+                send_counts: send_counts.into(),
+                recv_counts: recv_counts.into(),
+            })
+        })
+        .collect();
+    ExchangeGeometry { tiles }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct GeomKey {
+    p: usize,
+    rank: usize,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    t: usize,
+}
+
+struct Entry {
+    geom: Arc<ExchangeGeometry>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<GeomKey, Entry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Counters describing the cache's lifetime behaviour (mirrors
+/// [`cfft::CacheStats`] for the geometry side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeomCacheStats {
+    /// Lookups served from the map.
+    pub hits: u64,
+    /// Lookups that had to build the geometry.
+    pub misses: u64,
+    /// Geometries currently resident.
+    pub entries: usize,
+}
+
+/// Thread-safe LRU store of [`ExchangeGeometry`]s, with a process-wide
+/// [`TransformPlanCache::global`] instance shared by every transform entry
+/// point (the same discipline as [`cfft::PlanCache`]).
+pub struct TransformPlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl TransformPlanCache {
+    /// An empty cache with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache evicting least-recently-used geometries beyond
+    /// `capacity` (≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be ≥ 1");
+        TransformPlanCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+                hits: 0,
+                misses: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// The shared process-wide instance.
+    pub fn global() -> &'static TransformPlanCache {
+        static GLOBAL: OnceLock<TransformPlanCache> = OnceLock::new();
+        GLOBAL.get_or_init(TransformPlanCache::new)
+    }
+
+    /// The cached geometry for `rank`'s view of `(spec, t)`, building (and
+    /// caching) on first use. The boolean is `true` on a hit — i.e. when
+    /// this call did zero schedule setup.
+    pub fn geometry(
+        &self,
+        spec: &ProblemSpec,
+        rank: usize,
+        t: usize,
+    ) -> (Arc<ExchangeGeometry>, bool) {
+        let key = GeomKey {
+            p: spec.p,
+            rank,
+            nx: spec.nx,
+            ny: spec.ny,
+            nz: spec.nz,
+            t,
+        };
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(e) = inner.map.get_mut(&key) {
+            e.last_used = clock;
+            let geom = e.geom.clone();
+            inner.hits += 1;
+            return (geom, true);
+        }
+        // Build under the lock: when all p rank threads arrive at once only
+        // one of them computes (the geometry is tiny; contention is not).
+        let geom = Arc::new(build(spec, rank, t));
+        inner.misses += 1;
+        if inner.map.len() >= self.capacity {
+            // Evict the least-recently-used entry (never the one being
+            // inserted — it is not in the map yet).
+            if let Some(&victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                geom: geom.clone(),
+                last_used: clock,
+            },
+        );
+        (geom, false)
+    }
+
+    /// A snapshot of the cache's counters.
+    pub fn stats(&self) -> GeomCacheStats {
+        let inner = self.inner.lock();
+        GeomCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+        }
+    }
+}
+
+impl Default for TransformPlanCache {
+    fn default() -> Self {
+        TransformPlanCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ProblemSpec {
+        ProblemSpec {
+            nx: 10,
+            ny: 9,
+            nz: 8,
+            p: 4,
+        }
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_sharing_the_same_geometry() {
+        let cache = TransformPlanCache::new();
+        let (a, hit_a) = cache.geometry(&spec(), 1, 3);
+        let (b, hit_b) = cache.geometry(&spec(), 1, 3);
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn geometry_matches_the_hand_computed_counts() {
+        // spec 10×9×8 on p=4: x blocks 3,3,2,2; y blocks 3,2,2,2.
+        let (g, _) = TransformPlanCache::new().geometry(&spec(), 0, 3);
+        assert_eq!(g.tiles.len(), 3, "⌈8/3⌉ tiles");
+        let t0 = &g.tiles[0];
+        // Rank 0: nxl=3. send_counts[q] = tz·nxl·nyl_q = 3·3·{3,2,2,2}.
+        assert_eq!(&*t0.send_counts, &[27, 18, 18, 18]);
+        assert_eq!(&*t0.send_displs, &[0, 27, 45, 63]);
+        // recv_counts[s] = tz·nxl_s·nyl = 3·{3,3,2,2}·3.
+        assert_eq!(&*t0.recv_counts, &[27, 27, 18, 18]);
+        assert_eq!(t0.total_send, 81);
+        assert_eq!(t0.total_recv, 90);
+        // Last tile is short: tz = 8 − 6 = 2.
+        let t2 = &g.tiles[2];
+        assert_eq!(&*t2.send_counts, &[18, 12, 12, 12]);
+    }
+
+    #[test]
+    fn keys_separate_rank_and_tile_size() {
+        let cache = TransformPlanCache::new();
+        let (a, _) = cache.geometry(&spec(), 0, 3);
+        let (b, _) = cache.geometry(&spec(), 1, 3);
+        let (c, _) = cache.geometry(&spec(), 0, 4);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_never_evicts_the_inserted_key() {
+        let cache = TransformPlanCache::with_capacity(2);
+        cache.geometry(&spec(), 0, 1);
+        cache.geometry(&spec(), 0, 2);
+        // Touch t=1 so t=2 is the LRU victim when t=3 arrives.
+        let (_, hit) = cache.geometry(&spec(), 0, 1);
+        assert!(hit);
+        let (_, hit) = cache.geometry(&spec(), 0, 3);
+        assert!(!hit, "fresh insert is a miss, not its own victim");
+        assert_eq!(cache.stats().entries, 2);
+        let (_, hit) = cache.geometry(&spec(), 0, 3);
+        assert!(hit, "the entry just inserted at capacity must survive");
+        let (_, hit) = cache.geometry(&spec(), 0, 2);
+        assert!(!hit, "the LRU entry was the one evicted");
+    }
+
+    #[test]
+    fn global_is_shared_across_call_sites() {
+        let (a, _) = TransformPlanCache::global().geometry(&spec(), 3, 5);
+        let (b, hit) = TransformPlanCache::global().geometry(&spec(), 3, 5);
+        assert!(hit);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -297,6 +297,73 @@ pub fn explore_pipeline(
     )
 }
 
+/// The persistent-plan acceptance sweep: the session path — per-tile
+/// `alltoallv_init`, then repeated start/test/wait cycles over the *same*
+/// registered schedules, then `free` — under every delivery interleaving.
+/// Each run executes one [`fft3d::FftSession`] three times: the first
+/// execution initialises the plans, the later two reuse them, so every
+/// schedule stresses execution restarts on long-lived collective state
+/// (generation tagging, staging reuse, backoff reset). Checked mode rides
+/// along: a plan dropped without `free` would surface MC006 and fail the
+/// schedule, as would a steady-state execution that re-negotiated setup.
+pub fn explore_persistent(
+    cfg: &ExploreConfig,
+    grid: usize,
+    progress: impl FnMut(u64, u64),
+) -> ExploreReport {
+    use cfft::planner::Rigor;
+    use cfft::Direction;
+    use fft3d::real_env::{compare_with_serial, local_test_slab, Variant};
+    use fft3d::serial::{fft3_serial, full_test_array};
+    use fft3d::{FftSession, ProblemSpec, TuningParams};
+    use std::sync::Arc;
+
+    let spec = ProblemSpec::cube(grid, cfg.ranks);
+    let params = TuningParams::seed(&spec);
+    let mut reference = full_test_array(spec.nx, spec.ny, spec.nz);
+    fft3_serial(
+        &mut reference,
+        spec.nx,
+        spec.ny,
+        spec.nz,
+        Direction::Forward,
+    );
+    let reference = Arc::new(reference);
+    let tolerance = 1e-9 * (spec.len() as f64).max(1.0);
+
+    explore(
+        cfg,
+        tolerance,
+        move |comm| {
+            let input = local_test_slab(&spec, comm.rank());
+            let mut session = FftSession::new(
+                &comm,
+                spec,
+                Variant::New,
+                params,
+                Direction::Forward,
+                Rigor::Estimate,
+            );
+            let mut worst = 0.0f64;
+            for exec in 0..3 {
+                let out = session.execute(&input).unwrap_or_else(|e| {
+                    panic!("persistent execution {exec} faulted under exploration: {e}")
+                });
+                if exec > 0 && out.exchange_setups != 0 {
+                    panic!(
+                        "execution {exec} re-negotiated {} exchange setups",
+                        out.exchange_setups
+                    );
+                }
+                worst = worst.max(compare_with_serial(&spec, comm.rank(), &out, &reference));
+            }
+            session.free();
+            Some(worst)
+        },
+        progress,
+    )
+}
+
 /// The recovery acceptance sweep: for every schedule in `cfg`'s plan, kill
 /// `victim` at the first, middle, and last tile boundary (three fault plans
 /// per schedule) and require the survivors to recover elastically — agree
@@ -435,6 +502,20 @@ mod tests {
         let report = explore_crash_recovery(&cfg, 8, 1, |_, _| {});
         // 2 schedules × crash at {first, middle, last} tile.
         assert_eq!(report.schedules_run, 6);
+        assert!(report.is_clean(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn persistent_sweep_is_clean_on_a_small_plan() {
+        let cfg = ExploreConfig {
+            ranks: 3,
+            random_seeds: 0..3,
+            systematic_bits: 1,
+            defer_prob: 0.35,
+            max_hold: 2,
+        };
+        let report = explore_persistent(&cfg, 6, |_, _| {});
+        assert_eq!(report.schedules_run, 5);
         assert!(report.is_clean(), "{:?}", report.failures);
     }
 

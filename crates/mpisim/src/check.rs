@@ -148,6 +148,9 @@ pub enum LintId {
     /// `MC005` — a cycle of ranks each blocked on the next with no
     /// satisfiable message in flight: deadlock, reported with the cycle.
     Deadlock,
+    /// `MC006` — a persistent collective plan was dropped without `free()`:
+    /// its registration (and any in-flight execution's staged rounds) leaks.
+    PersistentLeak,
 }
 
 impl LintId {
@@ -159,6 +162,7 @@ impl LintId {
             LintId::CtxCollision => "MC003",
             LintId::WildcardRace => "MC004",
             LintId::Deadlock => "MC005",
+            LintId::PersistentLeak => "MC006",
         }
     }
 
@@ -170,6 +174,7 @@ impl LintId {
             LintId::CtxCollision => "communicator context/tag-space collision",
             LintId::WildcardRace => "wildcard receive with concurrent candidates",
             LintId::Deadlock => "wait-for cycle of blocked ranks",
+            LintId::PersistentLeak => "persistent plan dropped without free",
         }
     }
 }

@@ -8,6 +8,10 @@
 //!   a libNBC-style round schedule that advances *only* inside
 //!   `test`/`wait` calls — the semantics behind the paper's `MPI_Test`
 //!   frequency parameters (`Fy`, `Fp`, `Fu`, `Fx`, §3.3).
+//! * **Persistent all-to-all** ([`PersistentAlltoall`], MPI-4
+//!   `MPI_Alltoall_init` analogue): schedule and staging set up once,
+//!   then repeated generation-tagged `start`/`test`/`wait` cycles with
+//!   zero per-execution negotiation; released with `free()`.
 //! * Blocking collectives: `alltoall(v)`, `barrier`, `bcast`, `gather`,
 //!   `allgather`, reductions.
 //! * Tagged point-to-point with MPI matching/ordering semantics, and
@@ -65,6 +69,7 @@ pub mod check;
 mod coll;
 mod comm;
 mod nbc;
+mod persistent;
 mod world;
 
 pub use check::{
@@ -74,6 +79,7 @@ pub use check::{
 pub use comm::Comm;
 pub use faultplan::{FaultKind, FaultPlan};
 pub use nbc::{CollError, IAlltoall};
+pub use persistent::PersistentAlltoall;
 
 use check::CheckState;
 use std::panic::AssertUnwindSafe;
@@ -345,13 +351,15 @@ where
         Ok(state) => state.into_report(schedule, unmatched),
         Err(_) => panic!("mpisim: check state still shared after world teardown"),
     };
-    // MC002 exemption for the dead: an injected crash unwinds through the
-    // rank's in-flight requests, so their drops are collateral of the
-    // failure, not a leak bug — survivors purge the staged rounds when
-    // they write the rank off. Leaks on *surviving* ranks still report.
+    // MC002/MC006 exemption for the dead: an injected crash unwinds through
+    // the rank's in-flight requests and persistent plans, so their drops are
+    // collateral of the failure, not a leak bug — survivors purge the staged
+    // rounds when they write the rank off. Leaks on *surviving* ranks still
+    // report.
     if !failed.is_empty() {
         report.findings.retain(|f| {
-            !(f.id == LintId::RequestLeak && f.rank.is_some_and(|r| failed.contains(&r)))
+            !((f.id == LintId::RequestLeak || f.id == LintId::PersistentLeak)
+                && f.rank.is_some_and(|r| failed.contains(&r)))
         });
     }
 

@@ -37,7 +37,9 @@ pub enum CollError {
     Stalled {
         /// First incomplete round of the schedule.
         round: usize,
-        /// Communicator rank whose block the stalled round is missing.
+        /// **World rank** whose block the stalled round is missing — the
+        /// same numbering [`CollError::RankFailed`] uses, so the two stay
+        /// comparable after a `shrink()` renumbers communicator ranks.
         peer: usize,
     },
     /// A round send exhausted its retransmit budget under a fault plan with
@@ -61,7 +63,7 @@ impl std::fmt::Display for CollError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CollError::Stalled { round, peer } => {
-                write!(f, "stalled in round {round} waiting on rank {peer}")
+                write!(f, "stalled in round {round} waiting on world rank {peer}")
             }
             CollError::Dropped { round, peer } => {
                 write!(f, "round {round} send to rank {peer} exhausted retransmits")
@@ -77,7 +79,7 @@ impl std::fmt::Display for CollError {
 impl std::error::Error for CollError {}
 
 /// Block displacements implied by per-peer counts.
-fn displs(counts: &[usize]) -> Vec<usize> {
+pub(crate) fn displs(counts: &[usize]) -> Vec<usize> {
     let mut d = Vec::with_capacity(counts.len());
     let mut acc = 0;
     for &c in counts {
@@ -98,8 +100,10 @@ pub struct IAlltoall<T> {
     /// Per-destination staged send blocks (`None` once pushed).
     send_blocks: Vec<Option<Vec<T>>>,
     recv: Vec<T>,
-    recv_counts: Vec<usize>,
-    recv_displs: Vec<usize>,
+    /// Shared with a [`crate::PersistentAlltoall`] plan when this execution
+    /// was started from one — the schedule is computed once, not per start.
+    recv_counts: Arc<[usize]>,
+    recv_displs: Arc<[usize]>,
     /// Next round awaiting its receive.
     round: usize,
     /// Rounds whose sends have been posted (`round ≤ sent ≤ round+1`).
@@ -191,15 +195,34 @@ impl Comm {
             .map(|d| Some(send[sd[d]..sd[d] + send_counts[d]].to_vec()))
             .collect();
 
+        self.start_alltoall(
+            send_blocks,
+            recv,
+            displs(recv_counts).into(),
+            recv_counts.to_vec().into(),
+        )
+    }
+
+    /// Kicks off one execution over pre-staged blocks and shared schedule
+    /// vectors — the common tail of [`Comm::ialltoallv`] and a persistent
+    /// plan's `start()`. Draws a fresh collective sequence number so
+    /// concurrent (or repeated) executions can never cross-match.
+    pub(crate) fn start_alltoall<T: Clone + Send + 'static>(
+        &self,
+        send_blocks: Vec<Option<Vec<T>>>,
+        recv: Vec<T>,
+        recv_displs: Arc<[usize]>,
+        recv_counts: Arc<[usize]>,
+    ) -> IAlltoall<T> {
         let mut req = IAlltoall {
             seq: self.next_coll_seq(),
             send_blocks,
             recv,
-            recv_displs: displs(recv_counts),
-            recv_counts: recv_counts.to_vec(),
+            recv_displs,
+            recv_counts,
             round: 0,
             sent: 0,
-            size: p,
+            size: self.size(),
             rank: self.rank(),
             send_attempts: 0,
             failed: None,
@@ -402,12 +425,19 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
         self.size
     }
 
+    /// Communicator rank whose block the first incomplete round is missing
+    /// — the single definition of the round-schedule source expression,
+    /// shared by the wait-for graph and the stall watchdog.
+    fn missing_src(&self) -> usize {
+        (self.rank + self.size - self.round) % self.size
+    }
+
     /// Registers the wait-for edge of the first incomplete round (checked
     /// runs): this rank is blocked on the peer whose block round `round`
     /// is missing.
     fn mark_blocked(&self, comm: &Comm) {
         if let Some(check) = &self.check {
-            let src = (self.rank + self.size - self.round) % self.size;
+            let src = self.missing_src();
             check.set_blocked(
                 self.world_rank,
                 WaitInfo {
@@ -437,6 +467,7 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
         let probe_after = self.check.as_ref().map(|c| c.config().deadlock_after);
         let mut slice = bo.first();
         let mut waited = Duration::ZERO;
+        let mut last_round = self.round;
         loop {
             match self.progress(comm) {
                 Ok(true) => {
@@ -444,6 +475,14 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
                     return std::mem::take(&mut self.recv);
                 }
                 Ok(false) => {
+                    // A round advance means the exchange is healthy: restart
+                    // the ramp so steady progress keeps park slices short
+                    // instead of inheriting the previous round's cap-length
+                    // backoff (same policy as `wait_timeout`).
+                    if self.round > last_round {
+                        last_round = self.round;
+                        slice = bo.first();
+                    }
                     self.mark_blocked(comm);
                     comm.my_mailbox().wait_arrival(slice);
                     waited += slice;
@@ -486,7 +525,10 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
                 slice = bo.first();
             } else if last_progress.elapsed() >= timeout {
                 self.clear_blocked();
-                let peer = (self.rank + self.size - self.round) % self.size;
+                // Report the missing peer's *world* rank — the numbering
+                // RankFailed uses and the one that stays meaningful after a
+                // shrink() renumbers communicator ranks.
+                let peer = comm.world_rank(self.missing_src());
                 return Err(CollError::Stalled {
                     round: self.round,
                     peer,
@@ -532,6 +574,21 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
             purged += comm.my_mailbox().purge(|m| m.tag == tag);
         }
         purged
+    }
+}
+
+impl<T> IAlltoall<T> {
+    /// Disarms the MC002 request-leak lint without purging. Used by the
+    /// persistent-plan drop path, where the plan-level MC006 finding is the
+    /// single diagnostic for the whole unfreed plan (its in-flight execution
+    /// included) — two findings for one mistake would be noise.
+    pub(crate) fn disarm_leak_lint(&mut self) {
+        self.cancelled = true;
+    }
+
+    /// The sticky fault error this execution hit, if any.
+    pub(crate) fn failure(&self) -> Option<CollError> {
+        self.failed
     }
 }
 
@@ -942,6 +999,83 @@ mod tests {
             req.cancel(&comm)
         });
         assert_eq!(results, vec![0, 0], "post-abort cancel must not purge");
+    }
+
+    #[test]
+    fn wait_backoff_resets_on_round_advance() {
+        // Regression: `wait` used to let its park slice keep growing across
+        // round boundaries, so a steadily-progressing exchange parked at the
+        // backoff cap between rounds. Drops that heal after two retransmits
+        // force (nearly) two full send-retry parks per round (no arrival can
+        // wake a sender whose own retry is the blocker); with the per-round
+        // reset those parks stay at the bottom of the ramp (~11 ms/round),
+        // while the old behaviour pinned every round ≥ 2 at two cap-length
+        // parks (≥ 200 ms each here).
+        let p = 3;
+        let cfg = crate::RunConfig {
+            faults: FaultPlan::seeded(1).with_drops(0.99, 2),
+            backoff: crate::Backoff {
+                initial: Duration::from_millis(1),
+                max: Duration::from_millis(100),
+                multiplier: 10,
+                jitter_seed: 1,
+            },
+            check: None,
+        };
+        let outcome = crate::run_with_config(p, cfg, move |comm| {
+            let me = comm.rank();
+            let send: Vec<i32> = (0..p).map(|d| (me * 10 + d) as i32).collect();
+            let req = comm.ialltoall(&send, 1, vec![0i32; p]);
+            let t0 = std::time::Instant::now();
+            let out = req.wait(&comm);
+            let waited = t0.elapsed();
+            for (s, &v) in out.iter().enumerate() {
+                assert_eq!(v, (s * 10 + me) as i32);
+            }
+            waited
+        });
+        let waits = outcome.results.expect("healing drops always complete");
+        for (rank, waited) in waits.iter().enumerate() {
+            assert!(
+                *waited < Duration::from_millis(160),
+                "rank {rank}: wait parked for {waited:?} under steady progress — \
+                 backoff slice not reset on round advance"
+            );
+        }
+    }
+
+    #[test]
+    fn stalled_peer_is_a_world_rank_on_split_comms() {
+        // World ranks 2 and 3 form a sub-communicator; world rank 2's sends
+        // are blackholed. World rank 3 is comm rank 1 in the sub-comm and
+        // waits on comm rank 0 — the watchdog must name *world* rank 2, the
+        // same numbering RankFailed uses, so stall reports stay unambiguous
+        // after a shrink() renumbers survivors.
+        let p = 4;
+        let plan = FaultPlan::none().with_blackhole(2, 0);
+        let results = run_with_faults(p, plan, move |comm| {
+            let color = if comm.rank() >= 2 { 0 } else { -1 };
+            let Some(sub) = comm.split(color, comm.rank() as i64) else {
+                return None; // world ranks 0 and 1 sit this exchange out
+            };
+            let send: Vec<i32> = (0..2).map(|d| (comm.rank() * 10 + d) as i32).collect();
+            let mut req = sub.ialltoall(&send, 1, vec![0i32; 2]);
+            let out = req.wait_timeout(&sub, Duration::from_millis(150));
+            req.cancel(&sub);
+            Some(out)
+        });
+        // World rank 2's own receive leg is healthy (rank 3's sends are not
+        // blackholed), so only rank 3 observes the stall.
+        assert_eq!(
+            results[3],
+            Some(Err(CollError::Stalled { round: 1, peer: 2 })),
+            "stall must name world rank 2, not comm rank 0"
+        );
+        assert_eq!(
+            results[2],
+            Some(Ok(())),
+            "the blackholed rank still receives"
+        );
     }
 
     #[test]

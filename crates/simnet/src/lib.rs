@@ -37,7 +37,7 @@ pub mod proc;
 pub mod time;
 
 pub use model::Platform;
-pub use proc::{OpId, PollRecord, SimRank};
+pub use proc::{OpId, PlanId, PollRecord, SimRank};
 pub use time::SimTime;
 
 use engine::Engine;

@@ -25,6 +25,21 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OpId(OpSeq);
 
+/// Handle to a persistent all-to-all plan created by
+/// [`SimRank::alltoall_init`]: the setup-once half of MPI's
+/// `MPI_Alltoall_init` / `MPI_Start` split. The schedule shape is resolved
+/// and the post overhead charged at init; every subsequent
+/// [`SimRank::start`] begins an execution with **zero setup cost**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanId(usize);
+
+#[derive(Debug, Clone, Copy)]
+struct A2aPlan {
+    shape: A2aShape,
+    group: usize,
+    executions: u64,
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Ready {
     Unknown,
@@ -69,6 +84,12 @@ pub struct SimRank {
     clock: SimTime,
     next_seq: OpSeq,
     ops: HashMap<OpSeq, LocalOp>,
+    /// Persistent plans created by [`Self::alltoall_init`].
+    plans: Vec<A2aPlan>,
+    /// Times this rank paid the per-collective setup charge
+    /// (`post_overhead`). Persistent executions after init never bump it —
+    /// the counter is the observable "zero per-execution setup" proof.
+    setup_charges: u64,
     /// Posted-but-incomplete all-to-alls: concurrent windows share this
     /// rank's link bandwidth.
     active: u32,
@@ -90,6 +111,8 @@ impl SimRank {
             clock: SimTime::ZERO,
             next_seq: 0,
             ops: HashMap::new(),
+            plans: Vec::new(),
+            setup_charges: 0,
             active: 0,
             test_calls: 0,
             poll_log: None,
@@ -196,8 +219,16 @@ impl SimRank {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.clock += self.platform.net.post_overhead(group);
+        self.setup_charges += 1;
         self.engine.post(self.rank, self.clock, seq);
         let shape = self.platform.net.shape(group, bytes_per_peer);
+        self.launch(seq, shape, group);
+        OpId(seq)
+    }
+
+    /// Inserts the round state machine for a freshly posted collective and
+    /// makes the free progression attempt every post gets.
+    fn launch(&mut self, seq: OpSeq, shape: A2aShape, group: usize) {
         self.ops.insert(
             seq,
             LocalOp {
@@ -211,7 +242,66 @@ impl SimRank {
         );
         self.active += 1;
         self.progress(seq);
+    }
+
+    /// Creates a persistent all-to-all plan over the whole world (the
+    /// `MPI_Alltoall_init` half of the persistent-collective split). The
+    /// schedule shape is resolved and `post_overhead` charged **now, once**;
+    /// every later [`Self::start`] of this plan posts with zero setup cost.
+    pub fn alltoall_init(&mut self, bytes_per_peer: u64) -> PlanId {
+        self.alltoall_init_in_group(self.size, bytes_per_peer)
+    }
+
+    /// Subgroup variant of [`Self::alltoall_init`], mirroring
+    /// [`Self::post_alltoall_in_group`].
+    pub fn alltoall_init_in_group(&mut self, group: usize, bytes_per_peer: u64) -> PlanId {
+        assert!(
+            group >= 1 && group <= self.size,
+            "group must be within the world"
+        );
+        self.clock += self.platform.net.post_overhead(group);
+        self.setup_charges += 1;
+        let shape = self.platform.net.shape(group, bytes_per_peer);
+        self.plans.push(A2aPlan {
+            shape,
+            group,
+            executions: 0,
+        });
+        PlanId(self.plans.len() - 1)
+    }
+
+    /// Starts one execution of a persistent plan (`MPI_Start`): the
+    /// rendezvous is posted and round 0 gets its free progression attempt,
+    /// but no `post_overhead` is charged — setup was paid at init. Returns
+    /// an [`OpId`] driven with the same `test`/`wait` calls as an ad-hoc
+    /// post.
+    pub fn start(&mut self, plan: PlanId) -> OpId {
+        let p = {
+            let p = self
+                .plans
+                .get_mut(plan.0)
+                .expect("start on unknown persistent plan");
+            p.executions += 1;
+            *p
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.engine.post(self.rank, self.clock, seq);
+        self.launch(seq, p.shape, p.group);
         OpId(seq)
+    }
+
+    /// Executions started so far on `plan`.
+    pub fn plan_executions(&self, plan: PlanId) -> u64 {
+        self.plans[plan.0].executions
+    }
+
+    /// Times this rank paid a collective setup charge (`post_overhead`).
+    /// Ad-hoc posts and `alltoall_init` each bump it once; persistent
+    /// [`Self::start`] never does.
+    #[inline]
+    pub fn setup_charges(&self) -> u64 {
+        self.setup_charges
     }
 
     /// One `MPI_Test` on `op`: charges `t_test` and progresses the round
@@ -338,6 +428,7 @@ impl SimRank {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.clock += self.platform.net.post_overhead(self.size);
+        self.setup_charges += 1;
         self.engine.post(self.rank, self.clock, seq);
         let ready = self.engine.block_on_ready(self.rank, self.clock, seq);
         let end = ready
@@ -693,6 +784,82 @@ mod tests {
                 let op = sim.post_alltoall(200_000);
                 sim.compute_with_polls(0.004, 13, &[op]);
                 sim.wait(op);
+                sim.now()
+            })
+        };
+        let a = go();
+        assert_eq!(go(), a);
+    }
+
+    #[test]
+    fn persistent_start_skips_the_setup_charge() {
+        let p = 4;
+        let bytes = 1 << 20;
+        let reps = 5u64;
+        // Ad-hoc: every post pays post_overhead. Persistent: only init does.
+        let adhoc = run_sim(umd_cluster(), p, move |sim| {
+            for _ in 0..reps {
+                let op = sim.post_alltoall(bytes);
+                sim.wait(op);
+            }
+            (sim.now(), sim.setup_charges())
+        });
+        let persistent = run_sim(umd_cluster(), p, move |sim| {
+            let plan = sim.alltoall_init(bytes);
+            for _ in 0..reps {
+                let op = sim.start(plan);
+                sim.wait(op);
+            }
+            (sim.now(), sim.setup_charges(), sim.plan_executions(plan))
+        });
+        let overhead = umd_cluster().net.post_overhead(p);
+        for r in 0..p {
+            let (t_adhoc, c_adhoc) = adhoc[r];
+            let (t_pers, c_pers, execs) = persistent[r];
+            assert_eq!(c_adhoc, reps, "ad-hoc pays setup per execution");
+            assert_eq!(c_pers, 1, "persistent pays setup exactly once");
+            assert_eq!(execs, reps);
+            // The saved virtual time is exactly the skipped setup charges.
+            assert_eq!(t_adhoc - t_pers, overhead * (reps - 1));
+        }
+    }
+
+    #[test]
+    fn persistent_executions_match_adhoc_round_structure() {
+        // Beyond the setup charge, a persistent execution is the same
+        // collective: same readiness rendezvous, same rounds, same
+        // progression rules under polling.
+        let p = 6;
+        let bytes = 200_000;
+        let body_adhoc = move |sim: &mut SimRank| {
+            let op = sim.post_alltoall(bytes);
+            sim.compute_with_polls(0.004, 13, &[op]);
+            sim.wait(op);
+            sim.now()
+        };
+        let body_pers = move |sim: &mut SimRank| {
+            let plan = sim.alltoall_init(bytes);
+            let op = sim.start(plan);
+            sim.compute_with_polls(0.004, 13, &[op]);
+            sim.wait(op);
+            sim.now()
+        };
+        let a = run_sim(umd_cluster(), p, move |sim| body_adhoc(sim));
+        let b = run_sim(umd_cluster(), p, move |sim| body_pers(sim));
+        // First persistent execution == ad-hoc (init charges what post did).
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn persistent_plans_stay_deterministic_across_runs() {
+        let go = || {
+            run_sim(umd_cluster().with_straggler(1, 2.0), 4, |sim| {
+                let plan = sim.alltoall_init(123_456);
+                for _ in 0..3 {
+                    let op = sim.start(plan);
+                    sim.compute_with_polls(0.002, 9, &[op]);
+                    sim.wait(op);
+                }
                 sim.now()
             })
         };

@@ -16,8 +16,15 @@
 //!   survivors must agree on the dead rank, shrink, re-decompose, and come
 //!   back serial-exact. Exit 1 on any hang, wrong failure set, or
 //!   numerical deviation.
+//! * `persist [--seed-base N] [--ranks N] [--grid N] [--schedules N]` —
+//!   the persistent-plan sweep: each schedule runs one `FftSession` three
+//!   times (setup-once, execute-many), so the start/test/wait cycles of
+//!   long-lived all-to-all plans — and their `free` discipline (MC006) —
+//!   face every delivery interleaving. Exit 1 on any finding, panic,
+//!   re-negotiated setup, or numerical deviation.
 //! * `check` — `lint`, then `explore` with the acceptance-gate defaults
-//!   (≥ 200 schedules, 4 ranks, grid 8), then a compact `recover` sweep.
+//!   (≥ 200 schedules, 4 ranks, grid 8), then compact `persist` and
+//!   `recover` sweeps.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
@@ -42,10 +49,14 @@ fn usage() -> ExitCode {
          \x20 lint                      run source lints (SL001–SL005)\n\
          \x20 explore [--seed-base N]   sweep pipeline delivery schedules\n\
          \x20         [--ranks N] [--grid N] [--schedules N]\n\
+         \x20 persist [--seed-base N]   persistent-plan sweep (one session,\n\
+         \x20         [--ranks N] [--grid N] [--schedules N]\n\
+         \x20                           three executions per schedule)\n\
          \x20 recover [--seed-base N]   rank-death recovery sweep (crash at\n\
          \x20         [--ranks N] [--grid N] [--schedules N] [--victim N]\n\
          \x20                           first/middle/last tile per schedule)\n\
-         \x20 check                     lint + explore + recover (acceptance gate)"
+         \x20 check                     lint + explore + persist + recover\n\
+         \x20                           (acceptance gate)"
     );
     ExitCode::FAILURE
 }
@@ -111,6 +122,21 @@ fn run_explore(args: &[String]) -> bool {
     summarize("explore", &report)
 }
 
+fn run_persist(args: &[String]) -> bool {
+    let (cfg, grid) = sweep_config(args);
+    println!(
+        "persist: {} schedules × 3 executions of one persistent-plan session, \
+         grid {grid}^3, {} ranks (random seeds {:?} + {}-bit systematic sweep)",
+        cfg.schedules(),
+        cfg.ranks,
+        cfg.random_seeds,
+        cfg.systematic_bits
+    );
+    let report = mpicheck::explore_persistent(&cfg, grid, progress_bar);
+    println!();
+    summarize("persist", &report)
+}
+
 fn run_recover(args: &[String]) -> bool {
     let (cfg, grid) = sweep_config(args);
     let victim = parse_flag(args, "--victim").unwrap_or(1) as usize;
@@ -156,22 +182,26 @@ fn main() -> ExitCode {
     let ok = match args.first().map(String::as_str) {
         Some("lint") => run_lint(&root),
         Some("explore") => run_explore(&args[1..]),
+        Some("persist") => run_persist(&args[1..]),
         Some("recover") => run_recover(&args[1..]),
         Some("check") => {
             let lint_ok = run_lint(&root);
             let explore_ok = run_explore(&args[1..]);
-            // The recovery gate is three runs per schedule; a quarter of the
-            // explore plan keeps `check` under a few minutes while still
-            // crossing every crash position with both schedule families.
-            let mut recover_args = args[1..].to_vec();
-            if parse_flag(&recover_args, "--schedules").is_none() {
-                recover_args.extend(["--schedules".to_owned(), "80".to_owned()]);
+            // The persistent and recovery gates each multiply the per-
+            // schedule cost (3 executions / 3 crash positions), so default
+            // them to a quarter of the explore plan: `check` stays under a
+            // few minutes while both schedule families still cross every
+            // crash position and every session execution.
+            let mut compact_args = args[1..].to_vec();
+            if parse_flag(&compact_args, "--schedules").is_none() {
+                compact_args.extend(["--schedules".to_owned(), "80".to_owned()]);
             }
-            let recover_ok = run_recover(&recover_args);
-            if lint_ok && explore_ok && recover_ok {
+            let persist_ok = run_persist(&compact_args);
+            let recover_ok = run_recover(&compact_args);
+            if lint_ok && explore_ok && persist_ok && recover_ok {
                 println!("check: all gates passed");
             }
-            lint_ok && explore_ok && recover_ok
+            lint_ok && explore_ok && persist_ok && recover_ok
         }
         _ => return usage(),
     };

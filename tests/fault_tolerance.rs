@@ -19,8 +19,8 @@ use fft3d::serial::{fft3_serial, full_test_array};
 use fft3d::sim_env::fft3_simulated;
 use fft3d::{
     run_recoverable, try_fft3_dist, try_fft3_dist_traced, try_fft3_simulated, Error, EventKind,
-    MemRecorder, NoopRecorder, ProblemSpec, RecoverConfig, ReplicaSource, Resilience, SlabSource,
-    TuningParams, Variant,
+    FftSession, MemRecorder, NoopRecorder, ProblemSpec, RecoverConfig, ReplicaSource, Resilience,
+    SlabSource, TuningParams, Variant,
 };
 use mpisim::FaultPlan;
 use simnet::model::umd_cluster;
@@ -373,6 +373,115 @@ fn cancel_is_safe_after_a_rank_failure() {
     assert!(out[0].is_none());
     assert_eq!(out[1], Some(true));
     assert_eq!(out[2], Some(true));
+}
+
+#[test]
+fn session_repeats_stay_exact_with_a_straggler_between_executions() {
+    // Persistent plans must not bake timing assumptions into the schedule:
+    // the same session executes three times while rank 1 delays every round
+    // send past the watchdog, so stalls trip *between and during* reuses of
+    // the same plans. Every execution must still match the serial reference.
+    let spec = ProblemSpec::cube(12, 4);
+    let params = TuningParams::seed(&spec);
+    let reference = serial_reference(&spec);
+
+    let plan = FaultPlan::seeded(fault_seed()).with_straggler(1, 30.0);
+    let res = Resilience {
+        stall_timeout: Some(Duration::from_millis(15)),
+        poll_boost: 4,
+        max_strikes: 8,
+    };
+    let results = mpisim::run_with_faults(spec.p, plan, move |comm| {
+        let input = local_test_slab(&spec, comm.rank());
+        let mut session = FftSession::new(
+            &comm,
+            spec,
+            Variant::New,
+            params,
+            Direction::Forward,
+            Rigor::Estimate,
+        );
+        let mut errs = Vec::new();
+        let mut stalls = 0u32;
+        for exec in 0..3 {
+            let out = session
+                .execute_traced(&input, &res, &mut NoopRecorder)
+                .unwrap_or_else(|e| {
+                    panic!("rank {} exec {exec} failed to recover: {e}", comm.rank())
+                });
+            errs.push(compare_with_serial(&spec, comm.rank(), &out, &reference));
+            stalls += out.recovery.stalls_detected;
+        }
+        session.free();
+        (errs, stalls)
+    });
+
+    let tol = 1e-9 * spec.len() as f64;
+    let mut stalls = 0;
+    for (rank, (errs, s)) in results.iter().enumerate() {
+        for (exec, err) in errs.iter().enumerate() {
+            assert!(*err < tol, "rank {rank} exec {exec}: spectrum error {err}");
+        }
+        stalls += s;
+    }
+    assert!(
+        stalls > 0,
+        "a 60 ms send delay against a 15 ms watchdog must trip at least once"
+    );
+}
+
+#[test]
+fn persistent_plan_surfaces_rank_failed_and_outlives_a_shrink() {
+    // ULFM discipline for persistent collectives: an execution over a dead
+    // member surfaces RankFailed naming the *world* rank; the plan can then
+    // be freed (purging the failed execution), the communicator shrunk, and
+    // a fresh plan on the survivor communicator runs to completion —
+    // setup-once/execute-many across the recovery boundary.
+    let plan = FaultPlan::seeded(fault_seed()).with_rank_crash(2, 0);
+    let out = mpisim::run_crashable(4, plan, move |comm| {
+        if comm.rank() == 2 {
+            comm.crash_point(0);
+        }
+        let me = comm.rank() as i64;
+        let mut plan = comm.alltoall_init(1, vec![0i64; 4]);
+        plan.start(&comm, &[me; 4]);
+        let err = plan
+            .wait_timeout(&comm, Duration::from_secs(5))
+            .expect_err("an execution over a dead member cannot complete");
+        assert!(
+            matches!(err, mpisim::CollError::RankFailed(2)),
+            "expected RankFailed(2), got {err}"
+        );
+        // Sticky per execution, exactly like the ad-hoc path.
+        let again = plan.try_test(&comm).expect_err("failure must be sticky");
+        assert_eq!(err, again);
+        plan.free(&comm);
+
+        let small = comm.shrink();
+        let mut plan = small.alltoall_init(1, vec![0i64; small.size()]);
+        for _ in 0..3 {
+            plan.start(&small, &vec![me; small.size()]);
+            plan.wait(&small);
+        }
+        assert_eq!(plan.executions(), 3);
+        let got = plan.recv().to_vec();
+        plan.free(&small);
+        got
+    });
+
+    assert!(out[2].is_none(), "the dead rank must not return");
+    for (rank, got) in out.iter().enumerate() {
+        if rank == 2 {
+            continue;
+        }
+        // Survivors are world ranks {0, 1, 3} in order; each contributes
+        // its world id, so every survivor receives exactly that list.
+        assert_eq!(
+            got.as_deref(),
+            Some(&[0i64, 1, 3][..]),
+            "rank {rank}: wrong exchange on the shrunk communicator"
+        );
+    }
 }
 
 #[test]

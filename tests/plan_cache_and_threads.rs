@@ -7,7 +7,9 @@ use cfft::planner::Rigor;
 use cfft::Direction;
 use fft3d::pencil::{try_fft3_pencil, PencilGrid};
 use fft3d::real_env::{fft3_dist, local_test_slab, try_fft3_dist};
-use fft3d::{fft3_simulated, try_fft3_simulated, Error, ProblemSpec, TuningParams, Variant};
+use fft3d::{
+    fft3_simulated, try_fft3_simulated, Error, FftSession, ProblemSpec, TuningParams, Variant,
+};
 use simnet::model::umd_cluster;
 use std::time::Duration;
 
@@ -49,6 +51,73 @@ fn second_identical_transform_does_zero_planning() {
             Duration::ZERO,
             "rank {rank} replanned a cached geometry"
         );
+    }
+}
+
+/// Tentpole: a persistent-plan session completes the zero-planning story.
+/// The first execution pays one schedule setup per tile; every later
+/// execution draws the FFT plans from the plan cache, the exchange
+/// geometry from the transform-plan cache, and the all-to-all schedules
+/// from the session's persistent plans — zero planning AND zero setups,
+/// observable through `RunOutput`'s counters, with bit-identical output.
+#[test]
+fn session_executions_after_the_first_do_zero_setup() {
+    let spec = ProblemSpec {
+        nx: 18,
+        ny: 12,
+        nz: 20,
+        p: 3,
+    };
+    let params = TuningParams::seed(&spec);
+    let tiles = params.tiles(&spec) as u64;
+    let reps = 4;
+    let results = mpisim::run(spec.p, move |comm| {
+        let input = local_test_slab(&spec, comm.rank());
+        let one_shot = fft3_dist(
+            &comm,
+            spec,
+            Variant::New,
+            params,
+            Direction::Forward,
+            Rigor::Estimate,
+            &input,
+        );
+        let mut session = FftSession::new(
+            &comm,
+            spec,
+            Variant::New,
+            params,
+            Direction::Forward,
+            Rigor::Estimate,
+        );
+        let runs: Vec<_> = (0..reps)
+            .map(|_| session.execute(&input).unwrap())
+            .collect();
+        let bits = |out: &fft3d::RunOutput| -> Vec<(u64, u64)> {
+            out.data
+                .iter()
+                .map(|c| (c.re.to_bits(), c.im.to_bits()))
+                .collect()
+        };
+        let want = bits(&one_shot);
+        let setups: Vec<u64> = runs.iter().map(|r| r.exchange_setups).collect();
+        let planning: Vec<Duration> = runs.iter().map(|r| r.planning).collect();
+        let exact = runs.iter().all(|r| bits(r) == want);
+        session.free();
+        (one_shot.exchange_setups, setups, planning, exact)
+    });
+    for (rank, (adhoc, setups, planning, exact)) in results.into_iter().enumerate() {
+        assert!(exact, "rank {rank}: session output differs from one-shot");
+        assert_eq!(adhoc, tiles, "rank {rank}: ad-hoc pays setup per tile");
+        assert_eq!(setups[0], tiles, "rank {rank}: first execution sets up");
+        for (i, &s) in setups.iter().enumerate().skip(1) {
+            assert_eq!(s, 0, "rank {rank} exec {i}: persistent plans reused");
+            assert_eq!(
+                planning[i],
+                Duration::ZERO,
+                "rank {rank} exec {i}: replanned"
+            );
+        }
     }
 }
 
