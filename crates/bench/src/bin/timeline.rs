@@ -32,6 +32,7 @@ fn gantt_char(kind: &EventKind) -> u8 {
         EventKind::Degrade { .. } => b'D',
         EventKind::RankLost { .. } => b'!',
         EventKind::Shrink { .. } => b'S',
+        EventKind::Corrupt { .. } => b'X',
     }
 }
 

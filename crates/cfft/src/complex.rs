@@ -23,6 +23,23 @@ pub struct Complex64 {
     pub im: f64,
 }
 
+/// Bit-level payload view for wire checksums and fault injection: a
+/// `Complex64` is 128 bits, `re` first (matching its `repr(C)` layout).
+impl faultplan::PayloadBits for Complex64 {
+    const BITS: u32 = 128;
+
+    fn fold_bits(&self, h: u64) -> u64 {
+        self.im.fold_bits(self.re.fold_bits(h))
+    }
+
+    fn flip_bit(&mut self, bit: u32) {
+        match bit % 128 {
+            b @ 0..=63 => self.re.flip_bit(b),
+            b => self.im.flip_bit(b - 64),
+        }
+    }
+}
+
 impl Complex64 {
     /// The additive identity, `0 + 0i`.
     pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };

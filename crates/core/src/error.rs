@@ -53,6 +53,17 @@ pub enum Error {
         /// Communication tile whose exchange was poisoned.
         tile: usize,
     },
+    /// Silent data corruption was detected by an integrity check: a wire
+    /// checksum past its retransmit budget, a staging-buffer hash mismatch,
+    /// or an ABFT linearity check on a compute stage. The data was **not**
+    /// used; depending on the stage the pipeline may heal transparently
+    /// (re-pack and retransmit) before this surfaces.
+    IntegrityFailed {
+        /// Communication tile whose data failed verification.
+        tile: usize,
+        /// Which integrity layer caught it.
+        stage: IntegrityStage,
+    },
     /// Recovery was attempted but cannot proceed — e.g. a failed rank's
     /// input slab has no surviving source; carries the reason. Agreed on by
     /// all survivors, so every living rank returns this same value.
@@ -63,6 +74,33 @@ pub enum Error {
     /// An invariant the pipeline relies on was violated (a bug, not an
     /// environmental fault); carries a static description.
     Internal(&'static str),
+}
+
+/// Which integrity layer detected silent data corruption (DESIGN.md §16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityStage {
+    /// The mpisim wire checksum: a round payload corrupted in transit,
+    /// past the link-layer retransmit budget.
+    Wire,
+    /// The resident hash over the packed staging buffer: the data changed
+    /// between pack and post (memory SDC at a tile boundary).
+    Pack,
+    /// The ABFT checksum line through the FFTy stage: the transformed
+    /// batch no longer sums to the transformed sum (compute SDC).
+    Ffty,
+    /// The ABFT checksum line through the FFTx stage.
+    Fftx,
+}
+
+impl std::fmt::Display for IntegrityStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IntegrityStage::Wire => "wire checksum",
+            IntegrityStage::Pack => "staging-buffer hash",
+            IntegrityStage::Ffty => "FFTy ABFT checksum line",
+            IntegrityStage::Fftx => "FFTx ABFT checksum line",
+        })
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -86,6 +124,10 @@ impl std::fmt::Display for Error {
             Error::Revoked { tile } => {
                 write!(f, "tile {tile} interrupted: communicator revoked by a peer")
             }
+            Error::IntegrityFailed { tile, stage } => write!(
+                f,
+                "tile {tile} failed its {stage} — silent corruption detected"
+            ),
             Error::Unrecoverable(why) => write!(f, "unrecoverable failure: {why}"),
             Error::VerificationFailed => {
                 write!(f, "post-recovery verification failed: energy mismatch")
@@ -142,5 +184,18 @@ mod tests {
             .to_string()
             .contains("no input source"));
         assert!(Error::VerificationFailed.to_string().contains("energy"));
+    }
+
+    #[test]
+    fn integrity_errors_name_tile_and_stage() {
+        for (stage, needle) in [
+            (IntegrityStage::Wire, "wire"),
+            (IntegrityStage::Pack, "staging"),
+            (IntegrityStage::Ffty, "FFTy"),
+            (IntegrityStage::Fftx, "FFTx"),
+        ] {
+            let s = Error::IntegrityFailed { tile: 4, stage }.to_string();
+            assert!(s.contains("tile 4") && s.contains(needle), "{s}");
+        }
     }
 }

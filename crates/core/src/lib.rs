@@ -57,6 +57,7 @@ pub mod xplan;
 
 pub use breakdown::{RunStats, StepTimes};
 pub use error::Error;
+pub use error::IntegrityStage;
 pub use params::{ProblemSpec, ThParams, TuningParams};
 pub use pipeline::{Recovery, Resilience};
 pub use real_env::{
@@ -64,8 +65,8 @@ pub use real_env::{
     RunOutput, Variant,
 };
 pub use recover::{
-    run_recoverable, ComputeSource, NoSource, RecoverConfig, RecoverOutcome, ReplicaSource,
-    SlabSource,
+    run_recoverable, Checkpoint, ComputeSource, NoSource, ParitySource, RecoverConfig,
+    RecoverOutcome, ReplicaSource, SlabSource,
 };
 pub use sim_env::{
     fft3_simulated, fft3_simulated_repeated, fft3_simulated_traced, th_simulated,

@@ -14,7 +14,7 @@
 //!   in the returned [`Recovery`] and mirrored to the backend via
 //!   [`OverlapEnv::on_degrade`] so traces show the recovery.
 
-use crate::error::Error;
+use crate::error::{Error, IntegrityStage};
 use crate::trace::DegradeAction;
 use std::time::Duration;
 
@@ -67,6 +67,27 @@ pub trait OverlapEnv {
     /// Disposes a request that will never be waited (the driver's error
     /// path). Backends reclaim whatever the exchange staged. Default: drop.
     fn cancel(&mut self, _tile: usize, _req: Self::Req) {}
+    /// Recovery hook: rebuild and re-post `tile`'s exchange after an
+    /// integrity check rejected the staged payload **before any peer saw
+    /// it** (the Pack stage — a memory bit-flip between pack and post).
+    /// Backends that keep the pristine transformed data re-pack from it and
+    /// return the fresh request; the default `None` declines, surfacing the
+    /// error instead. Only Pack-stage failures are retried: once a payload
+    /// reaches the wire the collective has consumed a sequence number on
+    /// every rank, and re-posting would desynchronise the communicator.
+    fn retransmit(&mut self, _tile: usize) -> Option<Self::Req> {
+        None
+    }
+    /// Inspection hook: `Some(stage)` when `req` is a poisoned placeholder
+    /// the backend handed out *instead of posting* (its integrity check
+    /// rejected the staged payload). The drivers consult this immediately
+    /// after every post and heal Pack-stage poisons via
+    /// [`OverlapEnv::retransmit`] on the spot — before any later collective
+    /// is posted, which is what keeps every rank's collective sequence
+    /// numbers in lockstep. Default: requests are never poisoned.
+    fn post_poisoned(&self, _req: &Self::Req) -> Option<IntegrityStage> {
+        None
+    }
     /// Cooperative scheduling point, called by the drivers once per tile
     /// iteration. Backends with a runtime scheduler (mpisim's checked mode)
     /// hook this to release deferred message deliveries at deterministic
@@ -132,12 +153,21 @@ pub struct Recovery {
     /// `true` once the run abandoned overlap and finished with blocking
     /// exchanges.
     pub fell_back: bool,
+    /// Silent corruptions caught at the Pack stage and healed transparently
+    /// by re-packing and re-posting (each also appears in [`actions`] as a
+    /// [`DegradeAction::Retransmit`]).
+    ///
+    /// [`actions`]: Recovery::actions
+    pub corruptions_healed: u32,
 }
 
 impl Recovery {
     /// `true` when the run needed no degradation at all.
     pub fn clean(&self) -> bool {
-        self.stalls_detected == 0 && self.actions.is_empty() && !self.fell_back
+        self.stalls_detected == 0
+            && self.actions.is_empty()
+            && !self.fell_back
+            && self.corruptions_healed == 0
     }
 }
 
@@ -190,6 +220,9 @@ impl<'a> Ladder<'a> {
                             DegradeAction::BoostPolls => env.boost_polls(),
                             DegradeAction::ShrinkWindow => self.w_eff = (self.w_eff / 2).max(1),
                             DegradeAction::Fallback => self.recovery.fell_back = true,
+                            // Retransmit is corruption healing, not a stall
+                            // rung; it never appears in the climb array.
+                            DegradeAction::Retransmit => unreachable!(),
                         }
                         env.on_degrade(tile, action);
                         self.recovery.actions.push(action);
@@ -202,6 +235,40 @@ impl<'a> Ladder<'a> {
                 }
             }
         }
+    }
+
+    /// Posts `tile`'s exchange, healing Pack-stage integrity rejections on
+    /// the spot. A backend that rejects its own staged payload (resident
+    /// hash mismatch — a memory bit-flip between pack and post) hands back
+    /// a poisoned request instead of posting; since no peer saw anything
+    /// and no sequence number was consumed, re-packing from the pristine
+    /// transformed data and re-posting *immediately* — before any later
+    /// collective — is transparent to the rest of the communicator. The
+    /// retry budget is separate from the stall strikes: a flaky memory
+    /// cell should not eat the watchdog's patience, and vice versa.
+    /// Non-Pack poisons are never retried (the payload reached the wire or
+    /// the in-place transforms destroyed the pristine data) and surface as
+    /// [`Error::IntegrityFailed`].
+    fn post_recover<E: OverlapEnv>(&mut self, env: &mut E, tile: usize) -> Result<E::Req, Error> {
+        let mut req = env.post_a2a(tile);
+        let mut retries = 0;
+        while let Some(stage) = env.post_poisoned(&req) {
+            env.cancel(tile, req);
+            if stage != IntegrityStage::Pack || retries >= self.res.max_strikes {
+                return Err(Error::IntegrityFailed { tile, stage });
+            }
+            retries += 1;
+            match env.retransmit(tile) {
+                Some(fresh) => {
+                    env.on_degrade(tile, DegradeAction::Retransmit);
+                    self.recovery.actions.push(DegradeAction::Retransmit);
+                    self.recovery.corruptions_healed += 1;
+                    req = fresh;
+                }
+                None => return Err(Error::IntegrityFailed { tile, stage }),
+            }
+        }
+        Ok(req)
     }
 }
 
@@ -255,7 +322,7 @@ pub fn try_run_new<E: OverlapEnv>(env: &mut E, res: &Resilience) -> Result<Recov
         for i in 0..k {
             env.sched_point();
             env.ffty_pack(i, &mut [])?;
-            let req = env.post_a2a(i);
+            let req = ladder.post_recover(env, i)?;
             ladder.wait_recover(env, i, req)?;
             env.unpack_fftx(i, &mut [])?;
         }
@@ -284,7 +351,7 @@ fn drive_new<E: OverlapEnv>(
         env.ffty_pack(np, inflight)?;
         if ladder.recovery.fell_back && inflight.is_empty() {
             // Fallback rung: blocking exchange per tile, no overlap.
-            let req = env.post_a2a(np);
+            let req = ladder.post_recover(env, np)?;
             ladder.wait_recover(env, np, req)?;
             env.unpack_fftx(np, &mut [])?;
             continue;
@@ -294,7 +361,7 @@ fn drive_new<E: OverlapEnv>(
         // iteration in steady state; more right after a window shrink.
         let need = (inflight.len() + 1).saturating_sub(ladder.w_eff.max(1));
         if need == 0 {
-            let req = env.post_a2a(np);
+            let req = ladder.post_recover(env, np)?;
             inflight.push((np, req));
             continue;
         }
@@ -307,7 +374,7 @@ fn drive_new<E: OverlapEnv>(
         }
         let (tile, req) = inflight.remove(0);
         ladder.wait_recover(env, tile, req)?;
-        let req_np = env.post_a2a(np);
+        let req_np = ladder.post_recover(env, np)?;
         inflight.push((np, req_np));
         env.unpack_fftx(tile, inflight)?;
         if ladder.recovery.fell_back {
@@ -351,7 +418,7 @@ pub fn try_run_th<E: OverlapEnv>(env: &mut E, res: &Resilience) -> Result<Recove
         for i in 0..k {
             env.sched_point();
             env.ffty_pack(i, &mut [])?;
-            let req = env.post_a2a(i);
+            let req = ladder.post_recover(env, i)?;
             ladder.wait_recover(env, i, req)?;
             env.unpack_fftx(i, &mut [])?;
         }
@@ -386,7 +453,7 @@ fn drive_th<E: OverlapEnv>(
             ladder.wait_recover(env, tile, req)?;
             env.unpack_fftx(tile, &mut [])?;
         }
-        let req = env.post_a2a(np);
+        let req = ladder.post_recover(env, np)?;
         if ladder.recovery.fell_back {
             ladder.wait_recover(env, np, req)?;
             env.unpack_fftx(np, &mut [])?;
@@ -418,6 +485,12 @@ mod tests {
         wait_script: Vec<Option<Error>>,
         cancelled: Vec<usize>,
         boosts: u32,
+        /// Whether `retransmit` offers a fresh request or declines.
+        can_retransmit: bool,
+        /// Stages to poison successive requests with: each `post_a2a` /
+        /// `retransmit` pops the front; empty = clean requests.
+        poison_script: std::collections::VecDeque<IntegrityStage>,
+        poisoned: std::collections::HashMap<usize, IntegrityStage>,
     }
 
     impl Recorder {
@@ -430,6 +503,9 @@ mod tests {
                 wait_script: Vec::new(),
                 cancelled: Vec::new(),
                 boosts: 0,
+                can_retransmit: true,
+                poison_script: std::collections::VecDeque::new(),
+                poisoned: std::collections::HashMap::new(),
             }
         }
 
@@ -439,6 +515,14 @@ mod tests {
                 round: 1,
                 peer: 0,
             }
+        }
+
+        fn fresh_req(&mut self) -> usize {
+            self.next_req += 1;
+            if let Some(stage) = self.poison_script.pop_front() {
+                self.poisoned.insert(self.next_req, stage);
+            }
+            self.next_req
         }
     }
 
@@ -459,8 +543,7 @@ mod tests {
         }
         fn post_a2a(&mut self, tile: usize) -> usize {
             self.log.push(format!("A{tile}"));
-            self.next_req += 1;
-            self.next_req
+            self.fresh_req()
         }
         fn wait(&mut self, tile: usize, req: usize) -> Result<(), (usize, Error)> {
             self.log.push(format!("W{tile}"));
@@ -487,6 +570,16 @@ mod tests {
         fn cancel(&mut self, tile: usize, _req: usize) {
             self.cancelled.push(tile);
             self.log.push(format!("C{tile}"));
+        }
+        fn retransmit(&mut self, tile: usize) -> Option<usize> {
+            if !self.can_retransmit {
+                return None;
+            }
+            self.log.push(format!("R{tile}"));
+            Some(self.fresh_req())
+        }
+        fn post_poisoned(&self, req: &usize) -> Option<IntegrityStage> {
+            self.poisoned.get(req).copied()
         }
     }
 
@@ -697,6 +790,100 @@ mod tests {
                 .count();
             assert_eq!(unpacks, 1, "tile {t}: {:?}", env.log);
         }
+    }
+
+    #[test]
+    fn pack_corruption_heals_by_retransmit_at_the_post_point() {
+        let mut env = Recorder::new(4, 2);
+        // The first post comes back poisoned (staged payload rejected);
+        // the driver must dispose it, ask for a retransmit *immediately*
+        // (before any later post — sequence lockstep), and finish.
+        env.poison_script.push_back(IntegrityStage::Pack);
+        let rec = try_run_new(&mut env, &Resilience::default()).unwrap();
+        assert_eq!(rec.corruptions_healed, 1);
+        assert_eq!(rec.actions, vec![DegradeAction::Retransmit]);
+        assert!(!rec.clean());
+        assert_eq!(rec.stalls_detected, 0, "corruption is not a stall");
+        assert_eq!(env.boosts, 0, "healing does not climb the stall ladder");
+        // The retransmit happens straight after the poisoned post, before
+        // tile 1 posts anything.
+        let a0 = env.log.iter().position(|e| e == "A0").unwrap();
+        let r0 = env.log.iter().position(|e| e == "R0").unwrap();
+        let a1 = env.log.iter().position(|e| e == "A1").unwrap();
+        assert!(a0 < r0 && r0 < a1, "{:?}", env.log);
+        assert!(env.cancelled.contains(&0), "poisoned request was disposed");
+        for t in 0..4 {
+            let unpacks = env
+                .log
+                .iter()
+                .filter(|e| e.starts_with(&format!("uX{t}(")))
+                .count();
+            assert_eq!(unpacks, 1, "tile {t}: {:?}", env.log);
+        }
+    }
+
+    #[test]
+    fn exhausted_retransmit_budget_surfaces_integrity_error() {
+        let mut env = Recorder::new(3, 1);
+        // Every post and every retransmit comes back poisoned: 3 retries
+        // (max_strikes), then the 4th poison surfaces.
+        env.poison_script = vec![IntegrityStage::Pack; 8].into();
+        let err = try_run_new(&mut env, &Resilience::default()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::IntegrityFailed {
+                    stage: IntegrityStage::Pack,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert_eq!(
+            env.log.iter().filter(|e| **e == "R0").count(),
+            3,
+            "retry budget is max_strikes: {:?}",
+            env.log
+        );
+    }
+
+    #[test]
+    fn non_pack_integrity_failures_do_not_retry() {
+        // A non-Pack poison means the damage is beyond a re-pack (the
+        // pristine data itself failed its check): surface immediately
+        // without consulting the retransmit hook. Wire-stage failures
+        // arrive through `wait` instead — equally non-retried.
+        for stage in [IntegrityStage::Ffty, IntegrityStage::Fftx] {
+            let mut env = Recorder::new(3, 2);
+            env.poison_script.push_back(stage);
+            let err = try_run_new(&mut env, &Resilience::default()).unwrap_err();
+            assert!(matches!(err, Error::IntegrityFailed { .. }), "{err}");
+            assert!(
+                !env.log.iter().any(|e| e.starts_with('R')),
+                "{stage}: {:?}",
+                env.log
+            );
+        }
+        let mut env = Recorder::new(3, 2);
+        env.wait_script = vec![Some(Error::IntegrityFailed {
+            tile: 0,
+            stage: IntegrityStage::Wire,
+        })];
+        let err = try_run_new(&mut env, &Resilience::default()).unwrap_err();
+        assert!(matches!(err, Error::IntegrityFailed { .. }), "{err}");
+        assert!(!env.log.iter().any(|e| e.starts_with('R')), "{:?}", env.log);
+        assert!(env.cancelled.contains(&0), "failed wait request disposed");
+    }
+
+    #[test]
+    fn declined_retransmit_surfaces_the_error() {
+        let mut env = Recorder::new(3, 2);
+        env.can_retransmit = false;
+        env.poison_script.push_back(IntegrityStage::Pack);
+        let err = try_run_new(&mut env, &Resilience::default()).unwrap_err();
+        assert!(matches!(err, Error::IntegrityFailed { .. }), "{err}");
+        // The poisoned request was still cancelled before declining.
+        assert!(env.cancelled.contains(&0));
     }
 
     #[test]

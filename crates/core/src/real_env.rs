@@ -10,11 +10,11 @@
 
 use crate::breakdown::{RunStats, StepTimes};
 use crate::decomp::Decomp;
-use crate::error::Error;
+use crate::error::{Error, IntegrityStage};
 use crate::params::{ParamError, ProblemSpec, TuningParams};
 use crate::pipeline::{try_run_new, try_run_th, OverlapEnv, Recovery, Resilience};
 use crate::trace::{DegradeAction, EventKind, NoopRecorder, Recorder, TraceEvent};
-use crate::xplan::{ExchangeGeometry, TransformPlanCache};
+use crate::xplan::{ExchangeGeometry, TileExchange, TransformPlanCache};
 use cfft::batch::{
     execute_batch_threaded, execute_lines_threaded, for_each_part_threaded, for_each_row_threaded,
     BatchLayout,
@@ -22,6 +22,7 @@ use cfft::batch::{
 use cfft::planner::{Plan1d, Rigor};
 use cfft::transpose::{permute3_threaded, xzy_fast_threaded, Dims3, XYZ_TO_ZXY};
 use cfft::{Complex64, Direction, PlanCache};
+use faultplan::{checksum, flip_seeded_bit};
 use mpisim::{CollError, Comm, IAlltoall, PersistentAlltoall};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -33,6 +34,10 @@ fn coll_to_error(tile: usize, e: CollError) -> Error {
         CollError::Dropped { round, peer } => Error::Dropped { tile, round, peer },
         CollError::RankFailed(rank) => Error::RankFailed { tile, rank },
         CollError::Revoked => Error::Revoked { tile },
+        CollError::Corrupt { .. } => Error::IntegrityFailed {
+            tile,
+            stage: IntegrityStage::Wire,
+        },
     }
 }
 
@@ -101,6 +106,11 @@ pub enum RealReq {
     AdHoc(IAlltoall<Complex64>),
     /// In-flight execution of the persistent plan for this tile.
     Persistent(usize),
+    /// No exchange was posted: the staged payload failed an integrity
+    /// check at the named stage. The driver's wait surfaces the failure;
+    /// for the Pack stage it can heal by [`OverlapEnv::retransmit`],
+    /// because no peer ever saw (or sequenced) the withheld exchange.
+    Poisoned(IntegrityStage),
 }
 
 /// Per-tile persistent exchange plans owned by an [`FftSession`], borrowed
@@ -226,6 +236,16 @@ struct RealEnv<'a> {
     send: Vec<Complex64>,
     /// Elements the largest tile's pack can need; `send` never exceeds it.
     send_cap: usize,
+    /// Resident hash over the packed staging buffer, set by the pack and
+    /// re-verified at post time — memory SDC on the pack→post boundary is
+    /// caught before the bytes reach any peer.
+    send_hash: u64,
+    /// ABFT checksum line: Σ over the sub-tile's batch, captured before the
+    /// in-place transform and transformed alongside it (DESIGN.md §16).
+    abft_line: Vec<Complex64>,
+    /// Post-transform batch sum, compared against the transformed
+    /// [`Self::abft_line`].
+    abft_post: Vec<Complex64>,
     /// Recycled receive buffers, bounded to the pipeline's working set.
     recv_pool: BufferPool,
     /// Receive data of the most recently waited tile, awaiting unpack.
@@ -279,6 +299,9 @@ impl<'a> RealEnv<'a> {
                 .and_then(|p| p[*tile].as_mut())
                 .expect("in-flight persistent execution without its plan")
                 .try_test(comm),
+            // A withheld exchange never completes; the failure surfaces at
+            // wait time, where the driver can heal it.
+            RealReq::Poisoned(_) => Ok(false),
         }
     }
 
@@ -355,6 +378,78 @@ impl<'a> RealEnv<'a> {
             OutLayout::Yzx => (yl * self.spec.nz + z) * self.spec.nx + x,
         }
     }
+
+    /// Posts `tile`'s exchange from the current staging buffer. Shared by
+    /// the normal post path and [`OverlapEnv::retransmit`]; deliberately
+    /// free of the crash/bit-flip injection points so a retransmitted
+    /// exchange is never re-poisoned by the same planned fault.
+    fn post_exchange(&mut self, tile: usize, xg: &TileExchange) -> RealReq {
+        let comm = self.comm;
+        let t0 = Instant::now();
+        let req = match self.plans.as_mut() {
+            Some(plans) => {
+                // Session mode: init the tile's persistent plan lazily on
+                // its first execution; every later execution just starts it
+                // — zero per-execution negotiation.
+                if plans[tile].is_none() {
+                    let recv = vec![Complex64::ZERO; xg.total_recv];
+                    plans[tile] = Some(comm.alltoallv_init(&xg.send_counts, &xg.recv_counts, recv));
+                    self.setups += 1;
+                }
+                plans[tile]
+                    .as_mut()
+                    .expect("just initialised")
+                    .start(comm, &self.send[..xg.total_send]);
+                RealReq::Persistent(tile)
+            }
+            None => {
+                let recv = self.recv_pool.take(xg.total_recv);
+                self.setups += 1;
+                RealReq::AdHoc(comm.ialltoallv(
+                    &self.send[..xg.total_send],
+                    &xg.send_counts,
+                    &xg.recv_counts,
+                    recv,
+                ))
+            }
+        };
+        let t1 = Instant::now();
+        self.steps.ialltoall += (t1 - t0).as_secs_f64();
+        let bytes = (xg.total_send * std::mem::size_of::<Complex64>()) as u64;
+        self.record_span(t0, t1, EventKind::PostA2a { tile, bytes });
+        req
+    }
+}
+
+/// Accumulates the batch sum of `starts.len()` rows of `data`, each `n`
+/// elements long, into `dst` (cleared first) — the ABFT checksum line.
+fn abft_sum_rows(dst: &mut Vec<Complex64>, data: &[Complex64], starts: &[usize], n: usize) {
+    dst.clear();
+    dst.resize(n, Complex64::ZERO);
+    for &s in starts {
+        for (acc, v) in dst.iter_mut().zip(&data[s..s + n]) {
+            *acc += *v;
+        }
+    }
+}
+
+/// Relative ABFT tolerance. FFT roundoff on the checksum comparison is
+/// ~1e-13 of the batch scale on realistic sizes, four orders below this
+/// threshold — while a flipped sign, exponent, or high-mantissa bit lands
+/// many orders above it. (Flips of the lowest mantissa bits are below any
+/// tolerance an f64 check can hold and are numerically inconsequential.)
+const ABFT_TOL: f64 = 1e-9;
+
+/// Whether the transformed checksum line equals the post-transform batch
+/// sum within tolerance — the linearity identity FFT(Σ) = Σ FFT(·).
+fn abft_agrees(sum_fft: &[Complex64], post_sum: &[Complex64], batch: usize) -> bool {
+    let mut scale = 1.0f64;
+    let mut worst = 0.0f64;
+    for (a, b) in sum_fft.iter().zip(post_sum) {
+        scale = scale.max(a.abs()).max(b.abs());
+        worst = worst.max((*a - *b).abs());
+    }
+    worst <= ABFT_TOL * scale * (batch.max(sum_fft.len()).max(1)) as f64
 }
 
 impl<'a> OverlapEnv for RealEnv<'a> {
@@ -426,6 +521,9 @@ impl<'a> OverlapEnv for RealEnv<'a> {
             self.params.pz.min(tz.max(1)),
         );
         if nxl == 0 || tz == 0 {
+            // Nothing staged: the resident hash must cover the empty
+            // payload this tile will post.
+            self.send_hash = checksum::<Complex64>(&[]);
             return Ok(());
         }
 
@@ -455,17 +553,30 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                 let xs = xb * px;
                 let xe = (xs + px).min(nxl);
 
+                // Row starts of the sub-tile's y lines (disjoint whichever
+                // layout `zxy_idx` uses), shared by the transform paths and
+                // the ABFT sums below.
+                let mut row_starts: Vec<usize> = Vec::with_capacity((ze - zs) * (xe - xs));
+                for z in zs..ze {
+                    for xl in xs..xe {
+                        row_starts.push(self.zxy_idx(z, xl, 0));
+                    }
+                }
+
+                // ABFT (DESIGN.md §16): capture the batch checksum line
+                // Σ(lines) before the in-place FFTy. Linearity demands
+                // FFT(Σ lines) = Σ FFT(lines) within roundoff, so a compute
+                // or memory fault inside the transform window breaks the
+                // equality far beyond tolerance.
+                let mut line = std::mem::take(&mut self.abft_line);
+                abft_sum_rows(&mut line, &self.zxy, &row_starts, ny);
+
                 // FFTy on every y line of the sub-tile.
                 let t0 = Instant::now();
                 if self.params.threads > 1 {
-                    let mut starts: Vec<usize> = Vec::with_capacity((ze - zs) * (xe - xs));
-                    for z in zs..ze {
-                        for xl in xs..xe {
-                            starts.push(self.zxy_idx(z, xl, 0));
-                        }
-                    }
-                    // Rows are disjoint whichever layout `zxy_idx` uses, but
-                    // only sorted for one of them — sort for the splitter.
+                    // Rows are only sorted for one of the layouts — sort for
+                    // the splitter.
+                    let mut starts = row_starts.clone();
                     starts.sort_unstable();
                     execute_lines_threaded(
                         &self.plan_y,
@@ -474,12 +585,9 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                         self.params.threads,
                     );
                 } else {
-                    for z in zs..ze {
-                        for xl in xs..xe {
-                            let s = self.zxy_idx(z, xl, 0);
-                            self.plan_y
-                                .execute(&mut self.zxy[s..s + ny], &mut self.plan_scratch);
-                        }
+                    for &s in &row_starts {
+                        self.plan_y
+                            .execute(&mut self.zxy[s..s + ny], &mut self.plan_scratch);
                     }
                 }
                 let t1 = Instant::now();
@@ -492,6 +600,24 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                         subtile: zb * xblocks + xb,
                     },
                 );
+
+                // Transform the checksum line and compare with the batch sum
+                // of the transformed lines.
+                self.plan_y.execute(&mut line, &mut self.plan_scratch);
+                let mut post = std::mem::take(&mut self.abft_post);
+                abft_sum_rows(&mut post, &self.zxy, &row_starts, ny);
+                let agrees = abft_agrees(&line, &post, row_starts.len());
+                self.abft_line = line;
+                self.abft_post = post;
+                if !agrees {
+                    let now = Instant::now();
+                    self.record_span(now, now, EventKind::Corrupt { tile });
+                    return Err(Error::IntegrityFailed {
+                        tile,
+                        stage: IntegrityStage::Ffty,
+                    });
+                }
+
                 let due = sched_y.after_unit();
                 self.poll_inflight(inflight, due)?;
 
@@ -561,6 +687,10 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                 self.poll_inflight(inflight, due)?;
             }
         }
+        // Seal the staged payload: post time re-verifies this hash, so any
+        // memory corruption on the pack→post boundary is caught before the
+        // bytes reach a peer.
+        self.send_hash = checksum(&self.send[..total_send]);
         Ok(())
     }
 
@@ -571,43 +701,32 @@ impl<'a> OverlapEnv for RealEnv<'a> {
         // able to complete tiles that need nothing more from us).
         self.comm.crash_point(tile);
         let xg = self.geom.tiles[tile].clone();
-        let comm = self.comm;
-        let t0 = Instant::now();
-        let req = match self.plans.as_mut() {
-            Some(plans) => {
-                // Session mode: init the tile's persistent plan lazily on
-                // its first execution; every later execution just starts it
-                // — zero per-execution negotiation.
-                if plans[tile].is_none() {
-                    let recv = vec![Complex64::ZERO; xg.total_recv];
-                    plans[tile] = Some(comm.alltoallv_init(&xg.send_counts, &xg.recv_counts, recv));
-                    self.setups += 1;
-                }
-                plans[tile]
-                    .as_mut()
-                    .expect("just initialised")
-                    .start(comm, &self.send[..xg.total_send]);
-                RealReq::Persistent(tile)
-            }
-            None => {
-                let recv = self.recv_pool.take(xg.total_recv);
-                self.setups += 1;
-                RealReq::AdHoc(comm.ialltoallv(
-                    &self.send[..xg.total_send],
-                    &xg.send_counts,
-                    &xg.recv_counts,
-                    recv,
-                ))
-            }
-        };
-        let t1 = Instant::now();
-        self.steps.ialltoall += (t1 - t0).as_secs_f64();
-        let bytes = (xg.total_send * std::mem::size_of::<Complex64>()) as u64;
-        self.record_span(t0, t1, EventKind::PostA2a { tile, bytes });
-        req
+        // Fault-plan memory-SDC injection: flip one seeded bit of the
+        // packed staging buffer on the same pack→post boundary.
+        if let Some(site) = self.comm.bitflip_point(tile) {
+            flip_seeded_bit(&mut self.send[..xg.total_send], site);
+        }
+        // Resident hash check: the staged payload must still be the bytes
+        // the pack sealed, or the exchange is withheld — the poisoned
+        // request surfaces at wait time and the driver re-packs from the
+        // pristine transformed slab (no peer sequenced anything).
+        if checksum(&self.send[..xg.total_send]) != self.send_hash {
+            let now = Instant::now();
+            self.record_span(now, now, EventKind::Corrupt { tile });
+            return RealReq::Poisoned(IntegrityStage::Pack);
+        }
+        self.post_exchange(tile, &xg)
     }
 
     fn wait(&mut self, tile: usize, req: Self::Req) -> Result<(), (Self::Req, Error)> {
+        if let RealReq::Poisoned(stage) = req {
+            // Nothing was posted: surface the integrity failure so the
+            // driver can heal (Pack stage retransmits) or abort.
+            return Err((
+                RealReq::Poisoned(stage),
+                Error::IntegrityFailed { tile, stage },
+            ));
+        }
         let comm = self.comm;
         let t0 = Instant::now();
         // Resolve the exchange to a completed receive buffer (or a
@@ -646,6 +765,7 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                     },
                 }
             }
+            RealReq::Poisoned(_) => unreachable!("handled above"),
         };
         let t1 = Instant::now();
         self.steps.wait += (t1 - t0).as_secs_f64();
@@ -656,7 +776,16 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                 self.pending_plan = from_plan;
                 Ok(())
             }
-            Err((req, e)) => Err((req, coll_to_error(tile, e))),
+            Err((req, e)) => {
+                let err = coll_to_error(tile, e);
+                if matches!(err, Error::IntegrityFailed { .. }) {
+                    // Wire corruption past the link-layer retransmit budget:
+                    // mark the detection in the timeline.
+                    let now = Instant::now();
+                    self.record_span(now, now, EventKind::Corrupt { tile });
+                }
+                Err((req, err))
+            }
         }
     }
 
@@ -763,6 +892,17 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                 let due = sched_u.after_unit();
                 self.poll_inflight(inflight, due)?;
 
+                // ABFT checksum line through FFTx — same linearity identity
+                // as the FFTy check in `ffty_pack`.
+                let mut fx_rows: Vec<usize> = Vec::with_capacity((ze - zs) * (ye - ys));
+                for z in zs..ze {
+                    for yl in ys..ye {
+                        fx_rows.push(self.out_idx(z, yl, 0));
+                    }
+                }
+                let mut line = std::mem::take(&mut self.abft_line);
+                abft_sum_rows(&mut line, &self.out, &fx_rows, nx);
+
                 // FFTx on the unpacked x lines.
                 let t0 = Instant::now();
                 if self.params.threads > 1 {
@@ -774,12 +914,9 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                         self.params.threads,
                     );
                 } else {
-                    for z in zs..ze {
-                        for yl in ys..ye {
-                            let s = self.out_idx(z, yl, 0);
-                            self.plan_x
-                                .execute(&mut self.out[s..s + nx], &mut self.plan_scratch);
-                        }
+                    for &s in &fx_rows {
+                        self.plan_x
+                            .execute(&mut self.out[s..s + nx], &mut self.plan_scratch);
                     }
                 }
                 let t1 = Instant::now();
@@ -792,6 +929,22 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                         subtile: zb * yblocks + yb,
                     },
                 );
+
+                self.plan_x.execute(&mut line, &mut self.plan_scratch);
+                let mut post = std::mem::take(&mut self.abft_post);
+                abft_sum_rows(&mut post, &self.out, &fx_rows, nx);
+                let agrees = abft_agrees(&line, &post, fx_rows.len());
+                self.abft_line = line;
+                self.abft_post = post;
+                if !agrees {
+                    let now = Instant::now();
+                    self.record_span(now, now, EventKind::Corrupt { tile });
+                    return Err(Error::IntegrityFailed {
+                        tile,
+                        stage: IntegrityStage::Fftx,
+                    });
+                }
+
                 let due = sched_x.after_unit();
                 self.poll_inflight(inflight, due)?;
             }
@@ -842,6 +995,47 @@ impl<'a> OverlapEnv for RealEnv<'a> {
                     plan.free(self.comm);
                 }
             }
+            // A poisoned request never staged anything.
+            RealReq::Poisoned(_) => {}
+        }
+    }
+
+    fn retransmit(&mut self, tile: usize) -> Option<Self::Req> {
+        // Heal a Pack-stage integrity failure: re-pack the tile from the
+        // pristine transformed slab (FFTy was in place; the corruption hit
+        // only the staging copy), re-seal the hash, and re-post. Sequential
+        // copies — healing is off the hot path. The injection points are
+        // deliberately not revisited, so a planned fault fires once.
+        let (z0, z1) = self.tile_range(tile);
+        let nxl = self.nxl;
+        let xg = self.geom.tiles[tile].clone();
+        if nxl > 0 && z1 > z0 {
+            if self.send.len() < xg.total_send {
+                self.send.resize(xg.total_send, Complex64::ZERO);
+            }
+            for z in z0..z1 {
+                let zl = z - z0;
+                for xl in 0..nxl {
+                    let row = self.zxy_idx(z, xl, 0);
+                    let in_block_row = zl * nxl + xl;
+                    for (q, &q_displ) in xg.send_displs.iter().enumerate() {
+                        let nyl_q = self.decomp.y.count(q);
+                        let yoff = self.decomp.y.offset(q);
+                        let dst = q_displ + in_block_row * nyl_q;
+                        let src = row + yoff;
+                        self.send[dst..dst + nyl_q].copy_from_slice(&self.zxy[src..src + nyl_q]);
+                    }
+                }
+            }
+        }
+        self.send_hash = checksum(&self.send[..xg.total_send]);
+        Some(self.post_exchange(tile, &xg))
+    }
+
+    fn post_poisoned(&self, req: &Self::Req) -> Option<IntegrityStage> {
+        match req {
+            RealReq::Poisoned(stage) => Some(*stage),
+            _ => None,
         }
     }
 
@@ -1110,6 +1304,9 @@ fn run_dist(
         out: vec![Complex64::ZERO; spec.nz * nyl * spec.nx],
         send: Vec::new(),
         send_cap: params.t * nxl * spec.ny,
+        send_hash: 0,
+        abft_line: Vec::new(),
+        abft_post: Vec::new(),
         recv_pool: BufferPool::new(params.w + 1, params.t * spec.nx * nyl),
         pending_recv: None,
         pending_plan: None,
@@ -1163,6 +1360,8 @@ pub struct FftSession<'a> {
     rigor: Rigor,
     plans: TilePlans,
     executions: u64,
+    checkpoint_interval: Option<u64>,
+    checkpoint: Option<crate::recover::Checkpoint>,
 }
 
 impl<'a> FftSession<'a> {
@@ -1186,7 +1385,29 @@ impl<'a> FftSession<'a> {
             rigor,
             plans: Vec::new(),
             executions: 0,
+            checkpoint_interval: None,
+            checkpoint: None,
         }
+    }
+
+    /// Enables periodic XOR-parity checkpoints: every `k`-th execution
+    /// (the 1st, the `k+1`-th, …) collectively captures a
+    /// [`crate::recover::Checkpoint`] of that execution's input before
+    /// transforming, tagged with the execution number as its generation.
+    /// `k = 0` disables. The latest capture is at
+    /// [`FftSession::checkpoint`]; feed `Checkpoint::into_source()` to
+    /// [`crate::run_recoverable`] to recompute from the last checkpointed
+    /// input after a failure.
+    pub fn checkpoint_every(mut self, k: u64) -> Self {
+        self.checkpoint_interval = (k > 0).then_some(k);
+        self
+    }
+
+    /// The most recent periodic checkpoint, when
+    /// [`FftSession::checkpoint_every`] is active and at least one
+    /// execution has run.
+    pub fn checkpoint(&self) -> Option<&crate::recover::Checkpoint> {
+        self.checkpoint.as_ref()
     }
 
     /// Executes the transform once over this rank's `input` x-slab,
@@ -1205,6 +1426,16 @@ impl<'a> FftSession<'a> {
         recorder: &mut dyn Recorder,
     ) -> Result<RunOutput, Error> {
         self.executions += 1;
+        if let Some(k) = self.checkpoint_interval {
+            if (self.executions - 1) % k == 0 {
+                self.checkpoint = Some(crate::recover::Checkpoint::capture_tagged(
+                    self.comm,
+                    &self.spec,
+                    input,
+                    self.executions,
+                ));
+            }
+        }
         run_dist(
             self.comm,
             self.spec,
@@ -1526,6 +1757,103 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn abft_sum_and_tolerance_flag_corruption_but_not_roundoff() {
+        let n = 8;
+        let rows = 3;
+        let data: Vec<Complex64> = (0..rows * n)
+            .map(|i| crate::serial::test_field(i % 5, i % 3, i))
+            .collect();
+        let starts: Vec<usize> = (0..rows).map(|r| r * n).collect();
+        let mut line = Vec::new();
+        abft_sum_rows(&mut line, &data, &starts, n);
+        let post = line.clone();
+        assert!(abft_agrees(&line, &post, rows));
+        // Roundoff-scale deviation (what an honest FFT accumulates) is
+        // tolerated…
+        let mut drift = line.clone();
+        drift[2].re += 1e-14;
+        assert!(abft_agrees(&line, &drift, rows));
+        // …corruption-scale deviation is not.
+        let mut corrupt = line.clone();
+        corrupt[2].re += 1e-3;
+        assert!(!abft_agrees(&line, &corrupt, rows));
+    }
+
+    /// The staging-buffer hash catches an injected memory bit-flip between
+    /// pack and post, and the retransmit rung re-packs from the pristine
+    /// transform state — the run completes with the correct answer and the
+    /// victim reports the heal.
+    #[test]
+    fn memory_bitflip_is_detected_and_healed_by_retransmit() {
+        let spec = ProblemSpec::cube(8, 2);
+        let params = TuningParams::seed(&spec);
+        let dir = Direction::Forward;
+        let mut reference = full_test_array(spec.nx, spec.ny, spec.nz);
+        fft3_serial(&mut reference, spec.nx, spec.ny, spec.nz, dir);
+        let reference = std::sync::Arc::new(reference);
+        let victim = 1;
+        let faults = faultplan::FaultPlan::seeded(0xb17).with_memory_bitflip(victim, 0);
+        let results = mpisim::run_with_faults(spec.p, faults, move |comm| {
+            let input = local_test_slab(&spec, comm.rank());
+            let out = try_fft3_dist_traced(
+                &comm,
+                spec,
+                Variant::New,
+                params,
+                dir,
+                Rigor::Estimate,
+                &input,
+                &Resilience::default(),
+                &mut NoopRecorder,
+            )
+            .expect("a detected pack corruption heals in place");
+            let err = compare_with_serial(&spec, comm.rank(), &out, &reference);
+            (err, out.recovery.corruptions_healed, out.recovery.actions)
+        });
+        let tol = 1e-9 * spec.len() as f64;
+        for (rank, (err, healed, actions)) in results.into_iter().enumerate() {
+            assert!(err < tol, "rank {rank}: err {err}");
+            if rank == victim {
+                assert!(healed >= 1, "victim heals its corruption");
+                assert!(actions.contains(&DegradeAction::Retransmit));
+            } else {
+                assert_eq!(healed, 0, "rank {rank} saw no corruption");
+            }
+        }
+    }
+
+    #[test]
+    fn session_checkpoints_on_the_configured_cadence() {
+        let spec = ProblemSpec::cube(8, 2);
+        let params = TuningParams::seed(&spec);
+        mpisim::run(spec.p, move |comm| {
+            let input = local_test_slab(&spec, comm.rank());
+            let mut session = FftSession::new(
+                &comm,
+                spec,
+                Variant::New,
+                params,
+                Direction::Forward,
+                Rigor::Estimate,
+            )
+            .checkpoint_every(2);
+            assert!(session.checkpoint().is_none(), "nothing captured yet");
+            for exec in 1..=4u64 {
+                session.execute(&input).expect("clean run");
+                // Captures on executions 1 and 3: generation = execution.
+                let expect_gen = if exec >= 3 { 3 } else { 1 };
+                let ckpt = session.checkpoint().expect("captured");
+                assert_eq!(ckpt.generation(), expect_gen, "after exec {exec}");
+            }
+            // The capture is usable: the source serves this rank's input
+            // back while the membership is intact.
+            let ckpt = session.checkpoint().expect("captured");
+            assert_eq!(ckpt.memory_elements(), input.len() + ckpt.parity_elements());
+            session.free();
+        });
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub enum EventKind {
     /// The recovery driver shrank the communicator from `from` survivors to
     /// `to` before re-decomposing (zero-width marker).
     Shrink { from: usize, to: usize },
+    /// An integrity check caught silent data corruption on `tile` — wire
+    /// checksum, staging-buffer hash, or ABFT checksum line (zero-width
+    /// marker; the timeline renders it as an `X`).
+    Corrupt { tile: usize },
 }
 
 /// One rung of the degradation ladder the resilient pipeline climbs when a
@@ -62,6 +66,9 @@ pub enum DegradeAction {
     /// Abandon overlap: drain everything in flight and finish the remaining
     /// tiles with blocking (FFTW-style) exchanges.
     Fallback,
+    /// Re-pack and re-post a tile's exchange after an integrity check
+    /// rejected the staged payload (silent-corruption healing).
+    Retransmit,
 }
 
 impl DegradeAction {
@@ -71,6 +78,7 @@ impl DegradeAction {
             DegradeAction::BoostPolls => "boost-polls",
             DegradeAction::ShrinkWindow => "shrink-window",
             DegradeAction::Fallback => "fallback",
+            DegradeAction::Retransmit => "retransmit",
         }
     }
 }
@@ -90,7 +98,8 @@ impl EventKind {
             | EventKind::Wait { tile }
             | EventKind::Unpack { tile, .. }
             | EventKind::Fftx { tile, .. }
-            | EventKind::Degrade { tile, .. } => Some(tile),
+            | EventKind::Degrade { tile, .. }
+            | EventKind::Corrupt { tile } => Some(tile),
         }
     }
 
@@ -109,6 +118,7 @@ impl EventKind {
             EventKind::Degrade { .. } => "Degrade",
             EventKind::RankLost { .. } => "RankLost",
             EventKind::Shrink { .. } => "Shrink",
+            EventKind::Corrupt { .. } => "Corrupt",
         }
     }
 
@@ -217,7 +227,10 @@ pub fn derive_step_times(events: &[TraceEvent]) -> StepTimes {
             EventKind::Fftx { .. } => steps.fftx += d,
             // Recovery markers are instants, not time spent in a
             // category; they do not contribute to the breakdown.
-            EventKind::Degrade { .. } | EventKind::RankLost { .. } | EventKind::Shrink { .. } => {}
+            EventKind::Degrade { .. }
+            | EventKind::RankLost { .. }
+            | EventKind::Shrink { .. }
+            | EventKind::Corrupt { .. } => {}
         }
         if ev.kind.is_compute() {
             compute.push((ev.start, ev.end, ev.kind.label()));
@@ -433,7 +446,7 @@ fn write_event_json(s: &mut String, ev: &TraceEvent) {
             tile = Some(t);
             completed = Some(c);
         }
-        EventKind::Wait { tile: t } => tile = Some(t),
+        EventKind::Wait { tile: t } | EventKind::Corrupt { tile: t } => tile = Some(t),
         EventKind::Degrade { tile: t, action: a } => {
             tile = Some(t);
             action = Some(a);
@@ -713,6 +726,30 @@ mod tests {
         assert!(json.contains("\"kind\":\"RankLost\"") && json.contains("\"rank\":3"));
         assert!(json.contains("\"kind\":\"Shrink\""));
         assert!(json.contains("\"from\":4,\"to\":3"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn corrupt_markers_carry_their_tile_without_polluting_the_breakdown() {
+        let events = vec![
+            ev(0.0, 1.0, EventKind::Fftz),
+            ev(1.0, 1.0, EventKind::Corrupt { tile: 4 }),
+            ev(
+                1.0,
+                1.0,
+                EventKind::Degrade {
+                    tile: 4,
+                    action: DegradeAction::Retransmit,
+                },
+            ),
+        ];
+        let s = derive_step_times(&events);
+        assert!((s.total() - 1.0).abs() < 1e-12, "markers add no time");
+        assert_eq!(events[1].kind.tile(), Some(4));
+        assert!(!events[1].kind.is_compute());
+        let json = trace_to_json(&[events]);
+        assert!(json.contains("\"kind\":\"Corrupt\"") && json.contains("\"tile\":4"));
+        assert!(json.contains("\"action\":\"retransmit\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -6,8 +6,10 @@ use cfft::planner::Rigor;
 use cfft::Direction;
 use fft3d::decomp::AxisSplit;
 use fft3d::real_env::{compare_with_serial, fft3_dist, local_test_slab};
-use fft3d::serial::{fft3_serial, full_test_array};
-use fft3d::{ProblemSpec, TuningParams, Variant};
+use fft3d::serial::{fft3_serial, full_test_array, test_field};
+use fft3d::{
+    Checkpoint, ComputeSource, ProblemSpec, ReplicaSource, SlabSource, TuningParams, Variant,
+};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -138,6 +140,58 @@ proptest! {
         prop_assert!(!bad_pz.is_feasible(&spec));
         prop_assert!(!bad_uz.is_feasible(&spec));
         prop_assert!(!bad_w.is_feasible(&spec));
+    }
+
+    /// Three-source slab equivalence, the pure half: the replica-cut and
+    /// generator-built slabs agree for every rank of every decomposition —
+    /// including ranks outside it, where both must refuse.
+    #[test]
+    fn replica_and_compute_sources_agree_everywhere(spec in small_spec()) {
+        let full = Arc::new(full_test_array(spec.nx, spec.ny, spec.nz));
+        let replica = ReplicaSource::new(full);
+        let compute = ComputeSource::new(test_field);
+        for p in 1..=spec.p {
+            let s = ProblemSpec { p, ..spec };
+            for rank in 0..p + 1 {
+                prop_assert_eq!(replica.slab(&s, rank), compute.slab(&s, rank),
+                    "p={} rank={}", p, rank);
+            }
+        }
+    }
+
+    /// XOR-parity checkpoints reconstruct *any* single lost rank's data
+    /// bit-exactly: for every possible loss, every survivor's slab of the
+    /// shrunk decomposition matches the replica cut bit for bit.
+    #[test]
+    fn parity_reconstruction_is_bit_exact_after_any_single_loss(
+        spec in (1usize..=8, 1usize..=5, 1usize..=5, 2usize..=4)
+            .prop_map(|(nx, ny, nz, p)| ProblemSpec { nx, ny, nz, p })
+    ) {
+        let full = Arc::new(full_test_array(spec.nx, spec.ny, spec.nz));
+        let fullc = Arc::clone(&full);
+        mpisim::run(spec.p, move |comm| {
+            let me = comm.rank();
+            let own = local_test_slab(&spec, me);
+            let src = Checkpoint::capture(&comm, &spec, &own).into_source();
+            let replica = ReplicaSource::new(Arc::clone(&fullc));
+            for lost in 0..spec.p {
+                let color = if me == lost { -1 } else { 0 };
+                let Some(sub) = comm.split(color, me as i64) else { continue };
+                let mut spec2 = spec;
+                spec2.p = sub.size();
+                src.prepare(&sub, &spec2, &[lost]);
+                for r in 0..spec2.p {
+                    let got = src.slab(&spec2, r).expect("rebuilt slab");
+                    let want = replica.slab(&spec2, r).expect("replica slab");
+                    let same = got.len() == want.len()
+                        && got.iter().zip(&want).all(|(a, b)| {
+                            a.re.to_bits() == b.re.to_bits()
+                                && a.im.to_bits() == b.im.to_bits()
+                        });
+                    assert!(same, "lost={lost} rank={r} differs");
+                }
+            }
+        });
     }
 
     /// Tile count times tile size covers Nz with only the last tile short.

@@ -68,6 +68,34 @@ pub struct DropSpec {
     pub fail_after_budget: bool,
 }
 
+/// Silent payload corruption on the non-blocking all-to-all rounds: a
+/// seeded fraction of round sends arrive with one flipped bit. Unlike
+/// [`DropSpec`] there is no "force-deliver" mode — an exhausted retransmit
+/// budget always surfaces a typed `Corrupt` error, because delivering data
+/// known to be corrupt is never acceptable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptSpec {
+    /// Per-attempt probability in `[0, 1)` that a round send is corrupted
+    /// in transit.
+    pub probability: f64,
+    /// Retransmit attempts allowed after the first detected corruption
+    /// before the budget is exhausted.
+    pub max_retransmits: u32,
+}
+
+/// A single silent bit-flip in a rank's *resident* slab data — the memory
+/// SDC scenario: no message is involved, so wire checksums cannot see it;
+/// only the pipeline's own integrity checks (resident hashes / ABFT
+/// checksum lines) can.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBitflip {
+    /// World rank whose resident data is hit.
+    pub rank: usize,
+    /// Tile boundary at which the flip lands (0 = before the first
+    /// exchange) — the same coordinate system as [`FaultKind::RankCrash`].
+    pub at_tile: usize,
+}
+
 /// A rank whose sends silently vanish after a given round — the hard-stall
 /// scenario: the rank *believes* it sent, so it never retries, and every
 /// peer's watchdog must fire.
@@ -116,6 +144,10 @@ pub struct FaultPlan {
     pub link_degradation: f64,
     /// Process-loss injection (at most one per run).
     pub crash: Option<FaultKind>,
+    /// Silent in-transit payload corruption.
+    pub corrupt: Option<CorruptSpec>,
+    /// Silent resident-memory bit-flip (at most one per run).
+    pub bitflip: Option<MemoryBitflip>,
 }
 
 impl FaultPlan {
@@ -200,6 +232,29 @@ impl FaultPlan {
         self
     }
 
+    /// Enables silent in-transit payload corruption: each round send is
+    /// independently corrupted with `probability`, and a detected
+    /// corruption may be retransmitted up to `max_retransmits` times before
+    /// the typed `Corrupt` error surfaces.
+    pub fn with_payload_corruption(mut self, probability: f64, max_retransmits: u32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&probability),
+            "corruption probability must be in [0, 1)"
+        );
+        self.corrupt = Some(CorruptSpec {
+            probability,
+            max_retransmits,
+        });
+        self
+    }
+
+    /// Flips one bit of `rank`'s resident slab data at the boundary of
+    /// communication tile `at_tile`.
+    pub fn with_memory_bitflip(mut self, rank: usize, at_tile: usize) -> Self {
+        self.bitflip = Some(MemoryBitflip { rank, at_tile });
+        self
+    }
+
     /// `true` when the plan injects anything at all — the hot-path gate.
     pub fn is_active(&self) -> bool {
         !self.stragglers.is_empty()
@@ -209,6 +264,8 @@ impl FaultPlan {
             || self.blackhole.is_some()
             || self.link_degradation > 1.0
             || self.crash.is_some()
+            || self.corrupt.is_some()
+            || self.bitflip.is_some()
     }
 
     /// `true` when the plan schedules a rank death.
@@ -289,6 +346,142 @@ impl FaultPlan {
     pub fn fail_after_budget(&self) -> bool {
         self.drop.map(|d| d.fail_after_budget).unwrap_or(false)
     }
+
+    /// Seeded corruption decision for one send attempt: `Some(h)` when this
+    /// attempt's payload is corrupted in transit, where `h` is a nonzero
+    /// draw-specific hash the injection site uses to pick the flipped bit.
+    /// Drawn from a different domain than [`FaultPlan::should_drop`], so
+    /// drop and corruption decisions on the same coordinates are
+    /// independent.
+    pub fn should_corrupt(
+        &self,
+        salt: u64,
+        src: usize,
+        dest: usize,
+        round: usize,
+        attempt: u32,
+    ) -> Option<u64> {
+        let c = self.corrupt?;
+        let h = hash5(
+            self.seed ^ 0xc0_44u64.rotate_left(32),
+            salt,
+            ((src as u64) << 32) | dest as u64,
+            round as u64,
+            attempt as u64,
+        );
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        (u < c.probability).then(|| mix(h) | 1)
+    }
+
+    /// Retransmit attempts allowed after a detected corruption (0 when
+    /// corruption is disabled).
+    pub fn corrupt_retransmits(&self) -> u32 {
+        self.corrupt.map(|c| c.max_retransmits).unwrap_or(0)
+    }
+
+    /// The tile boundary at which `rank`'s resident data takes a bit-flip,
+    /// if any.
+    pub fn bitflip_at(&self, rank: usize) -> Option<usize> {
+        match self.bitflip {
+            Some(b) if b.rank == rank => Some(b.at_tile),
+            _ => None,
+        }
+    }
+
+    /// Seeded site hash for `rank`'s memory bit-flip — the injection site
+    /// reduces it modulo its buffer length / element width to pick the
+    /// element and bit. Nonzero, so `h % n | h >> k` style reductions never
+    /// all collapse to zero.
+    pub fn bitflip_site(&self, rank: usize) -> u64 {
+        let at = self.bitflip_at(rank).unwrap_or(0) as u64;
+        hash5(
+            self.seed ^ 0xb1_7fu64.rotate_left(24),
+            rank as u64,
+            at,
+            0,
+            0,
+        ) | 1
+    }
+}
+
+/// Byte-level view of a payload element: enough to checksum it on the wire
+/// and to flip one of its bits for fault injection. Implemented here for
+/// the integer and float primitives; `cfft` implements it for `Complex64`
+/// (the orphan rule puts that impl next to the type).
+///
+/// The contract ties detection to injection: flipping any in-range bit of
+/// any element MUST change the value [`PayloadBits::fold_bits`] folds, so a
+/// seeded injected flip is always visible to a fold-based checksum.
+pub trait PayloadBits {
+    /// Bits per element (the range `flip_bit` accepts).
+    const BITS: u32;
+
+    /// Folds this element's bit pattern into a running [`mix`]-style hash.
+    fn fold_bits(&self, h: u64) -> u64;
+
+    /// Flips bit `bit ∈ [0, Self::BITS)` of this element's representation.
+    fn flip_bit(&mut self, bit: u32);
+}
+
+macro_rules! payload_bits_int {
+    ($($t:ty),*) => {$(
+        impl PayloadBits for $t {
+            const BITS: u32 = <$t>::BITS;
+            fn fold_bits(&self, h: u64) -> u64 {
+                mix(h ^ (*self as u64))
+            }
+            fn flip_bit(&mut self, bit: u32) {
+                *self ^= (1 as $t).rotate_left(bit % <$t>::BITS);
+            }
+        }
+    )*};
+}
+
+payload_bits_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl PayloadBits for f32 {
+    const BITS: u32 = 32;
+    fn fold_bits(&self, h: u64) -> u64 {
+        mix(h ^ self.to_bits() as u64)
+    }
+    fn flip_bit(&mut self, bit: u32) {
+        *self = f32::from_bits(self.to_bits() ^ 1u32.rotate_left(bit % 32));
+    }
+}
+
+impl PayloadBits for f64 {
+    const BITS: u32 = 64;
+    fn fold_bits(&self, h: u64) -> u64 {
+        mix(h ^ self.to_bits())
+    }
+    fn flip_bit(&mut self, bit: u32) {
+        *self = f64::from_bits(self.to_bits() ^ 1u64.rotate_left(bit % 64));
+    }
+}
+
+/// Checksum of a payload slice: a seeded fold over every element's bit
+/// pattern plus the length, so both a flipped bit and a truncated block
+/// change the sum. Order-sensitive by construction ([`mix`] chains).
+pub fn checksum<T: PayloadBits>(data: &[T]) -> u64 {
+    let mut h = mix(0x5ca1_ab1e ^ data.len() as u64);
+    for v in data {
+        h = v.fold_bits(h);
+    }
+    h
+}
+
+/// Flips one seeded bit of `data` in place: `site` (see
+/// [`FaultPlan::bitflip_site`] / [`FaultPlan::should_corrupt`]) picks the
+/// element and the bit within it. No-op on an empty slice. Returns the
+/// `(element, bit)` coordinates actually hit.
+pub fn flip_seeded_bit<T: PayloadBits>(data: &mut [T], site: u64) -> Option<(usize, u32)> {
+    if data.is_empty() {
+        return None;
+    }
+    let idx = (site % data.len() as u64) as usize;
+    let bit = ((site >> 32) % T::BITS as u64) as u32;
+    data[idx].flip_bit(bit);
+    Some((idx, bit))
 }
 
 /// SplitMix64 finalizer — the workspace's shared seeded-decision primitive.
@@ -404,5 +597,117 @@ mod tests {
         let p = FaultPlan::none().with_degraded_links(2.5);
         assert!(p.is_active());
         assert!((p.link_factor() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corruption_decisions_are_deterministic_and_independent_of_drops() {
+        let p = FaultPlan::seeded(9)
+            .with_drops(0.5, 3)
+            .with_payload_corruption(0.5, 3);
+        assert!(p.is_active());
+        let corrupts = |p: &FaultPlan| -> Vec<bool> {
+            (0..128)
+                .map(|r| p.should_corrupt(7, 0, 1, r, 0).is_some())
+                .collect()
+        };
+        assert_eq!(corrupts(&p), corrupts(&p), "same seed ⇒ same decisions");
+        // Independence: on some coordinate the drop and corruption draws
+        // must disagree both ways (drop without corrupt, corrupt without
+        // drop) — they share coordinates but not a domain.
+        let disagree = (0..128)
+            .any(|r| p.should_drop(7, 0, 1, r, 0) && p.should_corrupt(7, 0, 1, r, 0).is_none())
+            && (0..128).any(|r| {
+                !p.should_drop(7, 0, 1, r, 0) && p.should_corrupt(7, 0, 1, r, 0).is_some()
+            });
+        assert!(disagree, "drop and corruption draws must be independent");
+    }
+
+    #[test]
+    fn corruption_rate_tracks_probability() {
+        let p = FaultPlan::seeded(42).with_payload_corruption(0.3, 3);
+        let n = 10_000;
+        let hits = (0..n)
+            .filter(|&i| {
+                p.should_corrupt(i as u64, i % 8, (i + 1) % 8, i % 16, 0)
+                    .is_some()
+            })
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((0.25..0.35).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn corrupt_attempts_draw_independently() {
+        // A corrupted attempt must not doom every retransmit.
+        let p = FaultPlan::seeded(5).with_payload_corruption(0.5, 8);
+        let healed = (0..200).any(|r| {
+            p.should_corrupt(1, 0, 1, r, 0).is_some()
+                && !(1..=8).all(|a| p.should_corrupt(1, 0, 1, r, a).is_some())
+        });
+        assert!(healed);
+        assert_eq!(p.corrupt_retransmits(), 8);
+        assert_eq!(FaultPlan::none().corrupt_retransmits(), 0);
+    }
+
+    #[test]
+    fn memory_bitflip_targets_only_its_rank() {
+        let p = FaultPlan::seeded(11).with_memory_bitflip(2, 3);
+        assert!(p.is_active());
+        assert_eq!(p.bitflip_at(2), Some(3));
+        assert_eq!(p.bitflip_at(0), None);
+        assert_eq!(FaultPlan::none().bitflip_at(2), None);
+        assert_eq!(
+            p.bitflip_site(2),
+            p.bitflip_site(2),
+            "site is deterministic"
+        );
+        assert_ne!(
+            p.bitflip_site(2),
+            FaultPlan::seeded(12)
+                .with_memory_bitflip(2, 3)
+                .bitflip_site(2),
+            "site is seed-sensitive"
+        );
+    }
+
+    #[test]
+    fn checksum_detects_any_single_bit_flip() {
+        let mut data: Vec<f64> = (0..64).map(|i| (i as f64).sin()).collect();
+        let clean = checksum(&data);
+        assert_eq!(clean, checksum(&data), "checksum is deterministic");
+        for site in [1u64, 0x1234_5678_9abc_def1, u64::MAX] {
+            let (idx, bit) = flip_seeded_bit(&mut data, site).expect("non-empty");
+            assert_ne!(checksum(&data), clean, "flip at ({idx}, {bit}) missed");
+            data[idx].flip_bit(bit); // restore
+            assert_eq!(checksum(&data), clean);
+        }
+    }
+
+    #[test]
+    fn checksum_distinguishes_length_and_order() {
+        let a = [1u32, 2, 3];
+        let b = [1u32, 2];
+        let c = [2u32, 1, 3];
+        assert_ne!(checksum(&a), checksum(&b));
+        assert_ne!(checksum(&a), checksum(&c));
+        assert_eq!(checksum::<u64>(&[]), checksum::<u64>(&[]));
+    }
+
+    #[test]
+    fn flip_bit_round_trips_on_every_primitive() {
+        fn check<T: PayloadBits + Copy + PartialEq + std::fmt::Debug>(v: T) {
+            for bit in 0..T::BITS {
+                let mut w = v;
+                w.flip_bit(bit);
+                assert_ne!(w.fold_bits(0), v.fold_bits(0), "bit {bit} invisible");
+                w.flip_bit(bit);
+                assert_eq!(w, v);
+            }
+        }
+        check(0xa5u8);
+        check(-7i32);
+        check(123_456_789_012u64);
+        check(0.577_f32);
+        check(-2.75_f64);
     }
 }

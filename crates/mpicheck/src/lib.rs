@@ -28,8 +28,8 @@ pub mod explore;
 pub mod srclint;
 
 pub use explore::{
-    explore, explore_crash_recovery, explore_persistent, explore_pipeline, ExploreConfig,
-    ExploreReport, ScheduleFailure,
+    explore, explore_corruption, explore_crash_recovery, explore_persistent, explore_pipeline,
+    ExploreConfig, ExploreReport, ScheduleFailure,
 };
 pub use mpisim::{
     Backoff, CheckConfig, CheckOutcome, CheckReport, Finding, LintId, SchedConfig, SchedMode,

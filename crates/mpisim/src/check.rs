@@ -151,6 +151,10 @@ pub enum LintId {
     /// `MC006` — a persistent collective plan was dropped without `free()`:
     /// its registration (and any in-flight execution's staged rounds) leaks.
     PersistentLeak,
+    /// `MC007` — a recovery checkpoint was consulted after the membership
+    /// it captured had changed by more than the one loss XOR parity can
+    /// repair: the checkpoint is stale and must not be restored from.
+    StaleCheckpoint,
 }
 
 impl LintId {
@@ -163,6 +167,7 @@ impl LintId {
             LintId::WildcardRace => "MC004",
             LintId::Deadlock => "MC005",
             LintId::PersistentLeak => "MC006",
+            LintId::StaleCheckpoint => "MC007",
         }
     }
 
@@ -175,6 +180,7 @@ impl LintId {
             LintId::WildcardRace => "wildcard receive with concurrent candidates",
             LintId::Deadlock => "wait-for cycle of blocked ranks",
             LintId::PersistentLeak => "persistent plan dropped without free",
+            LintId::StaleCheckpoint => "stale checkpoint consulted after membership change",
         }
     }
 }

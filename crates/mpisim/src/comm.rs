@@ -90,6 +90,13 @@ impl Comm {
         self.members[r]
     }
 
+    /// World ranks of every member, in dense communicator-rank order —
+    /// the membership generation a checkpoint is tagged with, so a
+    /// snapshot taken before a shrink is detectable as stale afterwards.
+    pub fn members(&self) -> Vec<usize> {
+        self.members.as_ref().clone()
+    }
+
     /// Next collective sequence number (consistent across members because
     /// collectives must be called in the same order on every rank).
     pub(crate) fn next_coll_seq(&self) -> u64 {
@@ -419,6 +426,33 @@ impl Comm {
         if self.faults().crash_at(me) == Some(tile) {
             self.world.mark_failed(me);
             std::panic::panic_any(crate::world::RankCrashed(me));
+        }
+    }
+
+    /// A memory-corruption fault's trigger point, by analogy with
+    /// [`Comm::crash_point`]: returns the seeded bit-flip site when the
+    /// world's fault plan schedules a resident-memory bit-flip for this
+    /// rank at tile boundary `tile` (the caller reduces the site hash over
+    /// its buffer, see `faultplan::flip_seeded_bit`). Free when no bit-flip
+    /// targets this rank.
+    pub fn bitflip_point(&self, tile: usize) -> Option<u64> {
+        let plan = self.faults();
+        let me = self.world_rank(self.rank);
+        (plan.bitflip_at(me) == Some(tile)).then(|| plan.bitflip_site(me))
+    }
+
+    /// Files a runtime-lint finding from a higher layer (recorded in
+    /// checked runs, a no-op otherwise). The recovery layer uses this to
+    /// report `MC007` when a stale checkpoint is consulted.
+    pub fn report_finding(&self, id: LintId, severity: Severity, message: String) {
+        if let Some(check) = &self.world.check {
+            check.add_finding(crate::check::Finding {
+                id,
+                severity,
+                rank: Some(self.world_rank(self.rank)),
+                cycle: Vec::new(),
+                message,
+            });
         }
     }
 

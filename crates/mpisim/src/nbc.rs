@@ -25,6 +25,7 @@
 
 use crate::check::{CheckState, Finding, LintId, Severity, WaitInfo};
 use crate::comm::{encode_tag, Comm, Kind};
+use faultplan::{checksum, flip_seeded_bit, PayloadBits};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -57,6 +58,16 @@ pub enum CollError {
     /// The communicator was revoked by a peer ([`Comm::revoke`], ULFM
     /// `MPI_ERR_REVOKED`): every in-flight operation on it is poisoned.
     Revoked,
+    /// A round payload failed its wire checksum — silent data corruption in
+    /// transit, detected rather than delivered. Surfaces only once the
+    /// corrupt-retransmit budget is exhausted (a healing link retries
+    /// transparently); corrupted data is **never** force-delivered.
+    Corrupt {
+        /// **World rank** whose payload failed the checksum.
+        src: usize,
+        /// Sequence number of the poisoned collective.
+        seq: u64,
+    },
 }
 
 impl std::fmt::Display for CollError {
@@ -72,11 +83,27 @@ impl std::fmt::Display for CollError {
                 write!(f, "world rank {rank} failed (process death)")
             }
             CollError::Revoked => write!(f, "communicator revoked by a peer"),
+            CollError::Corrupt { src, seq } => write!(
+                f,
+                "payload from world rank {src} failed its checksum in collective {seq} \
+                 (silent corruption detected)"
+            ),
         }
     }
 }
 
 impl std::error::Error for CollError {}
+
+/// One round payload on the mpisim wire: the block plus a checksum of its
+/// bit pattern, computed by the sender from the pristine staged data. The
+/// checksum is verified twice — at the delivery point (the link-layer CRC
+/// model: a corrupt frame is discarded there and the sender's intact staged
+/// copy retries) and end-to-end by the receiver before the block is copied
+/// into the user buffer, so no corrupted payload can ever land silently.
+pub(crate) struct Frame<T> {
+    pub(crate) block: Vec<T>,
+    pub(crate) sum: u64,
+}
 
 /// Block displacements implied by per-peer counts.
 pub(crate) fn displs(counts: &[usize]) -> Vec<usize> {
@@ -112,6 +139,9 @@ pub struct IAlltoall<T> {
     rank: usize,
     /// Send attempts of the current round, counted across fault-plan drops.
     send_attempts: u32,
+    /// Corrupt-discarded attempts of the current round (the link-layer ARQ
+    /// counter), independent of the drop budget.
+    corrupt_attempts: u32,
     /// A fault error this request hit; sticky, re-reported on every
     /// subsequent progression attempt.
     failed: Option<CollError>,
@@ -155,7 +185,7 @@ impl Comm {
     /// Starts a non-blocking all-to-all: block `d` of `send` (length
     /// `count`) goes to rank `d`. `recv` must have length `count · size` and
     /// is consumed into the returned request.
-    pub fn ialltoall<T: Clone + Send + 'static>(
+    pub fn ialltoall<T: PayloadBits + Clone + Send + 'static>(
         &self,
         send: &[T],
         count: usize,
@@ -167,7 +197,7 @@ impl Comm {
 
     /// Vector variant: `send_counts[d]` elements go to rank `d` (packed
     /// contiguously in rank order), `recv_counts[s]` arrive from rank `s`.
-    pub fn ialltoallv<T: Clone + Send + 'static>(
+    pub fn ialltoallv<T: PayloadBits + Clone + Send + 'static>(
         &self,
         send: &[T],
         send_counts: &[usize],
@@ -207,7 +237,7 @@ impl Comm {
     /// vectors — the common tail of [`Comm::ialltoallv`] and a persistent
     /// plan's `start()`. Draws a fresh collective sequence number so
     /// concurrent (or repeated) executions can never cross-match.
-    pub(crate) fn start_alltoall<T: Clone + Send + 'static>(
+    pub(crate) fn start_alltoall<T: PayloadBits + Clone + Send + 'static>(
         &self,
         send_blocks: Vec<Option<Vec<T>>>,
         recv: Vec<T>,
@@ -225,6 +255,7 @@ impl Comm {
             size: self.size(),
             rank: self.rank(),
             send_attempts: 0,
+            corrupt_attempts: 0,
             failed: None,
             tests: 0,
             cancelled: false,
@@ -239,7 +270,7 @@ impl Comm {
     }
 }
 
-impl<T: Clone + Send + 'static> IAlltoall<T> {
+impl<T: PayloadBits + Clone + Send + 'static> IAlltoall<T> {
     fn round_tag(&self, round: usize) -> u64 {
         // 30 bits of sequence, 10 bits of round index.
         (self.seq << 10) | round as u64
@@ -284,14 +315,62 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
             if !delay.is_zero() {
                 std::thread::sleep(delay);
             }
+            // Silent in-transit corruption: flip one seeded bit of a *copy*
+            // of the staged block and run the delivery-point checksum — the
+            // link-layer CRC model. A detected corrupt frame is discarded
+            // (the pristine staged copy retries, ARQ-style) within the
+            // corrupt-retransmit budget; past the budget the typed error
+            // surfaces. Corrupted data is never force-delivered.
+            if let Some(h) = plan.should_corrupt(
+                self.seq,
+                src_w,
+                comm.world_rank(dest),
+                r,
+                self.corrupt_attempts,
+            ) {
+                let pristine = self.send_blocks[dest].as_deref().expect("block sent twice");
+                let sum = checksum(pristine);
+                let mut corrupted = pristine.to_vec();
+                let _ = flip_seeded_bit(&mut corrupted, h);
+                if checksum(&corrupted) != sum {
+                    self.corrupt_attempts += 1;
+                    if self.corrupt_attempts > plan.corrupt_retransmits() {
+                        return Err(CollError::Corrupt {
+                            src: src_w,
+                            seq: self.seq,
+                        });
+                    }
+                    return Ok(false);
+                }
+                // Checksum collision (impossible for a single flipped bit
+                // by the PayloadBits contract, and the no-op flip of an
+                // empty block): the frame passes the link CRC and is
+                // delivered; the receiver's end-to-end verify shares the
+                // same blind spot, which is exactly what the corruption
+                // sweep's numerical gate exists to rule out.
+                let _ = self.send_blocks[dest].take();
+                comm.deliver(
+                    dest,
+                    encode_tag(comm.ctx, Kind::Nbc, self.round_tag(r)),
+                    Box::new(Frame {
+                        block: corrupted,
+                        sum,
+                    }),
+                );
+                self.send_attempts = 0;
+                self.corrupt_attempts = 0;
+                return Ok(true);
+            }
         }
         let block = self.send_blocks[dest].take().expect("block sent twice");
+        let sum = checksum(&block);
         comm.deliver(
             dest,
             encode_tag(comm.ctx, Kind::Nbc, self.round_tag(r)),
-            Box::new(block),
+            Box::new(Frame { block, sum }),
         );
         self.send_attempts = 0;
+        self.corrupt_attempts = 0;
         Ok(true)
     }
 
@@ -363,10 +442,21 @@ impl<T: Clone + Send + 'static> IAlltoall<T> {
                     if plan.is_active() && !plan.recv_delay.is_zero() {
                         std::thread::sleep(plan.recv_delay);
                     }
-                    let block = *msg
+                    let frame = *msg
                         .data
-                        .downcast::<Vec<T>>()
+                        .downcast::<Frame<T>>()
                         .unwrap_or_else(|_| panic!("alltoall type mismatch in round {r}"));
+                    // End-to-end integrity: re-verify the sender's checksum
+                    // before the block touches the user buffer. Catches any
+                    // corruption the delivery-point check did not (e.g. a
+                    // flip while queued in the mailbox).
+                    if checksum(&frame.block) != frame.sum {
+                        return self.fail(CollError::Corrupt {
+                            src: comm.world_rank(src),
+                            seq: self.seq,
+                        });
+                    }
+                    let block = frame.block;
                     assert_eq!(
                         block.len(),
                         self.recv_counts[src],
@@ -595,14 +685,19 @@ impl<T> IAlltoall<T> {
 impl Comm {
     /// Blocking all-to-all, implemented as post + wait (what FFTW's
     /// transpose does with `MPI_Alltoall`).
-    pub fn alltoall<T: Clone + Send + 'static>(&self, send: &[T], count: usize, recv: &mut [T]) {
+    pub fn alltoall<T: PayloadBits + Clone + Send + 'static>(
+        &self,
+        send: &[T],
+        count: usize,
+        recv: &mut [T],
+    ) {
         let staging = recv.to_vec();
         let out = self.ialltoall(send, count, staging).wait(self);
         recv.clone_from_slice(&out);
     }
 
     /// Blocking vector all-to-all.
-    pub fn alltoallv<T: Clone + Send + 'static>(
+    pub fn alltoallv<T: PayloadBits + Clone + Send + 'static>(
         &self,
         send: &[T],
         send_counts: &[usize],
@@ -845,6 +940,75 @@ mod tests {
                 .all(|e| matches!(e, CollError::Dropped { .. })),
             "{results:?}"
         );
+    }
+
+    #[test]
+    fn transient_corruption_retransmits_to_completion() {
+        // A link that flips bits: every corrupt frame is caught at the
+        // delivery-point checksum and retried from the intact staged copy,
+        // so the collective still delivers the exact permuted blocks.
+        let p = 4;
+        let plan = FaultPlan::seeded(13).with_payload_corruption(0.4, 8);
+        run_with_faults(p, plan, move |comm| {
+            let me = comm.rank();
+            let send: Vec<i64> = (0..p).map(|d| (me * 10 + d) as i64).collect();
+            let out = comm.ialltoall(&send, 1, vec![0i64; p]).wait(&comm);
+            for (s, &v) in out.iter().enumerate() {
+                assert_eq!(v, (s * 10 + me) as i64);
+            }
+        });
+    }
+
+    #[test]
+    fn corruption_and_drops_heal_independently() {
+        // Both fault families active at once: their budgets are separate
+        // counters, so a run with healing drops *and* healing corruption
+        // still completes exactly.
+        let p = 3;
+        let plan = FaultPlan::seeded(7)
+            .with_drops(0.3, 8)
+            .with_payload_corruption(0.3, 8);
+        run_with_faults(p, plan, move |comm| {
+            let me = comm.rank();
+            let send: Vec<u32> = (0..p).map(|d| (me * 10 + d) as u32).collect();
+            let out = comm.ialltoall(&send, 1, vec![0u32; p]).wait(&comm);
+            for (s, &v) in out.iter().enumerate() {
+                assert_eq!(v, (s * 10 + me) as u32);
+            }
+        });
+    }
+
+    #[test]
+    fn exhausted_corrupt_budget_surfaces_corrupt_not_garbage() {
+        // Near-certain corruption with a tiny budget: the typed Corrupt
+        // error must surface (sticky), naming the sender's world rank — and
+        // no rank may ever observe a wrong value in its receive buffer.
+        let p = 2;
+        let plan = FaultPlan::seeded(3).with_payload_corruption(0.999, 1);
+        let results = run_with_faults(p, plan, move |comm| {
+            let send = vec![comm.rank() as i32; p];
+            let mut req = comm.ialltoall(&send, 1, vec![0i32; p]);
+            let err = req
+                .wait_timeout(&comm, Duration::from_secs(2))
+                .expect_err("corruption at p≈1 cannot complete");
+            assert_eq!(req.try_test(&comm), Err(err), "error must be sticky");
+            req.cancel(&comm);
+            err
+        });
+        for (rank, e) in results.iter().enumerate() {
+            match e {
+                CollError::Corrupt { src, .. } => {
+                    // The sender detects its own frame being mangled, so it
+                    // names itself; a stalled peer would name the sender too.
+                    assert!(*src < p, "rank {rank}: bogus src {src}");
+                }
+                CollError::Stalled { .. } => {
+                    // The peer whose incoming block was poisoned times out
+                    // waiting — also a detection, never a delivery.
+                }
+                other => panic!("rank {rank}: unexpected {other:?}"),
+            }
+        }
     }
 
     #[test]

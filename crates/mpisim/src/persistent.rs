@@ -29,6 +29,7 @@
 use crate::check::{CheckState, Finding, LintId, Severity};
 use crate::comm::Comm;
 use crate::nbc::{displs, CollError, IAlltoall};
+use faultplan::PayloadBits;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -100,7 +101,7 @@ impl Comm {
     /// Sets up a persistent all-to-all with a uniform per-peer `count`.
     /// `recv` is the registered receive staging buffer (length
     /// `count · size`), recycled across every execution.
-    pub fn alltoall_init<T: Clone + Send + 'static>(
+    pub fn alltoall_init<T: PayloadBits + Clone + Send + 'static>(
         &self,
         count: usize,
         recv: Vec<T>,
@@ -114,7 +115,7 @@ impl Comm {
     /// rank `s`. All schedule state (displacements, block table, staging
     /// registration) is computed here, once; [`PersistentAlltoall::start`]
     /// does none of it.
-    pub fn alltoallv_init<T: Clone + Send + 'static>(
+    pub fn alltoallv_init<T: PayloadBits + Clone + Send + 'static>(
         &self,
         send_counts: &[usize],
         recv_counts: &[usize],
@@ -150,7 +151,7 @@ impl Comm {
     }
 }
 
-impl<T: Clone + Send + 'static> PersistentAlltoall<T> {
+impl<T: PayloadBits + Clone + Send + 'static> PersistentAlltoall<T> {
     /// Starts one execution over `send` (`MPI_Start`): stages the
     /// per-destination blocks (the wire copy) and kicks the eager self-copy
     /// round. Everything else — schedule, displacements, receive staging —

@@ -22,9 +22,16 @@
 //!   long-lived all-to-all plans — and their `free` discipline (MC006) —
 //!   face every delivery interleaving. Exit 1 on any finding, panic,
 //!   re-negotiated setup, or numerical deviation.
+//! * `corrupt [--seed-base N] [--ranks N] [--grid N] [--schedules N]
+//!   [--victim N]` — the data-integrity sweep: every schedule runs under a
+//!   clean control plan, seeded wire payload corruption, and a silent
+//!   memory bit-flip in `--victim`'s staging buffer at the first, middle,
+//!   and last tile. The gate is zero undetected corruptions — every flip
+//!   must be caught and healed, every output serial-exact. Exit 1
+//!   otherwise.
 //! * `check` — `lint`, then `explore` with the acceptance-gate defaults
-//!   (≥ 200 schedules, 4 ranks, grid 8), then compact `persist` and
-//!   `recover` sweeps.
+//!   (≥ 200 schedules, 4 ranks, grid 8), then compact `persist`,
+//!   `recover`, and `corrupt` sweeps.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
@@ -55,8 +62,12 @@ fn usage() -> ExitCode {
          \x20 recover [--seed-base N]   rank-death recovery sweep (crash at\n\
          \x20         [--ranks N] [--grid N] [--schedules N] [--victim N]\n\
          \x20                           first/middle/last tile per schedule)\n\
+         \x20 corrupt [--seed-base N]   data-integrity sweep (clean + wire\n\
+         \x20         [--ranks N] [--grid N] [--schedules N] [--victim N]\n\
+         \x20                           corruption + memory bit-flips; zero\n\
+         \x20                           undetected corruptions gate)\n\
          \x20 check                     lint + explore + persist + recover\n\
-         \x20                           (acceptance gate)"
+         \x20                           + corrupt (acceptance gate)"
     );
     ExitCode::FAILURE
 }
@@ -153,6 +164,23 @@ fn run_recover(args: &[String]) -> bool {
     summarize("recover", &report)
 }
 
+fn run_corrupt(args: &[String]) -> bool {
+    let (cfg, grid) = sweep_config(args);
+    let victim = parse_flag(args, "--victim").unwrap_or(1) as usize;
+    println!(
+        "corrupt: {} schedules × (clean + wire corruption + bit-flip in rank \
+         {victim} at first/middle/last tile), grid {grid}^3, {} ranks \
+         (random seeds {:?} + {}-bit systematic sweep)",
+        cfg.schedules(),
+        cfg.ranks,
+        cfg.random_seeds,
+        cfg.systematic_bits
+    );
+    let report = mpicheck::explore_corruption(&cfg, grid, victim, progress_bar);
+    println!();
+    summarize("corrupt", &report)
+}
+
 fn summarize(pass: &str, report: &ExploreReport) -> bool {
     println!(
         "{pass}: {} schedules in {:.1}s — {} failure(s), {} info finding(s)",
@@ -184,24 +212,28 @@ fn main() -> ExitCode {
         Some("explore") => run_explore(&args[1..]),
         Some("persist") => run_persist(&args[1..]),
         Some("recover") => run_recover(&args[1..]),
+        Some("corrupt") => run_corrupt(&args[1..]),
         Some("check") => {
             let lint_ok = run_lint(&root);
             let explore_ok = run_explore(&args[1..]);
-            // The persistent and recovery gates each multiply the per-
-            // schedule cost (3 executions / 3 crash positions), so default
-            // them to a quarter of the explore plan: `check` stays under a
-            // few minutes while both schedule families still cross every
-            // crash position and every session execution.
+            // The persistent, recovery, and corruption gates each multiply
+            // the per-schedule cost (3 executions / 3 crash positions / 5
+            // fault plans), so default them to a fraction of the explore
+            // plan: `check` stays under a few minutes while every schedule
+            // family still crosses every crash position, every session
+            // execution, and every corruption site.
             let mut compact_args = args[1..].to_vec();
             if parse_flag(&compact_args, "--schedules").is_none() {
                 compact_args.extend(["--schedules".to_owned(), "80".to_owned()]);
             }
             let persist_ok = run_persist(&compact_args);
             let recover_ok = run_recover(&compact_args);
-            if lint_ok && explore_ok && persist_ok && recover_ok {
+            let corrupt_ok = run_corrupt(&compact_args);
+            let all = lint_ok && explore_ok && persist_ok && recover_ok && corrupt_ok;
+            if all {
                 println!("check: all gates passed");
             }
-            lint_ok && explore_ok && persist_ok && recover_ok
+            all
         }
         _ => return usage(),
     };

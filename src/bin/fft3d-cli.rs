@@ -9,9 +9,10 @@
 
 use cfft::planner::Rigor;
 use cfft::Direction;
-use fft3d::real_env::{compare_with_serial, fft3_dist, local_test_slab};
+use fft3d::real_env::{compare_with_serial, local_test_slab, try_fft3_dist_traced};
 use fft3d::serial::{fft3_serial, full_test_array};
-use fft3d::{fft3_simulated, ProblemSpec, TuningParams, Variant};
+use fft3d::trace::NoopRecorder;
+use fft3d::{fft3_simulated, Error, ProblemSpec, Resilience, TuningParams, Variant};
 use tuner::driver::{tune_new, DEFAULT_MAX_EVALS};
 
 struct Args {
@@ -20,6 +21,8 @@ struct Args {
     platform: String,
     variant: Variant,
     verify: bool,
+    fault_seed: u64,
+    corrupt: Option<f64>,
 }
 
 fn parse(mut raw: impl Iterator<Item = String>) -> (String, Args) {
@@ -30,6 +33,8 @@ fn parse(mut raw: impl Iterator<Item = String>) -> (String, Args) {
         platform: "umd".into(),
         variant: Variant::New,
         verify: true,
+        fault_seed: 0x5eed,
+        corrupt: None,
     };
     while let Some(flag) = raw.next() {
         let mut val = || raw.next().unwrap_or_else(|| usage("missing value"));
@@ -46,6 +51,16 @@ fn parse(mut raw: impl Iterator<Item = String>) -> (String, Args) {
                 }
             }
             "--no-verify" => args.verify = false,
+            "--fault-seed" => {
+                args.fault_seed = val().parse().unwrap_or_else(|_| usage("bad --fault-seed"))
+            }
+            "--corrupt" => {
+                let p: f64 = val().parse().unwrap_or_else(|_| usage("bad --corrupt"));
+                if !(0.0..1.0).contains(&p) {
+                    usage("--corrupt probability must be in [0, 1)");
+                }
+                args.corrupt = Some(p);
+            }
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -56,9 +71,25 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: fft3d-cli <real|sim|tune> [--n N] [--p P] \
-         [--platform umd|hopper] [--variant new|th|fftw] [--no-verify]"
+         [--platform umd|hopper] [--variant new|th|fftw] [--no-verify]\n\
+         \x20               [--fault-seed N] [--corrupt PROB]\n\
+         \n\
+         fault injection (real mode): --corrupt flips one seeded bit per\n\
+         message payload with the given probability; detection and healing\n\
+         are reported. exit codes: 2 usage, 3 integrity failure escaped\n\
+         healing, 4 unrecoverable, 5 rank failure, 1 other pipeline error"
     );
     std::process::exit(2)
+}
+
+/// Maps a typed pipeline error to the documented process exit code.
+fn fault_exit_code(e: &Error) -> i32 {
+    match e {
+        Error::IntegrityFailed { .. } => 3,
+        Error::Unrecoverable(_) => 4,
+        Error::RankFailed { .. } | Error::Revoked { .. } => 5,
+        _ => 1,
+    }
 }
 
 fn main() {
@@ -72,6 +103,17 @@ fn main() {
                 "real run: {}³ on {} ranks, {:?}",
                 args.n, args.p, args.variant
             );
+            let faults = match args.corrupt {
+                Some(prob) => {
+                    println!(
+                        "fault injection: payload corruption p={prob} \
+                         (seed {:#x}, checksum-verified retransmit)",
+                        args.fault_seed
+                    );
+                    faultplan::FaultPlan::seeded(args.fault_seed).with_payload_corruption(prob, 8)
+                }
+                None => faultplan::FaultPlan::none(),
+            };
             let reference = if args.verify {
                 let mut r = full_test_array(spec.nx, spec.ny, spec.nz);
                 fft3_serial(&mut r, spec.nx, spec.ny, spec.nz, Direction::Forward);
@@ -80,10 +122,18 @@ fn main() {
                 None
             };
             let variant = args.variant;
-            let results = mpisim::run(spec.p, move |comm| {
+            // Under fault injection, arm the stall watchdog so collective
+            // failures surface as typed errors (and exit codes) instead of
+            // panics in the blocking wait path.
+            let resilience = Resilience {
+                stall_timeout: args.corrupt.map(|_| std::time::Duration::from_millis(200)),
+                ..Resilience::default()
+            };
+            let results = mpisim::run_with_faults(spec.p, faults, move |comm| {
                 let input = local_test_slab(&spec, comm.rank());
+                let mut recorder = NoopRecorder;
                 let t0 = std::time::Instant::now();
-                let out = fft3_dist(
+                let out = try_fft3_dist_traced(
                     &comm,
                     spec,
                     variant,
@@ -91,17 +141,41 @@ fn main() {
                     Direction::Forward,
                     Rigor::Estimate,
                     &input,
-                );
+                    &resilience,
+                    &mut recorder,
+                )?;
                 let wall = t0.elapsed().as_secs_f64();
                 let err = reference
                     .as_ref()
                     .map(|r| compare_with_serial(&spec, comm.rank(), &out, r));
-                (wall, err, out.stats.steps)
+                Ok((wall, err, out.stats.steps, out.recovery.corruptions_healed))
             });
-            let slowest = results.iter().map(|r| r.0).fold(0.0, f64::max);
+            // Report the most diagnostic error across ranks: a corrupted
+            // rank surfaces IntegrityFailed while its peers merely observe
+            // the secondary stall, so rank order alone would mask the cause.
+            let severity = |e: &Error| match e {
+                Error::IntegrityFailed { .. } => 3,
+                Error::Unrecoverable(_) => 2,
+                Error::RankFailed { .. } | Error::Revoked { .. } => 1,
+                _ => 0,
+            };
+            if let Some(e) = results
+                .iter()
+                .filter_map(|r: &Result<_, Error>| r.as_ref().err())
+                .max_by_key(|e| severity(e))
+            {
+                eprintln!("error: {e}");
+                std::process::exit(fault_exit_code(e));
+            }
+            let oks: Vec<_> = results.into_iter().filter_map(Result::ok).collect();
+            let slowest = oks.iter().map(|r| r.0).fold(0.0, f64::max);
             println!("wall time (slowest rank): {slowest:.4}s");
-            println!("rank 0 breakdown:\n{}", results[0].2);
-            if let Some(err) = results
+            println!("rank 0 breakdown:\n{}", oks[0].2);
+            let healed: u64 = oks.iter().map(|r| u64::from(r.3)).sum();
+            if healed > 0 {
+                println!("corruptions detected and healed: {healed}");
+            }
+            if let Some(err) = oks
                 .iter()
                 .filter_map(|r| r.1)
                 .fold(None, |a: Option<f64>, e| Some(a.map_or(e, |x| x.max(e))))
