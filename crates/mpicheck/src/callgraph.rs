@@ -1,0 +1,217 @@
+//! Workspace call graph and transitive effect closure.
+//!
+//! Summaries ([`FnSummary`]) give each function's *direct* operations and
+//! call edges; the checks need to know what a call site does
+//! *transitively* — `ladder.wait_recover(env, tile, req)` completes a
+//! request because `wait_recover`'s body (eventually) calls `.wait(…)`,
+//! and `cancel_all(env, &mut inflight, e)` disposes of every in-flight
+//! request two frames down.
+//!
+//! Resolution is by bare name against the set of workspace functions:
+//! same-named functions (trait methods, the two backends' `post_a2a`)
+//! merge their effects. That is deliberately conservative in the
+//! *suppressing* direction — a call that might wait/cancel/free counts as
+//! doing so, so the path checks under-report rather than false-positive
+//! across naming collisions.
+
+use crate::summary::{Event, FnSummary, Node, OpKind};
+use std::collections::{BTreeSet, HashMap};
+
+/// Transitive effect set of a function (or merged set of same-named
+/// functions): every [`OpKind`] reachable from its body through workspace
+/// calls.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Effects {
+    /// Reachable operation kinds.
+    pub ops: BTreeSet<OpKind>,
+}
+
+impl Effects {
+    /// Does the effect set include `kind`?
+    pub fn has(&self, kind: OpKind) -> bool {
+        self.ops.contains(&kind)
+    }
+
+    /// Reachable collective kinds (the SL006 comparison set).
+    pub fn collectives(&self) -> BTreeSet<OpKind> {
+        self.ops
+            .iter()
+            .copied()
+            .filter(|k| k.is_collective())
+            .collect()
+    }
+}
+
+/// Name-keyed transitive effects for the whole workspace.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    effects: HashMap<String, Effects>,
+}
+
+impl CallGraph {
+    /// Effects of calling `name`; empty for functions outside the
+    /// workspace (std, vendored shims), which contribute nothing.
+    pub fn effects_of(&self, name: &str) -> Effects {
+        self.effects.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Number of distinct function names in the graph.
+    pub fn len(&self) -> usize {
+        self.effects.len()
+    }
+
+    /// `true` when the graph has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.effects.is_empty()
+    }
+}
+
+/// Collects direct ops and call edges from a body.
+fn direct(node: &Node, ops: &mut BTreeSet<OpKind>, calls: &mut BTreeSet<String>) {
+    match node {
+        Node::Stmt(s) => {
+            for e in &s.events {
+                match e {
+                    Event::Op { kind, .. } => {
+                        ops.insert(*kind);
+                    }
+                    Event::Call { name, .. } => {
+                        calls.insert(name.clone());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Node::Seq(items) => items.iter().for_each(|n| direct(n, ops, calls)),
+        Node::Branch { cond, arms, .. } => {
+            for e in &cond.events {
+                match e {
+                    Event::Op { kind, .. } => {
+                        ops.insert(*kind);
+                    }
+                    Event::Call { name, .. } => {
+                        calls.insert(name.clone());
+                    }
+                    _ => {}
+                }
+            }
+            arms.iter().for_each(|n| direct(n, ops, calls));
+        }
+        Node::Loop { header, body } => {
+            for e in &header.events {
+                match e {
+                    Event::Op { kind, .. } => {
+                        ops.insert(*kind);
+                    }
+                    Event::Call { name, .. } => {
+                        calls.insert(name.clone());
+                    }
+                    _ => {}
+                }
+            }
+            direct(body, ops, calls);
+        }
+    }
+}
+
+/// Builds the transitive effect closure over every summary in the
+/// workspace (tests included: a test helper shadowing a library name only
+/// widens effects, which errs toward suppression, never toward a false
+/// finding).
+pub fn build(fns: &[FnSummary]) -> CallGraph {
+    let mut ops_by_name: HashMap<String, BTreeSet<OpKind>> = HashMap::new();
+    let mut calls_by_name: HashMap<String, BTreeSet<String>> = HashMap::new();
+    for f in fns {
+        let mut ops = BTreeSet::new();
+        let mut calls = BTreeSet::new();
+        direct(&f.body, &mut ops, &mut calls);
+        ops_by_name.entry(f.name.clone()).or_default().extend(ops);
+        calls_by_name
+            .entry(f.name.clone())
+            .or_default()
+            .extend(calls);
+    }
+    // Fixpoint: propagate callee ops into callers until stable. Bounded by
+    // (#names × #opkinds) insertions, so this always terminates quickly.
+    let names: Vec<String> = ops_by_name.keys().cloned().collect();
+    loop {
+        let mut changed = false;
+        for name in &names {
+            let callees = calls_by_name.get(name).cloned().unwrap_or_default();
+            let mut add = BTreeSet::new();
+            for callee in &callees {
+                if callee == name {
+                    continue;
+                }
+                if let Some(callee_ops) = ops_by_name.get(callee) {
+                    add.extend(callee_ops.iter().copied());
+                }
+            }
+            if let Some(own) = ops_by_name.get_mut(name) {
+                let before = own.len();
+                own.extend(add);
+                changed |= own.len() != before;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    CallGraph {
+        effects: ops_by_name
+            .into_iter()
+            .map(|(name, ops)| (name, Effects { ops }))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::summary::summarize;
+
+    fn graph_of(src: &str) -> CallGraph {
+        let lexed = lex(src);
+        build(&summarize("x.rs", &lexed))
+    }
+
+    #[test]
+    fn direct_effects_are_collected() {
+        let g = graph_of("fn f(c: &C) { c.barrier(); c.agree(1); }");
+        let e = g.effects_of("f");
+        assert!(e.has(OpKind::Barrier));
+        assert!(e.has(OpKind::Agree));
+        assert!(!e.has(OpKind::Post));
+    }
+
+    #[test]
+    fn effects_propagate_through_calls() {
+        let g = graph_of(
+            "fn leaf(c: &C) { c.wait(0, r); }\n\
+             fn mid(c: &C) { leaf(c); }\n\
+             fn top(c: &C) { mid(c); }",
+        );
+        assert!(g.effects_of("top").has(OpKind::Wait));
+        assert!(g.effects_of("mid").has(OpKind::Wait));
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let g = graph_of("fn a(c: &C) { b(c); c.barrier(); }\nfn b(c: &C) { a(c); }");
+        assert!(g.effects_of("b").has(OpKind::Barrier));
+    }
+
+    #[test]
+    fn same_name_merges_conservatively() {
+        let g = graph_of("fn go(c: &C) { c.wait(0, r); }\nfn go2(c: &C) { go(c); }");
+        assert!(g.effects_of("go2").has(OpKind::Wait));
+    }
+
+    #[test]
+    fn unknown_callee_contributes_nothing() {
+        let g = graph_of("fn f() { println(x); }");
+        assert!(g.effects_of("f").ops.is_empty());
+        assert!(g.effects_of("no_such_fn").ops.is_empty());
+    }
+}

@@ -11,8 +11,12 @@
 //! 2. **Happens-before verification**: runs inherit mpisim's checked mode —
 //!    vector clocks, wait-for-graph deadlock detection naming the cycle of
 //!    ranks, and the runtime lint catalogue `MC001`–`MC005`.
-//! 3. **Source lints** ([`srclint`]): a static walk of the workspace's
-//!    non-test library code enforcing project invariants `SL001`–`SL005`.
+//! 3. **Source lints** ([`srclint`]): a token-aware, path-sensitive static
+//!    analysis of the workspace's non-test code enforcing project
+//!    invariants `SL001`–`SL014` — a real [`lexer`] feeds per-function
+//!    collective-operation [`summary`]s and a workspace [`callgraph`], on
+//!    which interprocedural checks (rank-divergent collectives, leaked
+//!    posts/plans, static deadlock shapes) run at `cargo xtask lint` time.
 //!
 //! The exploration pass also sweeps *faulty* worlds: [`explore_crash_recovery`]
 //! kills one rank per run (at the first, middle, and last tile boundary,
@@ -24,8 +28,11 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod callgraph;
 pub mod explore;
+pub mod lexer;
 pub mod srclint;
+pub mod summary;
 
 pub use explore::{
     explore, explore_corruption, explore_crash_recovery, explore_persistent, explore_pipeline,
@@ -35,4 +42,7 @@ pub use mpisim::{
     Backoff, CheckConfig, CheckOutcome, CheckReport, Finding, LintId, SchedConfig, SchedMode,
     Severity,
 };
-pub use srclint::{lint_workspace, SrcFinding, SrcLintId};
+pub use srclint::{
+    lint_sources, lint_workspace, render_json, render_sarif, render_text, update_baseline,
+    LintReport, LintSeverity, SrcFinding, SrcLintId, ALL_LINTS,
+};

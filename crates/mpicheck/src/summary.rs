@@ -1,0 +1,944 @@
+//! Per-function collective-operation summaries.
+//!
+//! A lightweight recursive-descent pass over the [`lexer`](crate::lexer)
+//! token stream that extracts, for every `fn` in a file, an ordered tree of
+//! the things the path-sensitive checks reason about:
+//!
+//! * **collective operations** — `post_a2a` / `ialltoall(v)` posts,
+//!   `wait` / `wait_timeout`, `cancel`, persistent `alltoallv_init` /
+//!   `start` / `free`, `agree`, `revoke`, `shrink`, `barrier` — plus
+//!   `rank()` reads (for rank-divergence taint);
+//! * **branch structure** — `if` / `else` chains and `match` arms, with
+//!   exhaustiveness, and loops (modelled as may-run-zero-times);
+//! * **early exits** — `return` and the `?` operator;
+//! * **call edges** — every `name(...)` / `.name(...)` call site, resolved
+//!   against the workspace function set by the
+//!   [`callgraph`](crate::callgraph) pass;
+//! * **bindings and mentions** — `let x = …` bindings and later uses of
+//!   `x`, which drive the request-obligation escape analysis (a request
+//!   pushed into a window deque is someone else's to wait on; a request
+//!   that is never mentioned again is leaked).
+//!
+//! The parser is forgiving by design: statements it cannot shape (nested
+//! `mod` items, exotic macros) degrade to a linear scan of their tokens,
+//! which still surfaces every operation and exit — only the intra-statement
+//! branch structure is lost. It never panics on malformed input.
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// A collective (or analysis-relevant) operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    /// Non-blocking all-to-all post: `.post_a2a(`, `.ialltoall(`,
+    /// `.ialltoallv(`.
+    Post,
+    /// Completion: `.wait(`, `.wait_timeout(`.
+    Wait,
+    /// Disposal of an in-flight request: `.cancel(`.
+    Cancel,
+    /// Persistent-plan setup: `.alltoallv_init(`, `.alltoall_init(`.
+    Init,
+    /// Persistent-plan execution: `.start(`.
+    Start,
+    /// Persistent-plan release: `.free(`.
+    Free,
+    /// Blocking barrier.
+    Barrier,
+    /// ULFM-style agreement (blocking collective).
+    Agree,
+    /// Communicator revocation (deliberately callable by a subset).
+    Revoke,
+    /// Communicator shrink (blocking collective).
+    Shrink,
+    /// `comm.rank()` read — the rank-divergence taint source.
+    RankRead,
+}
+
+impl OpKind {
+    /// Operations that are collective communication: every live rank of
+    /// the communicator must execute them in the same order. `Revoke` is
+    /// excluded (it is *designed* to be called by the subset that detects
+    /// a failure), as is the local `RankRead`.
+    pub fn is_collective(self) -> bool {
+        !matches!(self, OpKind::Revoke | OpKind::RankRead)
+    }
+
+    /// Operations that block until every peer participates — issuing one
+    /// while a non-blocking request is provably in flight on the same
+    /// communicator is the classic static deadlock shape (SL009).
+    pub fn is_blocking(self) -> bool {
+        matches!(self, OpKind::Barrier | OpKind::Agree | OpKind::Shrink)
+    }
+}
+
+/// One event inside a statement, in token order.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A recognised operation. `depth0` is true when the call site sits at
+    /// the top level of the statement's expression (not nested inside
+    /// another call's arguments or a struct literal), which is what makes
+    /// a `let` binding of its result trackable.
+    Op {
+        /// Which operation.
+        kind: OpKind,
+        /// 1-based source line.
+        line: usize,
+        /// Top-level within the statement expression?
+        depth0: bool,
+    },
+    /// A call site `name(...)` or `.name(...)`; resolved against the
+    /// workspace function set later.
+    Call {
+        /// Callee name as written.
+        name: String,
+        /// 1-based source line.
+        line: usize,
+        /// Top-level within the statement expression?
+        depth0: bool,
+    },
+    /// An identifier use (binding mentions drive escape analysis).
+    Mention {
+        /// Identifier text.
+        name: String,
+    },
+    /// The `?` operator: the enclosing function may return here.
+    MaybeExit {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A `return`: the enclosing function definitely returns (emitted at
+    /// the end of its statement, after the returned expression's events).
+    Return {
+        /// 1-based source line.
+        line: usize,
+    },
+}
+
+/// One statement, linearised into events.
+#[derive(Debug, Clone, Default)]
+pub struct Stmt {
+    /// Events in token order.
+    pub events: Vec<Event>,
+    /// `Some(name)` for a simple `let [mut] name = …;` binding.
+    pub let_binding: Option<String>,
+    /// `true` when the statement is a block's tail expression (no `;`):
+    /// its value is the block's value, so a produced request escapes to
+    /// the caller rather than being dropped.
+    pub is_tail: bool,
+    /// `true` when the statement contains a plain `=` assignment (the
+    /// value is stored somewhere that outlives the statement).
+    pub has_assign: bool,
+    /// 1-based line of the statement's first token.
+    pub line: usize,
+}
+
+/// A node of a function body.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// Straight-line statement.
+    Stmt(Stmt),
+    /// Statement sequence / block.
+    Seq(Vec<Node>),
+    /// `if` / `match` branching. `cond` carries the condition or
+    /// scrutinee's events (taint + operations); `exhaustive` is true when
+    /// every path goes through some arm (`match`, or `if` with a final
+    /// `else`).
+    Branch {
+        /// Condition / scrutinee events.
+        cond: Stmt,
+        /// Arm bodies.
+        arms: Vec<Node>,
+        /// Does some arm always run?
+        exhaustive: bool,
+        /// 1-based line of the `if` / `match` keyword.
+        line: usize,
+    },
+    /// `for` / `while` / `loop` body: may run zero times. The header's
+    /// events (iterator calls, conditions) are in `header`.
+    Loop {
+        /// Loop-header events.
+        header: Stmt,
+        /// Body.
+        body: Box<Node>,
+    },
+}
+
+/// Summary of one function.
+#[derive(Debug, Clone)]
+pub struct FnSummary {
+    /// Function name as written (methods included, paths stripped).
+    pub name: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Parsed body.
+    pub body: Node,
+    /// Declared at or below the file's `#[cfg(test)]` boundary?
+    pub is_test: bool,
+}
+
+/// Extracts every function summary from a lexed file.
+pub fn summarize(file: &str, lexed: &Lexed) -> Vec<FnSummary> {
+    let mut out = Vec::new();
+    let toks = &lexed.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") {
+            if let Some(next) = parse_fn(file, lexed, i, &mut out) {
+                i = next;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses one `fn` starting at index `at` (the `fn` token). Returns the
+/// index just past the body on success; `None` for `fn`-pointer types and
+/// bodyless trait declarations (caller advances by one token).
+fn parse_fn(file: &str, lexed: &Lexed, at: usize, out: &mut Vec<FnSummary>) -> Option<usize> {
+    let toks = &lexed.tokens;
+    let name_tok = toks.get(at + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None; // `fn(` pointer type
+    }
+    let name = name_tok.text.clone();
+    let line = toks[at].line;
+    // Scan to the body `{` (or `;` for a bodyless declaration) at
+    // paren/bracket depth 0. Generics, arguments, return type, and where
+    // clauses are skipped; const-generic braces inside <> are rare enough
+    // to ignore.
+    let mut j = at + 2;
+    let mut depth = 0i32;
+    loop {
+        let t = toks.get(j)?;
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => break,
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    let mut cur = j;
+    let body = parse_block(file, lexed, &mut cur, out, 0);
+    out.push(FnSummary {
+        name,
+        file: file.to_owned(),
+        line,
+        body,
+        is_test: lexed.in_test(line),
+    });
+    Some(cur)
+}
+
+/// Recursion guard: beyond this nesting the parser degrades to linear
+/// token consumption (no real code is this deep).
+const MAX_DEPTH: usize = 64;
+
+/// Parses a `{ … }` block; `cur` is at the `{` and ends just past the
+/// matching `}`.
+fn parse_block(
+    file: &str,
+    lexed: &Lexed,
+    cur: &mut usize,
+    fns: &mut Vec<FnSummary>,
+    depth: usize,
+) -> Node {
+    let toks = &lexed.tokens;
+    debug_assert!(toks.get(*cur).is_some_and(|t| t.is_punct("{")));
+    *cur += 1; // `{`
+    let mut items = Vec::new();
+    while let Some(t) = toks.get(*cur) {
+        if t.is_punct("}") {
+            *cur += 1;
+            return Node::Seq(items);
+        }
+        if t.is_punct(";") {
+            *cur += 1;
+            continue;
+        }
+        if depth >= MAX_DEPTH {
+            items.push(parse_stmt(toks, cur));
+            continue;
+        }
+        if t.is_punct("#") {
+            skip_attribute(toks, cur);
+            continue;
+        }
+        if t.is_ident("if") {
+            items.push(parse_if(file, lexed, cur, fns, depth + 1));
+            continue;
+        }
+        if t.is_ident("match") {
+            items.push(parse_match(file, lexed, cur, fns, depth + 1));
+            continue;
+        }
+        if t.is_ident("while") || t.is_ident("for") {
+            let header = collect_until_block(toks, cur);
+            if toks.get(*cur).is_some_and(|t| t.is_punct("{")) {
+                let body = parse_block(file, lexed, cur, fns, depth + 1);
+                items.push(Node::Loop {
+                    header,
+                    body: Box::new(body),
+                });
+            } else {
+                items.push(Node::Stmt(header));
+            }
+            continue;
+        }
+        if t.is_ident("loop") {
+            *cur += 1;
+            if toks.get(*cur).is_some_and(|t| t.is_punct("{")) {
+                let body = parse_block(file, lexed, cur, fns, depth + 1);
+                items.push(Node::Loop {
+                    header: Stmt::default(),
+                    body: Box::new(body),
+                });
+            }
+            continue;
+        }
+        if t.is_ident("unsafe") && toks.get(*cur + 1).is_some_and(|t| t.is_punct("{")) {
+            *cur += 1;
+            items.push(parse_block(file, lexed, cur, fns, depth + 1));
+            continue;
+        }
+        if t.is_punct("{") {
+            items.push(parse_block(file, lexed, cur, fns, depth + 1));
+            continue;
+        }
+        if t.is_ident("fn") {
+            // Nested function: its own summary, invisible to this body.
+            match parse_fn(file, lexed, *cur, fns) {
+                Some(next) => *cur = next,
+                None => *cur += 1,
+            }
+            continue;
+        }
+        items.push(parse_stmt(toks, cur));
+    }
+    Node::Seq(items) // unterminated block: EOF recovery
+}
+
+/// Skips `#[…]` / `#![…]` attributes.
+fn skip_attribute(toks: &[Token], cur: &mut usize) {
+    *cur += 1; // `#`
+    if toks.get(*cur).is_some_and(|t| t.is_punct("!")) {
+        *cur += 1;
+    }
+    if toks.get(*cur).is_some_and(|t| t.is_punct("[")) {
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(*cur) {
+            match t.text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        *cur += 1;
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            *cur += 1;
+        }
+    }
+}
+
+/// Parses `if cond { … } [else if …]* [else { … }]`.
+fn parse_if(
+    file: &str,
+    lexed: &Lexed,
+    cur: &mut usize,
+    fns: &mut Vec<FnSummary>,
+    depth: usize,
+) -> Node {
+    let toks = &lexed.tokens;
+    let line = toks[*cur].line;
+    *cur += 1; // `if`
+    let cond = collect_until_block(toks, cur);
+    let mut arms = Vec::new();
+    let mut exhaustive = false;
+    if toks.get(*cur).is_some_and(|t| t.is_punct("{")) {
+        arms.push(parse_block(file, lexed, cur, fns, depth));
+    }
+    if toks.get(*cur).is_some_and(|t| t.is_ident("else")) {
+        *cur += 1;
+        if toks.get(*cur).is_some_and(|t| t.is_ident("if")) {
+            let nested = parse_if(file, lexed, cur, fns, depth);
+            if let Node::Branch {
+                exhaustive: inner, ..
+            } = &nested
+            {
+                exhaustive = *inner;
+            }
+            arms.push(nested);
+        } else if toks.get(*cur).is_some_and(|t| t.is_punct("{")) {
+            arms.push(parse_block(file, lexed, cur, fns, depth));
+            exhaustive = true;
+        }
+    }
+    Node::Branch {
+        cond,
+        arms,
+        exhaustive,
+        line,
+    }
+}
+
+/// Parses `match scrutinee { pat => body, … }`.
+fn parse_match(
+    file: &str,
+    lexed: &Lexed,
+    cur: &mut usize,
+    fns: &mut Vec<FnSummary>,
+    depth: usize,
+) -> Node {
+    let toks = &lexed.tokens;
+    let line = toks[*cur].line;
+    *cur += 1; // `match`
+    let cond = collect_until_block(toks, cur);
+    let mut arms = Vec::new();
+    if toks.get(*cur).is_some_and(|t| t.is_punct("{")) {
+        *cur += 1;
+        while let Some(t) = toks.get(*cur) {
+            if t.is_punct("}") {
+                *cur += 1;
+                break;
+            }
+            if t.is_punct(",") || t.is_punct("|") {
+                *cur += 1;
+                continue;
+            }
+            // Pattern (may contain struct braces): skip to `=>` at depth 0.
+            let mut pdepth = 0i32;
+            let mut ok = false;
+            while let Some(t) = toks.get(*cur) {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => pdepth += 1,
+                    ")" | "]" => pdepth -= 1,
+                    "}" if pdepth > 0 => pdepth -= 1,
+                    "}" => break, // stray close: match body end
+                    "=>" if pdepth == 0 => {
+                        *cur += 1;
+                        ok = true;
+                        break;
+                    }
+                    _ => {}
+                }
+                *cur += 1;
+            }
+            if !ok {
+                break;
+            }
+            // Arm body: block, or expression up to `,` at depth 0.
+            if toks.get(*cur).is_some_and(|t| t.is_punct("{")) {
+                arms.push(parse_block(file, lexed, cur, fns, depth));
+            } else {
+                arms.push(Node::Stmt(collect_expr_arm(toks, cur)));
+            }
+        }
+    }
+    Node::Branch {
+        cond,
+        arms,
+        exhaustive: true,
+        line,
+    }
+}
+
+/// Collects tokens up to (not including) the next `{` at paren/bracket
+/// depth 0 — an `if`/`while`/`for`/`match` header — as a linearised Stmt.
+fn collect_until_block(toks: &[Token], cur: &mut usize) -> Stmt {
+    let start = *cur;
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(*cur) {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth <= 0 => break,
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            _ => {}
+        }
+        *cur += 1;
+    }
+    linearize(&toks[start..*cur], false)
+}
+
+/// Collects an expression match arm: tokens up to `,` at depth 0 or the
+/// closing `}` of the match body (not consumed).
+fn collect_expr_arm(toks: &[Token], cur: &mut usize) -> Stmt {
+    let start = *cur;
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(*cur) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "}" if depth > 0 => depth -= 1,
+            "}" => break,
+            "," if depth == 0 => break,
+            _ => {}
+        }
+        *cur += 1;
+    }
+    linearize(&toks[start..*cur], false)
+}
+
+/// Collects one statement: tokens up to `;` at overall depth 0 (consumed)
+/// or the enclosing block's `}` (not consumed — a tail expression).
+/// Embedded block expressions (`let x = if … { … };`) are swallowed
+/// whole and linearised.
+fn parse_stmt(toks: &[Token], cur: &mut usize) -> Node {
+    let start = *cur;
+    let mut depth = 0i32;
+    let mut tail = true;
+    while let Some(t) = toks.get(*cur) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "}" if depth > 0 => depth -= 1,
+            "}" => break, // enclosing block ends: tail expression
+            ";" if depth == 0 => {
+                tail = false;
+                break;
+            }
+            _ => {}
+        }
+        *cur += 1;
+    }
+    let stmt = linearize(&toks[start..*cur], tail);
+    if toks.get(*cur).is_some_and(|t| t.is_punct(";")) {
+        *cur += 1;
+    }
+    Node::Stmt(stmt)
+}
+
+/// Operation name table for `.name(` method patterns.
+fn method_op(name: &str) -> Option<OpKind> {
+    Some(match name {
+        "post_a2a" | "ialltoall" | "ialltoallv" => OpKind::Post,
+        "wait" | "wait_timeout" => OpKind::Wait,
+        "cancel" => OpKind::Cancel,
+        "alltoallv_init" | "alltoall_init" => OpKind::Init,
+        "start" => OpKind::Start,
+        "free" => OpKind::Free,
+        "barrier" => OpKind::Barrier,
+        "agree" => OpKind::Agree,
+        "revoke" => OpKind::Revoke,
+        "shrink" => OpKind::Shrink,
+        "rank" => OpKind::RankRead,
+        _ => return None,
+    })
+}
+
+/// Keywords never emitted as mentions or call names.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "let"
+            | "mut"
+            | "if"
+            | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "in"
+            | "return"
+            | "break"
+            | "continue"
+            | "fn"
+            | "move"
+            | "ref"
+            | "as"
+            | "use"
+            | "pub"
+            | "self"
+            | "Self"
+            | "super"
+            | "crate"
+            | "where"
+            | "impl"
+            | "dyn"
+            | "unsafe"
+            | "await"
+            | "async"
+            | "const"
+            | "static"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "mod"
+            | "type"
+            | "true"
+            | "false"
+    )
+}
+
+/// Linearises a token slice into a [`Stmt`]: operations, call edges,
+/// mentions, and exits, in token order (with `return` moved after its
+/// expression's events, matching evaluation order).
+fn linearize(toks: &[Token], is_tail: bool) -> Stmt {
+    let mut stmt = Stmt {
+        is_tail,
+        line: toks.first().map(|t| t.line).unwrap_or(0),
+        ..Stmt::default()
+    };
+    // Simple `let [mut] name = …` binding?
+    let mut rhs_from = 0usize;
+    if toks.first().is_some_and(|t| t.is_ident("let")) {
+        let mut j = 1;
+        if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        if let Some(name_tok) = toks.get(j) {
+            if name_tok.kind == TokKind::Ident && !is_keyword(&name_tok.text) {
+                // Accept `= …` directly or after a `: Type` annotation
+                // (skip to `=` at depth 0; `==` is fused so no ambiguity).
+                let mut k = j + 1;
+                let mut depth = 0i32;
+                while let Some(t) = toks.get(k) {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" | "<" => depth += 1,
+                        ")" | "]" | "}" | ">" => depth -= 1,
+                        "=" if depth == 0 => {
+                            stmt.let_binding = Some(name_tok.text.clone());
+                            rhs_from = k + 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    let mut return_line = None;
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth = (depth - 1).max(0),
+            _ => {}
+        }
+        // Expression-top-level = paren depth 0 within the binding's RHS
+        // (or the whole statement when there is no binding).
+        let at_top = depth == 0 && i >= rhs_from;
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "return" => {
+                    return_line = Some(t.line);
+                    i += 1;
+                    continue;
+                }
+                "=" => {}
+                _ => {}
+            }
+            if is_keyword(&t.text) {
+                i += 1;
+                continue;
+            }
+            let prev_dot = i > 0 && toks[i - 1].is_punct(".");
+            let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+            if next_paren {
+                // `.name(` → possible operation + call edge; `name(` →
+                // call edge only.
+                if prev_dot {
+                    if let Some(kind) = method_op(&t.text) {
+                        // `rank` only counts with an empty argument list
+                        // (`.rank()`), so `Range { .. }.rank(x)`-style
+                        // homonyms don't taint.
+                        let is_rank = kind == OpKind::RankRead;
+                        if !is_rank || toks.get(i + 2).is_some_and(|n| n.is_punct(")")) {
+                            stmt.events.push(Event::Op {
+                                kind,
+                                line: t.line,
+                                depth0: at_top,
+                            });
+                        }
+                    }
+                }
+                stmt.events.push(Event::Call {
+                    name: t.text.clone(),
+                    line: t.line,
+                    depth0: at_top,
+                });
+            } else if t.text == "Instant" || t.text == "SystemTime" {
+                stmt.events.push(Event::Mention {
+                    name: t.text.clone(),
+                });
+            } else if !prev_dot {
+                // Field accesses (`x.start`) are not mentions of `start`;
+                // plain identifier uses are.
+                stmt.events.push(Event::Mention {
+                    name: t.text.clone(),
+                });
+            }
+        } else if t.is_punct("?") {
+            stmt.events.push(Event::MaybeExit { line: t.line });
+        } else if t.is_punct("=")
+            && i >= rhs_from
+            && stmt.let_binding.is_none()
+            && toks.get(i + 1).map(|n| n.text.as_str()) != Some("=")
+        {
+            stmt.has_assign = true;
+        }
+        i += 1;
+    }
+    if let Some(line) = return_line {
+        stmt.events.push(Event::Return { line });
+    }
+    // The binding name itself is a definition, not a use: drop mention
+    // events for it that came from the pattern position.
+    if let Some(b) = stmt.let_binding.clone() {
+        let mut seen_rhs = false;
+        stmt.events.retain(|e| {
+            if seen_rhs {
+                return true;
+            }
+            if let Event::Mention { name } = e {
+                if *name == b {
+                    return false;
+                }
+            }
+            seen_rhs = matches!(e, Event::Op { .. } | Event::Call { .. });
+            true
+        });
+    }
+    stmt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn one_fn(src: &str) -> FnSummary {
+        let lexed = lex(src);
+        let fns = summarize("x.rs", &lexed);
+        assert!(!fns.is_empty(), "no fn parsed from {src}");
+        fns.into_iter().next().expect("checked non-empty")
+    }
+
+    fn flat_ops(node: &Node, out: &mut Vec<OpKind>) {
+        match node {
+            Node::Stmt(s) => {
+                for e in &s.events {
+                    if let Event::Op { kind, .. } = e {
+                        out.push(*kind);
+                    }
+                }
+            }
+            Node::Seq(items) => items.iter().for_each(|n| flat_ops(n, out)),
+            Node::Branch { cond, arms, .. } => {
+                for e in &cond.events {
+                    if let Event::Op { kind, .. } = e {
+                        out.push(*kind);
+                    }
+                }
+                arms.iter().for_each(|n| flat_ops(n, out));
+            }
+            Node::Loop { header, body } => {
+                for e in &header.events {
+                    if let Event::Op { kind, .. } = e {
+                        out.push(*kind);
+                    }
+                }
+                flat_ops(body, out);
+            }
+        }
+    }
+
+    #[test]
+    fn ops_are_extracted_in_order() {
+        let f = one_fn(
+            "fn f(env: &mut E) { let r = env.post_a2a(0); env.wait(0, r); comm.barrier(); }",
+        );
+        let mut ops = Vec::new();
+        flat_ops(&f.body, &mut ops);
+        assert_eq!(ops, vec![OpKind::Post, OpKind::Wait, OpKind::Barrier]);
+    }
+
+    #[test]
+    fn let_binding_and_mentions() {
+        let f = one_fn("fn f(env: &mut E) { let req = env.post_a2a(0); win.push(req); }");
+        let Node::Seq(items) = &f.body else {
+            panic!("expected Seq");
+        };
+        let Node::Stmt(s0) = &items[0] else {
+            panic!("expected Stmt");
+        };
+        assert_eq!(s0.let_binding.as_deref(), Some("req"));
+        let Node::Stmt(s1) = &items[1] else {
+            panic!("expected Stmt");
+        };
+        assert!(s1
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Mention { name } if name == "req")));
+    }
+
+    #[test]
+    fn if_else_branch_structure() {
+        let f = one_fn("fn f(c: &C) { if c.rank() == 0 { c.barrier(); } else { c.agree(1); } }");
+        let Node::Seq(items) = &f.body else {
+            panic!("expected Seq");
+        };
+        let Node::Branch {
+            cond,
+            arms,
+            exhaustive,
+            ..
+        } = &items[0]
+        else {
+            panic!("expected Branch, got {:?}", items[0]);
+        };
+        assert!(*exhaustive);
+        assert_eq!(arms.len(), 2);
+        assert!(cond.events.iter().any(|e| matches!(
+            e,
+            Event::Op {
+                kind: OpKind::RankRead,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn if_without_else_is_not_exhaustive() {
+        let f = one_fn("fn f(c: &C) { if x { c.barrier(); } }");
+        let Node::Seq(items) = &f.body else {
+            panic!("expected Seq");
+        };
+        let Node::Branch { exhaustive, .. } = &items[0] else {
+            panic!("expected Branch");
+        };
+        assert!(!exhaustive);
+    }
+
+    #[test]
+    fn match_arms_parse_including_struct_patterns() {
+        let f = one_fn(
+            "fn f(c: &C, e: E) { match e { E::A { x, .. } => { c.barrier(); } E::B(y) => c.agree(y), _ => {} } }",
+        );
+        let Node::Seq(items) = &f.body else {
+            panic!("expected Seq");
+        };
+        let Node::Branch {
+            arms, exhaustive, ..
+        } = &items[0]
+        else {
+            panic!("expected Branch");
+        };
+        assert!(*exhaustive);
+        assert_eq!(arms.len(), 3);
+        let mut ops = Vec::new();
+        flat_ops(&arms[1], &mut ops);
+        assert_eq!(ops, vec![OpKind::Agree]);
+    }
+
+    #[test]
+    fn question_mark_and_return_are_exits() {
+        let f = one_fn("fn f(env: &mut E) -> R<()> { env.step(0)?; return Ok(()); }");
+        let Node::Seq(items) = &f.body else {
+            panic!("expected Seq");
+        };
+        let Node::Stmt(s0) = &items[0] else {
+            panic!("expected Stmt");
+        };
+        assert!(s0
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::MaybeExit { .. })));
+        let Node::Stmt(s1) = &items[1] else {
+            panic!("expected Stmt");
+        };
+        assert!(matches!(s1.events.last(), Some(Event::Return { .. })));
+    }
+
+    #[test]
+    fn tail_expression_is_marked() {
+        let f = one_fn("fn f(env: &mut E) -> Req { env.post_a2a(0) }");
+        let Node::Seq(items) = &f.body else {
+            panic!("expected Seq");
+        };
+        let Node::Stmt(s) = &items[0] else {
+            panic!("expected Stmt");
+        };
+        assert!(s.is_tail);
+    }
+
+    #[test]
+    fn nested_call_is_not_depth0() {
+        let f = one_fn("fn f(env: &mut E) { win.push((0, env.post_a2a(0))); }");
+        let Node::Seq(items) = &f.body else {
+            panic!("expected Seq");
+        };
+        let Node::Stmt(s) = &items[0] else {
+            panic!("expected Stmt");
+        };
+        let post = s
+            .events
+            .iter()
+            .find_map(|e| match e {
+                Event::Op {
+                    kind: OpKind::Post,
+                    depth0,
+                    ..
+                } => Some(*depth0),
+                _ => None,
+            })
+            .expect("post op present");
+        assert!(!post);
+    }
+
+    #[test]
+    fn loops_wrap_bodies() {
+        let f =
+            one_fn("fn f(c: &C) { for i in 0..k { c.barrier(); } while go() { } loop { break; } }");
+        let Node::Seq(items) = &f.body else {
+            panic!("expected Seq");
+        };
+        assert!(matches!(items[0], Node::Loop { .. }));
+        assert!(matches!(items[1], Node::Loop { .. }));
+        assert!(matches!(items[2], Node::Loop { .. }));
+    }
+
+    #[test]
+    fn field_access_start_is_not_an_op() {
+        let f = one_fn("fn f(r: Range) -> usize { let s = r.start; s }");
+        let mut ops = Vec::new();
+        flat_ops(&f.body, &mut ops);
+        assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn nested_fn_gets_its_own_summary() {
+        let lexed = lex("fn outer() { fn inner(c: &C) { c.barrier(); } inner(); }");
+        let fns = summarize("x.rs", &lexed);
+        assert_eq!(fns.len(), 2);
+        let inner = fns.iter().find(|f| f.name == "inner").expect("inner fn");
+        let mut ops = Vec::new();
+        flat_ops(&inner.body, &mut ops);
+        assert_eq!(ops, vec![OpKind::Barrier]);
+        let outer = fns.iter().find(|f| f.name == "outer").expect("outer fn");
+        let mut ops = Vec::new();
+        flat_ops(&outer.body, &mut ops);
+        assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn test_boundary_marks_fns() {
+        let lexed = lex("fn a() {}\n#[cfg(test)]\nmod tests { fn b() {} }\n");
+        let fns = summarize("x.rs", &lexed);
+        assert!(!fns.iter().find(|f| f.name == "a").expect("a").is_test);
+        assert!(fns.iter().find(|f| f.name == "b").expect("b").is_test);
+    }
+}

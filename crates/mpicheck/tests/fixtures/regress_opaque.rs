@@ -1,0 +1,10 @@
+//@ path: crates/demo/src/regress.rs
+// Prose that once tripped the line-regex lints: .unwrap() and
+// thread::sleep(Duration::from_millis(5)) and Planner::new( and .expect(
+fn quoted() -> &'static str {
+    let a = ".unwrap()";
+    let b = "thread::sleep(Duration::from_millis(5))";
+    let c = "Planner::new(Rigor::Estimate)";
+    let d = r#"env.post_a2a(0) and .expect("x") and Instant::now()"#;
+    a
+}

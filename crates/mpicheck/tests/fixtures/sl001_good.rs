@@ -1,0 +1,4 @@
+//@ path: crates/demo/src/sl001.rs
+fn fetch(g: Source) -> u32 {
+    g.read().unwrap_or(0)
+}

@@ -1,0 +1,4 @@
+//@ path: crates/demo/src/sl002.rs
+fn backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(50)); //~ SL002
+}

@@ -1,0 +1,4 @@
+//@ path: crates/demo/src/sl002.rs
+fn backoff(plan: &FaultPlan) {
+    std::thread::sleep(plan.recv_delay);
+}

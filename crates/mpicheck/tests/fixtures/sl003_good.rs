@@ -1,0 +1,5 @@
+//@ path: crates/demo/src/sl003.rs
+fn exchange(env: &mut Env) {
+    let req = env.post_a2a(0);
+    env.wait(0, req);
+}

@@ -1,0 +1,5 @@
+//@ path: crates/demo/src/sl004.rs
+fn plan() -> Plan {
+    let p = Planner::new(Rigor::Estimate); //~ SL004
+    p.plan(8)
+}

@@ -1,0 +1,4 @@
+//@ path: crates/demo/src/sl004.rs
+fn plan() -> Plan {
+    PlanCache::global().plan(8, Dir::Fwd, Rigor::Estimate)
+}

@@ -1,0 +1,4 @@
+//@ path: crates/demo/src/recover.rs
+fn heal(slabs: &Slabs, id: usize) -> Slab {
+    slabs.get(id).expect("slab present") //~ SL005
+}

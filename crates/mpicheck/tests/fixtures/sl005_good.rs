@@ -1,0 +1,4 @@
+//@ path: crates/demo/src/recover.rs
+fn heal(slabs: &Slabs, id: usize) -> Result<Slab, RecoverError> {
+    slabs.get(id).ok_or(RecoverError::SlabGone(id))
+}

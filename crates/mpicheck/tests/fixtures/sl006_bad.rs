@@ -1,0 +1,6 @@
+//@ path: crates/demo/src/sl006.rs
+fn sync(c: &Comm) {
+    if c.rank() == 0 {
+        c.barrier(); //~ SL006
+    }
+}

@@ -1,0 +1,7 @@
+//@ path: crates/demo/src/sl006.rs
+fn sync(c: &Comm) {
+    if c.rank() == 0 {
+        log_leader();
+    }
+    c.barrier();
+}

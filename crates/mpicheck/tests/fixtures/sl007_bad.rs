@@ -1,0 +1,6 @@
+//@ path: crates/demo/src/sl007.rs
+fn session(c: &Comm) {
+    let plan = c.alltoallv_init(sched); //~ SL007
+    plan.start();
+    plan.wait();
+}

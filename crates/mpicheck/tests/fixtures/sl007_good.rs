@@ -1,0 +1,7 @@
+//@ path: crates/demo/src/sl007.rs
+fn session(c: &Comm) {
+    let plan = c.alltoallv_init(sched);
+    plan.start();
+    plan.wait();
+    plan.free();
+}

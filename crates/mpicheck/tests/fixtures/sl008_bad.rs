@@ -1,0 +1,7 @@
+//@ path: crates/demo/src/sl008.rs
+fn overlap(env: &mut Env) -> Result<(), Error> {
+    let req = env.post_a2a(0); //~ SL008
+    env.compute_tile(0)?;
+    env.wait(0, req)?;
+    Ok(())
+}

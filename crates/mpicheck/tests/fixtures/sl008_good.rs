@@ -1,0 +1,13 @@
+//@ path: crates/demo/src/sl008.rs
+fn overlap(env: &mut Env) -> Result<(), Error> {
+    let req = env.post_a2a(0);
+    match env.compute_tile(0) {
+        Ok(()) => {}
+        Err(e) => {
+            env.cancel(0, req);
+            return Err(e);
+        }
+    }
+    env.wait(0, req)?;
+    Ok(())
+}

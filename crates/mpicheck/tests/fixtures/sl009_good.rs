@@ -1,0 +1,6 @@
+//@ path: crates/demo/src/sl009.rs
+fn ordered(c: &Comm, env: &mut Env) {
+    let req = env.post_a2a(0);
+    env.wait(0, req);
+    c.barrier();
+}

@@ -1,0 +1,4 @@
+//@ path: crates/simnet/src/sl010.rs
+fn stamp() -> std::time::Instant {
+    std::time::Instant::now() //~ SL010
+}

@@ -1,0 +1,4 @@
+//@ path: crates/simnet/src/sl010.rs
+fn stamp(clock: &VirtualClock) -> SimTime {
+    clock.now_virtual()
+}

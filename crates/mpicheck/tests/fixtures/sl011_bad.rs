@@ -1,0 +1,4 @@
+//@ path: crates/demo/src/sl011.rs
+fn pack(counts: &[usize]) -> u32 {
+    counts[0] as u32 //~ SL011
+}

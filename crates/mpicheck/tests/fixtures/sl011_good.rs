@@ -1,0 +1,4 @@
+//@ path: crates/demo/src/sl011.rs
+fn pack(counts: &[usize]) -> u64 {
+    counts[0] as u64
+}

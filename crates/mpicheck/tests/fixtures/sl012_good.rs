@@ -1,0 +1,4 @@
+//@ path: crates/demo/src/sl012.rs
+fn dc_mode(x: f64) -> bool {
+    (x - 0.5).abs() < 1e-12
+}

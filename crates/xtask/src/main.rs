@@ -2,8 +2,14 @@
 //!
 //! Subcommands:
 //!
-//! * `lint` — run the mpicheck source lints (`SL001`–`SL005`) over the
-//!   workspace's non-test library code. Exit 1 on any finding.
+//! * `lint [--format text|json|sarif] [--output FILE]
+//!   [--update-baseline]` — run the mpicheck static analysis
+//!   (`SL001`–`SL014`: token lints plus the interprocedural
+//!   collective-correctness checks) over the workspace's non-test code.
+//!   Exit 1 on any non-baseline finding or stale baseline entry.
+//!   `--output` writes the rendered report to a file (a one-line summary
+//!   still goes to stdout); `--update-baseline` regenerates
+//!   `mpicheck.baseline` from the current findings instead of linting.
 //! * `explore [--seed-base N] [--ranks N] [--grid N] [--schedules N]` —
 //!   sweep the overlapped pipeline (NEW variant) over seeded random plus
 //!   systematic delivery schedules under mpisim's checked mode. Exit 1 on
@@ -35,7 +41,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
-use mpicheck::{lint_workspace, ExploreConfig, ExploreReport};
+use mpicheck::{srclint, ExploreConfig, ExploreReport};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -53,7 +59,8 @@ fn usage() -> ExitCode {
         "usage: cargo xtask <command>\n\
          \n\
          commands:\n\
-         \x20 lint                      run source lints (SL001–SL005)\n\
+         \x20 lint [--format text|json|sarif] [--output FILE]\n\
+         \x20      [--update-baseline]  run static analysis (SL001–SL014)\n\
          \x20 explore [--seed-base N]   sweep pipeline delivery schedules\n\
          \x20         [--ranks N] [--grid N] [--schedules N]\n\
          \x20 persist [--seed-base N]   persistent-plan sweep (one session,\n\
@@ -79,17 +86,54 @@ fn parse_flag(args: &[String], name: &str) -> Option<u64> {
         .and_then(|v| v.parse().ok())
 }
 
-fn run_lint(root: &Path) -> bool {
-    let findings = lint_workspace(root);
-    if findings.is_empty() {
-        println!("lint: clean ({} source lints enforced)", 5);
-        return true;
+fn parse_str_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn run_lint(root: &Path, args: &[String]) -> bool {
+    if args.iter().any(|a| a == "--update-baseline") {
+        return match srclint::update_baseline(root) {
+            Ok(n) => {
+                println!(
+                    "baseline: {n} finding(s) written to {}",
+                    srclint::BASELINE_FILE
+                );
+                true
+            }
+            Err(e) => {
+                eprintln!("baseline: {e}");
+                false
+            }
+        };
     }
-    for f in &findings {
-        println!("{f}");
+    let report = srclint::run(root);
+    let rendered = match parse_str_flag(args, "--format").unwrap_or("text") {
+        "json" => srclint::render_json(&report),
+        "sarif" => srclint::render_sarif(&report),
+        _ => srclint::render_text(&report),
+    };
+    match parse_str_flag(args, "--output") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("lint: cannot write {path}: {e}");
+                return false;
+            }
+            println!(
+                "lint: {} active finding(s), {} baselined, {} stale baseline entr(ies) \
+                 over {} files / {} functions -> {path}",
+                report.findings.len(),
+                report.baselined.len(),
+                report.stale_baseline.len(),
+                report.files,
+                report.functions
+            );
+        }
+        None => print!("{rendered}"),
     }
-    println!("lint: {} finding(s)", findings.len());
-    false
+    report.is_clean()
 }
 
 /// Builds the sweep configuration shared by `explore` and `recover` from
@@ -208,13 +252,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let root = workspace_root();
     let ok = match args.first().map(String::as_str) {
-        Some("lint") => run_lint(&root),
+        Some("lint") => run_lint(&root, &args[1..]),
         Some("explore") => run_explore(&args[1..]),
         Some("persist") => run_persist(&args[1..]),
         Some("recover") => run_recover(&args[1..]),
         Some("corrupt") => run_corrupt(&args[1..]),
         Some("check") => {
-            let lint_ok = run_lint(&root);
+            let lint_ok = run_lint(&root, &[]);
             let explore_ok = run_explore(&args[1..]);
             // The persistent, recovery, and corruption gates each multiply
             // the per-schedule cost (3 executions / 3 crash positions / 5

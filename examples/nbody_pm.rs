@@ -96,6 +96,7 @@ fn main() {
                                 + wavenumber(ky, n).powi(2)
                                 + wavenumber(kz, n).powi(2));
                         let idx = (kx * n + ky) * n + kz;
+                        // mpicheck:allow(SL012): exact-zero DC-mode guard before 1/k²
                         spectrum[idx] = if k2 == 0.0 {
                             Complex64::ZERO
                         } else {
@@ -139,6 +140,7 @@ fn main() {
                     * (wavenumber(kx, n).powi(2)
                         + wavenumber(ky, n).powi(2)
                         + wavenumber(kz, n).powi(2));
+                // mpicheck:allow(SL012): exact-zero DC-mode guard before 1/k²
                 if k2 == 0.0 {
                     continue;
                 }

@@ -72,6 +72,7 @@ fn main() {
                         + wavenumber(ky, n).powi(2)
                         + wavenumber(kz, n).powi(2);
                     let idx = (kx * n + ky) * n + kz;
+                    // mpicheck:allow(SL012): exact-zero DC-mode guard before 1/k²
                     spectrum[idx] = if k2 == 0.0 {
                         Complex64::ZERO // zero-mean gauge for the DC mode
                     } else {
