@@ -11,7 +11,7 @@
 //! ```
 
 use fft3d::pencil::{pencil_overlap_simulated, pencil_simulated, PencilGrid};
-use fft3d::{fft3_simulated, ProblemSpec, TuningParams, Variant};
+use fft3d::{auto_select, fft3_simulated, Decomposition, ProblemSpec, TuningParams, Variant};
 use simnet::model::hopper;
 
 fn main() {
@@ -70,4 +70,54 @@ fn main() {
         ),
         None => println!("\nslabs win across the swept range (overlap + single exchange)."),
     }
+
+    // ---- auto_select validation: the model-driven chooser must land on
+    // the measured winner on both sides of the crossover. Interior points
+    // are reported (seed-parameter pricing can wobble near the flip), but
+    // a wrong pick at either end is a bug, so it aborts the bench.
+    println!("\nauto_select validation (hopper model, N = {n}³):");
+    println!("{:>6} | {:>10} | {:>10}", "p", "measured", "selected");
+    let mut endpoints: Vec<(usize, &str, &str)> = Vec::new();
+    for (i, exp) in (3..=11).enumerate() {
+        let p = 1usize << exp;
+        let spec = ProblemSpec::cube(n, 1);
+        let selected = match auto_select(hopper(), &spec, p) {
+            Ok(Decomposition::Slab) => "slab",
+            Ok(Decomposition::Pencil(_)) => "pencil",
+            Err(e) => panic!("auto_select({n}, {p}) refused: {e}"),
+        };
+        let measured =
+            if p > n {
+                "pencil" // slabs cannot even be formed past p = N
+            } else {
+                let spec = ProblemSpec::cube(n, p);
+                let slab = fft3_simulated(
+                    hopper(),
+                    spec,
+                    Variant::New,
+                    TuningParams::seed(&spec),
+                    false,
+                )
+                .time;
+                let grid = PencilGrid::near_square(p);
+                let best_pencil = pencil_simulated(hopper(), spec, grid)
+                    .min(pencil_overlap_simulated(hopper(), spec, grid, 2, 32));
+                if slab <= best_pencil {
+                    "slab"
+                } else {
+                    "pencil"
+                }
+            };
+        println!("{p:>6} | {measured:>10} | {selected:>10}");
+        if i == 0 || p > n {
+            endpoints.push((p, measured, selected));
+        }
+    }
+    for (p, measured, selected) in endpoints {
+        assert_eq!(
+            measured, selected,
+            "auto_select disagrees with the measured winner at p = {p}"
+        );
+    }
+    println!("auto_select agrees on both sides of the crossover.");
 }

@@ -1,10 +1,23 @@
-//! 1-D (slab) domain decomposition (§2.2).
+//! 1-D (slab) domain decomposition (§2.2) and slab-vs-pencil selection.
 //!
 //! The input array is split into x-slabs (one per rank); after the
 //! all-to-all it is split into y-slabs. The general case — extents not
 //! divisible by `p` — is handled the way the paper's code does ("our
 //! current code handles the general case whether Nx and Ny are divisible
 //! by p or not"): the first `N mod p` ranks carry one extra plane.
+//!
+//! [`auto_select`] chooses between this slab decomposition and the 2-D
+//! pencil decomposition ([`crate::pencil`]) per `(N, p)` by pricing both
+//! overlapped pipelines on the simnet cost model — §2.2's trade-off
+//! ("slabs can win at moderate scale, pencils scale to N²") made
+//! operational.
+
+use crate::error::Error;
+use crate::params::{ParamError, ProblemSpec, TuningParams};
+use crate::pencil::{pencil_overlap_simulated_params, pencil_seed, PencilGrid};
+use crate::real_env::Variant;
+use crate::sim_env::fft3_simulated;
+use simnet::Platform;
 
 /// How one axis of length `n` is divided among `p` ranks.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,9 +107,64 @@ impl Decomp {
     }
 }
 
+/// Which decomposition [`auto_select`] picked for a `(spec, p)` point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decomposition {
+    /// 1-D slab decomposition (the paper's design; parallelism ≤ min(Nx, Ny)).
+    Slab,
+    /// 2-D pencil decomposition on the given grid (parallelism ≤ Nx·Ny).
+    Pencil(PencilGrid),
+}
+
+/// Picks the faster decomposition for running `spec`'s problem over `p`
+/// ranks on `platform`, by pricing both **overlapped** pipelines on the
+/// simnet cost model: the slab NEW variant with its seed parameters vs the
+/// pencil backend on the near-square grid with [`pencil_seed`]. Past the
+/// slab scaling wall (`p > min(Nx, Ny)`, where slab ranks idle) the pencil
+/// wins without simulation.
+///
+/// `spec.p` is ignored; `p` is the rank count under consideration, so one
+/// spec can be swept over a ladder of scales (the `decomp_crossover`
+/// bench does exactly that).
+pub fn auto_select(
+    platform: Platform,
+    spec: &ProblemSpec,
+    p: usize,
+) -> Result<Decomposition, Error> {
+    if p == 0 {
+        return Err(ParamError::ZeroRanks.into());
+    }
+    let spec = ProblemSpec { p, ..*spec };
+    for (axis, n) in [("nx", spec.nx), ("ny", spec.ny), ("nz", spec.nz)] {
+        if n == 0 {
+            return Err(Error::from(ParamError::ZeroExtent(axis)));
+        }
+    }
+    let grid = PencilGrid::try_near_square(p)?;
+    if p > spec.nx.min(spec.ny) {
+        // Slabs cannot use more than min(Nx, Ny) ranks; no need to price.
+        return Ok(Decomposition::Pencil(grid));
+    }
+    let slab = fft3_simulated(
+        platform.clone(),
+        spec,
+        Variant::New,
+        TuningParams::seed(&spec),
+        false,
+    )
+    .time;
+    let pencil = pencil_overlap_simulated_params(platform, spec, grid, &pencil_seed(&spec, grid));
+    Ok(if slab <= pencil {
+        Decomposition::Slab
+    } else {
+        Decomposition::Pencil(grid)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simnet::model::umd_cluster;
 
     #[test]
     fn divisible_split_is_uniform() {
@@ -150,5 +218,34 @@ mod tests {
         let d = Decomp::new(10, 20, 4);
         assert_eq!(d.x.counts(), &[3, 3, 2, 2]);
         assert_eq!(d.y.counts(), &[5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn auto_select_rejects_zero_ranks() {
+        let spec = ProblemSpec::cube(64, 1);
+        assert_eq!(
+            auto_select(umd_cluster(), &spec, 0),
+            Err(Error::InfeasibleParams(ParamError::ZeroRanks))
+        );
+    }
+
+    #[test]
+    fn auto_select_goes_pencil_past_the_slab_scaling_wall() {
+        // p > min(Nx, Ny): slabs cannot even use the ranks.
+        let spec = ProblemSpec::cube(64, 1);
+        match auto_select(umd_cluster(), &spec, 128) {
+            Ok(Decomposition::Pencil(g)) => assert_eq!(g.len(), 128),
+            other => panic!("expected pencil past the wall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auto_select_prefers_slab_at_small_scale() {
+        // One exchange beats two when both fit comfortably.
+        let spec = ProblemSpec::cube(256, 1);
+        assert_eq!(
+            auto_select(umd_cluster(), &spec, 4),
+            Ok(Decomposition::Slab)
+        );
     }
 }

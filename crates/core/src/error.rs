@@ -15,6 +15,19 @@ pub enum Error {
     /// The tuning parameters fail validation for the problem and rank
     /// count; carries the specific constraint violated.
     InfeasibleParams(ParamError),
+    /// A pencil process grid does not cover the ranks it was asked to run
+    /// over (`pr · pc ≠ p`): the grid disagrees with the communicator size
+    /// or with `spec.p`. The `try_` pencil entry points return this instead
+    /// of asserting, so a mis-sized grid is a recoverable caller error, not
+    /// a panic inside a collective.
+    GridMismatch {
+        /// Grid rows.
+        pr: usize,
+        /// Grid columns.
+        pc: usize,
+        /// Ranks the grid must cover exactly.
+        expected: usize,
+    },
     /// A tile's all-to-all made no progress for the configured watchdog
     /// timeout, and the degradation ladder ran out of rungs.
     Stalled {
@@ -110,6 +123,11 @@ impl std::fmt::Display for Error {
             // wrappers format this Display, and existing callers match on
             // that message.
             Error::InfeasibleParams(e) => write!(f, "infeasible parameters: {e}"),
+            Error::GridMismatch { pr, pc, expected } => write!(
+                f,
+                "pencil grid {pr}x{pc} covers {} rank(s), expected {expected}",
+                pr * pc
+            ),
             Error::Stalled { tile, round, peer } => write!(
                 f,
                 "tile {tile} stalled in round {round} waiting on rank {peer}"
@@ -153,6 +171,20 @@ mod tests {
     fn display_keeps_the_legacy_infeasible_prefix() {
         let e = Error::InfeasibleParams(ParamError::Window(9));
         assert!(e.to_string().starts_with("infeasible parameters: "));
+    }
+
+    #[test]
+    fn grid_mismatch_names_grid_and_expectation() {
+        let e = Error::GridMismatch {
+            pr: 2,
+            pc: 3,
+            expected: 8,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("2x3") && s.contains("6") && s.contains("8"),
+            "{s}"
+        );
     }
 
     #[test]

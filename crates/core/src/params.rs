@@ -94,6 +94,9 @@ pub enum ParamError {
     /// A problem axis has zero extent; planning a transform for it is
     /// meaningless. Carries the axis name.
     ZeroExtent(&'static str),
+    /// A process grid was requested over zero ranks (`p = 0`); there is no
+    /// valid decomposition of anything over an empty communicator.
+    ZeroRanks,
 }
 
 impl std::fmt::Display for ParamError {
@@ -107,6 +110,7 @@ impl std::fmt::Display for ParamError {
             ParamError::UnpackZ(v) => write!(f, "Uz = {v} exceeds T"),
             ParamError::Threads(v) => write!(f, "Th = {v} out of range"),
             ParamError::ZeroExtent(axis) => write!(f, "axis {axis} has zero extent"),
+            ParamError::ZeroRanks => write!(f, "cannot build a process grid over zero ranks"),
         }
     }
 }

@@ -27,8 +27,9 @@ use mpisim::{CollError, Comm, IAlltoall, PersistentAlltoall};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Pins a backend fault to the tile whose exchange it hit.
-fn coll_to_error(tile: usize, e: CollError) -> Error {
+/// Pins a backend fault to the tile whose exchange it hit. Shared with the
+/// pencil backend, whose stage-2 tiles are numbered after stage 1's.
+pub(crate) fn coll_to_error(tile: usize, e: CollError) -> Error {
     match e {
         CollError::Stalled { round, peer } => Error::Stalled { tile, round, peer },
         CollError::Dropped { round, peer } => Error::Dropped { tile, round, peer },

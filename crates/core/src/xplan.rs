@@ -18,7 +18,7 @@
 //! freed before its world tears down), geometry can outlive any number of
 //! worlds and be shared freely across rank threads via `Arc`.
 
-use crate::decomp::Decomp;
+use crate::decomp::{AxisSplit, Decomp};
 use crate::params::ProblemSpec;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -55,6 +55,19 @@ pub struct ExchangeGeometry {
     pub tiles: Vec<Arc<TileExchange>>,
 }
 
+/// The per-rank schedule geometry of one pencil transform: the row
+/// exchange's tiles (z ↔ y within the rank's row, tiled along local x) and
+/// the column exchange's tiles (y ↔ x within the rank's column, tiled along
+/// local z). Counts are sized for the subcommunicator, not the world:
+/// `row[i].send_counts.len() == pc`, `col[i].send_counts.len() == pr`.
+#[derive(Debug)]
+pub struct PencilGeometry {
+    /// Stage-1 (row exchange) tiles, indexed along local x.
+    pub row: Vec<Arc<TileExchange>>,
+    /// Stage-2 (column exchange) tiles, indexed along local z.
+    pub col: Vec<Arc<TileExchange>>,
+}
+
 fn displs(counts: &[usize]) -> Vec<usize> {
     let mut d = vec![0usize; counts.len()];
     for i in 1..counts.len() {
@@ -76,22 +89,84 @@ fn build(spec: &ProblemSpec, rank: usize, t: usize) -> ExchangeGeometry {
                 (0..spec.p).map(|q| tz * nxl * decomp.y.count(q)).collect();
             let recv_counts: Vec<usize> =
                 (0..spec.p).map(|s| tz * decomp.x.count(s) * nyl).collect();
-            Arc::new(TileExchange {
-                send_displs: displs(&send_counts).into(),
-                recv_displs: displs(&recv_counts).into(),
-                total_send: send_counts.iter().sum(),
-                total_recv: recv_counts.iter().sum(),
-                send_counts: send_counts.into(),
-                recv_counts: recv_counts.into(),
-            })
+            group_tile(send_counts, recv_counts)
         })
         .collect();
     ExchangeGeometry { tiles }
 }
 
+/// One tile's counts over a subgroup of `peers` ranks: the shared shape of
+/// both pencil stages (and of the slab build above, with `peers = p`).
+fn group_tile(send_counts: Vec<usize>, recv_counts: Vec<usize>) -> Arc<TileExchange> {
+    Arc::new(TileExchange {
+        send_displs: displs(&send_counts).into(),
+        recv_displs: displs(&recv_counts).into(),
+        total_send: send_counts.iter().sum(),
+        total_recv: recv_counts.iter().sum(),
+        send_counts: send_counts.into(),
+        recv_counts: recv_counts.into(),
+    })
+}
+
+fn build_pencil(spec: &ProblemSpec, pr: usize, pc: usize, rank: usize, t: usize) -> PencilGeometry {
+    let (row, col) = (rank / pc, rank % pc);
+    let xs = AxisSplit::new(spec.nx, pr); // X_r
+    let ys = AxisSplit::new(spec.ny, pc); // Y_c
+    let zs = AxisSplit::new(spec.nz, pc); // Z_c
+    let y2s = AxisSplit::new(spec.ny, pr); // Y2_r
+    let (nxl, nyc) = (xs.count(row), ys.count(col));
+    let nzl = zs.count(col);
+    let ny2l = y2s.count(row);
+
+    // Stage 1 tiles along local x. Every member of the row shares `row`,
+    // hence nxl and the tile partition — the counts below therefore agree
+    // pairwise across the row communicator.
+    let xt = t.clamp(1, nxl.max(1));
+    let k1 = nxl.div_ceil(xt);
+    let row_tiles = (0..k1)
+        .map(|i| {
+            let x0 = i * xt;
+            let cnt = (x0 + xt).min(nxl) - x0;
+            let send: Vec<usize> = (0..pc).map(|j| cnt * nyc * zs.count(j)).collect();
+            let recv: Vec<usize> = (0..pc).map(|s| cnt * ys.count(s) * nzl).collect();
+            group_tile(send, recv)
+        })
+        .collect();
+
+    // Stage 2 tiles along local z. Every member of the column shares `col`,
+    // hence nzl and the tile partition.
+    let zt = t.clamp(1, nzl.max(1));
+    let k2 = nzl.div_ceil(zt);
+    let col_tiles = (0..k2)
+        .map(|i| {
+            let z0 = i * zt;
+            let cnt = (z0 + zt).min(nzl) - z0;
+            let send: Vec<usize> = (0..pr).map(|j| nxl * y2s.count(j) * cnt).collect();
+            let recv: Vec<usize> = (0..pr).map(|s| xs.count(s) * ny2l * cnt).collect();
+            group_tile(send, recv)
+        })
+        .collect();
+
+    PencilGeometry {
+        row: row_tiles,
+        col: col_tiles,
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct GeomKey {
     p: usize,
+    rank: usize,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    t: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PencilKey {
+    pr: usize,
+    pc: usize,
     rank: usize,
     nx: usize,
     ny: usize,
@@ -106,6 +181,18 @@ struct Entry {
 
 struct Inner {
     map: HashMap<GeomKey, Entry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+struct PencilEntry {
+    geom: Arc<PencilGeometry>,
+    last_used: u64,
+}
+
+struct PencilInner {
+    map: HashMap<PencilKey, PencilEntry>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -128,6 +215,7 @@ pub struct GeomCacheStats {
 /// point (the same discipline as [`cfft::PlanCache`]).
 pub struct TransformPlanCache {
     inner: Mutex<Inner>,
+    pencil: Mutex<PencilInner>,
     capacity: usize,
 }
 
@@ -143,6 +231,12 @@ impl TransformPlanCache {
         assert!(capacity >= 1, "cache capacity must be ≥ 1");
         TransformPlanCache {
             inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+                hits: 0,
+                misses: 0,
+            }),
+            pencil: Mutex::new(PencilInner {
                 map: HashMap::new(),
                 clock: 0,
                 hits: 0,
@@ -210,9 +304,71 @@ impl TransformPlanCache {
         (geom, false)
     }
 
+    /// The cached pencil geometry for `rank`'s view of `(spec, pr × pc, t)`
+    /// — both stages' per-tile counts, sized for the row/column
+    /// subcommunicators. Builds (and caches) on first use; the boolean is
+    /// `true` on a hit.
+    pub fn pencil_geometry(
+        &self,
+        spec: &ProblemSpec,
+        pr: usize,
+        pc: usize,
+        rank: usize,
+        t: usize,
+    ) -> (Arc<PencilGeometry>, bool) {
+        let key = PencilKey {
+            pr,
+            pc,
+            rank,
+            nx: spec.nx,
+            ny: spec.ny,
+            nz: spec.nz,
+            t,
+        };
+        let mut inner = self.pencil.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(e) = inner.map.get_mut(&key) {
+            e.last_used = clock;
+            let geom = e.geom.clone();
+            inner.hits += 1;
+            return (geom, true);
+        }
+        let geom = Arc::new(build_pencil(spec, pr, pc, rank, t));
+        inner.misses += 1;
+        if inner.map.len() >= self.capacity {
+            if let Some(&victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        inner.map.insert(
+            key,
+            PencilEntry {
+                geom: geom.clone(),
+                last_used: clock,
+            },
+        );
+        (geom, false)
+    }
+
     /// A snapshot of the cache's counters.
     pub fn stats(&self) -> GeomCacheStats {
         let inner = self.inner.lock();
+        GeomCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+        }
+    }
+
+    /// A snapshot of the pencil-geometry side's counters.
+    pub fn pencil_stats(&self) -> GeomCacheStats {
+        let inner = self.pencil.lock();
         GeomCacheStats {
             hits: inner.hits,
             misses: inner.misses,
@@ -296,6 +452,70 @@ mod tests {
         assert!(hit, "the entry just inserted at capacity must survive");
         let (_, hit) = cache.geometry(&spec(), 0, 2);
         assert!(!hit, "the LRU entry was the one evicted");
+    }
+
+    #[test]
+    fn pencil_geometry_caches_and_counts_match_pairwise() {
+        let cache = TransformPlanCache::new();
+        let spec = ProblemSpec {
+            nx: 7,
+            ny: 9,
+            nz: 10,
+            p: 6,
+        };
+        let (pr, pc) = (3, 2);
+        let (a, hit_a) = cache.pencil_geometry(&spec, pr, pc, 0, 2);
+        let (b, hit_b) = cache.pencil_geometry(&spec, pr, pc, 0, 2);
+        assert!(!hit_a && hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.pencil_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+
+        // Pairwise consistency: what rank (r, c) sends to row-peer j must be
+        // what (r, j) expects from source c, tile by tile — and likewise for
+        // the column exchange. This is the invariant `ialltoallv` asserts at
+        // runtime; pin it statically here.
+        let geoms: Vec<_> = (0..spec.p)
+            .map(|rank| cache.pencil_geometry(&spec, pr, pc, rank, 2).0)
+            .collect();
+        for r in 0..pr {
+            for c in 0..pc {
+                let me = &geoms[r * pc + c];
+                for j in 0..pc {
+                    let peer = &geoms[r * pc + j];
+                    assert_eq!(me.row.len(), peer.row.len(), "row tile counts agree");
+                    for (ti, tile) in me.row.iter().enumerate() {
+                        assert_eq!(
+                            tile.send_counts[j], peer.row[ti].recv_counts[c],
+                            "row tile {ti}: ({r},{c})→({r},{j})"
+                        );
+                    }
+                }
+                for j in 0..pr {
+                    let peer = &geoms[j * pc + c];
+                    assert_eq!(me.col.len(), peer.col.len(), "col tile counts agree");
+                    for (ti, tile) in me.col.iter().enumerate() {
+                        assert_eq!(
+                            tile.send_counts[j], peer.col[ti].recv_counts[r],
+                            "col tile {ti}: ({r},{c})→({j},{c})"
+                        );
+                    }
+                }
+            }
+        }
+        // Totals over all tiles cover the full local block on both sides.
+        let xs = AxisSplit::new(spec.nx, pr);
+        let ys = AxisSplit::new(spec.ny, pc);
+        let zs = AxisSplit::new(spec.nz, pc);
+        for r in 0..pr {
+            for c in 0..pc {
+                let g = &geoms[r * pc + c];
+                let sent: usize = g.row.iter().map(|t| t.total_send).sum();
+                assert_eq!(sent, xs.count(r) * ys.count(c) * spec.nz);
+                let recvd: usize = g.row.iter().map(|t| t.total_recv).sum();
+                assert_eq!(recvd, xs.count(r) * spec.ny * zs.count(c));
+            }
+        }
     }
 
     #[test]

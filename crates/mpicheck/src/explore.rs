@@ -364,6 +364,131 @@ pub fn explore_persistent(
     )
 }
 
+/// The pencil acceptance workload: the overlapped 2-D pencil backend on a
+/// small grid — row *and* column subcommunicator `Ialltoall`s in flight
+/// under every delivery interleaving — with each rank validating its
+/// output pencil against the serial reference transform. Checked mode
+/// rides along, so an unmatched post, a rank-divergent collective on a
+/// subcommunicator, or a deadlock across the two exchange rounds surfaces
+/// as an MC001–MC007 finding and fails the schedule.
+pub fn explore_pencil(
+    cfg: &ExploreConfig,
+    grid_n: usize,
+    progress: impl FnMut(u64, u64),
+) -> ExploreReport {
+    use cfft::Direction;
+    use fft3d::serial::{fft3_serial, full_test_array};
+    use fft3d::{
+        compare_pencil_with_serial, pencil_seed, pencil_test_input, try_fft3_pencil_overlapped,
+        PencilGrid, ProblemSpec,
+    };
+    use std::sync::Arc;
+
+    let spec = ProblemSpec::cube(grid_n, cfg.ranks);
+    let grid = PencilGrid::near_square(cfg.ranks);
+    // Force a multi-tile window so both exchange rounds keep several
+    // subcommunicator all-to-alls in flight per schedule.
+    let mut params = pencil_seed(&spec, grid);
+    params.t = 1;
+    let mut reference = full_test_array(spec.nx, spec.ny, spec.nz);
+    fft3_serial(
+        &mut reference,
+        spec.nx,
+        spec.ny,
+        spec.nz,
+        Direction::Forward,
+    );
+    let reference = Arc::new(reference);
+    let tolerance = 1e-9 * (spec.len() as f64).max(1.0);
+
+    explore(
+        cfg,
+        tolerance,
+        move |comm| {
+            let input = pencil_test_input(&spec, grid, comm.rank());
+            let out =
+                try_fft3_pencil_overlapped(&comm, spec, grid, params, Direction::Forward, &input)
+                    .unwrap_or_else(|e| panic!("pencil pipeline fault under exploration: {e}"));
+            Some(compare_pencil_with_serial(
+                &spec,
+                grid,
+                comm.rank(),
+                &out.output,
+                &reference,
+            ))
+        },
+        progress,
+    )
+}
+
+/// The pencil persistent-plan sweep: one [`fft3d::PencilSession`] executed
+/// three times per schedule — per-tile `alltoallv_init` on the row *and*
+/// column subcommunicators during the first execution, plan reuse on the
+/// later two, then `free` — under every delivery interleaving. A
+/// steady-state execution that re-negotiates setup, a plan leaked without
+/// `free` (MC006), or an output that deviates from the serial oracle fails
+/// the schedule.
+pub fn explore_pencil_persistent(
+    cfg: &ExploreConfig,
+    grid_n: usize,
+    progress: impl FnMut(u64, u64),
+) -> ExploreReport {
+    use cfft::Direction;
+    use fft3d::serial::{fft3_serial, full_test_array};
+    use fft3d::{
+        compare_pencil_with_serial, pencil_seed, pencil_test_input, PencilGrid, PencilSession,
+        ProblemSpec,
+    };
+    use std::sync::Arc;
+
+    let spec = ProblemSpec::cube(grid_n, cfg.ranks);
+    let grid = PencilGrid::near_square(cfg.ranks);
+    let mut params = pencil_seed(&spec, grid);
+    params.t = 1;
+    let mut reference = full_test_array(spec.nx, spec.ny, spec.nz);
+    fft3_serial(
+        &mut reference,
+        spec.nx,
+        spec.ny,
+        spec.nz,
+        Direction::Forward,
+    );
+    let reference = Arc::new(reference);
+    let tolerance = 1e-9 * (spec.len() as f64).max(1.0);
+
+    explore(
+        cfg,
+        tolerance,
+        move |comm| {
+            let input = pencil_test_input(&spec, grid, comm.rank());
+            let mut session = PencilSession::new(&comm, spec, grid, params, Direction::Forward)
+                .unwrap_or_else(|e| panic!("pencil session refused under exploration: {e}"));
+            let mut worst = 0.0f64;
+            for exec in 0..3 {
+                let out = session.execute(&input).unwrap_or_else(|e| {
+                    panic!("pencil persistent execution {exec} faulted under exploration: {e}")
+                });
+                if exec > 0 && out.exchange_setups != 0 {
+                    panic!(
+                        "pencil execution {exec} re-negotiated {} exchange setups",
+                        out.exchange_setups
+                    );
+                }
+                worst = worst.max(compare_pencil_with_serial(
+                    &spec,
+                    grid,
+                    comm.rank(),
+                    &out.output,
+                    &reference,
+                ));
+            }
+            session.free();
+            Some(worst)
+        },
+        progress,
+    )
+}
+
 /// The recovery acceptance sweep: for every schedule in `cfg`'s plan, kill
 /// `victim` at the first, middle, and last tile boundary (three fault plans
 /// per schedule) and require the survivors to recover elastically — agree
@@ -641,6 +766,34 @@ mod tests {
             max_hold: 2,
         };
         let report = explore_persistent(&cfg, 6, |_, _| {});
+        assert_eq!(report.schedules_run, 5);
+        assert!(report.is_clean(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn pencil_sweep_is_clean_on_a_small_plan() {
+        let cfg = ExploreConfig {
+            ranks: 4,
+            random_seeds: 0..3,
+            systematic_bits: 1,
+            defer_prob: 0.35,
+            max_hold: 2,
+        };
+        let report = explore_pencil(&cfg, 8, |_, _| {});
+        assert_eq!(report.schedules_run, 5);
+        assert!(report.is_clean(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn pencil_persistent_sweep_is_clean_on_a_small_plan() {
+        let cfg = ExploreConfig {
+            ranks: 4,
+            random_seeds: 0..3,
+            systematic_bits: 1,
+            defer_prob: 0.35,
+            max_hold: 2,
+        };
+        let report = explore_pencil_persistent(&cfg, 8, |_, _| {});
         assert_eq!(report.schedules_run, 5);
         assert!(report.is_clean(), "{:?}", report.failures);
     }

@@ -26,9 +26,13 @@
 //!   no completion path (`wait`/`cancel`) at all. File-level backstop;
 //!   SL008 does the per-path reasoning.
 //! * **SL004** (error) — direct `Planner::new` outside `crates/cfft/src`;
-//!   consumers must draw plans from `PlanCache::global()`.
+//!   consumers must draw plans from `PlanCache::global()`. Every transform
+//!   entry point is in scope, the pencil family (`try_fft3_pencil*`,
+//!   `PencilSession`) as much as the slab `fft3_dist*` paths.
 //! * **SL005** (error) — `.expect(` in a recovery-path module (path
-//!   contains `recover`): recovery code must degrade, never die.
+//!   contains `recover`): recovery code must degrade, never die. Covers
+//!   the pencil backend's two-round degradation ladder alongside the
+//!   slab ladder.
 //! * **SL006** (error) — rank-divergent collective: a collective reachable
 //!   only under control flow derived from `.rank()` (the ParCoach-style
 //!   mismatch shape). The mpisim/simnet runtime itself is exempt — it

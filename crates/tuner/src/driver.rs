@@ -12,8 +12,11 @@
 //! 5. *Constructed initial simplex* — seeded at the §4.4 default point.
 
 use crate::nelder_mead::{initial_simplex, minimize};
-use crate::space::{decode_new, decode_th, encode_new, new_space, th_space, Space};
-use fft3d::{ProblemSpec, ThParams, TuningParams};
+use crate::space::{
+    decode_new, decode_pencil, decode_th, encode_new, encode_pencil, new_space, pencil_space,
+    th_space, Space,
+};
+use fft3d::{pencil_feasible, pencil_seed, PencilGrid, ProblemSpec, ThParams, TuningParams};
 use std::collections::HashMap;
 
 /// Outcome of one auto-tuning run.
@@ -211,6 +214,30 @@ pub fn tune_new<'a>(
     )
 }
 
+/// Auto-tunes the overlapped pencil backend: the eleven NEW knobs **plus
+/// the process-grid shape** `(pr, pc)`, searched as a constrained
+/// dimension over the divisor pairs of `spec.p`. The objective is
+/// typically `fft3d::pencil_overlap_simulated_params` or a real measured
+/// run; the seed is [`pencil_seed`] on the near-square grid.
+pub fn tune_pencil<'a>(
+    spec: &ProblemSpec,
+    objective: impl FnMut(&(TuningParams, PencilGrid)) -> f64 + 'a,
+    max_evals: usize,
+) -> TuneResult<(TuningParams, PencilGrid)> {
+    let space = pencil_space(spec);
+    let seed_grid = PencilGrid::near_square(spec.p);
+    let seed = pencil_seed(spec, seed_grid);
+    let spec = *spec;
+    run_search(
+        &space,
+        encode_pencil(&spec, &seed, seed_grid),
+        move |values: &[usize]| decode_pencil(&spec, values),
+        move |(p, g): &(TuningParams, PencilGrid)| pencil_feasible(&spec, *g, p),
+        Box::new(objective),
+        max_evals,
+    )
+}
+
 /// Auto-tunes the three TH parameters (the comparator is tuned with the
 /// same machinery "for fair comparison", §5.1).
 pub fn tune_th<'a>(
@@ -315,6 +342,48 @@ mod tests {
         let res = tune_new(&s, synthetic, 150);
         let sum: f64 = res.history.iter().map(|(_, v)| v).sum();
         assert!((sum - res.tuning_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pencil_tuning_searches_the_grid_shape() {
+        // Synthetic objective that strongly prefers square-ish grids and
+        // T near 4: the tuner must move the G dimension off bad shapes.
+        let s = ProblemSpec::cube(64, 16);
+        let res = tune_pencil(
+            &s,
+            |(p, g)| {
+                let aspect = (g.pr as f64 / g.pc as f64).log2().abs();
+                1.0 + aspect + 0.1 * ((p.t as f64).log2() - 2.0).abs()
+            },
+            300,
+        );
+        let (params, grid) = res.best;
+        assert!(fft3d::pencil_feasible(&s, grid, &params));
+        assert_eq!(grid, PencilGrid { pr: 4, pc: 4 }, "square grid wins");
+        assert!(res.executed > 0);
+    }
+
+    #[test]
+    fn pencil_tuning_on_the_cost_model_beats_or_matches_the_seed() {
+        use simnet::model::umd_cluster;
+        let s = ProblemSpec::cube(128, 8);
+        let seed_grid = PencilGrid::near_square(8);
+        let seed_cost = fft3d::pencil_overlap_simulated_params(
+            umd_cluster(),
+            s,
+            seed_grid,
+            &pencil_seed(&s, seed_grid),
+        );
+        let res = tune_pencil(
+            &s,
+            |(p, g)| fft3d::pencil_overlap_simulated_params(umd_cluster(), s, *g, p),
+            60,
+        );
+        assert!(
+            res.best_value <= seed_cost + 1e-12,
+            "tuned {} vs seed {seed_cost}",
+            res.best_value
+        );
     }
 
     #[test]

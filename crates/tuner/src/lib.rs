@@ -24,5 +24,5 @@ pub mod random;
 pub mod space;
 
 pub use anneal::{anneal_new, coordinate_descent_new, AnnealResult};
-pub use driver::{tune_new, tune_th, TuneResult, DEFAULT_MAX_EVALS};
+pub use driver::{tune_new, tune_pencil, tune_th, TuneResult, DEFAULT_MAX_EVALS};
 pub use random::{percentile_rank, random_configs, random_search};

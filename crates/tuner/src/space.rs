@@ -6,7 +6,7 @@
 //! … As an exception, the log-scale reduction is not applied to W because
 //! there are few possible values for W."
 
-use fft3d::{ProblemSpec, ThParams, TuningParams};
+use fft3d::{PencilGrid, ProblemSpec, ThParams, TuningParams};
 
 /// One searchable dimension: an ordered list of candidate values.
 #[derive(Debug, Clone)]
@@ -178,6 +178,41 @@ pub fn encode_new(p: &TuningParams) -> Vec<usize> {
     ]
 }
 
+/// Builds the twelve-dimensional pencil space: the eleven NEW knobs plus
+/// `G`, the process-grid shape as an index into
+/// [`PencilGrid::divisor_pairs`]`(p)`. The grid shape is a *constrained*
+/// dimension — only divisor pairs of `p` are representable — so the
+/// simplex moves along the ordered divisor list rather than over a
+/// (mostly infeasible) `pr × pc` rectangle. `T` tiles the pencil stages
+/// along local x and z (the backend clamps it per stage), and the slab
+/// subtile knobs (`Px`/`Pz`/`Uy`/`Uz`) are inert for this backend but
+/// kept so both spaces share structure and seed encoding.
+pub fn pencil_space(spec: &ProblemSpec) -> Space {
+    let mut dims = new_space(spec).dims;
+    let npairs = PencilGrid::divisor_pairs(spec.p).len().max(1);
+    dims.push(DimSpec::full_range("G", 0, npairs - 1));
+    Space { dims }
+}
+
+/// Decodes a twelve-value vector from [`pencil_space`] into the tuning
+/// parameters and the grid shape.
+pub fn decode_pencil(spec: &ProblemSpec, values: &[usize]) -> (TuningParams, PencilGrid) {
+    assert_eq!(values.len(), 12);
+    let pairs = PencilGrid::divisor_pairs(spec.p);
+    let grid = pairs[values[11].min(pairs.len().saturating_sub(1))];
+    (decode_new(&values[..11]), grid)
+}
+
+/// Encodes a `(params, grid)` pair into the value vector of
+/// [`pencil_space`]. A grid that is not a divisor pair of `spec.p` maps
+/// to index 0 (the `1×p` shape).
+pub fn encode_pencil(spec: &ProblemSpec, params: &TuningParams, grid: PencilGrid) -> Vec<usize> {
+    let mut v = encode_new(params);
+    let pairs = PencilGrid::divisor_pairs(spec.p);
+    v.push(pairs.iter().position(|g| *g == grid).unwrap_or(0));
+    v
+}
+
 /// Builds the three-dimensional TH space (T, W, F).
 pub fn th_space(spec: &ProblemSpec) -> Space {
     let f_max = (16 * spec.p).next_power_of_two().clamp(64, 4096);
@@ -255,6 +290,29 @@ mod tests {
         // The seed is on-grid for cubes of powers of two, so the round trip
         // is exact.
         assert_eq!(decoded, seed);
+    }
+
+    #[test]
+    fn pencil_space_adds_the_grid_dimension() {
+        let spec = ProblemSpec::cube(256, 16);
+        let s = pencil_space(&spec);
+        assert_eq!(s.ndims(), 12);
+        // 16 has five divisors: 1, 2, 4, 8, 16.
+        assert_eq!(s.dims[11].len(), 5);
+        assert_eq!(s.dims[11].name, "G");
+    }
+
+    #[test]
+    fn pencil_decode_encode_round_trips_grid_shapes() {
+        let spec = ProblemSpec::cube(64, 12);
+        let s = pencil_space(&spec);
+        let params = fft3d::pencil_seed(&spec, PencilGrid { pr: 3, pc: 4 });
+        for grid in PencilGrid::divisor_pairs(12) {
+            let v = encode_pencil(&spec, &params, grid);
+            let coords = s.encode(&v);
+            let (_, decoded) = decode_pencil(&spec, &s.decode(&coords));
+            assert_eq!(decoded, grid);
+        }
     }
 
     #[test]

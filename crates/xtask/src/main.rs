@@ -26,8 +26,17 @@
 //!   the persistent-plan sweep: each schedule runs one `FftSession` three
 //!   times (setup-once, execute-many), so the start/test/wait cycles of
 //!   long-lived all-to-all plans — and their `free` discipline (MC006) —
-//!   face every delivery interleaving. Exit 1 on any finding, panic,
-//!   re-negotiated setup, or numerical deviation.
+//!   face every delivery interleaving; a second pass does the same with a
+//!   `PencilSession`, whose plans live on the row/column subcommunicators.
+//!   Exit 1 on any finding, panic, re-negotiated setup, or numerical
+//!   deviation.
+//! * `pencil [--seed-base N] [--ranks N] [--grid N] [--schedules N]` —
+//!   sweep the overlapped 2-D pencil backend over the same schedule
+//!   families: both exchange rounds (z↔y on the row subcommunicator, then
+//!   y↔x on the column subcommunicator) keep windowed `Ialltoall`s in
+//!   flight under every delivery interleaving, and every rank's output
+//!   pencil must stay serial-exact. Exit 1 on any MC001–MC007 finding,
+//!   panic, or numerical deviation.
 //! * `corrupt [--seed-base N] [--ranks N] [--grid N] [--schedules N]
 //!   [--victim N]` — the data-integrity sweep: every schedule runs under a
 //!   clean control plan, seeded wire payload corruption, and a silent
@@ -36,8 +45,8 @@
 //!   must be caught and healed, every output serial-exact. Exit 1
 //!   otherwise.
 //! * `check` — `lint`, then `explore` with the acceptance-gate defaults
-//!   (≥ 200 schedules, 4 ranks, grid 8), then compact `persist`,
-//!   `recover`, and `corrupt` sweeps.
+//!   (≥ 200 schedules, 4 ranks, grid 8), then compact `pencil`,
+//!   `persist`, `recover`, and `corrupt` sweeps.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
@@ -63,9 +72,13 @@ fn usage() -> ExitCode {
          \x20      [--update-baseline]  run static analysis (SL001–SL014)\n\
          \x20 explore [--seed-base N]   sweep pipeline delivery schedules\n\
          \x20         [--ranks N] [--grid N] [--schedules N]\n\
-         \x20 persist [--seed-base N]   persistent-plan sweep (one session,\n\
+         \x20 pencil  [--seed-base N]   sweep the overlapped 2-D pencil\n\
          \x20         [--ranks N] [--grid N] [--schedules N]\n\
-         \x20                           three executions per schedule)\n\
+         \x20                           backend (row+column Ialltoalls)\n\
+         \x20 persist [--seed-base N]   persistent-plan sweep (slab and\n\
+         \x20         [--ranks N] [--grid N] [--schedules N]\n\
+         \x20                           pencil sessions, three executions\n\
+         \x20                           per schedule)\n\
          \x20 recover [--seed-base N]   rank-death recovery sweep (crash at\n\
          \x20         [--ranks N] [--grid N] [--schedules N] [--victim N]\n\
          \x20                           first/middle/last tile per schedule)\n\
@@ -73,8 +86,8 @@ fn usage() -> ExitCode {
          \x20         [--ranks N] [--grid N] [--schedules N] [--victim N]\n\
          \x20                           corruption + memory bit-flips; zero\n\
          \x20                           undetected corruptions gate)\n\
-         \x20 check                     lint + explore + persist + recover\n\
-         \x20                           + corrupt (acceptance gate)"
+         \x20 check                     lint + explore + pencil + persist\n\
+         \x20                           + recover + corrupt (acceptance gate)"
     );
     ExitCode::FAILURE
 }
@@ -189,7 +202,31 @@ fn run_persist(args: &[String]) -> bool {
     );
     let report = mpicheck::explore_persistent(&cfg, grid, progress_bar);
     println!();
-    summarize("persist", &report)
+    let slab_ok = summarize("persist", &report);
+    println!(
+        "persist(pencil): {} schedules × 3 executions of one pencil session \
+         (plans on row/column subcommunicators), grid {grid}^3, {} ranks",
+        cfg.schedules(),
+        cfg.ranks
+    );
+    let report = mpicheck::explore_pencil_persistent(&cfg, grid, progress_bar);
+    println!();
+    slab_ok && summarize("persist(pencil)", &report)
+}
+
+fn run_pencil(args: &[String]) -> bool {
+    let (cfg, grid) = sweep_config(args);
+    println!(
+        "pencil: {} schedules of the overlapped 2-D pencil backend, \
+         grid {grid}^3, {} ranks (random seeds {:?} + {}-bit systematic sweep)",
+        cfg.schedules(),
+        cfg.ranks,
+        cfg.random_seeds,
+        cfg.systematic_bits
+    );
+    let report = mpicheck::explore_pencil(&cfg, grid, progress_bar);
+    println!();
+    summarize("pencil", &report)
 }
 
 fn run_recover(args: &[String]) -> bool {
@@ -254,6 +291,7 @@ fn main() -> ExitCode {
     let ok = match args.first().map(String::as_str) {
         Some("lint") => run_lint(&root, &args[1..]),
         Some("explore") => run_explore(&args[1..]),
+        Some("pencil") => run_pencil(&args[1..]),
         Some("persist") => run_persist(&args[1..]),
         Some("recover") => run_recover(&args[1..]),
         Some("corrupt") => run_corrupt(&args[1..]),
@@ -270,10 +308,11 @@ fn main() -> ExitCode {
             if parse_flag(&compact_args, "--schedules").is_none() {
                 compact_args.extend(["--schedules".to_owned(), "80".to_owned()]);
             }
+            let pencil_ok = run_pencil(&compact_args);
             let persist_ok = run_persist(&compact_args);
             let recover_ok = run_recover(&compact_args);
             let corrupt_ok = run_corrupt(&compact_args);
-            let all = lint_ok && explore_ok && persist_ok && recover_ok && corrupt_ok;
+            let all = lint_ok && explore_ok && pencil_ok && persist_ok && recover_ok && corrupt_ok;
             if all {
                 println!("check: all gates passed");
             }

@@ -1,0 +1,236 @@
+//! Tier-1 acceptance tests for the overlapped 2-D pencil backend:
+//! grid-construction invariants over every rank count, serial exactness
+//! across swept grid shapes (square, `1×p`, `p×1`, non-divisible extents)
+//! and both transform directions, the simulated overlap win at 256 ranks,
+//! slab/pencil auto-selection on both sides of the crossover, the typed
+//! error contracts of the `try_` entry points (the two pinned regressions
+//! of this sweep), and stall recovery across the two exchange rounds.
+
+use cfft::{Complex64, Direction};
+use fft3d::serial::{fft3_serial, full_test_array};
+use fft3d::{
+    auto_select, compare_pencil_with_serial, pencil_overlap_simulated, pencil_seed,
+    pencil_simulated, pencil_test_input, try_fft3_pencil, try_fft3_pencil_overlapped,
+    try_fft3_pencil_overlapped_traced, Decomposition, Error, NoopRecorder, PencilGrid, ProblemSpec,
+    Resilience,
+};
+use mpisim::FaultPlan;
+use proptest::prelude::*;
+use simnet::model::umd_cluster;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Seed for the fault plans in this file; CI sweeps a matrix of values.
+fn fault_seed() -> u64 {
+    std::env::var("FFT3D_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+fn serial_reference(spec: &ProblemSpec, dir: Direction) -> Arc<Vec<Complex64>> {
+    let mut reference = full_test_array(spec.nx, spec.ny, spec.nz);
+    fft3_serial(&mut reference, spec.nx, spec.ny, spec.nz, dir);
+    Arc::new(reference)
+}
+
+/// Small but varied pencil cases: every divisor-pair grid shape of up to
+/// eight ranks (including the degenerate `1×p` and `p×1` rows/columns)
+/// over extents that do not necessarily divide by the grid.
+fn pencil_case() -> impl Strategy<Value = (ProblemSpec, PencilGrid)> {
+    (1usize..=8, 2usize..=9, 2usize..=9, 2usize..=9).prop_flat_map(|(p, nx, ny, nz)| {
+        (
+            Just(ProblemSpec { nx, ny, nz, p }),
+            prop::sample::select(PencilGrid::divisor_pairs(p)),
+        )
+    })
+}
+
+proptest! {
+    /// The ISSUE's `near_square` contract, pinned over every rank count a
+    /// deployment could plausibly use: the factorisation always covers
+    /// exactly `p` ranks with `pr ≤ pc`.
+    #[test]
+    fn near_square_factorises_every_rank_count(p in 1usize..=4096) {
+        let g = PencilGrid::near_square(p);
+        prop_assert_eq!(g.pr * g.pc, p, "near_square({}) = {}x{}", p, g.pr, g.pc);
+        prop_assert!(g.pr <= g.pc, "near_square({}) = {}x{}", p, g.pr, g.pc);
+    }
+
+    /// Pencil = serial, bit for bit, for both entry points (blocking and
+    /// overlapped), across grid shapes and both directions. The two
+    /// distributed paths must also agree with *each other* exactly: the
+    /// overlap machinery may reorder communication, never arithmetic.
+    #[test]
+    fn pencil_matches_serial_across_grid_shapes_and_directions(
+        (spec, grid) in pencil_case(),
+        forward: bool,
+    ) {
+        let dir = if forward { Direction::Forward } else { Direction::Backward };
+        let reference = serial_reference(&spec, dir);
+        let params = pencil_seed(&spec, grid);
+        let results = mpisim::run(spec.p, move |comm| {
+            let input = pencil_test_input(&spec, grid, comm.rank());
+            let blocking = try_fft3_pencil(&comm, spec, grid, dir, &input)
+                .unwrap_or_else(|e| panic!("blocking pencil failed: {e}"));
+            let overlapped =
+                try_fft3_pencil_overlapped(&comm, spec, grid, params, dir, &input)
+                    .unwrap_or_else(|e| panic!("overlapped pencil failed: {e}"));
+            let bits = |d: &[Complex64]| -> Vec<(u64, u64)> {
+                d.iter().map(|c| (c.re.to_bits(), c.im.to_bits())).collect()
+            };
+            let exact = bits(&overlapped.output.data) == bits(&blocking.data);
+            let err = compare_pencil_with_serial(
+                &spec,
+                grid,
+                comm.rank(),
+                &overlapped.output,
+                &reference,
+            );
+            (exact, err)
+        });
+        for (rank, (exact, err)) in results.into_iter().enumerate() {
+            prop_assert!(
+                exact,
+                "rank {}: overlapped differs from blocking for {:?} {:?}",
+                rank, spec, grid
+            );
+            prop_assert!(
+                err == 0.0,
+                "rank {}: error {} vs serial for {:?} {:?} {:?}",
+                rank, err, spec, grid, dir
+            );
+        }
+    }
+}
+
+/// The acceptance bar of the ISSUE: at 256 ranks on the calibrated
+/// cluster model, the tile-windowed pencil exchanges must beat the
+/// blocking two-round path in simulated time.
+#[test]
+fn overlapped_pencil_beats_blocking_at_256_ranks() {
+    let spec = ProblemSpec::cube(256, 256);
+    let grid = PencilGrid::near_square(256);
+    assert_eq!((grid.pr, grid.pc), (16, 16));
+    let blocking = pencil_simulated(umd_cluster(), spec, grid);
+    let overlapped = pencil_overlap_simulated(umd_cluster(), spec, grid, 2, 64);
+    assert!(
+        overlapped < blocking,
+        "overlap {overlapped:.6}s does not beat blocking {blocking:.6}s at 256 ranks"
+    );
+}
+
+/// `auto_select` picks the faster decomposition on both sides of the
+/// crossover: slab where whole-plane slabs exist and win on the cost
+/// model, pencil past the `p > min(nx, ny)` scaling wall where slabs
+/// cannot even be formed (§6 of the paper's motivation).
+#[test]
+fn auto_select_picks_each_side_of_the_crossover() {
+    // Slab side: 4 ranks over 256³ — each rank holds 64 full planes and
+    // the one-round slab exchange is cheaper than two pencil rounds.
+    let spec = ProblemSpec::cube(256, 1);
+    match auto_select(umd_cluster(), &spec, 4) {
+        Ok(Decomposition::Slab) => {}
+        other => panic!("expected Slab at 256^3 / 4 ranks, got {other:?}"),
+    }
+    // Pencil side: 128 ranks over 64³ — past the slab wall (p > nx), only
+    // the 2-D grid keeps every rank busy.
+    let spec = ProblemSpec::cube(64, 1);
+    match auto_select(umd_cluster(), &spec, 128) {
+        Ok(Decomposition::Pencil(grid)) => {
+            assert_eq!(grid.len(), 128);
+            assert!(grid.pr > 1, "past the wall the grid must be 2-D");
+        }
+        other => panic!("expected Pencil at 64^3 / 128 ranks, got {other:?}"),
+    }
+}
+
+/// Pinned regression (ISSUE bugfix #1): a grid that disagrees with the
+/// communicator is a typed [`Error::GridMismatch`] from both `try_` entry
+/// points — never the old `assert_eq!` panic from inside a collective.
+#[test]
+fn grid_mismatch_is_a_typed_error_on_both_entry_points() {
+    let spec = ProblemSpec::cube(8, 4);
+    let results = mpisim::run(4, move |comm| {
+        let bad = PencilGrid { pr: 2, pc: 3 };
+        let input = vec![Complex64::ZERO; 4];
+        let params = pencil_seed(&spec, bad);
+        let blocking = try_fft3_pencil(&comm, spec, bad, Direction::Forward, &input);
+        let overlapped =
+            try_fft3_pencil_overlapped(&comm, spec, bad, params, Direction::Forward, &input);
+        (blocking.err(), overlapped.err())
+    });
+    for (rank, (blocking, overlapped)) in results.into_iter().enumerate() {
+        for err in [blocking, overlapped] {
+            match err {
+                Some(Error::GridMismatch {
+                    pr: 2,
+                    pc: 3,
+                    expected: 4,
+                }) => {}
+                other => panic!("rank {rank}: expected GridMismatch, got {other:?}"),
+            }
+        }
+    }
+}
+
+/// Pinned regression (ISSUE bugfix #2): zero ranks is a typed error, not
+/// a silently-empty `1×0` grid whose `coords` would divide by zero.
+#[test]
+fn zero_ranks_is_a_typed_error_not_an_empty_grid() {
+    let err = PencilGrid::try_near_square(0).expect_err("p = 0 must be rejected");
+    assert!(
+        err.to_string().contains("zero ranks"),
+        "unexpected error: {err}"
+    );
+    assert!(auto_select(umd_cluster(), &ProblemSpec::cube(8, 1), 0).is_err());
+}
+
+/// A straggler on the pencil path: rank 1 delays every send far past the
+/// watchdog, so waits on *both* subcommunicator exchange rounds must trip
+/// the degradation ladder and still land a serial-exact spectrum.
+#[test]
+fn pencil_straggler_stall_recovers_and_matches_serial() {
+    let spec = ProblemSpec::cube(12, 4);
+    let grid = PencilGrid::near_square(4);
+    let mut params = pencil_seed(&spec, grid);
+    params.t = 1; // several tiles per stage, so stalls hit mid-window
+    let reference = serial_reference(&spec, Direction::Forward);
+
+    let plan = FaultPlan::seeded(fault_seed()).with_straggler(1, 30.0);
+    let res = Resilience {
+        stall_timeout: Some(Duration::from_millis(15)),
+        poll_boost: 4,
+        max_strikes: 8,
+    };
+    let results = mpisim::run_with_faults(spec.p, plan, move |comm| {
+        let input = pencil_test_input(&spec, grid, comm.rank());
+        let out = try_fft3_pencil_overlapped_traced(
+            &comm,
+            spec,
+            grid,
+            params,
+            Direction::Forward,
+            &input,
+            &res,
+            &mut NoopRecorder,
+        )
+        .unwrap_or_else(|e| panic!("rank {} failed to recover: {e}", comm.rank()));
+        let err = compare_pencil_with_serial(&spec, grid, comm.rank(), &out.output, &reference);
+        (err, out.recovery)
+    });
+
+    let tol = 1e-9 * spec.len() as f64;
+    let mut stalls = 0;
+    for (rank, (err, recovery)) in results.iter().enumerate() {
+        assert!(
+            *err < tol,
+            "rank {rank}: spectrum error {err} after recovery"
+        );
+        stalls += recovery.stalls_detected;
+    }
+    assert!(
+        stalls > 0,
+        "a 60 ms send delay against a 15 ms watchdog must trip at least once"
+    );
+}
