@@ -84,6 +84,11 @@ pub enum Error {
     /// The post-recovery self-verification (Parseval energy check) did not
     /// hold within tolerance: the recomputed result is not trusted.
     VerificationFailed,
+    /// A batched entry point was handed zero work items (`narrays == 0`,
+    /// an empty job train): there is nothing to transform. The legacy
+    /// `multi_simulated` turned this caller error into an `assert!` panic;
+    /// the `try_` path reports it as a value.
+    EmptyBatch,
     /// An invariant the pipeline relies on was violated (a bug, not an
     /// environmental fault); carries a static description.
     Internal(&'static str),
@@ -146,6 +151,7 @@ impl std::fmt::Display for Error {
                 f,
                 "tile {tile} failed its {stage} — silent corruption detected"
             ),
+            Error::EmptyBatch => write!(f, "empty batch: zero arrays to transform"),
             Error::Unrecoverable(why) => write!(f, "unrecoverable failure: {why}"),
             Error::VerificationFailed => {
                 write!(f, "post-recovery verification failed: energy mismatch")
@@ -216,6 +222,15 @@ mod tests {
             .to_string()
             .contains("no input source"));
         assert!(Error::VerificationFailed.to_string().contains("energy"));
+    }
+
+    #[test]
+    fn empty_batch_names_the_cause() {
+        let s = Error::EmptyBatch.to_string();
+        assert!(
+            s.contains("empty batch") && s.contains("zero arrays"),
+            "{s}"
+        );
     }
 
     #[test]

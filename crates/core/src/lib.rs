@@ -51,6 +51,7 @@ pub mod pipeline;
 pub mod real_env;
 pub mod recover;
 pub mod serial;
+pub mod service;
 pub mod sim_env;
 pub mod trace;
 pub mod xplan;
@@ -59,6 +60,7 @@ pub use breakdown::{RunStats, StepTimes};
 pub use decomp::{auto_select, Decomposition};
 pub use error::Error;
 pub use error::IntegrityStage;
+pub use multi::{multi_simulated, try_multi_simulated, MultiReport};
 pub use params::{ProblemSpec, ThParams, TuningParams};
 pub use pencil::{
     compare_pencil_with_serial, fft3_pencil, fft3_pencil_overlapped, pencil_feasible,
@@ -74,6 +76,10 @@ pub use real_env::{
 pub use recover::{
     run_recoverable, Checkpoint, ComputeSource, NoSource, ParitySource, RecoverConfig,
     RecoverOutcome, ReplicaSource, SlabSource,
+};
+pub use service::{
+    jain_index, Admission, CancelReason, FctStats, IsolatedRun, JobData, JobOutcome, JobRecord,
+    JobSpec, RejectReason, Service, ServiceConfig, ServiceReport, TenantStats,
 };
 pub use sim_env::{
     fft3_simulated, fft3_simulated_repeated, fft3_simulated_traced, th_simulated,

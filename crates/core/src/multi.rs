@@ -1,4 +1,5 @@
-//! Inter-array + intra-array overlap — the paper's §7 third extension.
+//! Inter-array + intra-array overlap — the paper's §7 third extension,
+//! and the batching path of the multi-tenant service.
 //!
 //! Scientific simulations often transform a *sequence* of arrays per time
 //! step (e.g. three velocity components). Kandalla et al. overlap only
@@ -8,16 +9,143 @@
 //! one long pipeline, so array `a+1`'s FFTz/Transpose/FFTy/Pack also hide
 //! the tail of array `a`'s all-to-alls — the fill/drain bubbles between
 //! arrays disappear.
+//!
+//! [`crate::service`] reuses two pieces of this module: [`SlabCosts`], the
+//! per-rank cost table both backends price tiles with (so the admission
+//! controller predicts exactly the pipeline it gates), and
+//! [`try_multi_simulated`], the fused job-train entry point a tenant's
+//! same-geometry batch is routed through.
 
 use crate::breakdown::StepTimes;
 use crate::decomp::Decomp;
 use crate::error::Error;
 use crate::params::{ProblemSpec, TuningParams};
-use crate::pipeline::{run_new, OverlapEnv};
+use crate::pipeline::{try_run_new, OverlapEnv, Recovery, Resilience};
 use crate::real_env::Variant;
-use crate::sim_env::fft3_simulated;
-use simnet::model::{TransposeCost, ELEM_BYTES};
+use crate::sim_env::try_fft3_simulated;
+use simnet::model::{MachineModel, TransposeCost, ELEM_BYTES};
 use simnet::{run_sim, OpId, Platform, SimRank};
+
+/// The per-rank cost table of the slab pipeline: every compute phase and
+/// the per-tile exchange volume, priced on one [`MachineModel`]. This is
+/// the single source the fused multi-array environment below *and* the
+/// service's admission predictor ([`crate::service`]) charge from, so a
+/// completion-time prediction and the simulation it gates can never
+/// disagree on what a tile costs.
+#[derive(Debug, Clone)]
+pub(crate) struct SlabCosts {
+    machine: MachineModel,
+    spec: ProblemSpec,
+    params: TuningParams,
+    transpose_cost: TransposeCost,
+    /// x-planes this rank owns before the exchange.
+    nxl: usize,
+    /// y-planes this rank owns after the exchange.
+    nyl: usize,
+}
+
+impl SlabCosts {
+    /// Costs for one specific rank of the decomposition.
+    pub(crate) fn for_rank(
+        machine: MachineModel,
+        spec: ProblemSpec,
+        params: TuningParams,
+        rank: usize,
+    ) -> Self {
+        let d = Decomp::new(spec.nx, spec.ny, spec.p);
+        SlabCosts {
+            machine,
+            spec,
+            params,
+            transpose_cost: Self::transpose_cost_for(&spec),
+            nxl: d.x.count(rank),
+            nyl: d.y.count(rank),
+        }
+    }
+
+    /// Costs for the most-loaded rank (rank 0 carries the big blocks) —
+    /// what a conservative completion-time prediction prices against.
+    pub(crate) fn worst_rank(
+        machine: MachineModel,
+        spec: ProblemSpec,
+        params: TuningParams,
+    ) -> Self {
+        Self::for_rank(machine, spec, params, 0)
+    }
+
+    /// The transpose path the spec earns: fast for `Nx = Ny` (§3.5).
+    pub(crate) fn transpose_cost_for(spec: &ProblemSpec) -> TransposeCost {
+        if spec.square_xy() {
+            TransposeCost::Fast
+        } else {
+            TransposeCost::Generic
+        }
+    }
+
+    /// Communication tiles per array.
+    pub(crate) fn tiles(&self) -> usize {
+        self.params.tiles(&self.spec)
+    }
+
+    /// z-extent of local tile `local` (the last tile may be short).
+    pub(crate) fn tile_len(&self, local: usize) -> usize {
+        let z0 = local * self.params.t;
+        (z0 + self.params.t).min(self.spec.nz) - z0
+    }
+
+    /// Batched 1-D FFTs along z over this rank's slab.
+    pub(crate) fn fftz(&self) -> f64 {
+        self.machine
+            .fft_batch(self.spec.nz, (self.nxl * self.spec.ny) as u64)
+    }
+
+    /// Local transpose of the whole slab.
+    pub(crate) fn transpose(&self) -> f64 {
+        let bytes = (self.nxl * self.spec.ny * self.spec.nz) as u64 * ELEM_BYTES;
+        self.machine.transpose(bytes, self.transpose_cost)
+    }
+
+    /// Batched FFTs along y for a tile of `tz` planes.
+    pub(crate) fn ffty(&self, tz: usize) -> f64 {
+        self.machine.fft_batch(self.spec.ny, (self.nxl * tz) as u64)
+    }
+
+    /// Cache-tiled pack of a tile into send order (§3.4).
+    pub(crate) fn pack(&self, tz: usize) -> f64 {
+        let tile_bytes = (tz * self.nxl * self.spec.ny) as u64 * ELEM_BYTES;
+        let subtile = (self.params.px.min(self.nxl.max(1))
+            * self.spec.ny
+            * self.params.pz.min(tz.max(1))) as u64
+            * ELEM_BYTES;
+        let run = (self.spec.ny / self.spec.p.max(1)).max(1) as u64 * ELEM_BYTES;
+        self.machine.pack(tile_bytes, subtile, run)
+    }
+
+    /// Cache-tiled unpack of a received tile.
+    pub(crate) fn unpack(&self, tz: usize) -> f64 {
+        let tile_bytes = (tz * self.nyl * self.spec.nx) as u64 * ELEM_BYTES;
+        let subtile = (self.spec.nx
+            * self.params.uy.min(self.nyl.max(1))
+            * self.params.uz.min(tz.max(1))) as u64
+            * ELEM_BYTES;
+        let run = (self.spec.nx / self.spec.p.max(1)).max(1) as u64 * ELEM_BYTES;
+        self.machine.pack(tile_bytes, subtile, run)
+    }
+
+    /// Batched FFTs along x for a tile of `tz` planes.
+    pub(crate) fn fftx(&self, tz: usize) -> f64 {
+        self.machine.fft_batch(self.spec.nx, (self.nyl * tz) as u64)
+    }
+
+    /// Per-peer all-to-all payload for a tile of `tz` planes.
+    pub(crate) fn bytes_per_peer(&self, tz: usize) -> u64 {
+        tz as u64 * self.nxl as u64 * (self.spec.ny / self.spec.p.max(1)) as u64 * ELEM_BYTES
+    }
+
+    pub(crate) fn params(&self) -> &TuningParams {
+        &self.params
+    }
+}
 
 /// Result of a multi-array simulated run.
 #[derive(Debug, Clone)]
@@ -28,6 +156,9 @@ pub struct MultiReport {
     pub sequential_time: f64,
     /// Rank-0 breakdown of the fused pipeline.
     pub steps: StepTimes,
+    /// What the degradation ladder had to do (rank 0's view); clean when
+    /// no watchdog was armed or nothing stalled.
+    pub recovery: Recovery,
 }
 
 /// A pipeline whose tile stream spans `narrays` independent arrays: tile
@@ -36,36 +167,31 @@ pub struct MultiReport {
 /// boundary.
 struct MultiEnv<'a> {
     sim: &'a mut SimRank,
-    spec: ProblemSpec,
-    params: TuningParams,
+    costs: SlabCosts,
     narrays: usize,
     tiles_per_array: usize,
-    transpose_cost: TransposeCost,
     steps: StepTimes,
+    /// Virtual-time stall watchdog: a single wait longer than this many
+    /// seconds is reported to the degradation ladder as [`Error::Stalled`].
+    /// `None` disarms the watchdog (the legacy behaviour).
+    stall_timeout: Option<f64>,
+    /// Multiplier requested by the ladder's BoostPolls rung.
+    poll_boost: u32,
+    /// Current poll multiplier (1 until the ladder boosts).
+    boost: u32,
+    /// Tiles already reported as stalled — `simnet`'s `wait` is idempotent,
+    /// so the ladder's retry of the same (completed) op returns instantly;
+    /// this guard turns that into exactly one climb per slow tile.
+    reported: Vec<bool>,
+    /// World rank blamed in stall reports: the platform's worst straggler.
+    worst_peer: usize,
 }
 
 impl MultiEnv<'_> {
-    fn nxl(&self) -> usize {
-        Decomp::new(self.spec.nx, self.spec.ny, self.spec.p)
-            .x
-            .count(self.sim.rank())
-    }
-
-    fn nyl(&self) -> usize {
-        Decomp::new(self.spec.nx, self.spec.ny, self.spec.p)
-            .y
-            .count(self.sim.rank())
-    }
-
-    fn tile_len(&self, tile: usize) -> usize {
-        let local = tile % self.tiles_per_array;
-        let z0 = local * self.params.t;
-        (z0 + self.params.t).min(self.spec.nz) - z0
-    }
-
     fn phase(&mut self, secs: f64, polls: u32, inflight: &[(usize, OpId)]) -> (f64, f64) {
         let ops: Vec<OpId> = inflight.iter().map(|&(_, op)| op).collect();
         let t0 = self.sim.now();
+        let polls = polls.saturating_mul(self.boost);
         let test = self.sim.compute_with_polls(secs, polls, &ops).as_secs_f64();
         ((self.sim.now() - t0).as_secs_f64() - test, test)
     }
@@ -73,18 +199,20 @@ impl MultiEnv<'_> {
     /// FFTz + Transpose of array `a`, polling the previous array's
     /// still-in-flight tiles — the inter-array part of the overlap.
     fn fixed_steps(&mut self, inflight: &mut [(usize, OpId)]) {
-        let m = self.sim.platform().machine.clone();
-        let fftz = m.fft_batch(self.spec.nz, (self.nxl() * self.spec.ny) as u64);
-        let bytes = (self.nxl() * self.spec.ny * self.spec.nz) as u64 * ELEM_BYTES;
-        let transpose = m.transpose(bytes, self.transpose_cost);
+        let fftz = self.costs.fftz();
+        let transpose = self.costs.transpose();
         // Poll as often as a FFTy phase would, scaled to this duration.
-        let polls = self.params.fy.max(self.params.fx);
+        let polls = self.costs.params().fy.max(self.costs.params().fx);
         let (c, t) = self.phase(fftz, polls, inflight);
         self.steps.fftz += c;
         self.steps.test += t;
         let (c, t) = self.phase(transpose, polls, inflight);
         self.steps.transpose += c;
         self.steps.test += t;
+    }
+
+    fn tile_len(&self, tile: usize) -> usize {
+        self.costs.tile_len(tile % self.tiles_per_array)
     }
 }
 
@@ -96,7 +224,7 @@ impl OverlapEnv for MultiEnv<'_> {
     }
 
     fn window(&self) -> usize {
-        self.params.w
+        self.costs.params().w
     }
 
     fn fftz_transpose(&mut self) {
@@ -111,109 +239,170 @@ impl OverlapEnv for MultiEnv<'_> {
             self.fixed_steps(inflight);
         }
         let tz = self.tile_len(tile);
-        let m = self.sim.platform().machine.clone();
-        let nxl = self.nxl();
-        let (c, t) = self.phase(
-            m.fft_batch(self.spec.ny, (nxl * tz) as u64),
-            self.params.fy,
-            inflight,
-        );
+        let fy = self.costs.params().fy;
+        let (c, t) = self.phase(self.costs.ffty(tz), fy, inflight);
         self.steps.ffty += c;
         self.steps.test += t;
-        let tile_bytes = (tz * nxl * self.spec.ny) as u64 * ELEM_BYTES;
-        let subtile =
-            (self.params.px.min(nxl.max(1)) * self.spec.ny * self.params.pz.min(tz.max(1))) as u64
-                * ELEM_BYTES;
-        let run = (self.spec.ny / self.spec.p.max(1)).max(1) as u64 * ELEM_BYTES;
-        let (c, t) = self.phase(m.pack(tile_bytes, subtile, run), self.params.fp, inflight);
+        let fp = self.costs.params().fp;
+        let (c, t) = self.phase(self.costs.pack(tz), fp, inflight);
         self.steps.pack += c;
         self.steps.test += t;
         Ok(())
     }
 
     fn post_a2a(&mut self, tile: usize) -> OpId {
-        let tz = self.tile_len(tile) as u64;
-        let bytes =
-            tz * self.nxl() as u64 * (self.spec.ny / self.spec.p.max(1)) as u64 * ELEM_BYTES;
+        let tz = self.tile_len(tile);
         let t0 = self.sim.now();
-        let op = self.sim.post_alltoall(bytes);
+        let op = self.sim.post_alltoall(self.costs.bytes_per_peer(tz));
         self.steps.ialltoall += (self.sim.now() - t0).as_secs_f64();
         op
     }
 
-    fn wait(&mut self, _tile: usize, req: OpId) -> Result<(), (OpId, Error)> {
+    fn wait(&mut self, tile: usize, req: OpId) -> Result<(), (OpId, Error)> {
         let t0 = self.sim.now();
         self.sim.wait(req);
-        self.steps.wait += (self.sim.now() - t0).as_secs_f64();
+        let waited = (self.sim.now() - t0).as_secs_f64();
+        self.steps.wait += waited;
+        // Virtual-time watchdog: the exchange *did* complete (simulated
+        // time advanced through it), but it took longer than the armed
+        // budget — report it so the ladder degrades instead of letting a
+        // straggler silently serialise the whole job train. The ladder's
+        // retry re-waits the same op; `SimRank::wait` is idempotent, so
+        // the retry returns instantly and the `reported` guard makes this
+        // exactly one strike per slow tile.
+        if let Some(limit) = self.stall_timeout {
+            if waited > limit && !self.reported[tile] {
+                self.reported[tile] = true;
+                return Err((
+                    req,
+                    Error::Stalled {
+                        tile,
+                        round: 0,
+                        peer: self.worst_peer,
+                    },
+                ));
+            }
+        }
         Ok(())
     }
 
     fn unpack_fftx(&mut self, tile: usize, inflight: &mut [(usize, OpId)]) -> Result<(), Error> {
         let tz = self.tile_len(tile);
-        let m = self.sim.platform().machine.clone();
-        let nyl = self.nyl();
-        let tile_bytes = (tz * nyl * self.spec.nx) as u64 * ELEM_BYTES;
-        let subtile =
-            (self.spec.nx * self.params.uy.min(nyl.max(1)) * self.params.uz.min(tz.max(1))) as u64
-                * ELEM_BYTES;
-        let run = (self.spec.nx / self.spec.p.max(1)).max(1) as u64 * ELEM_BYTES;
-        let (c, t) = self.phase(m.pack(tile_bytes, subtile, run), self.params.fu, inflight);
+        let fu = self.costs.params().fu;
+        let (c, t) = self.phase(self.costs.unpack(tz), fu, inflight);
         self.steps.unpack += c;
         self.steps.test += t;
-        let (c, t) = self.phase(
-            m.fft_batch(self.spec.nx, (nyl * tz) as u64),
-            self.params.fx,
-            inflight,
-        );
+        let fx = self.costs.params().fx;
+        let (c, t) = self.phase(self.costs.fftx(tz), fx, inflight);
         self.steps.fftx += c;
         self.steps.test += t;
         Ok(())
     }
+
+    fn boost_polls(&mut self) {
+        self.boost = self.poll_boost.max(1);
+    }
+
+    fn escalate_watchdog(&mut self) {
+        if let Some(limit) = self.stall_timeout.as_mut() {
+            *limit *= 2.0;
+        }
+    }
+}
+
+/// Fallible multi-array pipeline: simulates `narrays` successive 3-D FFTs
+/// with combined inter+intra-array overlap under the given [`Resilience`]
+/// policy (arm `stall_timeout` — interpreted in **virtual seconds** — to
+/// let the degradation ladder react to stragglers mid-train) and compares
+/// against running them back to back.
+///
+/// Typed failures instead of the legacy panics: zero arrays is
+/// [`Error::EmptyBatch`], an invalid `(spec, params)` pair is
+/// [`Error::InfeasibleParams`] from the fallible single-array baseline.
+pub fn try_multi_simulated(
+    platform: Platform,
+    spec: ProblemSpec,
+    params: TuningParams,
+    narrays: usize,
+    res: &Resilience,
+) -> Result<MultiReport, Error> {
+    if narrays == 0 {
+        return Err(Error::EmptyBatch);
+    }
+    // Fallible baseline first: validates extents and tuning parameters
+    // before any simulated rank spins up.
+    let single = try_fft3_simulated(platform.clone(), spec, Variant::New, params, false)?;
+    let res = *res;
+
+    let per_rank = run_sim(platform, spec.p, move |sim| {
+        let start = sim.now();
+        let costs = SlabCosts::for_rank(sim.platform().machine.clone(), spec, params, sim.rank());
+        let faults = sim.platform().faults.clone();
+        let worst_peer = (0..spec.p)
+            .max_by(|&a, &b| {
+                faults
+                    .compute_factor(a)
+                    .total_cmp(&faults.compute_factor(b))
+            })
+            .unwrap_or(0);
+        let tiles_per_array = costs.tiles();
+        let ntiles = narrays * tiles_per_array;
+        let mut env = MultiEnv {
+            sim,
+            costs,
+            narrays,
+            tiles_per_array,
+            steps: StepTimes::default(),
+            stall_timeout: res.stall_timeout.map(|d| d.as_secs_f64()),
+            poll_boost: res.poll_boost,
+            boost: 1,
+            reported: vec![false; ntiles],
+            worst_peer,
+        };
+        let recovery = try_run_new(&mut env, &res)?;
+        Ok::<_, Error>((env.steps, recovery, (env.sim.now() - start).as_secs_f64()))
+    });
+
+    let mut fused_time = 0.0f64;
+    let mut rank0: Option<(StepTimes, Recovery)> = None;
+    for r in per_rank {
+        let (steps, recovery, t) = r?;
+        fused_time = fused_time.max(t);
+        if rank0.is_none() {
+            rank0 = Some((steps, recovery));
+        }
+    }
+    let (steps, recovery) = rank0.ok_or(Error::Internal("multi run produced no ranks"))?;
+    Ok(MultiReport {
+        fused_time,
+        sequential_time: single.time * narrays as f64,
+        steps,
+        recovery,
+    })
 }
 
 /// Simulates `narrays` successive 3-D FFTs with combined inter+intra-array
 /// overlap and compares against running them back to back.
+///
+/// Panicking legacy wrapper around [`try_multi_simulated`] with the
+/// default (disarmed) [`Resilience`].
 pub fn multi_simulated(
     platform: Platform,
     spec: ProblemSpec,
     params: TuningParams,
     narrays: usize,
 ) -> MultiReport {
-    assert!(narrays >= 1);
-    let transpose_cost = if spec.square_xy() {
-        TransposeCost::Fast
-    } else {
-        TransposeCost::Generic
-    };
-
-    let per_rank = run_sim(platform.clone(), spec.p, move |sim| {
-        let start = sim.now();
-        let mut env = MultiEnv {
-            sim,
-            spec,
-            params,
-            narrays,
-            tiles_per_array: params.tiles(&spec),
-            transpose_cost,
-            steps: StepTimes::default(),
-        };
-        run_new(&mut env);
-        (env.steps, (env.sim.now() - start).as_secs_f64())
-    });
-    let fused_time = per_rank.iter().map(|r| r.1).fold(0.0, f64::max);
-
-    let single = fft3_simulated(platform, spec, Variant::New, params, false);
-    MultiReport {
-        fused_time,
-        sequential_time: single.time * narrays as f64,
-        steps: per_rank[0].0,
-    }
+    try_multi_simulated(platform, spec, params, narrays, &Resilience::default())
+        .unwrap_or_else(|e| panic!("multi-array pipeline failed: {e}"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::ParamError;
+    use crate::trace::DegradeAction;
     use simnet::model::umd_cluster;
+    use std::time::Duration;
 
     #[test]
     fn fused_multi_array_beats_sequential() {
@@ -225,6 +414,10 @@ mod tests {
             "fused {:.3}s must beat sequential {:.3}s",
             rep.fused_time,
             rep.sequential_time
+        );
+        assert!(
+            rep.recovery.clean(),
+            "nothing should degrade on a clean run"
         );
     }
 
@@ -251,5 +444,91 @@ mod tests {
             r.sequential_time / r.fused_time
         };
         assert!(g6 >= g2 * 0.99, "g2={g2:.3} g6={g6:.3}");
+    }
+
+    /// Pinned regression (ISSUE #10 satellite 1): zero arrays is a typed
+    /// [`Error::EmptyBatch`] from the `try_` path…
+    #[test]
+    fn zero_arrays_is_a_typed_error() {
+        let spec = ProblemSpec::cube(64, 4);
+        let params = TuningParams::seed(&spec);
+        match try_multi_simulated(umd_cluster(), spec, params, 0, &Resilience::default()) {
+            Err(Error::EmptyBatch) => {}
+            other => panic!("expected EmptyBatch, got {other:?}"),
+        }
+    }
+
+    /// …and the legacy wrapper still fails loudly (now via the typed
+    /// error's message, not a bare `assert!`).
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn legacy_wrapper_panics_on_zero_arrays() {
+        let spec = ProblemSpec::cube(64, 4);
+        let params = TuningParams::seed(&spec);
+        multi_simulated(umd_cluster(), spec, params, 0);
+    }
+
+    /// Pinned regression (ISSUE #10 satellite 1): infeasible tuning
+    /// parameters surface as [`Error::InfeasibleParams`] through the
+    /// fallible baseline, not as a garbage cost estimate or a panic.
+    #[test]
+    fn infeasible_params_are_a_typed_error() {
+        let spec = ProblemSpec::cube(64, 4);
+        let mut params = TuningParams::seed(&spec);
+        params.t = spec.nz + 1; // tile taller than the axis
+        match try_multi_simulated(umd_cluster(), spec, params, 2, &Resilience::default()) {
+            Err(Error::InfeasibleParams(ParamError::TileSize(_))) => {}
+            other => panic!("expected InfeasibleParams(TileSize), got {other:?}"),
+        }
+    }
+
+    /// Satellite 2: with a watchdog armed, a severe straggler mid-train
+    /// trips the degradation ladder (BoostPolls first) instead of silently
+    /// serialising the whole batch — and the run still completes.
+    #[test]
+    fn straggler_during_job_train_degrades_instead_of_hanging() {
+        let spec = ProblemSpec::cube(256, 16);
+        let params = TuningParams::seed(&spec);
+        // Budget each wait at the *whole* clean run's duration: no single
+        // clean wait can exceed it, so a clean run never trips…
+        let clean = multi_simulated(umd_cluster(), spec, params, 2);
+        let res = Resilience {
+            stall_timeout: Some(Duration::from_secs_f64(clean.fused_time)),
+            ..Resilience::default()
+        };
+        let calm = try_multi_simulated(umd_cluster(), spec, params, 2, &res)
+            .unwrap_or_else(|e| panic!("clean run failed under watchdog: {e}"));
+        assert_eq!(calm.recovery.stalls_detected, 0, "{:?}", calm.recovery);
+
+        // …while a 200× compute straggler makes individual exchanges dwarf
+        // the whole clean run and must be caught.
+        let slow = umd_cluster().with_straggler(1, 200.0);
+        let rep = try_multi_simulated(slow, spec, params, 2, &res)
+            .unwrap_or_else(|e| panic!("straggled run failed to degrade: {e}"));
+        assert!(
+            rep.recovery.stalls_detected > 0,
+            "a 200x straggler must trip a whole-run-length watchdog"
+        );
+        assert_eq!(
+            rep.recovery.actions.first(),
+            Some(&DegradeAction::BoostPolls),
+            "ladder must start at its gentlest rung: {:?}",
+            rep.recovery.actions
+        );
+        assert!(
+            rep.fused_time > clean.fused_time,
+            "straggled run should still be slower end to end"
+        );
+    }
+
+    /// The disarmed default stays byte-for-byte the legacy behaviour even
+    /// under a straggler: no stalls detected, no ladder actions.
+    #[test]
+    fn disarmed_watchdog_never_reports() {
+        let spec = ProblemSpec::cube(256, 16);
+        let params = TuningParams::seed(&spec);
+        let slow = umd_cluster().with_straggler(1, 50.0);
+        let rep = multi_simulated(slow, spec, params, 2);
+        assert!(rep.recovery.clean(), "{:?}", rep.recovery);
     }
 }

@@ -255,6 +255,18 @@ impl FaultPlan {
         self
     }
 
+    /// Reseeds the plan for an isolated scope (a service job, a retry
+    /// attempt) identified by `salt`: the fault *structure* — which ranks
+    /// straggle, what crashes, how degraded the links are — is preserved,
+    /// but every probabilistic decision (drops, corruption, bit-flip
+    /// positions) draws from an independent stream. Two jobs sharing one
+    /// tenant-supplied plan therefore fault independently, which is what
+    /// per-job fault scoping in `fft3d::service` needs.
+    pub fn scoped(mut self, salt: u64) -> Self {
+        self.seed = hash5(self.seed, salt, 0x5c09_e0d5, 0, 0);
+        self
+    }
+
     /// `true` when the plan injects anything at all — the hot-path gate.
     pub fn is_active(&self) -> bool {
         !self.stragglers.is_empty()

@@ -687,6 +687,95 @@ pub fn explore_corruption(
     )
 }
 
+/// The service acceptance sweep: the co-scheduling shape of
+/// `fft3d::service` on real collectives — a same-geometry job train
+/// through one [`fft3d::FftSession`] (the shared persistent-plan path)
+/// with a *foreign-geometry* tenant job (`try_fft3_dist` on a different
+/// problem shape) interleaved between the train's executions, all on one
+/// communicator under every delivery interleaving. Checked mode rides
+/// along: cross-tenant plan interference (a foreign exchange matched
+/// against a registered schedule), a leaked plan, or an output deviating
+/// from either serial oracle fails the schedule.
+pub fn explore_service(
+    cfg: &ExploreConfig,
+    grid: usize,
+    progress: impl FnMut(u64, u64),
+) -> ExploreReport {
+    use cfft::planner::Rigor;
+    use cfft::Direction;
+    use fft3d::real_env::{compare_with_serial, local_test_slab, try_fft3_dist, Variant};
+    use fft3d::serial::{fft3_serial, full_test_array};
+    use fft3d::{FftSession, ProblemSpec, TuningParams};
+    use std::sync::Arc;
+
+    // Tenant A's job train: a cube, run twice through one session.
+    let spec_a = ProblemSpec::cube(grid, cfg.ranks);
+    let params_a = TuningParams::seed(&spec_a);
+    // Tenant B's foreign geometry: double the z extent, so its tile
+    // schedule and exchange volumes share nothing with A's plans.
+    let spec_b = ProblemSpec {
+        nz: 2 * grid,
+        ..spec_a
+    };
+    let params_b = TuningParams::seed(&spec_b);
+    let reference = |spec: &ProblemSpec| {
+        let mut r = full_test_array(spec.nx, spec.ny, spec.nz);
+        fft3_serial(&mut r, spec.nx, spec.ny, spec.nz, Direction::Forward);
+        Arc::new(r)
+    };
+    let ref_a = reference(&spec_a);
+    let ref_b = reference(&spec_b);
+    let tolerance = 1e-9 * (spec_a.len().max(spec_b.len()) as f64).max(1.0);
+
+    explore(
+        cfg,
+        tolerance,
+        move |comm| {
+            let input_a = local_test_slab(&spec_a, comm.rank());
+            let mut session = FftSession::new(
+                &comm,
+                spec_a,
+                Variant::New,
+                params_a,
+                Direction::Forward,
+                Rigor::Estimate,
+            );
+            let mut worst = 0.0f64;
+            let first = session
+                .execute(&input_a)
+                .unwrap_or_else(|e| panic!("job-train execution 1 faulted: {e}"));
+            worst = worst.max(compare_with_serial(&spec_a, comm.rank(), &first, &ref_a));
+            // The foreign tenant's job runs while A's plans stay
+            // registered — the cross-tenant interleaving of the service.
+            let input_b = local_test_slab(&spec_b, comm.rank());
+            let other = try_fft3_dist(
+                &comm,
+                spec_b,
+                Variant::New,
+                params_b,
+                Direction::Forward,
+                Rigor::Estimate,
+                &input_b,
+            )
+            .unwrap_or_else(|e| panic!("foreign-tenant job faulted: {e}"));
+            worst = worst.max(compare_with_serial(&spec_b, comm.rank(), &other, &ref_b));
+            let second = session
+                .execute(&input_a)
+                .unwrap_or_else(|e| panic!("job-train execution 2 faulted: {e}"));
+            if second.exchange_setups != 0 {
+                panic!(
+                    "job train re-negotiated {} exchange setups after the foreign job",
+                    second.exchange_setups
+                );
+            }
+            worst = worst.max(compare_with_serial(&spec_a, comm.rank(), &second, &ref_a));
+            session.free();
+            Some(worst)
+        },
+        progress,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -794,6 +883,20 @@ mod tests {
             max_hold: 2,
         };
         let report = explore_pencil_persistent(&cfg, 8, |_, _| {});
+        assert_eq!(report.schedules_run, 5);
+        assert!(report.is_clean(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn service_interleaving_survives_a_small_sweep() {
+        let cfg = ExploreConfig {
+            ranks: 4,
+            random_seeds: 0..3,
+            systematic_bits: 1,
+            defer_prob: 0.35,
+            max_hold: 2,
+        };
+        let report = explore_service(&cfg, 6, |_, _| {});
         assert_eq!(report.schedules_run, 5);
         assert!(report.is_clean(), "{:?}", report.failures);
     }

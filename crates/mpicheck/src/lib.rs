@@ -36,7 +36,8 @@ pub mod summary;
 
 pub use explore::{
     explore, explore_corruption, explore_crash_recovery, explore_pencil, explore_pencil_persistent,
-    explore_persistent, explore_pipeline, ExploreConfig, ExploreReport, ScheduleFailure,
+    explore_persistent, explore_pipeline, explore_service, ExploreConfig, ExploreReport,
+    ScheduleFailure,
 };
 pub use mpisim::{
     Backoff, CheckConfig, CheckOutcome, CheckReport, Finding, LintId, SchedConfig, SchedMode,

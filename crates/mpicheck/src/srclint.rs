@@ -29,10 +29,12 @@
 //!   consumers must draw plans from `PlanCache::global()`. Every transform
 //!   entry point is in scope, the pencil family (`try_fft3_pencil*`,
 //!   `PencilSession`) as much as the slab `fft3_dist*` paths.
-//! * **SL005** (error) — `.expect(` in a recovery-path module (path
-//!   contains `recover`): recovery code must degrade, never die. Covers
-//!   the pencil backend's two-round degradation ladder alongside the
-//!   slab ladder.
+//! * **SL005** (error) — `.expect(` in a recovery-path or service module
+//!   (path contains `recover` or `service`): recovery code must degrade,
+//!   never die, and the multi-tenant service scheduler must never take
+//!   every tenant down with one job's panic. Covers the pencil backend's
+//!   two-round degradation ladder, the slab ladder, and the
+//!   admission/scheduling layer.
 //! * **SL006** (error) — rank-divergent collective: a collective reachable
 //!   only under control flow derived from `.rank()` (the ParCoach-style
 //!   mismatch shape). The mpisim/simnet runtime itself is exempt — it
@@ -107,7 +109,7 @@ pub enum SrcLintId {
     PostWithoutWait,
     /// `SL004` — direct `Planner::new` outside the `cfft` crate.
     PlannerOutsideCache,
-    /// `SL005` — `.expect(` in a recovery-path module.
+    /// `SL005` — `.expect(` in a recovery-path or service module.
     ExpectInRecovery,
     /// `SL006` — collective guarded by rank-dependent control flow.
     RankDivergentCollective,
@@ -185,7 +187,7 @@ impl SrcLintId {
             SrcLintId::HardcodedSleep => "thread::sleep with a hardcoded duration literal",
             SrcLintId::PostWithoutWait => "non-blocking post in a file with no completion path",
             SrcLintId::PlannerOutsideCache => "direct Planner::new outside the cfft crate",
-            SrcLintId::ExpectInRecovery => ".expect( in a recovery-path module",
+            SrcLintId::ExpectInRecovery => ".expect( in a recovery-path or service module",
             SrcLintId::RankDivergentCollective => {
                 "collective guarded by rank-dependent control flow"
             }
@@ -461,19 +463,22 @@ fn token_lints(rel: &str, lx: &Lexed, out: &mut Vec<SrcFinding>) {
                     .to_owned(),
             );
         }
-        // SL005 — `.expect(` in recovery-path modules.
+        // SL005 — `.expect(` in recovery-path and service/admission
+        // modules. The service scheduler answers to every tenant at once:
+        // a panic there is a cluster-wide outage, not a failed job, so the
+        // same degrade-don't-die policy applies.
         if t.is_punct(".")
             && ident_at(i + 1, "expect")
             && punct_at(i + 2, "(")
-            && rel.contains("recover")
+            && (rel.contains("recover") || rel.contains("service"))
         {
             push(
                 out,
                 rel,
                 toks[i + 1].line,
                 SrcLintId::ExpectInRecovery,
-                "`.expect(` in a recovery-path module; recovery code must return typed \
-                 errors — a panic here kills a survivor"
+                "`.expect(` in a recovery-path or service module; this code must return \
+                 typed errors — a panic here kills a survivor or the whole service"
                     .to_owned(),
             );
         }
@@ -1483,6 +1488,10 @@ mod tests {
         let src = "fn f() { let x = g().expect(\"slab present\"); }\n";
         let f = lint_one("crates/core/src/recover.rs", src);
         assert_eq!(codes(&f), vec!["SL005"]);
+        // The multi-tenant service is under the same degrade-don't-die
+        // policy: a panic in admission or scheduling is an outage.
+        let s = lint_one("crates/core/src/service.rs", src);
+        assert_eq!(codes(&s), vec!["SL005"]);
         assert!(lint_one("crates/core/src/real_env.rs", src).is_empty());
     }
 

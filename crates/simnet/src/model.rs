@@ -207,6 +207,22 @@ impl NetModel {
     pub fn post_overhead(&self, p: usize) -> SimTime {
         SimTime::from_secs_f64(self.post_overhead_per_peer * p as f64)
     }
+
+    /// Total bytes one rank puts on the wire for the exchange — the
+    /// schedule's rounds × per-round volume, which for Bruck *exceeds* the
+    /// logical payload (each block transits ⌈log₂ p⌉ hops). This is the
+    /// fluid volume a shared link drains, so it is also the unit the
+    /// service's byte-conservation accounting uses.
+    pub fn exchange_bytes(&self, p: usize, bytes_per_peer: u64) -> u64 {
+        let shape = self.shape(p, bytes_per_peer);
+        shape.rounds as u64 * shape.round_bytes
+    }
+
+    /// Fixed latency of the exchange: α per schedule round, independent of
+    /// bandwidth sharing.
+    pub fn exchange_latency(&self, p: usize, bytes_per_peer: u64) -> f64 {
+        self.shape(p, bytes_per_peer).rounds as f64 * self.alpha
+    }
 }
 
 /// A complete platform description.
@@ -347,6 +363,51 @@ pub fn by_name(name: &str) -> Option<Platform> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The exchange helpers must decompose `blocking_duration` exactly:
+    /// wire bytes at uncontended bandwidth plus the fixed latency — the
+    /// invariant that keeps the service's fluid-flow pricing and the
+    /// simulator's blocking collectives agreeing on every geometry.
+    #[test]
+    fn exchange_helpers_decompose_blocking_duration() {
+        let net = umd_cluster().net;
+        for p in [2usize, 3, 8, 16, 64, 257] {
+            for bpp in [64u64, 4096, 1 << 20] {
+                let rebuilt = net.exchange_bytes(p, bpp) as f64 / net.effective_bw(p, 1)
+                    + net.exchange_latency(p, bpp);
+                let blocking = net.blocking_duration(p, bpp).as_secs_f64();
+                // `SimTime` quantizes to whole nanoseconds; allow that.
+                assert!(
+                    (rebuilt - blocking).abs() <= 1e-9 + 1e-9 * blocking,
+                    "p={p} bpp={bpp}: {rebuilt} vs {blocking}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_exchange_is_free() {
+        let net = umd_cluster().net;
+        assert_eq!(net.exchange_bytes(1, 1 << 20), 0);
+        assert_eq!(net.exchange_latency(0, 1 << 20), 0.0);
+    }
+
+    /// Fair sharing conserves link capacity: `n` concurrent windows each
+    /// get `1/n` of the contended bandwidth, so draining two equal flows
+    /// concurrently takes exactly as long as draining them back-to-back.
+    #[test]
+    fn concurrent_windows_share_without_creating_bandwidth() {
+        let net = umd_cluster().net;
+        for n in [1u32, 2, 3, 8] {
+            let shared = net.effective_bw(16, n);
+            let alone = net.effective_bw(16, 1);
+            assert!(
+                (shared * n as f64 - alone).abs() <= 1e-9 * alone,
+                "n={n}: aggregate {} vs link {alone}",
+                shared * n as f64
+            );
+        }
+    }
 
     #[test]
     fn fft_cost_grows_superlinearly() {

@@ -44,9 +44,16 @@
 //!   and last tile. The gate is zero undetected corruptions — every flip
 //!   must be caught and healed, every output serial-exact. Exit 1
 //!   otherwise.
+//! * `serve [--seed-base N] [--ranks N] [--grid N] [--schedules N]` —
+//!   the multi-tenant service sweep: each schedule interleaves one
+//!   tenant's persistent-plan job train with a foreign-geometry tenant
+//!   job on the same communicator, under mpisim's checked mode, so the
+//!   co-scheduled pipelines of `fft3d::service` face every delivery
+//!   interleaving. Exit 1 on any MC finding, panic, re-negotiated plan
+//!   setup, or numerical deviation from either serial oracle.
 //! * `check` — `lint`, then `explore` with the acceptance-gate defaults
 //!   (≥ 200 schedules, 4 ranks, grid 8), then compact `pencil`,
-//!   `persist`, `recover`, and `corrupt` sweeps.
+//!   `persist`, `recover`, `corrupt`, and `serve` sweeps.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
@@ -86,8 +93,13 @@ fn usage() -> ExitCode {
          \x20         [--ranks N] [--grid N] [--schedules N] [--victim N]\n\
          \x20                           corruption + memory bit-flips; zero\n\
          \x20                           undetected corruptions gate)\n\
+         \x20 serve   [--seed-base N]   multi-tenant service sweep (job\n\
+         \x20         [--ranks N] [--grid N] [--schedules N]\n\
+         \x20                           train + foreign-geometry job\n\
+         \x20                           interleaved on one communicator)\n\
          \x20 check                     lint + explore + pencil + persist\n\
-         \x20                           + recover + corrupt (acceptance gate)"
+         \x20                           + recover + corrupt + serve\n\
+         \x20                           (acceptance gate)"
     );
     ExitCode::FAILURE
 }
@@ -262,6 +274,22 @@ fn run_corrupt(args: &[String]) -> bool {
     summarize("corrupt", &report)
 }
 
+fn run_serve(args: &[String]) -> bool {
+    let (cfg, grid) = sweep_config(args);
+    println!(
+        "serve: {} schedules of a co-scheduled tenant mix (persistent job \
+         train + foreign-geometry job on one communicator), grid {grid}^3, \
+         {} ranks (random seeds {:?} + {}-bit systematic sweep)",
+        cfg.schedules(),
+        cfg.ranks,
+        cfg.random_seeds,
+        cfg.systematic_bits
+    );
+    let report = mpicheck::explore_service(&cfg, grid, progress_bar);
+    println!();
+    summarize("serve", &report)
+}
+
 fn summarize(pass: &str, report: &ExploreReport) -> bool {
     println!(
         "{pass}: {} schedules in {:.1}s — {} failure(s), {} info finding(s)",
@@ -295,6 +323,7 @@ fn main() -> ExitCode {
         Some("persist") => run_persist(&args[1..]),
         Some("recover") => run_recover(&args[1..]),
         Some("corrupt") => run_corrupt(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
         Some("check") => {
             let lint_ok = run_lint(&root, &[]);
             let explore_ok = run_explore(&args[1..]);
@@ -312,7 +341,14 @@ fn main() -> ExitCode {
             let persist_ok = run_persist(&compact_args);
             let recover_ok = run_recover(&compact_args);
             let corrupt_ok = run_corrupt(&compact_args);
-            let all = lint_ok && explore_ok && pencil_ok && persist_ok && recover_ok && corrupt_ok;
+            let serve_ok = run_serve(&compact_args);
+            let all = lint_ok
+                && explore_ok
+                && pencil_ok
+                && persist_ok
+                && recover_ok
+                && corrupt_ok
+                && serve_ok;
             if all {
                 println!("check: all gates passed");
             }

@@ -1,0 +1,283 @@
+//! Tier-1 acceptance tests for the multi-tenant service (ISSUE 10):
+//! the overload-shedding demo (typed rejections of the lowest priority
+//! class, p99 FCT of accepted work within 1.5× isolated, Jain ≥ 0.9
+//! across tenants), data-layer tenant isolation under an injected crash
+//! (every other tenant's spectrum bit-exact vs its isolated execution),
+//! and a proptest over random job mixes pinning determinism, typed-outcome
+//! totality (no starvation), and byte conservation vs independent runs.
+
+use cfft::Direction;
+use fft3d::{
+    CancelReason, Error, JobOutcome, JobSpec, ProblemSpec, RejectReason, Service, ServiceConfig,
+};
+use mpisim::FaultPlan;
+use proptest::prelude::*;
+use simnet::model::umd_cluster;
+
+/// Seed for the fault plans in this file; CI sweeps a matrix of values.
+fn fault_seed() -> u64 {
+    std::env::var("FFT3D_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+/// The acceptance demo: four symmetric tenants submit at 2× the cluster's
+/// service rate, every job carrying a 1.5×-isolated deadline. The
+/// admission controller must shed load preferentially from the lowest
+/// priority class — with typed reasons, not drops — while the work it
+/// accepts keeps its latency promise (the deadline watchdog enforces the
+/// 1.5× bound on anything that slips past prediction) and no tenant is
+/// favoured (Jain ≥ 0.9).
+#[test]
+fn overload_sheds_low_priority_and_keeps_accepted_fct_bounded() {
+    let svc = Service::new(ServiceConfig::new(umd_cluster(), 16));
+    let template = JobSpec::new(0, ProblemSpec::cube(256, 1), Direction::Forward);
+    let iso = svc
+        .isolated_run(&template)
+        .expect("template must be feasible")
+        .time;
+
+    // 24 jobs, one arriving every iso/2 — twice what the cluster can
+    // finish. Tenant i%4, priority i%3: each tenant submits every
+    // priority class equally often.
+    let jobs: Vec<JobSpec> = (0..24)
+        .map(|i| {
+            JobSpec::new(i % 4, ProblemSpec::cube(256, 1), Direction::Forward)
+                .with_priority((i % 3) as u8)
+                .with_deadline(iso * 1.5)
+                .at(i as f64 * iso * 0.5)
+        })
+        .collect();
+    let rep = svc.run(&jobs);
+
+    // Overload must shed — and every shed is a typed reason.
+    let mut rejected_by_prio = [0usize; 3];
+    let mut completed_by_prio = [0usize; 3];
+    for rec in &rep.jobs {
+        match rec.outcome {
+            JobOutcome::Rejected(
+                RejectReason::DeadlineUnmeetable { .. } | RejectReason::QueueFull { .. },
+            ) => rejected_by_prio[rec.priority as usize] += 1,
+            JobOutcome::Rejected(r) => panic!("job {}: unexpected rejection {r:?}", rec.job),
+            JobOutcome::Completed { .. } => completed_by_prio[rec.priority as usize] += 1,
+            JobOutcome::Cancelled {
+                reason: CancelReason::DeadlineExceeded { .. },
+                ..
+            } => {}
+            JobOutcome::Cancelled { reason, .. } => {
+                panic!("job {}: unexpected cancellation {reason:?}", rec.job)
+            }
+        }
+    }
+    let rejected: usize = rejected_by_prio.iter().sum();
+    let completed: usize = completed_by_prio.iter().sum();
+    assert!(rejected > 0, "2x load must shed something");
+    assert!(completed > 0, "2x load must not shed everything");
+    // Shedding is priority-ordered: the bottom class loses at least as
+    // many jobs as the top class, and the top class completes at least as
+    // many as the bottom.
+    assert!(
+        rejected_by_prio[0] >= rejected_by_prio[2],
+        "rejections by priority {rejected_by_prio:?}"
+    );
+    assert!(
+        completed_by_prio[2] >= completed_by_prio[0],
+        "completions by priority {completed_by_prio:?}"
+    );
+
+    // Accepted work keeps its promise: every completion (p99 included)
+    // lands within 1.5x its isolated run.
+    assert!(rep.slowdown.count > 0);
+    assert!(
+        rep.slowdown.p99 <= 1.5 + 1e-9,
+        "p99 slowdown {} breaks the 1.5x bound",
+        rep.slowdown.p99
+    );
+
+    // Symmetric tenants, symmetric service: Jain over per-tenant mean
+    // slowdowns.
+    assert!(rep.jain >= 0.9, "jain {} < 0.9", rep.jain);
+}
+
+/// Strict tenant isolation on the data layer: tenant 0's job carries a
+/// rank-crash fault; it must recover through `run_recoverable` (extra
+/// attempts, serial-close spectrum), while tenants 1 and 2 — co-scheduled
+/// on the same cluster — produce spectra *bit-identical* to running each
+/// of their jobs with no other tenant present.
+#[test]
+fn crash_in_one_tenants_job_leaves_other_tenants_bit_exact() {
+    let svc = Service::new(ServiceConfig::new(umd_cluster(), 4));
+    // 32^3 over 4 ranks auto-selects the slab path, which is the one with
+    // a crash-recovery story (`run_recoverable`).
+    let spec = ProblemSpec::cube(32, 1);
+    let crashy = JobSpec::new(0, spec, Direction::Forward)
+        .with_faults(FaultPlan::seeded(fault_seed()).with_rank_crash(1, 1));
+    let victims = [
+        JobSpec::new(1, spec, Direction::Forward).at(0.0),
+        JobSpec::new(2, spec, Direction::Backward).at(0.0),
+    ];
+
+    let batch = vec![crashy, victims[0].clone(), victims[1].clone()];
+    let (rep, data) = svc.run_with_data(&batch).expect("data-layer run");
+    for rec in &rep.jobs {
+        assert!(
+            rec.outcome.is_completed(),
+            "job {} must complete: {:?}",
+            rec.job,
+            rec.outcome
+        );
+    }
+
+    // The faulted tenant recovered: it burned extra attempts and still
+    // landed a serial-close spectrum without its dead rank.
+    let tol = 1e-9 * spec.len() as f64;
+    let crashed = data[0].as_ref().expect("crash job data");
+    assert!(
+        crashed.attempts >= 2,
+        "a rank crash must cost at least one retry, got {}",
+        crashed.attempts
+    );
+    assert_eq!(crashed.lost, vec![1], "rank 1 was the injected casualty");
+    assert!(
+        crashed.max_err < tol,
+        "recovered spectrum error {} over tolerance {tol}",
+        crashed.max_err
+    );
+
+    // The other tenants are untouched: bit-for-bit equal to running each
+    // job in its own single-tenant batch.
+    for (slot, victim) in victims.iter().enumerate() {
+        let shared = data[slot + 1].as_ref().expect("victim data");
+        assert!(
+            shared.lost.is_empty(),
+            "tenant {} lost ranks",
+            victim.tenant
+        );
+        assert_eq!(shared.attempts, 1, "a clean job needs one attempt");
+        assert!(shared.max_err < tol);
+        let (_, alone) = svc
+            .run_with_data(std::slice::from_ref(victim))
+            .expect("isolated execution");
+        let alone = alone[0].as_ref().expect("isolated data");
+        for rank in 0..4 {
+            let a = shared.slabs[rank].as_ref().expect("shared slab");
+            let b = alone.slabs[rank].as_ref().expect("isolated slab");
+            assert_eq!(a.len(), b.len());
+            let exact = a
+                .iter()
+                .zip(b.iter())
+                .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits());
+            assert!(
+                exact,
+                "tenant {} rank {rank}: spectrum differs from isolated run",
+                victim.tenant
+            );
+        }
+    }
+}
+
+/// Random job mixes for the property tests: cube sizes × tenants ×
+/// staggered arrivals × optional deadlines × optional crash faults.
+fn job_mix() -> impl Strategy<Value = (Vec<JobSpec>, u64)> {
+    let job = (
+        1usize..=3, // tenant
+        prop::sample::select(vec![8usize, 12, 16]),
+        0usize..=4, // arrival slot
+        0u8..=2,    // priority
+        0usize..=2, // 0: none, 1: generous deadline, 2: crash
+    );
+    (proptest::collection::vec(job, 1..=6), 1u64..=1_000).prop_map(|(raw, seed)| {
+        let jobs = raw
+            .into_iter()
+            .map(|(tenant, n, slot, priority, kind)| {
+                let mut j = JobSpec::new(tenant, ProblemSpec::cube(n, 1), Direction::Forward)
+                    .with_priority(priority)
+                    .at(slot as f64 * 0.01);
+                match kind {
+                    1 => j.deadline = Some(10.0),
+                    2 => j.faults = FaultPlan::seeded(seed).with_rank_crash(1, 1),
+                    _ => {}
+                }
+                j
+            })
+            .collect();
+        (jobs, seed)
+    })
+}
+
+/// Digest of every outcome-bearing field, bit-exact, for determinism
+/// comparisons.
+fn digest(rep: &fft3d::ServiceReport) -> Vec<(usize, String, u64, u64, u32)> {
+    rep.jobs
+        .iter()
+        .map(|r| {
+            (
+                r.job,
+                format!("{:?}", r.outcome),
+                r.fct().unwrap_or(-1.0).to_bits(),
+                r.bytes,
+                r.attempts,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The three service-level properties of the ISSUE, over random mixes:
+    ///
+    /// * **determinism** — the same submission gives the same report,
+    ///   bit for bit;
+    /// * **no starvation** — every submitted job reaches a typed terminal
+    ///   state: completed, or rejected/cancelled with a reason (never the
+    ///   engine's defensive `Internal` backstop);
+    /// * **conservation** — a completed job exchanges exactly the bytes
+    ///   its independent (isolated) run exchanges, so co-scheduling moves
+    ///   no phantom traffic.
+    #[test]
+    fn random_mixes_are_deterministic_typed_and_conservative(
+        (jobs, _seed) in job_mix(),
+    ) {
+        let svc = Service::new(ServiceConfig::new(umd_cluster(), 4));
+        let rep = svc.run(&jobs);
+        let again = svc.run(&jobs);
+        prop_assert_eq!(digest(&rep), digest(&again), "same mix, same report");
+
+        prop_assert_eq!(rep.jobs.len(), jobs.len(), "every submission is accounted for");
+        let mut completed_bytes = 0u64;
+        let mut isolated_bytes = 0u64;
+        for rec in &rep.jobs {
+            match &rec.outcome {
+                JobOutcome::Completed { fct } => {
+                    prop_assert!(*fct >= 0.0);
+                    prop_assert_eq!(
+                        rec.bytes, rec.isolated_bytes,
+                        "job {}: shared run moved {} bytes, isolated {}",
+                        rec.job, rec.bytes, rec.isolated_bytes
+                    );
+                    completed_bytes += rec.bytes;
+                    isolated_bytes += rec.isolated_bytes;
+                }
+                JobOutcome::Rejected(_) => {
+                    prop_assert_eq!(rec.bytes, 0, "a rejected job moves nothing");
+                }
+                JobOutcome::Cancelled { reason, .. } => {
+                    // Typed reasons only — the engine's defensive backstop
+                    // (`Internal`) would mean a job was stranded.
+                    match reason {
+                        CancelReason::RetriesExhausted(Error::Internal(msg)) => {
+                            return Err(TestCaseError::fail(format!(
+                                "job {} stranded: {msg}", rec.job
+                            )));
+                        }
+                        CancelReason::DeadlineExceeded { .. }
+                        | CancelReason::RetriesExhausted(_) => {}
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(completed_bytes, isolated_bytes);
+    }
+}
